@@ -1,0 +1,41 @@
+// Shared helpers for the benchmark binaries.
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "batch/esp_experiment.hpp"
+#include "common/table.hpp"
+
+namespace dbs::bench {
+
+inline void print_header(const std::string& title, const std::string& paper_ref) {
+  std::cout << "==============================================================\n"
+            << title << "\n"
+            << "(reproduces " << paper_ref
+            << " of Prabhakaran et al., ICPP'14)\n"
+            << "==============================================================\n";
+}
+
+/// The paper's evaluation setup: 128 cores (16 nodes x 8), both depths 5.
+inline batch::EspExperimentParams paper_esp_params() {
+  return batch::EspExperimentParams{};
+}
+
+/// Down-samples a wait series for readable terminal output.
+inline void print_wait_series(const std::vector<batch::RunResult>& runs,
+                              std::size_t stride) {
+  std::vector<std::string> header{"JobIdx"};
+  for (const auto& r : runs) header.push_back(r.label + " wait[s]");
+  TextTable table(header);
+  const std::size_t n = runs.front().waits.size();
+  for (std::size_t i = 0; i < n; i += stride) {
+    std::vector<std::string> row{std::to_string(i)};
+    for (const auto& r : runs)
+      row.push_back(TextTable::num(r.waits[i].wait.as_seconds(), 0));
+    table.add_row(row);
+  }
+  std::cout << table.to_string();
+}
+
+}  // namespace dbs::bench

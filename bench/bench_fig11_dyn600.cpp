@@ -1,0 +1,24 @@
+// Fig. 11: waiting time per job — Static vs Dyn-HP vs Dyn-600.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace dbs;
+  bench::print_header("Waiting times: Static vs Dyn-HP vs Dyn-600", "Fig. 11");
+
+  const auto params = bench::paper_esp_params();
+  const std::vector<batch::RunResult> runs = {
+      batch::run_esp(params, batch::EspConfig::Static),
+      batch::run_esp(params, batch::EspConfig::DynHP),
+      batch::run_esp(params, batch::EspConfig::Dyn600)};
+  bench::print_wait_series(runs, /*stride=*/5);
+
+  std::cout << "\nsatisfied dynamic requests: Dyn-HP "
+            << runs[1].summary.satisfied_dyn_jobs << ", Dyn-600 "
+            << runs[2].summary.satisfied_dyn_jobs << " (paper: 43 vs 27)\n"
+            << "utilization: Dyn-HP "
+            << TextTable::num(runs[1].summary.utilization, 2) << "%, Dyn-600 "
+            << TextTable::num(runs[2].summary.utilization, 2)
+            << "% (paper: 85.02 vs 83.57 — the moderate policy approaches "
+               "Dyn-HP performance)\n";
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Fig. 7: execution times of the static and dynamic Quadflow test cases,
+// broken down by adaptation phase.
+#include "apps/quadflow_model.hpp"
+#include "batch/quadflow_experiment.hpp"
+#include "bench_common.hpp"
+
+namespace {
+
+void print_case(const dbs::amr::QuadflowCase& c) {
+  using namespace dbs;
+  std::cout << "\n--- " << c.name << " (cells/phase:";
+  for (const auto n : c.cells_per_phase) std::cout << " " << n;
+  std::cout << "; trigger " << c.threshold_cells_per_proc
+            << " cells/proc) ---\n";
+
+  const batch::QuadflowFigure fig = batch::quadflow_figure(c);
+  std::vector<std::string> header{"Scenario"};
+  for (std::size_t p = 0; p < c.cells_per_phase.size(); ++p)
+    header.push_back("phase" + std::to_string(p) + " [h]");
+  header.push_back("total [h]");
+  TextTable table(header);
+  for (const auto* s :
+       {&fig.static_small, &fig.static_large, &fig.dynamic}) {
+    std::vector<std::string> row{s->label};
+    for (const Duration d : s->phase_durations)
+      row.push_back(TextTable::num(d.as_seconds() / 3600.0, 2));
+    row.push_back(TextTable::num(s->total().as_seconds() / 3600.0, 2));
+    table.add_row(row);
+  }
+  std::cout << table.to_string();
+  std::cout << "dynamic saving vs static-16: "
+            << TextTable::num(fig.saving_percent, 1) << "% ("
+            << TextTable::num((fig.static_small.total().as_seconds() -
+                               fig.dynamic.total().as_seconds()) / 3600.0,
+                              1)
+            << " h)   [paper: FlatPlate 17% / ~3 h, Cylinder 33% / ~10 h]\n";
+
+  // Validate the full batch-system path against the analytic model.
+  const Duration batch_time = batch::quadflow_batch_turnaround(c, 16, 16, 6, 8);
+  std::cout << "through the batch system (16 -> 32 cores on an idle "
+               "6-node cluster): "
+            << TextTable::num(batch_time.as_seconds() / 3600.0, 2) << " h\n";
+}
+
+}  // namespace
+
+int main() {
+  using namespace dbs;
+  bench::print_header(
+      "Quadflow static vs dynamic execution, per adaptation phase", "Fig. 7");
+  print_case(amr::flat_plate_case());
+  print_case(amr::cylinder_case());
+  return 0;
+}

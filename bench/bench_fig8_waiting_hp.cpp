@@ -1,0 +1,28 @@
+// Fig. 8: waiting time per job (submission order), Static vs Dyn-HP.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace dbs;
+  bench::print_header(
+      "Waiting times: static workload vs dynamic highest-priority", "Fig. 8");
+
+  const auto params = bench::paper_esp_params();
+  const std::vector<batch::RunResult> runs = {
+      batch::run_esp(params, batch::EspConfig::Static),
+      batch::run_esp(params, batch::EspConfig::DynHP)};
+  bench::print_wait_series(runs, /*stride=*/5);
+
+  // The paper's qualitative observation: jobs in the mid submission range
+  // wait longer under Dyn-HP while many others improve.
+  std::size_t worse = 0, better = 0, equal = 0;
+  for (std::size_t i = 0; i < runs[0].waits.size(); ++i) {
+    const auto d = runs[1].waits[i].wait - runs[0].waits[i].wait;
+    if (d > Duration::seconds(1)) ++worse;
+    else if (d < Duration::seconds(-1)) ++better;
+    else ++equal;
+  }
+  std::cout << "\njobs waiting longer under Dyn-HP: " << worse
+            << ", shorter: " << better << ", unchanged: " << equal << "\n"
+            << "(paper: many jobs improve, but jobs ~70-125 wait longer)\n";
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Table I: the dynamic ESP job mix — sizes, counts, SET and DET — with the
+// paper's published DET values next to our model's.
+#include "bench_common.hpp"
+#include "workload/esp.hpp"
+
+int main() {
+  using namespace dbs;
+  bench::print_header("Dynamic ESP benchmark job mix", "Table I");
+
+  const CoreCount machine = 128;
+  TextTable table({"Job type", "User", "Size", "Cores", "Count", "SET [s]",
+                   "DET paper [s]", "DET model [s]"});
+  int total_jobs = 0;
+  double total_core_seconds = 0.0;
+  for (const auto& t : wl::esp_table()) {
+    const CoreCount cores = wl::esp_cores(t, machine);
+    const Duration det_model =
+        t.evolving ? wl::model_det(t.set, cores, 4) : Duration::zero();
+    table.add_row({std::string(1, t.letter), t.user,
+                   TextTable::num(t.fraction, 5), TextTable::num(cores),
+                   TextTable::num(t.count),
+                   TextTable::num(t.set.as_seconds(), 0),
+                   t.evolving ? TextTable::num(t.paper_det.as_seconds(), 0)
+                              : "-",
+                   t.evolving ? TextTable::num(det_model.as_seconds(), 0)
+                              : "-"});
+    total_jobs += t.count;
+    total_core_seconds += static_cast<double>(cores) * t.set.as_seconds() *
+                          t.count;
+  }
+  std::cout << table.to_string();
+  std::cout << "total jobs: " << total_jobs
+            << "   static work: " << TextTable::num(total_core_seconds / 3600.0, 1)
+            << " core-hours on " << machine << " cores\n";
+
+  const wl::Workload workload = wl::generate_esp(wl::EspParams{});
+  std::cout << "generated workload: " << workload.jobs.size() << " jobs, "
+            << workload.evolving_count() << " evolving ("
+            << TextTable::num(100.0 * static_cast<double>(workload.evolving_count()) /
+                                  static_cast<double>(workload.jobs.size()),
+                              0)
+            << "%), submission window "
+            << workload.jobs[227].at.to_string() << ", Z jobs at "
+            << workload.jobs[228].at.to_string() << "\n";
+  return 0;
+}

@@ -1,0 +1,76 @@
+// A small experiment-campaign driver around the dynamic ESP benchmark:
+//
+//   $ ./esp_campaign                      # the paper's four configurations
+//   $ ./esp_campaign --seed 7 --cores 256 # a different machine / ordering
+//   $ ./esp_campaign --trace out.trace    # dump the workload and exit
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "batch/esp_experiment.hpp"
+#include "common/table.hpp"
+#include "workload/trace.hpp"
+
+using namespace dbs;
+
+namespace {
+
+void usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " [--seed N] [--cores N] [--limit500 S] [--limit600 S] "
+               "[--trace FILE]\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  batch::EspExperimentParams params;
+  std::string trace_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        usage(argv[0]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--seed") {
+      params.workload.seed = static_cast<std::uint64_t>(std::atoll(next()));
+    } else if (arg == "--cores") {
+      params.workload.total_cores = static_cast<CoreCount>(std::atoi(next()));
+    } else if (arg == "--limit500") {
+      params.dyn500_limit = Duration::seconds(std::atoll(next()));
+    } else if (arg == "--limit600") {
+      params.dyn600_limit = Duration::seconds(std::atoll(next()));
+    } else if (arg == "--trace") {
+      trace_path = next();
+    } else {
+      usage(argv[0]);
+      return 2;
+    }
+  }
+
+  if (!trace_path.empty()) {
+    const wl::Workload workload = wl::generate_esp(params.workload);
+    std::ofstream out(trace_path);
+    wl::write_trace(out, workload);
+    std::cout << "wrote " << workload.jobs.size() << " jobs to " << trace_path
+              << "\n";
+    return 0;
+  }
+
+  std::cout << "dynamic ESP campaign on " << params.workload.total_cores
+            << " cores (seed " << params.workload.seed << ")\n\n";
+  const auto results = batch::run_esp_all(params);
+  const double baseline_tp = results[0].summary.throughput_jobs_per_min;
+  TextTable table(metrics::performance_header());
+  for (std::size_t i = 0; i < results.size(); ++i)
+    table.add_row(metrics::performance_row(results[i].label,
+                                           results[i].summary,
+                                           i == 0 ? 0.0 : baseline_tp));
+  std::cout << table.to_string();
+  return 0;
+}

@@ -1,0 +1,82 @@
+// The paper's Fig. 1 illustration, executed twice: once without dynamic
+// fairness (job A's dynamic grab delays queued job C by 4 hours) and once
+// with a DFSSINGLEJOBDELAY limit that protects C.
+//
+//   $ ./fig1_scenario
+#include <iostream>
+
+#include "apps/rigid.hpp"
+#include "batch/batch_system.hpp"
+
+using namespace dbs;
+
+namespace {
+
+void run(bool with_fairness) {
+  batch::SystemConfig config;
+  config.cluster.node_count = 6;   // nodes 0..5 as in Fig. 1
+  config.cluster.cores_per_node = 8;
+  config.latency = rms::LatencyModel::zero();
+  config.scheduler.reservation_depth = 5;
+  config.scheduler.reservation_delay_depth = 5;
+  if (with_fairness) {
+    config.scheduler.dfs.policy = core::DfsPolicy::SingleJobDelay;
+    config.scheduler.dfs.defaults.single_delay = Duration::hours(1);
+  }
+
+  batch::BatchSystem system(config);
+
+  // Job A: nodes 0-1 for an 8-hour slice; grabs two more nodes at t=1h.
+  auto app_a = std::make_unique<apps::ScriptedApp>(
+      Duration::hours(8),
+      std::vector<apps::ScriptedApp::Step>{
+          {Duration::hours(1), /*grow=*/16, 0, 1.0, Duration::zero()}});
+  rms::JobSpec a;
+  a.name = "A";
+  a.cred = {"user_a", "g", "", "batch", ""};
+  a.cores = 16;
+  a.walltime = Duration::hours(8);
+  const JobId id_a = system.submit_now(a, std::move(app_a));
+
+  // Job B: nodes 2-3 for 4 hours.
+  rms::JobSpec b;
+  b.name = "B";
+  b.cred = {"user_b", "g", "", "batch", ""};
+  b.cores = 16;
+  b.walltime = Duration::hours(4);
+  system.submit_now(b, std::make_unique<apps::RigidApp>(Duration::hours(4)));
+
+  // Job C: queued, needs 4 nodes; its earliest start is B's end (t=4h)
+  // using nodes 2-5 — unless A's dynamic allocation takes nodes 4-5.
+  rms::JobSpec c;
+  c.name = "C";
+  c.cred = {"user_c", "g", "", "batch", ""};
+  c.cores = 32;
+  c.walltime = Duration::hours(4);
+  const JobId id_c =
+      system.submit_now(c, std::make_unique<apps::RigidApp>(Duration::hours(4)));
+
+  system.run();
+
+  const auto& rec_a = system.recorder().record(id_a);
+  const auto& rec_c = system.recorder().record(id_c);
+  std::cout << (with_fairness ? "[DFSSINGLEJOBDELAY=1h] " : "[no fairness]  ")
+            << "A's dynamic request: "
+            << (rec_a.dyn_grants > 0 ? "GRANTED" : "rejected")
+            << "; C started at t=" << rec_c.start->to_string()
+            << " (waited " << rec_c.wait_time().to_hms() << ")\n";
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Fig. 1: effect of a dynamic allocation of job A on the\n"
+               "static reservation of job C (6 nodes; A holds 0-1 for 8h,\n"
+               "B holds 2-3 for 4h, C needs 4 nodes).\n\n";
+  run(/*with_fairness=*/false);
+  run(/*with_fairness=*/true);
+  std::cout << "\nWithout fairness A grabs the idle nodes 4-5 and C slips\n"
+               "from t=4h to t=8h; the single-job delay cap rejects the\n"
+               "grab and C keeps its reservation.\n";
+  return 0;
+}

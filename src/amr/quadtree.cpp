@@ -1,0 +1,56 @@
+#include "amr/quadtree.hpp"
+
+#include "common/assert.hpp"
+
+namespace dbs::amr {
+
+QuadTree::QuadTree(int initial_depth) {
+  DBS_REQUIRE(initial_depth >= 0 && initial_depth <= 12,
+              "initial depth out of range");
+  nodes_.push_back(Node{Cell{0.5, 0.5, 1.0, 0}, -1});
+  leaf_count_ = 1;
+  for (int d = 0; d < initial_depth; ++d)
+    refine_where([](const Cell&) { return true; }, initial_depth);
+}
+
+void QuadTree::split(std::size_t index) {
+  DBS_ASSERT(nodes_[index].first_child == -1, "splitting a non-leaf");
+  const Cell parent = nodes_[index].cell;
+  const double h = parent.size / 2.0;
+  const double q = parent.size / 4.0;
+  nodes_[index].first_child = static_cast<std::ptrdiff_t>(nodes_.size());
+  const double xs[4] = {parent.x - q, parent.x + q, parent.x - q, parent.x + q};
+  const double ys[4] = {parent.y - q, parent.y - q, parent.y + q, parent.y + q};
+  for (int c = 0; c < 4; ++c)
+    nodes_.push_back(Node{Cell{xs[c], ys[c], h, parent.depth + 1}, -1});
+  leaf_count_ += 3;  // one leaf became four
+}
+
+std::size_t QuadTree::refine_where(const std::function<bool(const Cell&)>& pred,
+                                   int max_depth) {
+  DBS_REQUIRE(pred != nullptr, "predicate required");
+  // Collect first, split afterwards: splitting grows nodes_, and a single
+  // adaptation pass must not re-examine freshly created children.
+  std::vector<std::size_t> to_split;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const Node& n = nodes_[i];
+    if (n.first_child == -1 && n.cell.depth < max_depth && pred(n.cell))
+      to_split.push_back(i);
+  }
+  for (const std::size_t i : to_split) split(i);
+  return to_split.size();
+}
+
+void QuadTree::for_each_leaf(const std::function<void(const Cell&)>& fn) const {
+  for (const Node& n : nodes_)
+    if (n.first_child == -1) fn(n.cell);
+}
+
+int QuadTree::depth() const {
+  int deepest = 0;
+  for (const Node& n : nodes_)
+    if (n.first_child == -1 && n.cell.depth > deepest) deepest = n.cell.depth;
+  return deepest;
+}
+
+}  // namespace dbs::amr

@@ -1,0 +1,54 @@
+// A quadtree grid over the unit square — the adaptive-mesh substrate that
+// stands in for Quadflow's locally refined B-spline grids. Only the part
+// that matters for the paper is modelled: sensor-driven local refinement
+// producing a cell-count trajectory across adaptation phases.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace dbs::amr {
+
+/// A leaf cell: centre coordinates, edge length, refinement depth.
+struct Cell {
+  double x = 0.5;
+  double y = 0.5;
+  double size = 1.0;
+  int depth = 0;
+};
+
+class QuadTree {
+ public:
+  /// Starts from a uniform grid of depth `initial_depth`
+  /// (4^initial_depth cells).
+  explicit QuadTree(int initial_depth = 0);
+
+  /// Number of leaf cells.
+  [[nodiscard]] std::size_t cell_count() const { return leaf_count_; }
+
+  /// Deepest refinement level present.
+  [[nodiscard]] int depth() const;
+
+  /// Splits every leaf with depth < max_depth for which `pred` holds.
+  /// Returns the number of cells split. One call = one adaptation pass.
+  std::size_t refine_where(const std::function<bool(const Cell&)>& pred,
+                           int max_depth);
+
+  /// Visits every leaf cell.
+  void for_each_leaf(const std::function<void(const Cell&)>& fn) const;
+
+ private:
+  struct Node {
+    Cell cell;
+    // Index of the first of four consecutive children; -1 for leaves.
+    std::ptrdiff_t first_child = -1;
+  };
+
+  void split(std::size_t index);
+
+  std::vector<Node> nodes_;
+  std::size_t leaf_count_ = 0;
+};
+
+}  // namespace dbs::amr

@@ -1,0 +1,25 @@
+#include "amr/refinement.hpp"
+
+#include "common/assert.hpp"
+
+namespace dbs::amr {
+
+AdaptationTrace run_adaptations(QuadTree& grid, const Sensor& sensor,
+                                const RefinementOptions& options) {
+  DBS_REQUIRE(options.adaptations >= 0, "adaptation count cannot be negative");
+  DBS_REQUIRE(options.threshold > 0.0, "threshold must be positive");
+  DBS_REQUIRE(sensor != nullptr, "sensor required");
+
+  AdaptationTrace trace;
+  trace.cells_per_phase.push_back(grid.cell_count());
+  for (int a = 0; a < options.adaptations; ++a) {
+    const std::size_t refined = grid.refine_where(
+        [&](const Cell& c) { return sensor(c) * c.size > options.threshold; },
+        options.max_depth);
+    trace.refined_per_adaptation.push_back(refined);
+    trace.cells_per_phase.push_back(grid.cell_count());
+  }
+  return trace;
+}
+
+}  // namespace dbs::amr

@@ -1,0 +1,36 @@
+// The adaptation driver: runs successive sensor-driven refinement passes
+// and records the cell-count trajectory — the quantity that makes Quadflow
+// an *evolving* application.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "amr/quadtree.hpp"
+#include "amr/sensor.hpp"
+
+namespace dbs::amr {
+
+struct AdaptationTrace {
+  /// cells_per_phase[0] is the initial grid; entry p > 0 is the grid after
+  /// adaptation p. Size = adaptations + 1.
+  std::vector<std::size_t> cells_per_phase;
+  /// Cells split in each adaptation (size = adaptations).
+  std::vector<std::size_t> refined_per_adaptation;
+};
+
+struct RefinementOptions {
+  int adaptations = 2;
+  int max_depth = 10;
+  /// Refine where sensor(cell) * cell.size > threshold. The scale-weighted
+  /// criterion stops refinement automatically once cells resolve the
+  /// feature.
+  double threshold = 1e-3;
+};
+
+/// Runs `options.adaptations` passes on `grid`.
+[[nodiscard]] AdaptationTrace run_adaptations(QuadTree& grid,
+                                              const Sensor& sensor,
+                                              const RefinementOptions& options);
+
+}  // namespace dbs::amr

@@ -1,0 +1,40 @@
+#include "amr/sensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace dbs::amr {
+
+Sensor boundary_layer_sensor(double delta) {
+  DBS_REQUIRE(delta > 0.0, "boundary layer thickness must be positive");
+  return [delta](const Cell& c) {
+    const double wall_distance = std::max(0.0, c.y - c.size / 2.0);
+    return std::exp(-wall_distance / delta);
+  };
+}
+
+Sensor bow_shock_sensor(double cx, double cy, double shock_radius,
+                        double width) {
+  DBS_REQUIRE(shock_radius > 0.0 && width > 0.0, "invalid shock geometry");
+  return [cx, cy, shock_radius, width](const Cell& c) {
+    if (c.x > cx) return 0.0;  // shock only upstream of the body
+    const double r = std::hypot(c.x - cx, c.y - cy);
+    // Distance from the shock front, reduced by the cell's own extent so a
+    // coarse cell overlapping the front still registers.
+    const double d =
+        std::max(0.0, std::abs(r - shock_radius) - 0.7 * c.size);
+    const double t = d / width;
+    return std::exp(-t * t);
+  };
+}
+
+Sensor combine_max(Sensor a, Sensor b) {
+  DBS_REQUIRE(a != nullptr && b != nullptr, "sensors required");
+  return [a = std::move(a), b = std::move(b)](const Cell& c) {
+    return std::max(a(c), b(c));
+  };
+}
+
+}  // namespace dbs::amr

@@ -1,0 +1,29 @@
+// Analytic refinement sensors standing in for Quadflow's multiscale
+// analysis. A sensor returns a local feature strength in [0,1]; the
+// refinement driver refines cells where strength x cell size exceeds a
+// threshold (so finer cells need stronger features to refine further —
+// the usual scale-weighted criterion).
+#pragma once
+
+#include <functional>
+
+#include "amr/quadtree.hpp"
+
+namespace dbs::amr {
+
+using Sensor = std::function<double(const Cell&)>;
+
+/// Laminar boundary layer over a flat plate at y = 0: feature strength
+/// decays exponentially away from the wall with thickness `delta`.
+[[nodiscard]] Sensor boundary_layer_sensor(double delta);
+
+/// Detached bow shock in front of a cylinder: a thin arc at distance
+/// `shock_radius` from (cx, cy), of characteristic width `width`, covering
+/// the upstream half (x < cx).
+[[nodiscard]] Sensor bow_shock_sensor(double cx, double cy,
+                                      double shock_radius, double width);
+
+/// Pointwise maximum of two sensors (e.g. shock + wall layer).
+[[nodiscard]] Sensor combine_max(Sensor a, Sensor b);
+
+}  // namespace dbs::amr

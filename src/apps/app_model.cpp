@@ -1,0 +1,80 @@
+#include "apps/app_model.hpp"
+
+#include "apps/resilient.hpp"
+#include "apps/rigid.hpp"
+#include "common/assert.hpp"
+
+namespace dbs::apps {
+
+std::unique_ptr<rms::Application> make_application(const wl::Behavior& behavior,
+                                                   SpeedupModel model) {
+  if (behavior.evolving)
+    return std::make_unique<EvolvingApp>(behavior, model);
+  if (behavior.malleable)
+    // Malleable jobs must adapt to scheduler-initiated reshapes: use the
+    // work-conserving model (it never asks for cores on its own).
+    return std::make_unique<ResilientApp>(behavior.static_runtime,
+                                          /*reacquire=*/false);
+  return std::make_unique<RigidApp>(behavior.static_runtime);
+}
+
+ScriptedApp::ScriptedApp(Duration base_runtime, std::vector<Step> steps)
+    : base_runtime_(base_runtime), steps_(std::move(steps)) {
+  DBS_REQUIRE(base_runtime_ > Duration::zero(), "runtime must be positive");
+  Duration previous = Duration::zero() - Duration::micros(1);
+  for (const Step& s : steps_) {
+    DBS_REQUIRE((s.grow > 0) != (s.shrink > 0),
+                "each step must either grow or shrink");
+    DBS_REQUIRE(s.at_elapsed > previous, "steps must be strictly ordered");
+    DBS_REQUIRE(s.remaining_scale > 0.0, "scale must be positive");
+    previous = s.at_elapsed;
+  }
+}
+
+rms::AppDecision ScriptedApp::decide(Time now) {
+  rms::AppDecision d{finish_, std::nullopt, std::nullopt};
+  if (next_step_ >= steps_.size()) return d;
+  const Step& s = steps_[next_step_];
+  const Time at = max(now, start_ + s.at_elapsed);
+  if (s.grow > 0)
+    d.ask = rms::DynAsk{at, s.grow, s.negotiation_timeout};
+  else
+    d.release = rms::DynRelease{at, s.shrink};
+  return d;
+}
+
+rms::AppDecision ScriptedApp::on_start(Time now, CoreCount cores) {
+  DBS_REQUIRE(cores > 0, "started without cores");
+  start_ = now;
+  finish_ = now + base_runtime_;
+  next_step_ = 0;
+  grants_ = rejects_ = releases_ = 0;
+  return decide(now);
+}
+
+rms::AppDecision ScriptedApp::on_grant(Time now, CoreCount) {
+  DBS_ASSERT(next_step_ < steps_.size(), "grant without a pending step");
+  ++grants_;
+  finish_ = max(now, now + (finish_ - now).scaled(
+                              steps_[next_step_].remaining_scale));
+  ++next_step_;
+  return decide(now);
+}
+
+rms::AppDecision ScriptedApp::on_reject(Time now, CoreCount) {
+  DBS_ASSERT(next_step_ < steps_.size(), "reject without a pending step");
+  ++rejects_;
+  ++next_step_;  // scripted apps do not retry; move on
+  return decide(now);
+}
+
+rms::AppDecision ScriptedApp::on_released(Time now, CoreCount) {
+  DBS_ASSERT(next_step_ < steps_.size(), "release without a pending step");
+  ++releases_;
+  finish_ = max(now, now + (finish_ - now).scaled(
+                              steps_[next_step_].remaining_scale));
+  ++next_step_;
+  return decide(now);
+}
+
+}  // namespace dbs::apps

@@ -1,0 +1,60 @@
+// Application factory plus a scriptable model for tests and demos.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "apps/evolving.hpp"
+#include "rms/application.hpp"
+#include "workload/esp.hpp"
+
+namespace dbs::apps {
+
+/// Builds the Application matching a workload Behavior (rigid or evolving).
+[[nodiscard]] std::unique_ptr<rms::Application> make_application(
+    const wl::Behavior& behavior,
+    SpeedupModel model = SpeedupModel::PaperDet);
+
+/// A fully scripted application: a fixed sequence of grow/shrink actions at
+/// given elapsed offsets, each optionally shortening/extending the runtime.
+/// Used by tests and the deallocation example; models applications with
+/// phase-dependent resource needs.
+class ScriptedApp final : public rms::Application {
+ public:
+  struct Step {
+    Duration at_elapsed;     ///< offset from job start
+    CoreCount grow = 0;      ///< > 0: tm_dynget this many cores
+    CoreCount shrink = 0;    ///< > 0: tm_dynfree this many cores
+    /// Runtime change applied if the step succeeds (grant / release done):
+    /// new remaining = old remaining scaled by this factor.
+    double remaining_scale = 1.0;
+    Duration negotiation_timeout = Duration::zero();
+  };
+
+  ScriptedApp(Duration base_runtime, std::vector<Step> steps);
+
+  rms::AppDecision on_start(Time now, CoreCount cores) override;
+  rms::AppDecision on_grant(Time now, CoreCount total_cores) override;
+  rms::AppDecision on_reject(Time now, CoreCount total_cores) override;
+  rms::AppDecision on_released(Time now, CoreCount total_cores) override;
+  [[nodiscard]] const char* name() const override { return "scripted"; }
+
+  [[nodiscard]] int grants() const { return grants_; }
+  [[nodiscard]] int rejects() const { return rejects_; }
+  [[nodiscard]] int releases() const { return releases_; }
+
+ private:
+  /// Decision carrying the next pending step (if any) and current finish.
+  [[nodiscard]] rms::AppDecision decide(Time now);
+
+  Duration base_runtime_;
+  std::vector<Step> steps_;
+  std::size_t next_step_ = 0;
+  Time start_;
+  Time finish_;
+  int grants_ = 0;
+  int rejects_ = 0;
+  int releases_ = 0;
+};
+
+}  // namespace dbs::apps

@@ -1,0 +1,76 @@
+#include "apps/evolving.hpp"
+
+#include "common/assert.hpp"
+
+namespace dbs::apps {
+
+std::string_view to_string(SpeedupModel m) {
+  switch (m) {
+    case SpeedupModel::PaperDet: return "paper-det";
+    case SpeedupModel::ScaleRemaining: return "scale-remaining";
+  }
+  return "?";
+}
+
+EvolvingApp::EvolvingApp(wl::Behavior behavior, SpeedupModel model)
+    : behavior_(behavior), model_(model) {
+  DBS_REQUIRE(behavior_.static_runtime > Duration::zero(),
+              "SET must be positive");
+  DBS_REQUIRE(behavior_.ask_cores > 0, "evolving job must ask for cores");
+  DBS_REQUIRE(behavior_.first_ask_frac > 0.0 &&
+                  behavior_.first_ask_frac < behavior_.retry_frac &&
+                  behavior_.retry_frac < 1.0,
+              "ask fractions must satisfy 0 < first < retry < 1");
+}
+
+rms::AppDecision EvolvingApp::on_start(Time now, CoreCount cores) {
+  DBS_REQUIRE(cores > 0, "started without cores");
+  start_ = now;
+  base_cores_ = cores;
+  asks_resolved_ = 0;
+  finish_ = now + behavior_.static_runtime;
+  const rms::DynAsk ask{
+      start_ + behavior_.static_runtime.scaled(behavior_.first_ask_frac),
+      behavior_.ask_cores, behavior_.negotiation_timeout};
+  return {finish_, ask, std::nullopt};
+}
+
+rms::AppDecision EvolvingApp::on_grant(Time now, CoreCount total_cores) {
+  DBS_REQUIRE(total_cores > base_cores_, "grant did not add cores");
+  ++asks_resolved_;
+  const double ratio = static_cast<double>(base_cores_) /
+                       static_cast<double>(total_cores);
+  switch (model_) {
+    case SpeedupModel::PaperDet:
+      // The whole execution contracts to DET = SET * S / (S + extra).
+      finish_ = max(now, start_ + behavior_.static_runtime.scaled(ratio));
+      break;
+    case SpeedupModel::ScaleRemaining:
+      finish_ = now + (finish_ - now).scaled(ratio);
+      break;
+  }
+  // One successful expansion is all the dynamic ESP model asks for.
+  return {finish_, std::nullopt, std::nullopt};
+}
+
+rms::AppDecision EvolvingApp::on_reject(Time now, CoreCount) {
+  ++asks_resolved_;
+  if (asks_resolved_ >= 2) {
+    // Both attempts failed: continue with the static allocation (SET).
+    return {finish_, std::nullopt, std::nullopt};
+  }
+  // Second chance at 25 % of the static execution time; if the rejection
+  // arrived after that point (negotiation deferral), retry right away.
+  const Time retry = max(
+      now, start_ + behavior_.static_runtime.scaled(behavior_.retry_frac));
+  const rms::DynAsk ask{retry, behavior_.ask_cores,
+                        behavior_.negotiation_timeout};
+  return {finish_, ask, std::nullopt};
+}
+
+rms::AppDecision EvolvingApp::on_released(Time, CoreCount) {
+  DBS_ASSERT(false, "esp evolving job never releases cores");
+  return {finish_, std::nullopt, std::nullopt};
+}
+
+}  // namespace dbs::apps

@@ -1,0 +1,47 @@
+// The dynamic-ESP evolving job (paper §IV-B): modelled on the Quadflow
+// Cylinder case, it requests `ask_cores` extra cores after 16 % of its
+// static execution time, retries once at 25 % if rejected, and — on
+// success — finishes earlier under a linear speedup model.
+#pragma once
+
+#include "common/time.hpp"
+#include "rms/application.hpp"
+#include "workload/esp.hpp"
+
+namespace dbs::apps {
+
+/// How a successful grant shortens the execution.
+enum class SpeedupModel {
+  /// Total execution time becomes SET * S / (S + extra) — reproduces the
+  /// paper's Table I DET values exactly.
+  PaperDet,
+  /// Only the remaining work scales: elapsed + (SET - elapsed) * S / (S +
+  /// extra). More physical; used as an ablation.
+  ScaleRemaining,
+};
+
+[[nodiscard]] std::string_view to_string(SpeedupModel m);
+
+class EvolvingApp final : public rms::Application {
+ public:
+  EvolvingApp(wl::Behavior behavior, SpeedupModel model);
+
+  rms::AppDecision on_start(Time now, CoreCount cores) override;
+  rms::AppDecision on_grant(Time now, CoreCount total_cores) override;
+  rms::AppDecision on_reject(Time now, CoreCount total_cores) override;
+  rms::AppDecision on_released(Time now, CoreCount total_cores) override;
+  [[nodiscard]] const char* name() const override { return "esp-evolving"; }
+
+  /// Projected finish with the current allocation (valid after on_start).
+  [[nodiscard]] Time finish() const { return finish_; }
+
+ private:
+  wl::Behavior behavior_;
+  SpeedupModel model_;
+  Time start_;
+  Time finish_;
+  CoreCount base_cores_ = 0;
+  int asks_resolved_ = 0;
+};
+
+}  // namespace dbs::apps

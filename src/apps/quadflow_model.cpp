@@ -1,0 +1,134 @@
+#include "apps/quadflow_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace dbs::apps {
+
+Duration quadflow_phase_time(const amr::QuadflowCase& c, std::size_t phase,
+                             CoreCount cores) {
+  DBS_REQUIRE(phase < c.cells_per_phase.size(), "phase out of range");
+  DBS_REQUIRE(cores > 0, "cores must be positive");
+  const double cells = static_cast<double>(c.cells_per_phase[phase]);
+  // Strong scaling with an underload grain: time per iteration is the work
+  // of the busiest process, but no fewer than `grain` cells' worth (unless
+  // the whole grid is smaller than one grain).
+  const double per_proc =
+      std::max(cells / static_cast<double>(cores),
+               std::min(cells, c.min_cells_per_proc));
+  return Duration::seconds_f(per_proc * c.iterations_per_phase *
+                             c.seconds_per_cell_iter);
+}
+
+std::vector<Duration> quadflow_phase_times(const amr::QuadflowCase& c,
+                                           CoreCount cores) {
+  std::vector<Duration> out;
+  out.reserve(c.cells_per_phase.size());
+  for (std::size_t p = 0; p < c.cells_per_phase.size(); ++p)
+    out.push_back(quadflow_phase_time(c, p, cores));
+  return out;
+}
+
+std::optional<std::size_t> quadflow_trigger_phase(const amr::QuadflowCase& c,
+                                                  CoreCount cores) {
+  // Phase 0 is the initial grid; only phases created by an adaptation can
+  // trigger a request.
+  for (std::size_t p = 1; p < c.cells_per_phase.size(); ++p) {
+    const double per_proc = static_cast<double>(c.cells_per_phase[p]) /
+                            static_cast<double>(cores);
+    if (per_proc > c.threshold_cells_per_proc) return p;
+  }
+  return std::nullopt;
+}
+
+Duration QuadflowScenario::total() const {
+  Duration sum;
+  for (const Duration d : phase_durations) sum += d;
+  return sum;
+}
+
+QuadflowScenario quadflow_static(const amr::QuadflowCase& c, CoreCount cores) {
+  QuadflowScenario s;
+  s.label = c.name + "-static-" + std::to_string(cores);
+  s.initial_cores = s.final_cores = cores;
+  s.phase_durations = quadflow_phase_times(c, cores);
+  return s;
+}
+
+QuadflowScenario quadflow_dynamic(const amr::QuadflowCase& c,
+                                  CoreCount initial_cores,
+                                  CoreCount extra_cores) {
+  DBS_REQUIRE(extra_cores > 0, "dynamic scenario must add cores");
+  QuadflowScenario s;
+  s.label = c.name + "-dynamic-" + std::to_string(initial_cores) + "+" +
+            std::to_string(extra_cores);
+  s.initial_cores = initial_cores;
+  s.final_cores = initial_cores;
+  s.expand_phase = quadflow_trigger_phase(c, initial_cores);
+  for (std::size_t p = 0; p < c.cells_per_phase.size(); ++p) {
+    const bool expanded = s.expand_phase && p >= *s.expand_phase;
+    const CoreCount cores = expanded ? initial_cores + extra_cores
+                                     : initial_cores;
+    s.phase_durations.push_back(quadflow_phase_time(c, p, cores));
+    s.final_cores = cores;
+  }
+  return s;
+}
+
+QuadflowApp::QuadflowApp(amr::QuadflowCase test_case, CoreCount extra_cores)
+    : case_(std::move(test_case)), extra_cores_(extra_cores) {
+  DBS_REQUIRE(!case_.cells_per_phase.empty(), "case needs phases");
+  DBS_REQUIRE(extra_cores_ > 0, "must ask for cores");
+}
+
+rms::AppDecision QuadflowApp::plan(Time now, CoreCount cores) {
+  const std::size_t phases = case_.cells_per_phase.size();
+  Time finish = now;
+  for (std::size_t p = phase_; p < phases; ++p)
+    finish += quadflow_phase_time(case_, p, cores);
+
+  rms::AppDecision d{finish, std::nullopt, std::nullopt};
+  // Find the next adaptation boundary at which the grid exceeds the
+  // threshold for the *current* core count.
+  Time boundary = now;
+  for (std::size_t k = phase_; k < phases; ++k) {
+    const double per_proc = static_cast<double>(case_.cells_per_phase[k]) /
+                            static_cast<double>(cores);
+    if (k >= next_search_ && k >= 1 &&
+        per_proc > case_.threshold_cells_per_proc) {
+      d.ask = rms::DynAsk{boundary, extra_cores_, Duration::zero()};
+      pending_trigger_ = k;
+      break;
+    }
+    boundary += quadflow_phase_time(case_, k, cores);
+  }
+  return d;
+}
+
+rms::AppDecision QuadflowApp::on_start(Time now, CoreCount cores) {
+  DBS_REQUIRE(cores > 0, "started without cores");
+  phase_ = 0;
+  next_search_ = 1;
+  return plan(now, cores);
+}
+
+rms::AppDecision QuadflowApp::on_grant(Time now, CoreCount total_cores) {
+  phase_ = pending_trigger_;
+  next_search_ = pending_trigger_ + 1;
+  return plan(now, total_cores);
+}
+
+rms::AppDecision QuadflowApp::on_reject(Time now, CoreCount total_cores) {
+  phase_ = pending_trigger_;
+  next_search_ = pending_trigger_ + 1;
+  return plan(now, total_cores);
+}
+
+rms::AppDecision QuadflowApp::on_released(Time, CoreCount) {
+  DBS_ASSERT(false, "quadflow never releases cores");
+  return {Time::far_future(), std::nullopt, std::nullopt};
+}
+
+}  // namespace dbs::apps

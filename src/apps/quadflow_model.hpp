@@ -1,0 +1,77 @@
+// The Quadflow application model (paper §IV-A, Fig. 7): computation phases
+// separated by grid adaptations; after an adaptation that leaves more than
+// `threshold_cells_per_proc` cells per process, the application issues
+// tm_dynget for more cores. Phase times follow a strong-scaling model with
+// an underload grain (adding cores stops helping once each process holds
+// fewer than `min_cells_per_proc` cells).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "amr/cases.hpp"
+#include "common/time.hpp"
+#include "rms/application.hpp"
+
+namespace dbs::apps {
+
+/// Wall time of phase `p` of `c` on `cores` cores.
+[[nodiscard]] Duration quadflow_phase_time(const amr::QuadflowCase& c,
+                                           std::size_t phase, CoreCount cores);
+
+/// All phase times on a fixed core count.
+[[nodiscard]] std::vector<Duration> quadflow_phase_times(
+    const amr::QuadflowCase& c, CoreCount cores);
+
+/// First phase whose cells-per-process (on `cores` cores) exceed the
+/// case's threshold — the adaptation after which tm_dynget is issued.
+/// nullopt if the threshold is never crossed.
+[[nodiscard]] std::optional<std::size_t> quadflow_trigger_phase(
+    const amr::QuadflowCase& c, CoreCount cores);
+
+/// A whole-run summary for the Fig. 7 comparison (no batch system
+/// involved): per-phase durations for a static run, or for a dynamic run
+/// that expands at the trigger phase.
+struct QuadflowScenario {
+  std::string label;
+  std::vector<Duration> phase_durations;
+  CoreCount initial_cores = 0;
+  CoreCount final_cores = 0;
+  std::optional<std::size_t> expand_phase;
+
+  [[nodiscard]] Duration total() const;
+};
+
+[[nodiscard]] QuadflowScenario quadflow_static(const amr::QuadflowCase& c,
+                                               CoreCount cores);
+[[nodiscard]] QuadflowScenario quadflow_dynamic(const amr::QuadflowCase& c,
+                                                CoreCount initial_cores,
+                                                CoreCount extra_cores);
+
+/// The Application driving the same model through the batch system: issues
+/// tm_dynget at the trigger adaptation; on rejection retries at the next
+/// adaptation that still exceeds the threshold.
+class QuadflowApp final : public rms::Application {
+ public:
+  QuadflowApp(amr::QuadflowCase test_case, CoreCount extra_cores);
+
+  rms::AppDecision on_start(Time now, CoreCount cores) override;
+  rms::AppDecision on_grant(Time now, CoreCount total_cores) override;
+  rms::AppDecision on_reject(Time now, CoreCount total_cores) override;
+  rms::AppDecision on_released(Time now, CoreCount total_cores) override;
+  [[nodiscard]] const char* name() const override { return "quadflow"; }
+
+ private:
+  /// Decision given that phases [phase_, end) remain, starting at `now`
+  /// on `cores` cores.
+  [[nodiscard]] rms::AppDecision plan(Time now, CoreCount cores);
+
+  amr::QuadflowCase case_;
+  CoreCount extra_cores_;
+  std::size_t phase_ = 0;        ///< phase currently executing
+  std::size_t next_search_ = 1;  ///< first phase eligible as a trigger
+  std::size_t pending_trigger_ = 0;
+};
+
+}  // namespace dbs::apps

@@ -1,0 +1,58 @@
+#include "apps/resilient.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace dbs::apps {
+
+ResilientApp::ResilientApp(Duration runtime_on_initial, bool reacquire)
+    : runtime_on_initial_(runtime_on_initial), reacquire_(reacquire) {
+  DBS_REQUIRE(runtime_on_initial > Duration::zero(),
+              "runtime must be positive");
+}
+
+rms::AppDecision ResilientApp::progress(Time now, CoreCount cores) {
+  DBS_REQUIRE(cores > 0, "cannot run on zero cores");
+  const double done = (now - last_event_).as_seconds() *
+                      static_cast<double>(last_cores_);
+  remaining_work_ = std::max(0.0, remaining_work_ - done);
+  last_event_ = now;
+  last_cores_ = cores;
+  const Time finish =
+      now + Duration::seconds_f(remaining_work_ / static_cast<double>(cores));
+  return {max(finish, now + Duration::micros(1)), std::nullopt, std::nullopt};
+}
+
+rms::AppDecision ResilientApp::on_start(Time now, CoreCount cores) {
+  DBS_REQUIRE(cores > 0, "started without cores");
+  remaining_work_ = runtime_on_initial_.as_seconds() *
+                    static_cast<double>(cores);
+  last_event_ = now;
+  last_cores_ = cores;
+  losses_survived_ = 0;
+  return progress(now, cores);
+}
+
+rms::AppDecision ResilientApp::on_grant(Time now, CoreCount total_cores) {
+  return progress(now, total_cores);
+}
+
+rms::AppDecision ResilientApp::on_reject(Time now, CoreCount total_cores) {
+  return progress(now, total_cores);
+}
+
+rms::AppDecision ResilientApp::on_released(Time now, CoreCount total_cores) {
+  return progress(now, total_cores);
+}
+
+std::optional<rms::AppDecision> ResilientApp::on_nodes_lost(
+    Time now, CoreCount lost_cores, CoreCount total_cores) {
+  ++losses_survived_;
+  rms::AppDecision d = progress(now, total_cores);
+  if (reacquire_ && d.finish_at > now + Duration::micros(1))
+    d.ask = rms::DynAsk{now, lost_cores, Duration::zero()};
+  return d;
+}
+
+}  // namespace dbs::apps

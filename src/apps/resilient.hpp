@@ -1,0 +1,46 @@
+// A fault-tolerant, work-conserving application: it carries a fixed amount
+// of work (core-seconds), executes it at a rate proportional to its current
+// allocation, survives node failures on the remaining cores, and — the
+// fault-tolerance use of dynamic allocation the paper's introduction
+// motivates — immediately issues tm_dynget for spare nodes to replace the
+// lost ones.
+#pragma once
+
+#include "common/time.hpp"
+#include "rms/application.hpp"
+
+namespace dbs::apps {
+
+class ResilientApp final : public rms::Application {
+ public:
+  /// `runtime_on_initial`: wall time the work takes on the initial
+  /// allocation. With `reacquire` false the app survives losses but does
+  /// not ask for replacements (pure shrink-and-continue).
+  explicit ResilientApp(Duration runtime_on_initial, bool reacquire = true);
+
+  rms::AppDecision on_start(Time now, CoreCount cores) override;
+  rms::AppDecision on_grant(Time now, CoreCount total_cores) override;
+  rms::AppDecision on_reject(Time now, CoreCount total_cores) override;
+  rms::AppDecision on_released(Time now, CoreCount total_cores) override;
+  std::optional<rms::AppDecision> on_nodes_lost(
+      Time now, CoreCount lost_cores, CoreCount total_cores) override;
+  [[nodiscard]] const char* name() const override { return "resilient"; }
+
+  [[nodiscard]] int losses_survived() const { return losses_survived_; }
+  /// Remaining work in core-seconds (after the last event).
+  [[nodiscard]] double remaining_work() const { return remaining_work_; }
+
+ private:
+  /// Accounts the work done since the last event at the previous rate and
+  /// projects the new finish time.
+  rms::AppDecision progress(Time now, CoreCount cores);
+
+  Duration runtime_on_initial_;
+  bool reacquire_;
+  double remaining_work_ = 0.0;  ///< core-seconds
+  Time last_event_;
+  CoreCount last_cores_ = 0;
+  int losses_survived_ = 0;
+};
+
+}  // namespace dbs::apps

@@ -1,0 +1,32 @@
+#include "apps/rigid.hpp"
+
+#include "common/assert.hpp"
+
+namespace dbs::apps {
+
+RigidApp::RigidApp(Duration runtime) : runtime_(runtime) {
+  DBS_REQUIRE(runtime > Duration::zero(), "runtime must be positive");
+}
+
+rms::AppDecision RigidApp::on_start(Time now, CoreCount cores) {
+  DBS_REQUIRE(cores > 0, "started without cores");
+  finish_ = now + runtime_;
+  return {finish_, std::nullopt, std::nullopt};
+}
+
+rms::AppDecision RigidApp::on_grant(Time, CoreCount) {
+  DBS_ASSERT(false, "rigid app never asks for cores");
+  return {finish_, std::nullopt, std::nullopt};
+}
+
+rms::AppDecision RigidApp::on_reject(Time, CoreCount) {
+  DBS_ASSERT(false, "rigid app never asks for cores");
+  return {finish_, std::nullopt, std::nullopt};
+}
+
+rms::AppDecision RigidApp::on_released(Time, CoreCount) {
+  DBS_ASSERT(false, "rigid app never releases cores");
+  return {finish_, std::nullopt, std::nullopt};
+}
+
+}  // namespace dbs::apps

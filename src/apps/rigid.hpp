@@ -1,0 +1,25 @@
+// The ordinary rigid job: runs for a fixed time on its initial allocation
+// and never changes it.
+#pragma once
+
+#include "common/time.hpp"
+#include "rms/application.hpp"
+
+namespace dbs::apps {
+
+class RigidApp final : public rms::Application {
+ public:
+  explicit RigidApp(Duration runtime);
+
+  rms::AppDecision on_start(Time now, CoreCount cores) override;
+  rms::AppDecision on_grant(Time now, CoreCount total_cores) override;
+  rms::AppDecision on_reject(Time now, CoreCount total_cores) override;
+  rms::AppDecision on_released(Time now, CoreCount total_cores) override;
+  [[nodiscard]] const char* name() const override { return "rigid"; }
+
+ private:
+  Duration runtime_;
+  Time finish_;
+};
+
+}  // namespace dbs::apps

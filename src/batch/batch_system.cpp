@@ -1,0 +1,53 @@
+#include "batch/batch_system.hpp"
+
+#include "common/assert.hpp"
+
+namespace dbs::batch {
+
+BatchSystem::BatchSystem(const SystemConfig& config)
+    : config_(config),
+      cluster_(config.cluster),
+      server_(sim_, cluster_, config.latency),
+      moms_(sim_, server_, config.latency),
+      recorder_(sim_, cluster_),
+      scheduler_(server_, config.scheduler) {
+  server_.set_moms(&moms_);
+  server_.add_observer(&recorder_);
+  scheduler_.attach();
+}
+
+JobId BatchSystem::submit_now(rms::JobSpec spec,
+                              std::unique_ptr<rms::Application> app) {
+  return server_.submit(std::move(spec), std::move(app));
+}
+
+void BatchSystem::submit_at(
+    Time at, rms::JobSpec spec,
+    std::function<std::unique_ptr<rms::Application>()> app_factory) {
+  DBS_REQUIRE(app_factory != nullptr, "application factory required");
+  sim_.schedule_at(at + config_.latency.client_to_server,
+                   [this, spec = std::move(spec),
+                    factory = std::move(app_factory)]() mutable {
+                     server_.submit(std::move(spec), factory());
+                   });
+}
+
+void BatchSystem::submit_workload(const wl::Workload& workload) {
+  for (const wl::SubmitSpec& s : workload.jobs) {
+    submit_at(s.at, s.spec, [behavior = s.behavior, model = config_.speedup] {
+      return apps::make_application(behavior, model);
+    });
+  }
+}
+
+void BatchSystem::run() {
+  sim_.run();
+  cluster_.check_invariants();
+}
+
+void BatchSystem::run_until(Time until) {
+  sim_.run_until(until);
+  cluster_.check_invariants();
+}
+
+}  // namespace dbs::batch

@@ -1,0 +1,68 @@
+// The top-level façade: one object wiring simulator, cluster, server, moms,
+// scheduler and metrics into a runnable batch system. This is the public
+// entry point a downstream user of the library interacts with.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "apps/app_model.hpp"
+#include "cluster/cluster.hpp"
+#include "core/maui_scheduler.hpp"
+#include "metrics/recorder.hpp"
+#include "rms/mom.hpp"
+#include "rms/server.hpp"
+#include "sim/simulator.hpp"
+#include "workload/esp.hpp"
+
+namespace dbs::batch {
+
+struct SystemConfig {
+  cluster::ClusterSpec cluster;
+  rms::LatencyModel latency;
+  core::SchedulerConfig scheduler;
+  /// Speedup model used when materializing evolving workload jobs.
+  apps::SpeedupModel speedup = apps::SpeedupModel::PaperDet;
+};
+
+class BatchSystem {
+ public:
+  explicit BatchSystem(const SystemConfig& config);
+
+  BatchSystem(const BatchSystem&) = delete;
+  BatchSystem& operator=(const BatchSystem&) = delete;
+
+  /// qsub now. Returns the job id.
+  JobId submit_now(rms::JobSpec spec, std::unique_ptr<rms::Application> app);
+
+  /// Schedules a qsub at absolute time `at` (applies the client→server
+  /// latency on top).
+  void submit_at(Time at, rms::JobSpec spec,
+                 std::function<std::unique_ptr<rms::Application>()> app_factory);
+
+  /// Injects a whole workload (ESP, synthetic or trace).
+  void submit_workload(const wl::Workload& workload);
+
+  /// Runs the simulation to completion (all events drained).
+  void run();
+  /// Runs until `until` (events at exactly `until` fire).
+  void run_until(Time until);
+
+  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+  [[nodiscard]] cluster::Cluster& cluster() { return cluster_; }
+  [[nodiscard]] rms::Server& server() { return server_; }
+  [[nodiscard]] core::MauiScheduler& scheduler() { return scheduler_; }
+  [[nodiscard]] const metrics::Recorder& recorder() const { return recorder_; }
+  [[nodiscard]] const SystemConfig& config() const { return config_; }
+
+ private:
+  SystemConfig config_;
+  sim::Simulator sim_;
+  cluster::Cluster cluster_;
+  rms::Server server_;
+  rms::MomManager moms_;
+  metrics::Recorder recorder_;
+  core::MauiScheduler scheduler_;
+};
+
+}  // namespace dbs::batch

@@ -1,0 +1,100 @@
+#include "batch/overhead_experiment.hpp"
+
+#include "apps/rigid.hpp"
+#include "common/assert.hpp"
+
+namespace dbs::batch {
+
+namespace {
+
+/// Asks once at a fixed offset and records when the grant arrives.
+class ProbeApp final : public rms::Application {
+ public:
+  ProbeApp(Duration runtime, Duration ask_offset, CoreCount ask_cores)
+      : runtime_(runtime), ask_offset_(ask_offset), ask_cores_(ask_cores) {}
+
+  rms::AppDecision on_start(Time now, CoreCount) override {
+    finish_ = now + runtime_;
+    ask_at_ = now + ask_offset_;
+    return {finish_, rms::DynAsk{ask_at_, ask_cores_, Duration::zero()},
+            std::nullopt};
+  }
+  rms::AppDecision on_grant(Time now, CoreCount) override {
+    granted_at_ = now;
+    return {finish_, std::nullopt, std::nullopt};
+  }
+  rms::AppDecision on_reject(Time, CoreCount) override {
+    rejected_ = true;
+    return {finish_, std::nullopt, std::nullopt};
+  }
+  rms::AppDecision on_released(Time, CoreCount) override {
+    return {finish_, std::nullopt, std::nullopt};
+  }
+
+  [[nodiscard]] Time ask_at() const { return ask_at_; }
+  [[nodiscard]] Time granted_at() const { return granted_at_; }
+  [[nodiscard]] bool rejected() const { return rejected_; }
+
+ private:
+  Duration runtime_;
+  Duration ask_offset_;
+  CoreCount ask_cores_;
+  Time finish_;
+  Time ask_at_;
+  Time granted_at_ = Time::far_future();
+  bool rejected_ = false;
+};
+
+}  // namespace
+
+std::vector<OverheadPoint> measure_dyn_overhead(const OverheadParams& params) {
+  DBS_REQUIRE(params.max_nodes >= 1, "need at least one point");
+  std::vector<OverheadPoint> points;
+
+  for (int k = 1; k <= params.max_nodes; ++k) {
+    SystemConfig sys;
+    // One node for the probe job, k dynamically allocatable nodes.
+    sys.cluster.node_count = static_cast<std::size_t>(k) + 1;
+    sys.cluster.cores_per_node = params.cores_per_node;
+    sys.latency = params.latency;
+    sys.scheduler.reservation_delay_depth = params.reservation_delay_depth;
+    sys.scheduler.reservation_depth = params.reservation_delay_depth;
+
+    BatchSystem system(sys);
+
+    rms::JobSpec probe_spec;
+    probe_spec.name = "probe";
+    probe_spec.cred = {"probe_user", "probe", "", "batch", ""};
+    probe_spec.cores = params.cores_per_node;  // exactly one node
+    probe_spec.walltime = Duration::minutes(30);
+    auto probe_app = std::make_unique<ProbeApp>(
+        Duration::minutes(10), Duration::seconds(5),
+        params.cores_per_node * k);
+    ProbeApp* probe = probe_app.get();
+    system.submit_now(probe_spec, std::move(probe_app));
+
+    if (params.with_workload) {
+      // Queued rigid jobs larger than the whole machine's free capacity:
+      // they wait (exercising reservations and delay measurement) without
+      // consuming the nodes the probe will request.
+      for (std::size_t q = 0; q < params.queued_jobs; ++q) {
+        rms::JobSpec spec;
+        spec.name = "rigid-" + std::to_string(q);
+        spec.cred = {"user" + std::to_string(q), "rigid", "", "batch", ""};
+        spec.cores = system.cluster().total_cores();
+        spec.walltime = Duration::minutes(20);
+        system.submit_now(spec,
+                          std::make_unique<apps::RigidApp>(Duration::minutes(15)));
+      }
+    }
+
+    system.run();
+    DBS_REQUIRE(!probe->rejected(), "probe request was rejected");
+    DBS_REQUIRE(probe->granted_at() != Time::far_future(),
+                "probe request was never answered");
+    points.push_back({k, probe->granted_at() - probe->ask_at()});
+  }
+  return points;
+}
+
+}  // namespace dbs::batch

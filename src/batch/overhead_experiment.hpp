@@ -1,0 +1,34 @@
+// The dynamic-allocation overhead experiment (Fig. 12): time from an
+// application's tm_dynget to the moment the expanded hostlist is delivered,
+// for 1..10 dynamically allocated nodes, on an otherwise idle system and
+// with a rigid workload queued (ReservationDelayDepth = 5). This is the
+// virtual-time realization; bench_fig12_overhead additionally measures the
+// real wall-clock cost of the scheduler's dynamic-allocation path.
+#pragma once
+
+#include <vector>
+
+#include "batch/batch_system.hpp"
+
+namespace dbs::batch {
+
+struct OverheadPoint {
+  int nodes = 0;           ///< dynamically requested nodes
+  Duration overhead;       ///< tm_dynget -> grant delivered
+};
+
+struct OverheadParams {
+  int max_nodes = 10;
+  CoreCount cores_per_node = 8;
+  rms::LatencyModel latency;
+  /// Queued rigid jobs competing for reservations when true.
+  bool with_workload = false;
+  std::size_t queued_jobs = 8;
+  std::size_t reservation_delay_depth = 5;
+};
+
+/// One fresh system per point; returns points for 1..max_nodes nodes.
+[[nodiscard]] std::vector<OverheadPoint> measure_dyn_overhead(
+    const OverheadParams& params);
+
+}  // namespace dbs::batch

@@ -1,0 +1,54 @@
+#include "batch/quadflow_experiment.hpp"
+
+#include "common/assert.hpp"
+
+namespace dbs::batch {
+
+QuadflowFigure quadflow_figure(const amr::QuadflowCase& c,
+                               CoreCount small_cores, CoreCount extra_cores) {
+  QuadflowFigure fig;
+  fig.test_case = c;
+  fig.static_small = apps::quadflow_static(c, small_cores);
+  fig.static_large = apps::quadflow_static(c, small_cores + extra_cores);
+  fig.dynamic = apps::quadflow_dynamic(c, small_cores, extra_cores);
+  const double static_total = fig.static_small.total().as_seconds();
+  if (static_total > 0.0)
+    fig.saving_percent = 100.0 *
+                         (static_total - fig.dynamic.total().as_seconds()) /
+                         static_total;
+  return fig;
+}
+
+Duration quadflow_batch_turnaround(const amr::QuadflowCase& c,
+                                   CoreCount initial_cores,
+                                   CoreCount extra_cores,
+                                   std::size_t node_count,
+                                   CoreCount cores_per_node) {
+  // Only the initial allocation must fit; the expansion may legitimately
+  // be rejected on a full cluster (the run then degenerates to static).
+  DBS_REQUIRE(static_cast<CoreCount>(node_count) * cores_per_node >=
+                  initial_cores,
+              "cluster too small for the initial allocation");
+  (void)extra_cores;
+  SystemConfig sys;
+  sys.cluster.node_count = node_count;
+  sys.cluster.cores_per_node = cores_per_node;
+
+  BatchSystem system(sys);
+  rms::JobSpec spec;
+  spec.name = c.name;
+  spec.cred = {"cfduser", "cfd", "", "batch", ""};
+  spec.cores = initial_cores;
+  // Walltime generously covers the static run (users overestimate).
+  spec.walltime = apps::quadflow_static(c, initial_cores).total().scaled(1.2);
+  spec.type_tag = "quadflow";
+
+  const JobId id = system.submit_now(
+      spec, std::make_unique<apps::QuadflowApp>(c, extra_cores));
+  system.run();
+  const metrics::JobRecord& record = system.recorder().record(id);
+  DBS_REQUIRE(record.completed(), "quadflow job did not finish");
+  return record.turnaround();
+}
+
+}  // namespace dbs::batch

@@ -1,0 +1,37 @@
+// The Quadflow case study (Fig. 7): per-phase execution times of the
+// FlatPlate and Cylinder cases under static-16, static-32 and dynamic
+// 16→32 scenarios — both from the analytic model and through the full
+// batch system.
+#pragma once
+
+#include <vector>
+
+#include "apps/quadflow_model.hpp"
+#include "batch/batch_system.hpp"
+
+namespace dbs::batch {
+
+struct QuadflowFigure {
+  amr::QuadflowCase test_case;
+  apps::QuadflowScenario static_small;   ///< 16 cores
+  apps::QuadflowScenario static_large;   ///< 32 cores
+  apps::QuadflowScenario dynamic;        ///< 16 -> 32 at the trigger
+  /// (dynamic total vs static_small total) savings in percent.
+  double saving_percent = 0.0;
+};
+
+/// Computes the figure for one case from the analytic model.
+[[nodiscard]] QuadflowFigure quadflow_figure(const amr::QuadflowCase& c,
+                                             CoreCount small_cores = 16,
+                                             CoreCount extra_cores = 16);
+
+/// Runs the dynamic scenario through the full batch system on an idle
+/// cluster and returns the job's measured turnaround (validates that the
+/// batch path matches the analytic model up to protocol latencies).
+[[nodiscard]] Duration quadflow_batch_turnaround(const amr::QuadflowCase& c,
+                                                 CoreCount initial_cores,
+                                                 CoreCount extra_cores,
+                                                 std::size_t node_count,
+                                                 CoreCount cores_per_node);
+
+}  // namespace dbs::batch

@@ -1,0 +1,88 @@
+#include "cluster/allocation_policy.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "cluster/node.hpp"
+#include "common/assert.hpp"
+
+namespace dbs::cluster {
+
+std::string_view to_string(AllocationPolicy p) {
+  switch (p) {
+    case AllocationPolicy::Pack: return "pack";
+    case AllocationPolicy::Spread: return "spread";
+    case AllocationPolicy::FirstFit: return "first-fit";
+  }
+  return "?";
+}
+
+CoreCount Placement::total_cores() const {
+  CoreCount total = 0;
+  for (const auto& s : shares) total += s.cores;
+  return total;
+}
+
+void Placement::merge(const Placement& other) {
+  for (const auto& add : other.shares) {
+    auto it = std::find_if(shares.begin(), shares.end(),
+                           [&](const NodeShare& s) { return s.node == add.node; });
+    if (it != shares.end())
+      it->cores += add.cores;
+    else
+      shares.push_back(add);
+  }
+}
+
+Placement Placement::select_release(CoreCount cores) const {
+  DBS_REQUIRE(cores > 0 && cores < total_cores(),
+              "release must keep at least one core");
+  std::vector<NodeShare> sorted = shares;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const NodeShare& a, const NodeShare& b) {
+              if (a.cores != b.cores) return a.cores < b.cores;
+              return a.node < b.node;
+            });
+  Placement freed;
+  CoreCount remaining = cores;
+  for (const NodeShare& s : sorted) {
+    if (remaining == 0) break;
+    const CoreCount take = std::min(remaining, s.cores);
+    freed.shares.push_back({s.node, take});
+    remaining -= take;
+  }
+  DBS_ASSERT(remaining == 0, "placement smaller than total_cores()");
+  return freed;
+}
+
+std::vector<std::size_t> order_candidates(const std::vector<Node>& nodes,
+                                          AllocationPolicy policy) {
+  std::vector<std::size_t> idx;
+  idx.reserve(nodes.size());
+  for (std::size_t i = 0; i < nodes.size(); ++i)
+    if (nodes[i].free_cores() > 0) idx.push_back(i);
+
+  const auto by_free = [&](bool ascending) {
+    std::stable_sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+      const CoreCount fa = nodes[a].free_cores();
+      const CoreCount fb = nodes[b].free_cores();
+      if (fa != fb) return ascending ? fa < fb : fa > fb;
+      return nodes[a].id() < nodes[b].id();
+    });
+  };
+
+  switch (policy) {
+    case AllocationPolicy::Pack:
+      by_free(/*ascending=*/true);
+      break;
+    case AllocationPolicy::Spread:
+      by_free(/*ascending=*/false);
+      break;
+    case AllocationPolicy::FirstFit:
+      // idx is already in node-id order.
+      break;
+  }
+  return idx;
+}
+
+}  // namespace dbs::cluster

@@ -1,0 +1,58 @@
+// Node-selection policies used when mapping a core request onto nodes.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace dbs::cluster {
+
+class Node;
+
+/// How to pick nodes when several could satisfy a request.
+enum class AllocationPolicy {
+  /// Fill the busiest (fewest free cores) eligible nodes first, minimizing
+  /// the number of partially used nodes (default; matches typical
+  /// node-packing behaviour of production RMs).
+  Pack,
+  /// Use the emptiest nodes first, spreading load.
+  Spread,
+  /// Lowest node id first.
+  FirstFit,
+};
+
+[[nodiscard]] std::string_view to_string(AllocationPolicy p);
+
+/// One job's share of one node.
+struct NodeShare {
+  NodeId node;
+  CoreCount cores = 0;
+
+  [[nodiscard]] bool operator==(const NodeShare&) const = default;
+};
+
+/// A concrete placement: which cores on which nodes a job holds.
+struct Placement {
+  std::vector<NodeShare> shares;
+
+  [[nodiscard]] CoreCount total_cores() const;
+  [[nodiscard]] std::size_t node_count() const { return shares.size(); }
+  [[nodiscard]] bool empty() const { return shares.empty(); }
+
+  /// Merges another placement into this one (summing per-node shares).
+  void merge(const Placement& other);
+
+  /// Selects a sub-placement of `cores` cores to give back, vacating the
+  /// smallest shares first (frees whole nodes as early as possible).
+  /// Precondition: 0 < cores < total_cores().
+  [[nodiscard]] Placement select_release(CoreCount cores) const;
+};
+
+/// Orders candidate node indices for allocation according to `policy`.
+/// `nodes` is the full node list; only `Up` nodes with free cores appear in
+/// the result.
+[[nodiscard]] std::vector<std::size_t> order_candidates(
+    const std::vector<Node>& nodes, AllocationPolicy policy);
+
+}  // namespace dbs::cluster

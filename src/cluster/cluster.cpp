@@ -1,0 +1,157 @@
+#include "cluster/cluster.hpp"
+
+#include "common/assert.hpp"
+
+namespace dbs::cluster {
+
+Cluster::Cluster(const ClusterSpec& spec) : cores_per_node_(spec.cores_per_node) {
+  DBS_REQUIRE(spec.node_count > 0, "cluster needs at least one node");
+  DBS_REQUIRE(spec.cores_per_node > 0, "nodes need at least one core");
+  nodes_.reserve(spec.node_count);
+  for (std::size_t i = 0; i < spec.node_count; ++i)
+    nodes_.emplace_back(NodeId{i}, spec.cores_per_node);
+  total_cores_ = static_cast<CoreCount>(spec.node_count) * spec.cores_per_node;
+}
+
+CoreCount Cluster::used_cores() const {
+  CoreCount used = 0;
+  for (const auto& n : nodes_) used += n.used_cores();
+  return used;
+}
+
+CoreCount Cluster::free_cores() const {
+  CoreCount free = 0;
+  for (const auto& n : nodes_) free += n.free_cores();
+  return free;
+}
+
+const Node& Cluster::node(NodeId id) const {
+  DBS_REQUIRE(id.valid() && id.value() < nodes_.size(), "unknown node id");
+  return nodes_[id.value()];
+}
+
+Node& Cluster::node(NodeId id) {
+  DBS_REQUIRE(id.valid() && id.value() < nodes_.size(), "unknown node id");
+  return nodes_[id.value()];
+}
+
+std::optional<Placement> Cluster::allocate(JobId job, CoreCount cores,
+                                           AllocationPolicy policy) {
+  DBS_REQUIRE(cores > 0, "allocation must be positive");
+  if (cores > free_cores()) return std::nullopt;
+
+  Placement placement;
+  CoreCount remaining = cores;
+  for (const std::size_t i : order_candidates(nodes_, policy)) {
+    if (remaining == 0) break;
+    Node& n = nodes_[i];
+    const CoreCount take = std::min(remaining, n.free_cores());
+    if (take == 0) continue;
+    n.allocate(job, take);
+    placement.shares.push_back({n.id(), take});
+    remaining -= take;
+  }
+  DBS_ASSERT(remaining == 0, "free_cores() promised capacity not found");
+  return placement;
+}
+
+namespace {
+/// Chunk sizes for a nodes=N:ppn=P request: full chunks of `ppn`, then the
+/// remainder, largest first.
+std::vector<CoreCount> chunk_sizes(CoreCount cores, CoreCount ppn) {
+  std::vector<CoreCount> chunks(static_cast<std::size_t>(cores / ppn), ppn);
+  if (cores % ppn != 0) chunks.push_back(cores % ppn);
+  return chunks;
+}
+
+/// Best-fit chunk assignment onto distinct nodes given free-core counts.
+/// Returns node indices per chunk, or nullopt when placement is impossible.
+std::optional<std::vector<std::size_t>> fit_chunks(
+    const std::vector<CoreCount>& chunks, std::vector<CoreCount> free,
+    const std::vector<std::size_t>& candidate_order) {
+  std::vector<std::size_t> picks;
+  picks.reserve(chunks.size());
+  std::vector<bool> taken(free.size(), false);
+  // Chunks are sorted largest-first; for each, pick the fullest node that
+  // still fits it (best fit keeps big holes for big chunks).
+  for (const CoreCount chunk : chunks) {
+    bool placed = false;
+    for (const std::size_t i : candidate_order) {
+      if (taken[i] || free[i] < chunk) continue;
+      picks.push_back(i);
+      taken[i] = true;
+      placed = true;
+      break;
+    }
+    if (!placed) return std::nullopt;
+  }
+  return picks;
+}
+}  // namespace
+
+std::optional<Placement> Cluster::allocate_chunked(JobId job, CoreCount cores,
+                                                   CoreCount ppn,
+                                                   AllocationPolicy policy) {
+  DBS_REQUIRE(cores > 0, "allocation must be positive");
+  DBS_REQUIRE(ppn > 0 && ppn <= cores_per_node_, "invalid ppn");
+  const std::vector<CoreCount> chunks = chunk_sizes(cores, ppn);
+  std::vector<CoreCount> free(nodes_.size(), 0);
+  for (std::size_t i = 0; i < nodes_.size(); ++i)
+    free[i] = nodes_[i].free_cores();
+  const auto picks = fit_chunks(chunks, free, order_candidates(nodes_, policy));
+  if (!picks) return std::nullopt;
+
+  Placement placement;
+  for (std::size_t c = 0; c < chunks.size(); ++c) {
+    Node& n = nodes_[(*picks)[c]];
+    n.allocate(job, chunks[c]);
+    placement.shares.push_back({n.id(), chunks[c]});
+  }
+  return placement;
+}
+
+bool Cluster::can_allocate_chunked(CoreCount cores, CoreCount ppn) const {
+  DBS_REQUIRE(cores > 0, "query must be positive");
+  DBS_REQUIRE(ppn > 0 && ppn <= cores_per_node_, "invalid ppn");
+  const std::vector<CoreCount> chunks = chunk_sizes(cores, ppn);
+  std::vector<CoreCount> free(nodes_.size(), 0);
+  for (std::size_t i = 0; i < nodes_.size(); ++i)
+    free[i] = nodes_[i].free_cores();
+  return fit_chunks(chunks, free, order_candidates(nodes_, AllocationPolicy::Pack))
+      .has_value();
+}
+
+void Cluster::release(JobId job, const Placement& placement) {
+  for (const auto& share : placement.shares)
+    node(share.node).release(job, share.cores);
+}
+
+Placement Cluster::release_all(JobId job) {
+  Placement freed;
+  for (auto& n : nodes_) {
+    const CoreCount cores = n.release_all(job);
+    if (cores > 0) freed.shares.push_back({n.id(), cores});
+  }
+  return freed;
+}
+
+CoreCount Cluster::held_by(JobId job) const {
+  CoreCount total = 0;
+  for (const auto& n : nodes_) total += n.held_by(job);
+  return total;
+}
+
+void Cluster::set_node_state(NodeId id, NodeState s) {
+  node(id).set_state(s);
+}
+
+void Cluster::check_invariants() const {
+  for (const auto& n : nodes_) {
+    DBS_ASSERT(n.used_cores() >= 0, "negative node usage");
+    DBS_ASSERT(n.used_cores() <= n.total_cores(), "node oversubscribed");
+  }
+  DBS_ASSERT(used_cores() + free_cores() <= total_cores_,
+             "cluster accounting mismatch");
+}
+
+}  // namespace dbs::cluster

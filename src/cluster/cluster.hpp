@@ -1,0 +1,73 @@
+// The cluster: a set of nodes with core-granular allocation.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "cluster/allocation_policy.hpp"
+#include "cluster/node.hpp"
+#include "common/types.hpp"
+
+namespace dbs::cluster {
+
+/// Static description of a cluster.
+struct ClusterSpec {
+  std::size_t node_count = 16;
+  CoreCount cores_per_node = 8;
+};
+
+class Cluster {
+ public:
+  explicit Cluster(const ClusterSpec& spec);
+
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] CoreCount total_cores() const { return total_cores_; }
+  [[nodiscard]] CoreCount used_cores() const;
+  [[nodiscard]] CoreCount free_cores() const;
+  [[nodiscard]] CoreCount cores_per_node() const { return cores_per_node_; }
+
+  [[nodiscard]] const Node& node(NodeId id) const;
+  [[nodiscard]] Node& node(NodeId id);
+  [[nodiscard]] const std::vector<Node>& nodes() const { return nodes_; }
+
+  /// Attempts to place `cores` for `job` using `policy`. Returns the
+  /// placement, or nullopt if fewer than `cores` are free cluster-wide
+  /// (in which case nothing is allocated).
+  std::optional<Placement> allocate(JobId job, CoreCount cores,
+                                    AllocationPolicy policy = AllocationPolicy::Pack);
+
+  /// Torque-style chunked placement (nodes=N:ppn=P): the request is split
+  /// into chunks of `ppn` cores (plus one remainder chunk) and every chunk
+  /// must fit on a distinct node. Returns nullopt (allocating nothing) when
+  /// node-level fragmentation prevents placement even if enough cores are
+  /// free in aggregate.
+  std::optional<Placement> allocate_chunked(
+      JobId job, CoreCount cores, CoreCount ppn,
+      AllocationPolicy policy = AllocationPolicy::Pack);
+
+  /// Dry-run of allocate_chunked.
+  [[nodiscard]] bool can_allocate_chunked(CoreCount cores, CoreCount ppn) const;
+
+  /// Returns the exact cores of `placement` held by `job`.
+  void release(JobId job, const Placement& placement);
+
+  /// Releases everything `job` holds anywhere. Returns the freed placement.
+  Placement release_all(JobId job);
+
+  /// Total cores `job` currently holds across nodes.
+  [[nodiscard]] CoreCount held_by(JobId job) const;
+
+  /// Marks a node down (its free cores become unavailable). Jobs' cores on
+  /// it remain accounted until released by the caller.
+  void set_node_state(NodeId id, NodeState s);
+
+  /// Verifies per-node accounting (throws invariant_error on corruption).
+  void check_invariants() const;
+
+ private:
+  std::vector<Node> nodes_;
+  CoreCount cores_per_node_;
+  CoreCount total_cores_ = 0;
+};
+
+}  // namespace dbs::cluster

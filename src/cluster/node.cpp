@@ -1,0 +1,47 @@
+#include "cluster/node.hpp"
+
+#include "common/assert.hpp"
+
+namespace dbs::cluster {
+
+Node::Node(NodeId id, CoreCount total_cores) : id_(id), total_(total_cores) {
+  DBS_REQUIRE(total_cores > 0, "node must have at least one core");
+}
+
+CoreCount Node::free_cores() const {
+  return available() ? total_ - used_ : 0;
+}
+
+void Node::allocate(JobId job, CoreCount cores) {
+  DBS_REQUIRE(cores > 0, "allocation must be positive");
+  DBS_REQUIRE(available(), "cannot allocate on an unavailable node");
+  DBS_REQUIRE(cores <= free_cores(), "node oversubscription");
+  held_[job] += cores;
+  used_ += cores;
+}
+
+void Node::release(JobId job, CoreCount cores) {
+  DBS_REQUIRE(cores > 0, "release must be positive");
+  auto it = held_.find(job);
+  DBS_REQUIRE(it != held_.end() && it->second >= cores,
+              "releasing cores the job does not hold");
+  it->second -= cores;
+  used_ -= cores;
+  if (it->second == 0) held_.erase(it);
+}
+
+CoreCount Node::release_all(JobId job) {
+  auto it = held_.find(job);
+  if (it == held_.end()) return 0;
+  const CoreCount cores = it->second;
+  used_ -= cores;
+  held_.erase(it);
+  return cores;
+}
+
+CoreCount Node::held_by(JobId job) const {
+  auto it = held_.find(job);
+  return it == held_.end() ? 0 : it->second;
+}
+
+}  // namespace dbs::cluster

@@ -1,0 +1,50 @@
+// A compute node: a fixed number of cores, tracked per owning job.
+#pragma once
+
+#include <unordered_map>
+
+#include "common/types.hpp"
+
+namespace dbs::cluster {
+
+enum class NodeState { Up, Down, Offline };
+
+class Node {
+ public:
+  Node(NodeId id, CoreCount total_cores);
+
+  [[nodiscard]] NodeId id() const { return id_; }
+  [[nodiscard]] CoreCount total_cores() const { return total_; }
+  [[nodiscard]] CoreCount used_cores() const { return used_; }
+  [[nodiscard]] CoreCount free_cores() const;
+  [[nodiscard]] NodeState state() const { return state_; }
+  [[nodiscard]] bool available() const { return state_ == NodeState::Up; }
+
+  void set_state(NodeState s) { state_ = s; }
+
+  /// Gives `cores` of this node to `job` (additive if the job already holds
+  /// cores here). Precondition: node is up and has enough free cores.
+  void allocate(JobId job, CoreCount cores);
+
+  /// Returns `cores` held by `job`; precondition: the job holds at least
+  /// that many here.
+  void release(JobId job, CoreCount cores);
+
+  /// Returns everything `job` holds here (no-op if nothing held).
+  CoreCount release_all(JobId job);
+
+  /// Cores currently held by `job` on this node.
+  [[nodiscard]] CoreCount held_by(JobId job) const;
+
+  /// Number of distinct jobs with cores on this node.
+  [[nodiscard]] std::size_t job_count() const { return held_.size(); }
+
+ private:
+  NodeId id_;
+  CoreCount total_;
+  CoreCount used_ = 0;
+  NodeState state_ = NodeState::Up;
+  std::unordered_map<JobId, CoreCount> held_;
+};
+
+}  // namespace dbs::cluster

@@ -1,0 +1,52 @@
+// Contract-checking macros, in the spirit of the C++ Core Guidelines'
+// Expects()/Ensures(). Violations throw so tests can exercise them; they are
+// never compiled out because the simulator's correctness depends on them.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace dbs {
+
+/// Thrown when a precondition (caller bug) is violated.
+class precondition_error : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Thrown when an internal invariant (library bug) is violated.
+class invariant_error : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const char* file, int line,
+                                       const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  if (std::string(kind) == "precondition") throw precondition_error(os.str());
+  throw invariant_error(os.str());
+}
+}  // namespace detail
+
+}  // namespace dbs
+
+/// Precondition on the caller. Use at public API boundaries.
+#define DBS_REQUIRE(cond, msg)                                               \
+  do {                                                                       \
+    if (!(cond))                                                             \
+      ::dbs::detail::contract_fail("precondition", #cond, __FILE__,          \
+                                   __LINE__, (msg));                         \
+  } while (0)
+
+/// Internal invariant. Use inside implementations.
+#define DBS_ASSERT(cond, msg)                                                \
+  do {                                                                       \
+    if (!(cond))                                                             \
+      ::dbs::detail::contract_fail("invariant", #cond, __FILE__, __LINE__,   \
+                                   (msg));                                   \
+  } while (0)

@@ -1,0 +1,31 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <iostream>
+
+namespace dbs::logging {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::Off};
+
+const char* prefix(LogLevel level) {
+  switch (level) {
+    case LogLevel::Trace: return "[trace] ";
+    case LogLevel::Debug: return "[debug] ";
+    case LogLevel::Info:  return "[info ] ";
+    case LogLevel::Warn:  return "[warn ] ";
+    case LogLevel::Off:   return "";
+  }
+  return "";
+}
+}  // namespace
+
+void set_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+
+LogLevel level() { return g_level.load(std::memory_order_relaxed); }
+
+void emit(LogLevel lvl, const std::string& msg) {
+  std::cerr << prefix(lvl) << msg << '\n';
+}
+
+}  // namespace dbs::logging

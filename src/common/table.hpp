@@ -1,0 +1,44 @@
+// ASCII table and CSV formatting for benchmark/report output.
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dbs {
+
+/// Column-aligned text table. Cells are strings; helpers format numbers.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends a row; must have exactly as many cells as the header.
+  void add_row(std::vector<std::string> cells);
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+  /// Renders with a header separator and column padding.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Renders RFC-4180-ish CSV (quotes cells containing comma/quote/newline).
+  [[nodiscard]] std::string to_csv() const;
+
+  /// Formats a double with `digits` decimal places.
+  [[nodiscard]] static std::string num(double v, int digits = 2);
+  /// Formats any integer verbatim.
+  template <class T>
+    requires std::integral<T>
+  [[nodiscard]] static std::string num(T v) {
+    return std::to_string(v);
+  }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+std::ostream& operator<<(std::ostream& os, const TextTable& t);
+
+}  // namespace dbs

@@ -1,0 +1,57 @@
+#include "common/time.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+#include "common/assert.hpp"
+
+namespace dbs {
+
+Duration Duration::seconds_f(double v) {
+  return Duration(static_cast<std::int64_t>(std::llround(v * 1e6)));
+}
+
+Duration Duration::scaled(double factor) const {
+  return Duration(static_cast<std::int64_t>(
+      std::llround(static_cast<double>(us_) * factor)));
+}
+
+double Duration::ratio(Duration denom) const {
+  DBS_REQUIRE(!denom.is_zero(), "division by zero duration");
+  return static_cast<double>(us_) / static_cast<double>(denom.us_);
+}
+
+std::string Duration::to_hms() const {
+  std::int64_t total = us_ / 1'000'000;
+  const bool neg = total < 0;
+  if (neg) total = -total;
+  const std::int64_t h = total / 3600;
+  const std::int64_t m = (total % 3600) / 60;
+  const std::int64_t s = total % 60;
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%s%02lld:%02lld:%02lld", neg ? "-" : "",
+                static_cast<long long>(h), static_cast<long long>(m),
+                static_cast<long long>(s));
+  return buf;
+}
+
+std::string Duration::to_string() const {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.3fs", as_seconds());
+  return buf;
+}
+
+std::string Time::to_string() const {
+  return since_epoch().to_hms();
+}
+
+std::ostream& operator<<(std::ostream& os, Duration d) {
+  return os << d.to_string();
+}
+
+std::ostream& operator<<(std::ostream& os, Time t) {
+  return os << t.to_string();
+}
+
+}  // namespace dbs

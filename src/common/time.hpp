@@ -1,0 +1,95 @@
+// Strong simulated-time types. All simulation time is kept as integral
+// microsecond ticks so event ordering is exact and runs are reproducible;
+// floating point appears only at presentation boundaries.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace dbs {
+
+/// A span of simulated time (may be negative, e.g. a delay difference).
+class Duration {
+ public:
+  constexpr Duration() = default;
+
+  [[nodiscard]] static constexpr Duration micros(std::int64_t v) { return Duration(v); }
+  [[nodiscard]] static constexpr Duration millis(std::int64_t v) { return Duration(v * 1000); }
+  [[nodiscard]] static constexpr Duration seconds(std::int64_t v) { return Duration(v * 1'000'000); }
+  [[nodiscard]] static constexpr Duration minutes(std::int64_t v) { return seconds(v * 60); }
+  [[nodiscard]] static constexpr Duration hours(std::int64_t v) { return seconds(v * 3600); }
+  /// Rounds to the nearest microsecond.
+  [[nodiscard]] static Duration seconds_f(double v);
+  [[nodiscard]] static constexpr Duration zero() { return Duration(0); }
+  /// Larger than any duration arising in practice; safe to add to any Time.
+  [[nodiscard]] static constexpr Duration infinite() { return Duration(std::int64_t{1} << 60); }
+
+  [[nodiscard]] constexpr std::int64_t as_micros() const { return us_; }
+  [[nodiscard]] constexpr double as_seconds() const { return static_cast<double>(us_) / 1e6; }
+  [[nodiscard]] constexpr double as_minutes() const { return as_seconds() / 60.0; }
+  [[nodiscard]] constexpr bool is_zero() const { return us_ == 0; }
+  [[nodiscard]] constexpr bool is_negative() const { return us_ < 0; }
+
+  constexpr Duration operator+(Duration o) const { return Duration(us_ + o.us_); }
+  constexpr Duration operator-(Duration o) const { return Duration(us_ - o.us_); }
+  constexpr Duration operator-() const { return Duration(-us_); }
+  constexpr Duration& operator+=(Duration o) { us_ += o.us_; return *this; }
+  constexpr Duration& operator-=(Duration o) { us_ -= o.us_; return *this; }
+  /// Scaling rounds to the nearest microsecond.
+  [[nodiscard]] Duration scaled(double factor) const;
+  constexpr Duration operator*(std::int64_t k) const { return Duration(us_ * k); }
+  constexpr Duration operator/(std::int64_t k) const { return Duration(us_ / k); }
+  /// Ratio of two durations; divisor must be non-zero.
+  [[nodiscard]] double ratio(Duration denom) const;
+
+  constexpr auto operator<=>(const Duration&) const = default;
+
+  /// "HH:MM:SS", negative-aware; sub-second part dropped.
+  [[nodiscard]] std::string to_hms() const;
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  explicit constexpr Duration(std::int64_t us) : us_(us) {}
+  std::int64_t us_ = 0;
+};
+
+/// An absolute point on the simulation clock (epoch = simulation start).
+class Time {
+ public:
+  constexpr Time() = default;
+
+  [[nodiscard]] static constexpr Time epoch() { return Time(); }
+  [[nodiscard]] static constexpr Time from_micros(std::int64_t v) { return Time(v); }
+  [[nodiscard]] static constexpr Time from_seconds(std::int64_t v) { return Time(v * 1'000'000); }
+  /// A sentinel later than any event; adding small durations stays ordered.
+  [[nodiscard]] static constexpr Time far_future() { return Time(std::int64_t{1} << 61); }
+
+  [[nodiscard]] constexpr std::int64_t as_micros() const { return us_; }
+  [[nodiscard]] constexpr double as_seconds() const { return static_cast<double>(us_) / 1e6; }
+  [[nodiscard]] constexpr Duration since_epoch() const { return Duration::micros(us_); }
+
+  constexpr Time operator+(Duration d) const { return Time(us_ + d.as_micros()); }
+  constexpr Time operator-(Duration d) const { return Time(us_ - d.as_micros()); }
+  constexpr Duration operator-(Time o) const { return Duration::micros(us_ - o.us_); }
+  constexpr Time& operator+=(Duration d) { us_ += d.as_micros(); return *this; }
+
+  constexpr auto operator<=>(const Time&) const = default;
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  explicit constexpr Time(std::int64_t us) : us_(us) {}
+  std::int64_t us_ = 0;
+};
+
+[[nodiscard]] constexpr Time min(Time a, Time b) { return a < b ? a : b; }
+[[nodiscard]] constexpr Time max(Time a, Time b) { return a < b ? b : a; }
+[[nodiscard]] constexpr Duration min(Duration a, Duration b) { return a < b ? a : b; }
+[[nodiscard]] constexpr Duration max(Duration a, Duration b) { return a < b ? b : a; }
+
+std::ostream& operator<<(std::ostream& os, Duration d);
+std::ostream& operator<<(std::ostream& os, Time t);
+
+}  // namespace dbs

@@ -1,0 +1,75 @@
+// Strong identifier types shared across subsystems. Each id is a distinct
+// type so a JobId cannot silently be used where a NodeId is expected.
+#pragma once
+
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <iosfwd>
+#include <string>
+
+namespace dbs {
+
+namespace detail {
+/// CRTP-free tagged integer id. `Tag` makes each instantiation unique.
+template <class Tag>
+class TaggedId {
+ public:
+  constexpr TaggedId() = default;
+  explicit constexpr TaggedId(std::uint64_t v) : v_(v) {}
+
+  [[nodiscard]] constexpr std::uint64_t value() const { return v_; }
+  [[nodiscard]] static constexpr TaggedId invalid() { return TaggedId(~std::uint64_t{0}); }
+  [[nodiscard]] constexpr bool valid() const { return v_ != ~std::uint64_t{0}; }
+
+  constexpr auto operator<=>(const TaggedId&) const = default;
+
+ private:
+  std::uint64_t v_ = ~std::uint64_t{0};
+};
+}  // namespace detail
+
+struct JobIdTag {};
+struct NodeIdTag {};
+struct EventIdTag {};
+struct RequestIdTag {};
+
+/// Identifies a job at the server (monotonically assigned at submission).
+using JobId = detail::TaggedId<JobIdTag>;
+/// Identifies a compute node in the cluster.
+using NodeId = detail::TaggedId<NodeIdTag>;
+/// Identifies a scheduled simulation event (for cancellation).
+using EventId = detail::TaggedId<EventIdTag>;
+/// Identifies a dynamic (tm_dynget) request.
+using RequestId = detail::TaggedId<RequestIdTag>;
+
+template <class Tag>
+std::ostream& operator<<(std::ostream& os, detail::TaggedId<Tag> id) {
+  if (!id.valid()) return os << "#invalid";
+  return os << '#' << id.value();
+}
+
+/// Number of processor cores; the simulator's unit of allocation.
+using CoreCount = std::int32_t;
+
+/// Accounting entities a job belongs to (Maui credentials).
+struct Credentials {
+  std::string user;
+  std::string group;
+  std::string account;
+  std::string job_class;  ///< queue/class, e.g. "batch"
+  std::string qos;
+
+  [[nodiscard]] bool operator==(const Credentials&) const = default;
+};
+
+}  // namespace dbs
+
+template <class Tag>
+struct std::hash<dbs::detail::TaggedId<Tag>> {
+  std::size_t operator()(const dbs::detail::TaggedId<Tag>& id) const noexcept {
+    return std::hash<std::uint64_t>{}(id.value());
+  }
+};

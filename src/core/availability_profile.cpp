@@ -1,0 +1,125 @@
+#include "core/availability_profile.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace dbs::core {
+
+AvailabilityProfile::AvailabilityProfile(Time origin, CoreCount capacity)
+    : origin_(origin), capacity_(capacity) {
+  DBS_REQUIRE(capacity >= 0, "capacity must be non-negative");
+  steps_[origin] = capacity;
+}
+
+CoreCount AvailabilityProfile::free_at(Time t) const {
+  DBS_REQUIRE(t >= origin_, "query before profile origin");
+  auto it = steps_.upper_bound(t);
+  DBS_ASSERT(it != steps_.begin(), "profile missing origin breakpoint");
+  --it;
+  return it->second;
+}
+
+CoreCount AvailabilityProfile::min_free(Time from, Time to) const {
+  DBS_REQUIRE(from < to, "empty interval");
+  DBS_REQUIRE(from >= origin_, "query before profile origin");
+  auto it = steps_.upper_bound(from);
+  DBS_ASSERT(it != steps_.begin(), "profile missing origin breakpoint");
+  --it;
+  CoreCount lo = it->second;
+  for (++it; it != steps_.end() && it->first < to; ++it)
+    lo = std::min(lo, it->second);
+  return lo;
+}
+
+bool AvailabilityProfile::can_fit(Time at, Duration dur, CoreCount cores) const {
+  if (dur <= Duration::zero()) return cores <= free_at(at);
+  return min_free(at, at + dur) >= cores;
+}
+
+void AvailabilityProfile::ensure_breakpoint(Time t) {
+  if (t <= origin_) return;
+  auto it = steps_.lower_bound(t);
+  if (it != steps_.end() && it->first == t) return;
+  DBS_ASSERT(it != steps_.begin(), "profile missing origin breakpoint");
+  --it;
+  steps_.emplace(t, it->second);
+}
+
+void AvailabilityProfile::subtract(Time from, Time to, CoreCount cores) {
+  DBS_REQUIRE(cores >= 0, "negative subtraction");
+  if (cores == 0) return;
+  from = max(from, origin_);
+  if (from >= to) return;
+  ensure_breakpoint(from);
+  ensure_breakpoint(to);
+  for (auto it = steps_.lower_bound(from); it != steps_.end() && it->first < to;
+       ++it) {
+    it->second -= cores;
+    DBS_ASSERT(it->second >= 0, "profile oversubscribed");
+  }
+}
+
+void AvailabilityProfile::add(Time from, Time to, CoreCount cores) {
+  DBS_REQUIRE(cores >= 0, "negative addition");
+  if (cores == 0) return;
+  from = max(from, origin_);
+  if (from >= to) return;
+  ensure_breakpoint(from);
+  ensure_breakpoint(to);
+  for (auto it = steps_.lower_bound(from); it != steps_.end() && it->first < to;
+       ++it) {
+    it->second += cores;
+    DBS_ASSERT(it->second <= capacity_, "profile exceeds capacity");
+  }
+}
+
+void AvailabilityProfile::subtract_clamped(Time from, Time to,
+                                           CoreCount cores) {
+  DBS_REQUIRE(cores >= 0, "negative subtraction");
+  if (cores == 0) return;
+  from = max(from, origin_);
+  if (from >= to) return;
+  ensure_breakpoint(from);
+  ensure_breakpoint(to);
+  for (auto it = steps_.lower_bound(from); it != steps_.end() && it->first < to;
+       ++it)
+    it->second = std::max<CoreCount>(0, it->second - cores);
+}
+
+Time AvailabilityProfile::earliest_fit(CoreCount cores, Duration dur,
+                                       Time not_before) const {
+  DBS_REQUIRE(cores > 0, "fit query needs cores");
+  DBS_REQUIRE(dur > Duration::zero(), "fit query needs a duration");
+  if (cores > capacity_) return Time::far_future();
+  Time candidate = max(not_before, origin_);
+  for (;;) {
+    // Scan forward from `candidate`; if a segment within [candidate,
+    // candidate + dur) dips below `cores`, restart after that segment.
+    const Time horizon = candidate + dur;
+    auto it = steps_.upper_bound(candidate);
+    DBS_ASSERT(it != steps_.begin(), "profile missing origin breakpoint");
+    --it;
+    bool ok = true;
+    for (; it != steps_.end() && it->first < horizon; ++it) {
+      if (it->second < cores) {
+        auto next = std::next(it);
+        // The last segment extends to infinity; if it cannot fit, nothing
+        // ever will (capacity check above guarantees it can, since the
+        // final segment equals capacity only when all holds end — if not,
+        // keep advancing past bounded holds).
+        if (next == steps_.end()) return Time::far_future();
+        candidate = next->first;
+        ok = false;
+        break;
+      }
+    }
+    if (ok) return candidate;
+  }
+}
+
+std::vector<std::pair<Time, CoreCount>> AvailabilityProfile::breakpoints() const {
+  return {steps_.begin(), steps_.end()};
+}
+
+}  // namespace dbs::core

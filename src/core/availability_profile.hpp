@@ -1,0 +1,63 @@
+// A step function of free cores over future time. The scheduler plans
+// against it: running jobs and reservations subtract capacity over their
+// intervals; earliest_fit answers "when could `cores` run for `dur`?".
+#pragma once
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "common/time.hpp"
+#include "common/types.hpp"
+
+namespace dbs::core {
+
+class AvailabilityProfile {
+ public:
+  /// Constant `capacity` free cores from `origin` to infinity.
+  AvailabilityProfile(Time origin, CoreCount capacity);
+
+  [[nodiscard]] Time origin() const { return origin_; }
+  [[nodiscard]] CoreCount capacity() const { return capacity_; }
+
+  /// Free cores at time `t` (t >= origin).
+  [[nodiscard]] CoreCount free_at(Time t) const;
+
+  /// Minimum free cores over [from, to); requires from < to.
+  [[nodiscard]] CoreCount min_free(Time from, Time to) const;
+
+  /// True iff `cores` fit continuously over [at, at + dur).
+  [[nodiscard]] bool can_fit(Time at, Duration dur, CoreCount cores) const;
+
+  /// Removes `cores` over [from, to). The interval is clipped at origin.
+  /// Precondition: the result never goes negative (check can_fit first).
+  void subtract(Time from, Time to, CoreCount cores);
+
+  /// Adds `cores` back over [from, to) (inverse of subtract); the result
+  /// must not exceed capacity.
+  void add(Time from, Time to, CoreCount cores);
+
+  /// Like subtract, but clamps each segment at zero instead of requiring
+  /// feasibility (used for the reserved dynamic partition, which may overlap
+  /// cores already held by running jobs).
+  void subtract_clamped(Time from, Time to, CoreCount cores);
+
+  /// Earliest t >= not_before such that `cores` fit over [t, t + dur).
+  /// Returns Time::far_future() if cores > capacity.
+  [[nodiscard]] Time earliest_fit(CoreCount cores, Duration dur,
+                                  Time not_before) const;
+
+  /// The (time, free) breakpoints, for tests and debugging.
+  [[nodiscard]] std::vector<std::pair<Time, CoreCount>> breakpoints() const;
+
+ private:
+  /// Ensures a breakpoint exists at `t` (splitting the covering segment).
+  void ensure_breakpoint(Time t);
+
+  Time origin_;
+  CoreCount capacity_;
+  /// key -> free cores from key until the next key; last extends to +inf.
+  std::map<Time, CoreCount> steps_;
+};
+
+}  // namespace dbs::core

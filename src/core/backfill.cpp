@@ -1,0 +1,80 @@
+#include "core/backfill.hpp"
+
+#include <limits>
+
+#include "common/assert.hpp"
+
+namespace dbs::core {
+
+namespace {
+
+/// Shared planning walk. `force_all` plans every job regardless of depth
+/// and backfill rules (used for delay measurement).
+Plan plan_impl(const std::vector<const rms::Job*>& prioritized,
+               AvailabilityProfile base, const PlanOptions& options,
+               bool force_all) {
+  Plan plan{ReservationTable{}, std::move(base)};
+  std::size_t start_later = 0;
+  bool someone_waits = false;
+  Time exclusive_latest_start = options.now;
+
+  for (const rms::Job* job : prioritized) {
+    DBS_ASSERT(job != nullptr, "null job in plan input");
+    const CoreCount cores = job->spec().cores;
+    const Duration walltime = job->spec().walltime;
+    const bool exclusive = job->spec().exclusive_priority;
+
+    Time not_before = options.now;
+    if (options.drain_for_exclusive && !exclusive)
+      not_before = exclusive_latest_start;
+
+    const Time start =
+        plan.profile.earliest_fit(cores, walltime, not_before);
+    if (start == Time::far_future()) {
+      // Larger than the whole machine: unsatisfiable, never planned.
+      someone_waits = true;
+      continue;
+    }
+
+    const bool is_start_now = start == options.now;
+    const bool is_backfill = is_start_now && someone_waits;
+    if (!force_all) {
+      if (is_start_now && is_backfill && !options.allow_backfill) {
+        someone_waits = true;
+        continue;
+      }
+      if (!is_start_now) {
+        if (start_later >= options.reservation_limit) {
+          someone_waits = true;
+          continue;
+        }
+        ++start_later;
+      }
+    }
+
+    plan.profile.subtract(start, start + walltime, cores);
+    plan.table.add(Reservation{job->id(), start, start + walltime, cores,
+                               is_start_now, is_backfill});
+    if (exclusive) exclusive_latest_start = max(exclusive_latest_start, start);
+    if (!is_start_now) someone_waits = true;
+  }
+  return plan;
+}
+
+}  // namespace
+
+Plan plan_jobs(const std::vector<const rms::Job*>& prioritized,
+               AvailabilityProfile base, const PlanOptions& options) {
+  return plan_impl(prioritized, std::move(base), options, /*force_all=*/false);
+}
+
+ReservationTable replan_all(const std::vector<const rms::Job*>& jobs,
+                            AvailabilityProfile base,
+                            const PlanOptions& options) {
+  PlanOptions all = options;
+  all.reservation_limit = std::numeric_limits<std::size_t>::max();
+  all.allow_backfill = true;
+  return plan_impl(jobs, std::move(base), all, /*force_all=*/true).table;
+}
+
+}  // namespace dbs::core

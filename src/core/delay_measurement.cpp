@@ -1,0 +1,88 @@
+#include "core/delay_measurement.hpp"
+
+#include "common/assert.hpp"
+
+namespace dbs::core {
+
+DynHold make_hold(const rms::Job& owner, const rms::DynRequest& request,
+                  Time now) {
+  DBS_REQUIRE(owner.is_running(), "dynamic hold needs a running owner");
+  // The hold must cover at least an instant even if the owner is at the very
+  // end of its walltime.
+  const Time until = max(owner.walltime_end(), now + Duration::micros(1));
+  return DynHold{request.extra_cores, now, until};
+}
+
+std::vector<DelayedJob> diff_plans(const std::vector<const rms::Job*>& jobs,
+                                   const ReservationTable& before,
+                                   const ReservationTable& after) {
+  std::vector<DelayedJob> delays;
+  delays.reserve(jobs.size());
+  for (const rms::Job* job : jobs) {
+    const Reservation* old_r = before.find(job->id());
+    const Reservation* new_r = after.find(job->id());
+    if (old_r == nullptr) continue;  // was never planned: not protected
+    DBS_ASSERT(new_r != nullptr, "replan lost a protected job");
+    // Negative diffs are possible: pushing a big job back can let a small
+    // one slip in earlier. Only positive delays matter for fairness; the
+    // DFS engine ignores the rest.
+    const Duration delay = new_r->start - old_r->start;
+    delays.push_back(DelayedJob{job, delay});
+  }
+  return delays;
+}
+
+std::vector<const rms::Job*> protected_subset(
+    const std::vector<const rms::Job*>& prioritized,
+    const ReservationTable& baseline, std::size_t delay_depth) {
+  std::vector<const rms::Job*> out;
+  std::size_t later_seen = 0;
+  for (const rms::Job* job : prioritized) {
+    const Reservation* r = baseline.find(job->id());
+    if (r == nullptr) continue;
+    if (r->start_now)
+      out.push_back(job);
+    else if (later_seen++ < delay_depth)
+      out.push_back(job);
+  }
+  return out;
+}
+
+DelayMeasurement measure_dynamic_request(
+    const DynHold& hold, const std::vector<const rms::Job*>& candidate_jobs,
+    const std::vector<const rms::Job*>& protected_jobs,
+    const ReservationTable& baseline,
+    const AvailabilityProfile& planning_profile, CoreCount physical_free_now,
+    const PlanOptions& options) {
+  DBS_REQUIRE(hold.extra_cores > 0, "hold must request cores");
+  DelayMeasurement out{false, {}, ReservationTable{}, planning_profile};
+
+  // Step 12/13: are there enough idle cores *right now*? Queued jobs do not
+  // occupy anything yet; only physically free cores count.
+  if (hold.extra_cores > physical_free_now) return out;
+  out.feasible = true;
+
+  // Every job with a baseline reservation is replanned (they all compete
+  // for the space the hold removes) — but only the protected jobs have
+  // their delays reported to the fairness engine.
+  std::vector<const rms::Job*> planned;
+  planned.reserve(candidate_jobs.size());
+  for (const rms::Job* job : candidate_jobs)
+    if (baseline.find(job->id()) != nullptr) planned.push_back(job);
+
+  // Clamped: with a reserved dynamic partition the planning profile may
+  // already sit at zero while the physical cores for the hold come out of
+  // the partition. max(0, phys - partition) - hold clamped at zero equals
+  // max(0, phys - hold - partition) wherever the unclamped value was
+  // positive, so planning stays exact for static jobs.
+  out.profile_after.subtract_clamped(hold.from, hold.until, hold.extra_cores);
+  out.replanned = replan_all(planned, out.profile_after, options);
+  std::vector<const rms::Job*> still_protected;
+  still_protected.reserve(protected_jobs.size());
+  for (const rms::Job* job : protected_jobs)
+    if (baseline.find(job->id()) != nullptr) still_protected.push_back(job);
+  out.delays = diff_plans(still_protected, baseline, out.replanned);
+  return out;
+}
+
+}  // namespace dbs::core

@@ -1,0 +1,83 @@
+// The dynamic-fairness engine: admission control and delay accounting for
+// dynamic allocations (paper §III-C step 14 and §III-D).
+//
+// For every candidate dynamic allocation the scheduler measures the delays
+// it would inflict on protected queued jobs; the engine decides whether the
+// allocation is fair. On commit, inflicted delays are charged (a) to each
+// delayed job (for the single-job cap) and (b) to each credential entity of
+// the delayed job's owner (for the per-interval cumulative cap). At each
+// DFSINTERVAL boundary the accumulated entity delays are multiplied by
+// DFSDECAY, carrying a configurable fraction of history forward.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/time.hpp"
+#include "common/types.hpp"
+#include "core/dfs_policy.hpp"
+
+namespace dbs::rms {
+class Job;
+}
+
+namespace dbs::core {
+
+/// One queued job delayed by a candidate dynamic allocation.
+struct DelayedJob {
+  const rms::Job* job = nullptr;
+  Duration delay;  ///< additional wait vs. the current plan (>= 0)
+};
+
+/// Why a request was rejected (for logging/metrics/negotiation).
+enum class DfsVerdict {
+  Allowed,
+  DeniedPermission,   ///< a delayed job's entity has DFSDYNDELAYPERM=0
+  DeniedSingleDelay,  ///< a per-job delay cap would be exceeded
+  DeniedTargetDelay,  ///< a per-interval cumulative cap would be exceeded
+};
+
+[[nodiscard]] std::string_view to_string(DfsVerdict v);
+
+class DfsEngine {
+ public:
+  explicit DfsEngine(DfsConfig config, Time start = Time::epoch());
+
+  /// Rolls interval accounting forward to `now` (applies decay at each
+  /// boundary crossed).
+  void advance_to(Time now);
+
+  /// Would delaying `delays` on behalf of `requester` be fair? Delays to
+  /// jobs of the requester's own user are ignored (paper rule). Pure.
+  [[nodiscard]] DfsVerdict admit(const Credentials& requester,
+                                 const std::vector<DelayedJob>& delays) const;
+
+  /// Charges the delays (call only after admit() allowed them and the
+  /// allocation was committed).
+  void commit(const Credentials& requester,
+              const std::vector<DelayedJob>& delays);
+
+  /// A queued job started: its per-job delay record is no longer needed.
+  void on_job_started(JobId id) { job_delay_.erase(id); }
+
+  // --- introspection (tests, reports) ------------------------------------
+  [[nodiscard]] Duration accumulated(DfsEntityKind kind,
+                                     const std::string& name) const;
+  [[nodiscard]] Duration job_delay(JobId id) const;
+  [[nodiscard]] const DfsConfig& config() const { return config_; }
+  [[nodiscard]] Time interval_start() const { return interval_start_; }
+
+ private:
+  /// Accumulated delay for one entity dimension within the current interval.
+  using EntityAcc = std::unordered_map<std::string, Duration>;
+  EntityAcc& acc_of(DfsEntityKind kind);
+  [[nodiscard]] const EntityAcc& acc_of(DfsEntityKind kind) const;
+
+  DfsConfig config_;
+  Time interval_start_;
+  EntityAcc acc_user_, acc_group_, acc_account_, acc_class_, acc_qos_;
+  std::unordered_map<JobId, Duration> job_delay_;
+};
+
+}  // namespace dbs::core

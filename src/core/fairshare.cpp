@@ -1,0 +1,62 @@
+#include "core/fairshare.hpp"
+
+#include "common/assert.hpp"
+
+namespace dbs::core {
+
+Fairshare::Fairshare(FairshareConfig config, Time start)
+    : config_(std::move(config)), window_start_(start) {
+  DBS_REQUIRE(config_.interval > Duration::zero(), "FSINTERVAL must be positive");
+  DBS_REQUIRE(config_.depth >= 1, "FSDEPTH must be at least 1");
+  DBS_REQUIRE(config_.decay >= 0.0 && config_.decay <= 1.0,
+              "FSDECAY must be in [0,1]");
+}
+
+void Fairshare::advance_to(Time now) {
+  while (now - window_start_ >= config_.interval) {
+    window_start_ += config_.interval;
+    for (auto& [user, windows] : windows_) {
+      windows.push_front(0.0);
+      while (windows.size() > config_.depth) windows.pop_back();
+    }
+  }
+}
+
+void Fairshare::record_usage(const Credentials& cred, double core_seconds,
+                             Time now) {
+  if (!config_.enabled) return;
+  DBS_REQUIRE(core_seconds >= 0.0, "usage cannot be negative");
+  advance_to(now);
+  auto& windows = windows_[cred.user];
+  if (windows.empty()) windows.push_front(0.0);
+  windows.front() += core_seconds;
+}
+
+double Fairshare::effective_usage(const std::string& user) const {
+  auto it = windows_.find(user);
+  if (it == windows_.end()) return 0.0;
+  double weight = 1.0;
+  double total = 0.0;
+  for (const double w : it->second) {
+    total += weight * w;
+    weight *= config_.decay;
+  }
+  return total;
+}
+
+double Fairshare::component(const Credentials& cred) const {
+  if (!config_.enabled) return 0.0;
+  auto target_it = config_.user_targets.find(cred.user);
+  if (target_it == config_.user_targets.end()) return 0.0;
+
+  double all_users = 0.0;
+  for (const auto& [user, windows] : windows_) {
+    (void)windows;
+    all_users += effective_usage(user);
+  }
+  const double mine = effective_usage(cred.user);
+  const double used_percent = all_users > 0.0 ? 100.0 * mine / all_users : 0.0;
+  return target_it->second - used_percent;
+}
+
+}  // namespace dbs::core

@@ -1,0 +1,52 @@
+// Maui-style *static* fairshare: per-user usage tracked over a sliding set
+// of decaying windows, compared against configured target percentages. This
+// is the classic mechanism the paper contrasts with its new *dynamic*
+// fairness (DFS) policies.
+#pragma once
+
+#include <deque>
+#include <string>
+#include <unordered_map>
+
+#include "common/time.hpp"
+#include "common/types.hpp"
+
+namespace dbs::core {
+
+struct FairshareConfig {
+  bool enabled = false;
+  Duration interval = Duration::hours(12);  ///< FSINTERVAL
+  std::size_t depth = 8;                    ///< FSDEPTH (number of windows)
+  double decay = 0.5;                       ///< FSDECAY (per-window factor)
+  /// Target share (percent of the system) per user; unconfigured users have
+  /// no target and contribute no fairshare priority component.
+  std::unordered_map<std::string, double> user_targets;
+};
+
+class Fairshare {
+ public:
+  explicit Fairshare(FairshareConfig config, Time start = Time::epoch());
+
+  /// Charges `core_seconds` of usage by `cred.user` at time `now`.
+  void record_usage(const Credentials& cred, double core_seconds, Time now);
+
+  /// Rolls windows forward so that `now` lies in the current window.
+  void advance_to(Time now);
+
+  /// Priority component: target% − effective-usage% for the user (positive
+  /// when under-served). Zero when disabled or no target configured.
+  [[nodiscard]] double component(const Credentials& cred) const;
+
+  /// Decay-weighted usage of a user across windows (core-seconds).
+  [[nodiscard]] double effective_usage(const std::string& user) const;
+
+  [[nodiscard]] const FairshareConfig& config() const { return config_; }
+
+ private:
+  FairshareConfig config_;
+  Time window_start_;
+  /// windows_[user][0] is the current window; higher indices are older.
+  std::unordered_map<std::string, std::deque<double>> windows_;
+};
+
+}  // namespace dbs::core

@@ -1,0 +1,254 @@
+#include "core/maui_scheduler.hpp"
+
+#include <unordered_map>
+
+#include "common/assert.hpp"
+#include "common/log.hpp"
+#include "core/backfill.hpp"
+#include "core/delay_measurement.hpp"
+#include "core/malleable.hpp"
+#include "core/negotiation.hpp"
+#include "core/partition.hpp"
+#include "core/preemption.hpp"
+
+namespace dbs::core {
+
+MauiScheduler::MauiScheduler(rms::Server& server, SchedulerConfig config)
+    : server_(server),
+      config_(std::move(config)),
+      fairshare_(config_.fairshare, server.simulator().now()),
+      priority_(config_.weights, config_.cred_priorities, &fairshare_),
+      dfs_(config_.dfs, server.simulator().now()),
+      last_usage_update_(server.simulator().now()) {
+  config_.validate();
+  server_.set_allocation_policy(config_.allocation_policy);
+}
+
+void MauiScheduler::attach() {
+  server_.set_scheduler_trigger([this] { iterate(); });
+}
+
+void MauiScheduler::update_statistics(Time now) {
+  // Charge running jobs' usage since the last update into fairshare.
+  const Duration elapsed = now - last_usage_update_;
+  if (config_.fairshare.enabled && elapsed > Duration::zero()) {
+    for (const rms::Job* job : server_.jobs().running())
+      fairshare_.record_usage(
+          job->spec().cred,
+          static_cast<double>(job->allocated_cores()) * elapsed.as_seconds(),
+          now);
+  }
+  last_usage_update_ = now;
+  fairshare_.advance_to(now);
+  dfs_.advance_to(now);
+}
+
+std::vector<const rms::Job*> MauiScheduler::eligible_static_jobs() const {
+  std::vector<const rms::Job*> eligible;
+  std::unordered_map<std::string, std::size_t> per_user;
+  for (const rms::Job* job : server_.jobs().queued()) {
+    if (config_.max_eligible_per_user) {
+      std::size_t& count = per_user[job->spec().cred.user];
+      if (count >= *config_.max_eligible_per_user) continue;
+      ++count;
+    }
+    eligible.push_back(job);
+  }
+  return eligible;
+}
+
+AvailabilityProfile MauiScheduler::physical_profile(Time now) const {
+  const cluster::Cluster& cl = server_.cluster();
+  AvailabilityProfile profile(now, cl.total_cores());
+  for (const rms::Job* job : server_.jobs().running()) {
+    const Time hold_end = max(job->walltime_end(), now + Duration::micros(1));
+    profile.subtract(now, hold_end, job->allocated_cores());
+  }
+  // Down/offline nodes: their unused cores are unavailable indefinitely.
+  for (const cluster::Node& node : cl.nodes())
+    if (!node.available())
+      profile.subtract(now, Time::far_future(),
+                       node.total_cores() - node.used_cores());
+  return profile;
+}
+
+void MauiScheduler::iterate() {
+  const Time now = server_.simulator().now();
+  ++iterations_;
+  IterationStats stats;
+  stats.at = now;
+
+  // Steps 2-5: resource/workload info + statistics.
+  update_statistics(now);
+
+  // Steps 6-9: eligibility and prioritization. Dynamic requests are served
+  // in FIFO order (the server's queue order).
+  std::vector<const rms::Job*> prioritized =
+      priority_.prioritize(eligible_static_jobs(), now);
+  stats.eligible_static = prioritized.size();
+
+  bool drain = false;
+  for (const rms::Job* job : prioritized)
+    drain = drain || job->spec().exclusive_priority;
+
+  AvailabilityProfile physical = physical_profile(now);
+  CoreCount physical_free = server_.cluster().free_cores();
+  AvailabilityProfile planning = physical;
+  reserve_dynamic_partition(planning, config_.dynamic_partition_cores);
+
+  // Step 10: plan static jobs without starting them (StartNow/StartLater),
+  // creating delay-measurement reservations up to
+  // max(ReservationDepth, ReservationDelayDepth).
+  const PlanOptions measure_opts{now, config_.delay_plan_depth(),
+                                 config_.enable_backfill && !drain, drain};
+  ReservationTable baseline =
+      plan_jobs(prioritized, planning, measure_opts).table;
+  // The protected set (StartNow + first ReservationDelayDepth StartLater,
+  // Fig. 5) is fixed by this step-10 classification for the whole
+  // iteration, even as grants shift later plans.
+  std::vector<const rms::Job*> protected_jobs = protected_subset(
+      prioritized, baseline, config_.reservation_delay_depth);
+
+  // Steps 11-24: process dynamic requests in FIFO order.
+  const std::vector<rms::DynRequest> requests(
+      server_.jobs().dyn_requests().begin(),
+      server_.jobs().dyn_requests().end());
+  stats.eligible_dynamic = requests.size();
+
+  for (const rms::DynRequest& req : requests) {
+    // A preemption earlier in this loop may have requeued the owner and
+    // removed its request from the FIFO; skip such stale entries.
+    const rms::DynRequest* live = server_.jobs().dyn_request_of(req.job);
+    if (live == nullptr || live->id != req.id) continue;
+    const rms::Job& owner = server_.job(req.job);
+    DBS_ASSERT(owner.state() == rms::JobState::DynQueued,
+               "FIFO entry for a job that is not dynqueued");
+    DynHold hold = make_hold(owner, req, now);
+    DelayMeasurement m =
+        measure_dynamic_request(hold, prioritized, protected_jobs, baseline,
+                                planning, physical_free, measure_opts);
+
+    // Optional §II-B strategy (gentle): free cores by shrinking running
+    // malleable jobs toward their minimum — no progress is lost.
+    if (!m.feasible && config_.allow_malleable_steal) {
+      const std::vector<MalleableShrink> shrinks = plan_malleable_steal(
+          server_.jobs().running(), req.extra_cores, physical_free, req.job);
+      if (!shrinks.empty()) {
+        for (const MalleableShrink& s : shrinks) {
+          server_.shrink_job(s.job, s.cores);
+          ++stats.malleable_shrinks;
+        }
+        physical = physical_profile(now);
+        physical_free = server_.cluster().free_cores();
+        planning = physical;
+        reserve_dynamic_partition(planning, config_.dynamic_partition_cores);
+        baseline = plan_jobs(prioritized, planning, measure_opts).table;
+        protected_jobs = protected_subset(prioritized, baseline,
+                                          config_.reservation_delay_depth);
+        m = measure_dynamic_request(hold, prioritized, protected_jobs,
+                                    baseline, planning, physical_free,
+                                    measure_opts);
+      }
+    }
+
+    // Optional §II-B strategy: free cores by preempting backfilled
+    // preemptible jobs, then re-measure against the rebuilt state.
+    if (!m.feasible && config_.allow_preemption) {
+      const std::vector<JobId> victims = select_preemption_victims(
+          server_.jobs().running(), req.extra_cores, physical_free, req.job);
+      if (!victims.empty()) {
+        for (const JobId victim : victims) {
+          server_.preempt(victim);
+          ++stats.preempted;
+        }
+        physical = physical_profile(now);
+        physical_free = server_.cluster().free_cores();
+        planning = physical;
+        reserve_dynamic_partition(planning, config_.dynamic_partition_cores);
+        prioritized = priority_.prioritize(eligible_static_jobs(), now);
+        baseline = plan_jobs(prioritized, planning, measure_opts).table;
+        protected_jobs = protected_subset(prioritized, baseline,
+                                          config_.reservation_delay_depth);
+        m = measure_dynamic_request(hold, prioritized, protected_jobs,
+                                    baseline, planning, physical_free,
+                                    measure_opts);
+      }
+    }
+
+    // Aggregate feasibility is necessary but, with Torque-style chunked
+    // placements, not sufficient: the extra cores must also fit the
+    // node-level free map.
+    const bool placeable =
+        m.feasible && server_.cluster().can_allocate_chunked(
+                          req.extra_cores, server_.effective_ppn(owner));
+
+    DfsVerdict verdict = DfsVerdict::Allowed;
+    if (placeable)
+      verdict = dfs_.admit(owner.spec().cred, m.delays);
+
+    if (placeable && verdict == DfsVerdict::Allowed &&
+        server_.grant_dyn(req.id)) {
+      dfs_.commit(owner.spec().cred, m.delays);
+      // Adopt the tentative state: the hold is now real.
+      physical.subtract(hold.from, hold.until, hold.extra_cores);
+      physical_free -= hold.extra_cores;
+      planning = std::move(m.profile_after);
+      baseline = std::move(m.replanned);
+      ++stats.dyn_granted;
+    } else {
+      DBS_TRACE("dyn request of job " << req.job.value() << " denied: "
+                                      << (m.feasible ? to_string(verdict)
+                                                     : "no idle resources"));
+      const std::optional<Time> hint =
+          estimate_availability(physical, owner, req.extra_cores, now);
+      server_.reject_dyn(req.id, hint);
+      // With a live negotiation deadline the server keeps the request
+      // queued instead of finalizing the rejection.
+      if (server_.jobs().dyn_request_of(req.job) != nullptr)
+        ++stats.dyn_deferred;
+      else
+        ++stats.dyn_rejected;
+    }
+  }
+
+  // Steps 25-26: schedule + start static jobs; reservations only up to
+  // ReservationDepth now; backfill the remainder.
+  const PlanOptions start_opts{now, config_.reservation_depth,
+                               config_.enable_backfill && !drain, drain};
+  const Plan final_plan = plan_jobs(prioritized, planning, start_opts);
+  for (const Reservation& r : final_plan.table.items()) {
+    if (!r.start_now) {
+      ++stats.reservations;
+      continue;
+    }
+    // The aggregate plan can be defeated by node-level fragmentation
+    // (chunked placement); the job then simply stays queued and is
+    // re-planned next iteration — exactly what a real Maui does when the
+    // node allocation it asked Torque for cannot be built.
+    if (!server_.start_job(r.job, r.backfilled)) {
+      ++stats.start_failed;
+      continue;
+    }
+    dfs_.on_job_started(r.job);
+    ++stats.started;
+    if (r.backfilled) ++stats.backfilled;
+  }
+
+  last_ = stats;
+  schedule_poll();
+}
+
+void MauiScheduler::schedule_poll() {
+  if (poll_event_.valid()) {
+    server_.simulator().cancel(poll_event_);
+    poll_event_ = EventId::invalid();
+  }
+  const bool work_left = !server_.jobs().queued().empty() ||
+                         !server_.jobs().running().empty() ||
+                         !server_.jobs().dyn_requests().empty();
+  if (!work_left) return;
+  poll_event_ = server_.simulator().schedule_after(config_.poll_interval,
+                                                   [this] { iterate(); });
+}
+
+}  // namespace dbs::core

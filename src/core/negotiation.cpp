@@ -1,0 +1,18 @@
+#include "core/negotiation.hpp"
+
+#include "common/assert.hpp"
+
+namespace dbs::core {
+
+std::optional<Time> estimate_availability(const AvailabilityProfile& physical,
+                                          const rms::Job& owner,
+                                          CoreCount extra_cores, Time now) {
+  DBS_REQUIRE(extra_cores > 0, "estimate needs a core count");
+  const Duration remaining =
+      max(owner.walltime_end() - now, Duration::micros(1));
+  const Time t = physical.earliest_fit(extra_cores, remaining, now);
+  if (t == Time::far_future()) return std::nullopt;
+  return t;
+}
+
+}  // namespace dbs::core

@@ -1,0 +1,22 @@
+// The negotiation extension (the paper's stated future work, §III-C): when
+// a dynamic request cannot be served, the scheduler estimates when the
+// requested cores could become available, so an application that opted in
+// with a timeout can decide whether to wait.
+#pragma once
+
+#include <optional>
+
+#include "common/time.hpp"
+#include "core/availability_profile.hpp"
+#include "rms/job.hpp"
+
+namespace dbs::core {
+
+/// Earliest time `extra_cores` could be continuously free for the remainder
+/// of `owner`'s walltime, according to `physical` (running jobs only).
+/// nullopt when that can never happen (request larger than the machine).
+[[nodiscard]] std::optional<Time> estimate_availability(
+    const AvailabilityProfile& physical, const rms::Job& owner,
+    CoreCount extra_cores, Time now);
+
+}  // namespace dbs::core

@@ -1,0 +1,17 @@
+#include "core/partition.hpp"
+
+#include "common/assert.hpp"
+
+namespace dbs::core {
+
+void reserve_dynamic_partition(AvailabilityProfile& planning,
+                               CoreCount partition_cores) {
+  DBS_REQUIRE(partition_cores >= 0, "partition size cannot be negative");
+  if (partition_cores == 0) return;
+  DBS_REQUIRE(partition_cores < planning.capacity(),
+              "partition would swallow the whole machine");
+  planning.subtract_clamped(planning.origin(), Time::far_future(),
+                            partition_cores);
+}
+
+}  // namespace dbs::core

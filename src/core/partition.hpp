@@ -1,0 +1,17 @@
+// The reserved dynamic partition (§II-B): a block of cores only dynamic
+// requests may use. Static planning sees a cluster shrunk by the partition;
+// dynamic feasibility sees the whole machine.
+#pragma once
+
+#include "common/types.hpp"
+#include "core/availability_profile.hpp"
+
+namespace dbs::core {
+
+/// Removes the partition from a static-planning profile (clamped: cores of
+/// the partition already used by running dynamic allocations are not
+/// double-counted).
+void reserve_dynamic_partition(AvailabilityProfile& planning,
+                               CoreCount partition_cores);
+
+}  // namespace dbs::core

@@ -1,0 +1,32 @@
+#include "core/reservation_table.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace dbs::core {
+
+void ReservationTable::add(Reservation r) {
+  DBS_REQUIRE(r.start < r.end, "reservation interval must be non-empty");
+  DBS_REQUIRE(r.cores > 0, "reservation must hold cores");
+  DBS_REQUIRE(find(r.job) == nullptr, "job already reserved");
+  items_.push_back(r);
+}
+
+const Reservation* ReservationTable::find(JobId job) const {
+  auto it = std::find_if(items_.begin(), items_.end(),
+                         [&](const Reservation& r) { return r.job == job; });
+  return it == items_.end() ? nullptr : &*it;
+}
+
+std::size_t ReservationTable::start_now_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(items_.begin(), items_.end(),
+                    [](const Reservation& r) { return r.start_now; }));
+}
+
+std::size_t ReservationTable::start_later_count() const {
+  return items_.size() - start_now_count();
+}
+
+}  // namespace dbs::core

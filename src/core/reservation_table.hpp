@@ -1,0 +1,46 @@
+// Reservations produced by one scheduling pass. Maui rebuilds these every
+// iteration; the table is a planning artifact, not persistent state.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/time.hpp"
+#include "common/types.hpp"
+
+namespace dbs::core {
+
+/// A planned (job, interval, cores) triple. `start_now` marks StartNow jobs
+/// (planned start equals the iteration time); `backfilled` marks jobs that
+/// would start now even though a higher-priority job waits.
+struct Reservation {
+  JobId job;
+  Time start;
+  Time end;
+  CoreCount cores = 0;
+  bool start_now = false;
+  bool backfilled = false;
+};
+
+class ReservationTable {
+ public:
+  ReservationTable() = default;
+
+  void add(Reservation r);
+  void clear() { items_.clear(); }
+
+  [[nodiscard]] const std::vector<Reservation>& items() const { return items_; }
+  [[nodiscard]] std::size_t size() const { return items_.size(); }
+  [[nodiscard]] bool empty() const { return items_.empty(); }
+
+  /// Reservation of `job`, or nullptr.
+  [[nodiscard]] const Reservation* find(JobId job) const;
+
+  [[nodiscard]] std::size_t start_now_count() const;
+  [[nodiscard]] std::size_t start_later_count() const;
+
+ private:
+  std::vector<Reservation> items_;  ///< in planning (priority) order
+};
+
+}  // namespace dbs::core

@@ -1,0 +1,130 @@
+#include "metrics/recorder.hpp"
+
+#include "common/assert.hpp"
+
+namespace dbs::metrics {
+
+Duration JobRecord::wait_time() const {
+  DBS_REQUIRE(start.has_value(), "job never started");
+  return *start - submit;
+}
+
+Duration JobRecord::turnaround() const {
+  DBS_REQUIRE(end.has_value(), "job never finished");
+  return *end - submit;
+}
+
+Recorder::Recorder(sim::Simulator& simulator, const cluster::Cluster& cluster)
+    : sim_(simulator), cluster_(cluster), capacity_(cluster.total_cores()) {}
+
+JobRecord& Recorder::rec(JobId id) {
+  auto it = jobs_.find(id);
+  DBS_REQUIRE(it != jobs_.end(), "event for an unknown job");
+  return it->second;
+}
+
+void Recorder::sample_usage() {
+  const Time now = sim_.now();
+  const CoreCount used = cluster_.used_cores();
+  if (!usage_.empty() && usage_.back().first == now)
+    usage_.back().second = used;
+  else
+    usage_.emplace_back(now, used);
+}
+
+void Recorder::on_submit(const rms::Job& job) {
+  JobRecord r;
+  r.id = job.id();
+  r.name = job.spec().name;
+  r.user = job.spec().cred.user;
+  r.type_tag = job.spec().type_tag;
+  r.cores_requested = job.spec().cores;
+  r.submit = job.submit_time();
+  jobs_.emplace(job.id(), std::move(r));
+  order_.push_back(job.id());
+  first_submit_ = min(first_submit_, job.submit_time());
+}
+
+void Recorder::on_job_start(const rms::Job& job) {
+  JobRecord& r = rec(job.id());
+  r.start = job.start_time();
+  r.backfilled = job.was_backfilled();
+  r.cores_peak = std::max(r.cores_peak, job.allocated_cores());
+  sample_usage();
+}
+
+void Recorder::on_job_finish(const rms::Job& job) {
+  JobRecord& r = rec(job.id());
+  r.end = job.end_time();
+  last_finish_ = max(last_finish_, job.end_time());
+  sample_usage();
+}
+
+void Recorder::on_dyn_request(const rms::Job& job, const rms::DynRequest&) {
+  JobRecord& r = rec(job.id());
+  r.evolving = true;
+  ++r.dyn_requests;
+}
+
+void Recorder::on_dyn_grant(const rms::Job& job, const rms::DynRequest&,
+                            CoreCount) {
+  JobRecord& r = rec(job.id());
+  ++r.dyn_grants;
+  r.cores_peak = std::max(r.cores_peak, job.allocated_cores());
+  sample_usage();
+}
+
+void Recorder::on_dyn_reject(const rms::Job& job, const rms::DynRequest&) {
+  ++rec(job.id()).dyn_rejects;
+}
+
+void Recorder::on_dyn_release(const rms::Job& job, CoreCount) {
+  rec(job.id());
+  sample_usage();
+}
+
+void Recorder::on_malleable_shrink(const rms::Job& job, CoreCount) {
+  ++rec(job.id()).malleable_shrinks;
+  sample_usage();
+}
+
+void Recorder::on_requeue(const rms::Job& job) {
+  JobRecord& r = rec(job.id());
+  ++r.requeues;
+  r.start.reset();
+  sample_usage();
+}
+
+std::vector<JobRecord> Recorder::records() const {
+  std::vector<JobRecord> out;
+  out.reserve(order_.size());
+  for (const JobId id : order_) out.push_back(jobs_.at(id));
+  return out;
+}
+
+const JobRecord& Recorder::record(JobId id) const {
+  auto it = jobs_.find(id);
+  DBS_REQUIRE(it != jobs_.end(), "unknown job id");
+  return it->second;
+}
+
+double Recorder::used_core_seconds(Time from, Time to) const {
+  DBS_REQUIRE(from <= to, "empty window");
+  double total = 0.0;
+  CoreCount current = 0;
+  Time cursor = from;
+  for (const auto& [t, used] : usage_) {
+    if (t <= from) {
+      current = used;
+      continue;
+    }
+    if (t >= to) break;
+    total += static_cast<double>(current) * (t - cursor).as_seconds();
+    cursor = t;
+    current = used;
+  }
+  total += static_cast<double>(current) * (to - cursor).as_seconds();
+  return total;
+}
+
+}  // namespace dbs::metrics

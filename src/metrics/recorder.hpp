@@ -1,0 +1,93 @@
+// Event-driven metrics collection: per-job lifecycle records plus the
+// cluster-usage timeline, from which utilization, throughput and waiting
+// times are computed.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "common/time.hpp"
+#include "rms/server.hpp"
+#include "sim/simulator.hpp"
+
+namespace dbs::metrics {
+
+struct JobRecord {
+  JobId id;
+  std::string name;
+  std::string user;
+  std::string type_tag;
+  CoreCount cores_requested = 0;
+  CoreCount cores_peak = 0;
+  Time submit;
+  std::optional<Time> start;
+  std::optional<Time> end;
+  bool backfilled = false;
+  bool evolving = false;     ///< made at least one dynamic request
+  int dyn_requests = 0;
+  int dyn_grants = 0;
+  int dyn_rejects = 0;
+  int requeues = 0;
+  int malleable_shrinks = 0;
+
+  [[nodiscard]] bool completed() const { return end.has_value(); }
+  [[nodiscard]] Duration wait_time() const;
+  [[nodiscard]] Duration turnaround() const;
+  /// All dynamic requests granted, and at least one made (Table II's
+  /// "satisfied" evolving job).
+  [[nodiscard]] bool dyn_satisfied() const {
+    return dyn_grants > 0;
+  }
+};
+
+class Recorder final : public rms::ServerObserver {
+ public:
+  Recorder(sim::Simulator& simulator, const cluster::Cluster& cluster);
+
+  // rms::ServerObserver
+  void on_submit(const rms::Job& job) override;
+  void on_job_start(const rms::Job& job) override;
+  void on_job_finish(const rms::Job& job) override;
+  void on_dyn_request(const rms::Job& job, const rms::DynRequest&) override;
+  void on_dyn_grant(const rms::Job& job, const rms::DynRequest&,
+                    CoreCount extra) override;
+  void on_dyn_reject(const rms::Job& job, const rms::DynRequest&) override;
+  void on_dyn_release(const rms::Job& job, CoreCount cores) override;
+  void on_malleable_shrink(const rms::Job& job, CoreCount cores) override;
+  void on_requeue(const rms::Job& job) override;
+
+  /// Records, in submission order.
+  [[nodiscard]] std::vector<JobRecord> records() const;
+  [[nodiscard]] const JobRecord& record(JobId id) const;
+
+  /// (time, used cores) step series; one point per change.
+  [[nodiscard]] const std::vector<std::pair<Time, CoreCount>>& usage_series()
+      const {
+    return usage_;
+  }
+
+  [[nodiscard]] Time first_submit() const { return first_submit_; }
+  [[nodiscard]] Time last_finish() const { return last_finish_; }
+  [[nodiscard]] CoreCount capacity() const { return capacity_; }
+
+  /// Integral of used cores over [from, to] in core-seconds.
+  [[nodiscard]] double used_core_seconds(Time from, Time to) const;
+
+ private:
+  void sample_usage();
+  JobRecord& rec(JobId id);
+
+  sim::Simulator& sim_;
+  const cluster::Cluster& cluster_;
+  CoreCount capacity_;
+  std::unordered_map<JobId, JobRecord> jobs_;
+  std::vector<JobId> order_;
+  std::vector<std::pair<Time, CoreCount>> usage_;
+  Time first_submit_ = Time::far_future();
+  Time last_finish_ = Time::epoch();
+};
+
+}  // namespace dbs::metrics

@@ -1,0 +1,81 @@
+#include "metrics/report.hpp"
+
+#include "common/assert.hpp"
+
+namespace dbs::metrics {
+
+WorkloadSummary summarize(const Recorder& recorder) {
+  WorkloadSummary s;
+  const std::vector<JobRecord> records = recorder.records();
+  s.jobs_submitted = records.size();
+
+  Duration wait_sum, turnaround_sum;
+  for (const JobRecord& r : records) {
+    if (r.evolving) ++s.evolving_jobs;
+    if (r.dyn_satisfied()) ++s.satisfied_dyn_jobs;
+    if (!r.completed()) continue;
+    ++s.jobs_completed;
+    if (r.backfilled) ++s.backfilled_jobs;
+    wait_sum += r.wait_time();
+    s.max_wait = max(s.max_wait, r.wait_time());
+    turnaround_sum += r.turnaround();
+  }
+  if (s.jobs_completed > 0) {
+    const auto n = static_cast<std::int64_t>(s.jobs_completed);
+    s.avg_wait = wait_sum / n;
+    s.avg_turnaround = turnaround_sum / n;
+  }
+
+  if (s.jobs_completed > 0) {
+    const Time from = recorder.first_submit();
+    const Time to = recorder.last_finish();
+    s.makespan = to - from;
+    if (s.makespan > Duration::zero()) {
+      const double capacity_core_seconds =
+          static_cast<double>(recorder.capacity()) * s.makespan.as_seconds();
+      s.utilization =
+          100.0 * recorder.used_core_seconds(from, to) / capacity_core_seconds;
+      s.throughput_jobs_per_min =
+          static_cast<double>(s.jobs_completed) / s.makespan.as_minutes();
+    }
+  }
+  return s;
+}
+
+std::vector<WaitPoint> wait_series(const Recorder& recorder,
+                                   const std::string& type_tag) {
+  std::vector<WaitPoint> out;
+  const std::vector<JobRecord> records = recorder.records();
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const JobRecord& r = records[i];
+    if (!type_tag.empty() && r.type_tag != type_tag) continue;
+    if (!r.start.has_value()) continue;
+    out.push_back(WaitPoint{i, r.name, r.wait_time()});
+  }
+  return out;
+}
+
+std::vector<std::string> performance_header() {
+  return {"Config",          "Time [mins]",       "Satisfied Dyn Jobs",
+          "Util [%]",        "Throughput [Jobs/min]", "Throughput [% Increase]"};
+}
+
+std::vector<std::string> performance_row(const std::string& config_name,
+                                         const WorkloadSummary& summary,
+                                         double baseline_throughput) {
+  std::string increase = "-";
+  if (baseline_throughput > 0.0) {
+    const double pct = 100.0 *
+                       (summary.throughput_jobs_per_min - baseline_throughput) /
+                       baseline_throughput;
+    increase = TextTable::num(pct, 1);
+  }
+  return {config_name,
+          TextTable::num(summary.makespan.as_minutes(), 2),
+          TextTable::num(static_cast<std::int64_t>(summary.satisfied_dyn_jobs)),
+          TextTable::num(summary.utilization, 2),
+          TextTable::num(summary.throughput_jobs_per_min, 2),
+          increase};
+}
+
+}  // namespace dbs::metrics

@@ -1,0 +1,49 @@
+// Aggregation of recorder data into the quantities the paper reports:
+// workload makespan, satisfied evolving jobs, utilization, throughput and
+// waiting-time series.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "metrics/recorder.hpp"
+
+namespace dbs::metrics {
+
+struct WorkloadSummary {
+  std::size_t jobs_submitted = 0;
+  std::size_t jobs_completed = 0;
+  std::size_t evolving_jobs = 0;     ///< jobs that issued >= 1 dyn request
+  std::size_t satisfied_dyn_jobs = 0;
+  std::size_t backfilled_jobs = 0;
+  Duration makespan;                 ///< first submit -> last finish
+  double utilization = 0.0;          ///< percent of capacity over makespan
+  double throughput_jobs_per_min = 0.0;
+  Duration avg_wait;
+  Duration max_wait;
+  Duration avg_turnaround;
+};
+
+/// Aggregates over all completed jobs in the recorder.
+[[nodiscard]] WorkloadSummary summarize(const Recorder& recorder);
+
+/// Waiting time of each completed job, in submission order. When
+/// `type_tag` is non-empty, only jobs of that type are included.
+struct WaitPoint {
+  std::size_t submit_index;  ///< position in submission order (0-based)
+  std::string name;
+  Duration wait;
+};
+[[nodiscard]] std::vector<WaitPoint> wait_series(const Recorder& recorder,
+                                                 const std::string& type_tag = "");
+
+/// A Table-II-style row.
+[[nodiscard]] std::vector<std::string> performance_row(
+    const std::string& config_name, const WorkloadSummary& summary,
+    double baseline_throughput /* <= 0: print '-' for the increase */);
+
+/// Header matching performance_row.
+[[nodiscard]] std::vector<std::string> performance_header();
+
+}  // namespace dbs::metrics

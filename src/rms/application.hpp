@@ -1,0 +1,83 @@
+// The contract between the batch system and the (simulated) application it
+// runs. An Application answers, at each lifecycle event, when it will finish
+// with its current allocation and whether/when it wants to grow or shrink.
+// This mirrors what a real evolving MPI code does through the extended TM
+// interface (tm_dynget / tm_dynfree) of the paper.
+#pragma once
+
+#include <optional>
+
+#include "common/time.hpp"
+#include "common/types.hpp"
+
+namespace dbs::rms {
+
+/// A planned tm_dynget call: at absolute time `at`, ask for `extra_cores`.
+/// A non-zero `timeout` opts into the negotiation extension: the server may
+/// keep the request queued until `at + timeout` before finally rejecting.
+struct DynAsk {
+  Time at;
+  CoreCount extra_cores = 0;
+  Duration timeout = Duration::zero();
+};
+
+/// A planned tm_dynfree call: at absolute time `at`, give back `cores`.
+struct DynRelease {
+  Time at;
+  CoreCount cores = 0;
+};
+
+/// What the application intends to do next, given its current allocation.
+/// `finish_at` is always meaningful; `ask`/`release` are optional and must
+/// lie strictly before `finish_at` to take effect.
+struct AppDecision {
+  Time finish_at;
+  std::optional<DynAsk> ask;
+  std::optional<DynRelease> release;
+};
+
+/// Simulated application behaviour. Implementations live in dbs::apps
+/// (rigid, ESP-evolving, Quadflow); the mother superior drives the calls.
+class Application {
+ public:
+  virtual ~Application() = default;
+
+  /// The job's processes started on `cores` cores at `now`.
+  virtual AppDecision on_start(Time now, CoreCount cores) = 0;
+
+  /// A tm_dynget succeeded; the job now holds `total_cores`.
+  virtual AppDecision on_grant(Time now, CoreCount total_cores) = 0;
+
+  /// A tm_dynget was (finally) rejected; allocation unchanged.
+  virtual AppDecision on_reject(Time now, CoreCount total_cores) = 0;
+
+  /// A tm_dynfree completed; the job now holds `total_cores`.
+  virtual AppDecision on_released(Time now, CoreCount total_cores) = 0;
+
+  /// The scheduler shrank this malleable job to `total_cores` (a
+  /// scheduler-initiated reshape, not a reply to any request of ours).
+  /// Only jobs submitted with malleable_min > 0 ever receive this. The
+  /// default forwards to on_released, which suits work-conserving models.
+  virtual AppDecision on_reshaped(Time now, CoreCount total_cores) {
+    return on_released(now, total_cores);
+  }
+
+  /// A node failure took `lost_cores` of the job's allocation away; the job
+  /// still holds `total_cores` (> 0). Return a decision to survive on the
+  /// remaining cores (typically with an immediate DynAsk for spare nodes —
+  /// the fault-tolerance use of dynamic allocation the paper motivates), or
+  /// nullopt if the application cannot survive the loss, in which case the
+  /// server requeues the job (restart from scratch).
+  virtual std::optional<AppDecision> on_nodes_lost(Time now,
+                                                   CoreCount lost_cores,
+                                                   CoreCount total_cores) {
+    (void)now;
+    (void)lost_cores;
+    (void)total_cores;
+    return std::nullopt;
+  }
+
+  [[nodiscard]] virtual const char* name() const { return "app"; }
+};
+
+}  // namespace dbs::rms

@@ -1,0 +1,32 @@
+#include "rms/comm.hpp"
+
+#include "common/assert.hpp"
+
+namespace dbs::rms {
+
+Duration LatencyModel::join(std::size_t nodes) const {
+  return join_base + join_per_node * static_cast<std::int64_t>(nodes);
+}
+
+Duration LatencyModel::dyn_join(std::size_t nodes) const {
+  return dyn_join_base + dyn_join_per_node * static_cast<std::int64_t>(nodes);
+}
+
+void LatencyModel::validate() const {
+  const Duration all[] = {client_to_server, server_to_mom,   mom_to_server,
+                          join_base,        join_per_node,   dyn_join_base,
+                          dyn_join_per_node, scheduler_delay};
+  for (const Duration d : all)
+    DBS_REQUIRE(!d.is_negative(), "latencies must be non-negative");
+}
+
+LatencyModel LatencyModel::zero() {
+  LatencyModel m;
+  m.client_to_server = m.server_to_mom = m.mom_to_server = Duration::zero();
+  m.join_base = m.join_per_node = Duration::zero();
+  m.dyn_join_base = m.dyn_join_per_node = Duration::zero();
+  m.scheduler_delay = Duration::zero();
+  return m;
+}
+
+}  // namespace dbs::rms

@@ -1,0 +1,44 @@
+// Latency model for daemon communication. The paper's Fig. 12 measures the
+// wall-clock cost of a dynamic allocation on a real Torque deployment; in
+// the simulator every daemon hop and join operation costs virtual time
+// according to this model, so the same experiment can be expressed in
+// virtual time (and the scheduler computation itself is measured separately
+// with google-benchmark).
+#pragma once
+
+#include "common/time.hpp"
+
+namespace dbs::rms {
+
+struct LatencyModel {
+  /// qsub → pbs_server.
+  Duration client_to_server = Duration::millis(1);
+  /// pbs_server → mother superior (job dispatch, grant/reject replies).
+  Duration server_to_mom = Duration::millis(1);
+  /// mom → pbs_server (dyn requests, completion reports).
+  Duration mom_to_server = Duration::millis(1);
+  /// Fixed part of the initial join of all sister moms.
+  Duration join_base = Duration::millis(2);
+  /// Serial per-node part of the initial join.
+  Duration join_per_node = Duration::micros(300);
+  /// Fixed part of dyn_join / dyn_disjoin.
+  Duration dyn_join_base = Duration::millis(1);
+  /// Serial per-newly-added-node part of dyn_join / dyn_disjoin.
+  Duration dyn_join_per_node = Duration::micros(300);
+  /// Delay between a server state change and the scheduler iteration it
+  /// triggers (Maui wakes up on job/resource state changes).
+  Duration scheduler_delay = Duration::millis(1);
+
+  /// Duration of the initial join across `nodes` nodes.
+  [[nodiscard]] Duration join(std::size_t nodes) const;
+  /// Duration of a dyn_join/dyn_disjoin across `nodes` new nodes.
+  [[nodiscard]] Duration dyn_join(std::size_t nodes) const;
+
+  /// Throws precondition_error if any latency is negative.
+  void validate() const;
+
+  /// A model where every hop is free — useful for algorithm-only tests.
+  [[nodiscard]] static LatencyModel zero();
+};
+
+}  // namespace dbs::rms

@@ -1,0 +1,109 @@
+#include "rms/job.hpp"
+
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace dbs::rms {
+
+std::string_view to_string(JobState s) {
+  switch (s) {
+    case JobState::Queued: return "queued";
+    case JobState::Running: return "running";
+    case JobState::DynQueued: return "dynqueued";
+    case JobState::Completed: return "completed";
+    case JobState::Cancelled: return "cancelled";
+  }
+  return "?";
+}
+
+Job::Job(JobId id, JobSpec spec, std::unique_ptr<Application> app, Time submit)
+    : id_(id), spec_(std::move(spec)), app_(std::move(app)), submit_(submit) {
+  DBS_REQUIRE(id_.valid(), "job needs a valid id");
+  DBS_REQUIRE(app_ != nullptr, "job needs an application model");
+  DBS_REQUIRE(spec_.cores > 0, "job must request at least one core");
+  DBS_REQUIRE(spec_.walltime > Duration::zero(), "walltime must be positive");
+  DBS_REQUIRE(!spec_.cred.user.empty(), "job needs a user");
+}
+
+Time Job::start_time() const {
+  DBS_REQUIRE(start_.has_value(), "job has not started");
+  return *start_;
+}
+
+Time Job::end_time() const {
+  DBS_REQUIRE(end_.has_value(), "job has not ended");
+  return *end_;
+}
+
+Time Job::walltime_end() const {
+  return start_time() + spec_.walltime;
+}
+
+void Job::mark_started(Time at, cluster::Placement placement, bool backfilled) {
+  DBS_REQUIRE(state_ == JobState::Queued, "start requires Queued state");
+  DBS_REQUIRE(placement.total_cores() == spec_.cores,
+              "initial placement must match requested cores");
+  state_ = JobState::Running;
+  start_ = at;
+  placement_ = std::move(placement);
+  backfilled_ = backfilled;
+}
+
+void Job::mark_dynqueued() {
+  DBS_REQUIRE(state_ == JobState::Running, "dynqueued requires Running state");
+  state_ = JobState::DynQueued;
+}
+
+void Job::mark_running_again() {
+  DBS_REQUIRE(state_ == JobState::DynQueued,
+              "resume requires DynQueued state");
+  state_ = JobState::Running;
+}
+
+void Job::expand(const cluster::Placement& extra) {
+  DBS_REQUIRE(is_running(), "expand requires a running job");
+  placement_.merge(extra);
+}
+
+void Job::shrink(const cluster::Placement& freed) {
+  DBS_REQUIRE(is_running(), "shrink requires a running job");
+  for (const auto& share : freed.shares) {
+    bool found = false;
+    for (auto& mine : placement_.shares) {
+      if (mine.node == share.node) {
+        DBS_REQUIRE(mine.cores >= share.cores,
+                    "shrinking cores the job does not hold");
+        mine.cores -= share.cores;
+        found = true;
+        break;
+      }
+    }
+    DBS_REQUIRE(found, "shrinking a node the job does not use");
+  }
+  std::erase_if(placement_.shares,
+                [](const cluster::NodeShare& s) { return s.cores == 0; });
+  DBS_REQUIRE(allocated_cores() > 0, "job cannot shrink to zero cores");
+}
+
+void Job::mark_completed(Time at) {
+  DBS_REQUIRE(is_running(), "completion requires a running job");
+  state_ = JobState::Completed;
+  end_ = at;
+}
+
+void Job::mark_cancelled(Time at) {
+  DBS_REQUIRE(!finished(), "job already finished");
+  state_ = JobState::Cancelled;
+  end_ = at;
+}
+
+void Job::mark_requeued() {
+  DBS_REQUIRE(is_running(), "requeue requires a running job");
+  state_ = JobState::Queued;
+  start_.reset();
+  placement_ = {};
+  backfilled_ = false;
+}
+
+}  // namespace dbs::rms

@@ -1,0 +1,85 @@
+#include "rms/job_queue.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace dbs::rms {
+
+Job& JobQueue::add(std::unique_ptr<Job> job) {
+  DBS_REQUIRE(job != nullptr, "null job");
+  const JobId id = job->id();
+  DBS_REQUIRE(!jobs_.contains(id), "duplicate job id");
+  Job& ref = *job;
+  jobs_.emplace(id, std::move(job));
+  order_.push_back(id);
+  return ref;
+}
+
+Job& JobQueue::at(JobId id) {
+  auto it = jobs_.find(id);
+  DBS_REQUIRE(it != jobs_.end(), "unknown job id");
+  return *it->second;
+}
+
+const Job& JobQueue::at(JobId id) const {
+  auto it = jobs_.find(id);
+  DBS_REQUIRE(it != jobs_.end(), "unknown job id");
+  return *it->second;
+}
+
+std::vector<Job*> JobQueue::queued() {
+  std::vector<Job*> out;
+  for (const JobId id : order_) {
+    Job& j = *jobs_.at(id);
+    if (j.state() == JobState::Queued) out.push_back(&j);
+  }
+  return out;
+}
+
+std::vector<const Job*> JobQueue::queued() const {
+  std::vector<const Job*> out;
+  for (const JobId id : order_) {
+    const Job& j = *jobs_.at(id);
+    if (j.state() == JobState::Queued) out.push_back(&j);
+  }
+  return out;
+}
+
+std::vector<const Job*> JobQueue::running() const {
+  std::vector<const Job*> out;
+  for (const JobId id : order_) {
+    const Job& j = *jobs_.at(id);
+    if (j.is_running()) out.push_back(&j);
+  }
+  return out;
+}
+
+std::vector<const Job*> JobQueue::all() const {
+  std::vector<const Job*> out;
+  out.reserve(order_.size());
+  for (const JobId id : order_) out.push_back(jobs_.at(id).get());
+  return out;
+}
+
+void JobQueue::push_dyn_request(DynRequest req) {
+  DBS_REQUIRE(dyn_request_of(req.job) == nullptr,
+              "job already has a pending dynamic request");
+  dyn_fifo_.push_back(req);
+}
+
+bool JobQueue::remove_dyn_request(RequestId id) {
+  auto it = std::find_if(dyn_fifo_.begin(), dyn_fifo_.end(),
+                         [&](const DynRequest& r) { return r.id == id; });
+  if (it == dyn_fifo_.end()) return false;
+  dyn_fifo_.erase(it);
+  return true;
+}
+
+const DynRequest* JobQueue::dyn_request_of(JobId job) const {
+  for (const auto& r : dyn_fifo_)
+    if (r.job == job) return &r;
+  return nullptr;
+}
+
+}  // namespace dbs::rms

@@ -1,0 +1,51 @@
+// Server-side storage of jobs and the FIFO of pending dynamic requests.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "rms/job.hpp"
+
+namespace dbs::rms {
+
+class JobQueue {
+ public:
+  /// Takes ownership; id must be fresh.
+  Job& add(std::unique_ptr<Job> job);
+
+  [[nodiscard]] bool contains(JobId id) const { return jobs_.contains(id); }
+  [[nodiscard]] Job& at(JobId id);
+  [[nodiscard]] const Job& at(JobId id) const;
+
+  /// Jobs in Queued state, in submission (id) order.
+  [[nodiscard]] std::vector<Job*> queued();
+  [[nodiscard]] std::vector<const Job*> queued() const;
+
+  /// Jobs in Running or DynQueued state, in id order.
+  [[nodiscard]] std::vector<const Job*> running() const;
+
+  /// All jobs ever submitted, in id order.
+  [[nodiscard]] std::vector<const Job*> all() const;
+
+  [[nodiscard]] std::size_t size() const { return jobs_.size(); }
+
+  // --- dynamic request FIFO --------------------------------------------
+  void push_dyn_request(DynRequest req);
+  /// Pending dynamic requests in FIFO order.
+  [[nodiscard]] const std::deque<DynRequest>& dyn_requests() const {
+    return dyn_fifo_;
+  }
+  /// Removes the request with the given id; false if absent.
+  bool remove_dyn_request(RequestId id);
+  /// The pending request of `job`, if any.
+  [[nodiscard]] const DynRequest* dyn_request_of(JobId job) const;
+
+ private:
+  std::unordered_map<JobId, std::unique_ptr<Job>> jobs_;
+  std::vector<JobId> order_;  ///< submission order
+  std::deque<DynRequest> dyn_fifo_;
+};
+
+}  // namespace dbs::rms

@@ -1,0 +1,81 @@
+// The pbs_mom analogue. One MomManager drives all per-node mom daemons and
+// the mother-superior role of each job: it performs join / dyn_join /
+// dyn_disjoin operations (costing virtual time), runs the Application state
+// machine, and forwards tm_dynget / tm_dynfree to the server.
+#pragma once
+
+#include <unordered_map>
+
+#include "cluster/allocation_policy.hpp"
+#include "common/types.hpp"
+#include "rms/application.hpp"
+#include "rms/comm.hpp"
+#include "sim/simulator.hpp"
+
+namespace dbs::rms {
+
+class Server;
+class Job;
+
+class MomManager {
+ public:
+  MomManager(sim::Simulator& simulator, Server& server, LatencyModel latency);
+
+  MomManager(const MomManager&) = delete;
+  MomManager& operator=(const MomManager&) = delete;
+
+  // --- server-facing -------------------------------------------------------
+  /// Dispatches a freshly started job: sister moms join, then the
+  /// application starts.
+  void launch(const Job& job);
+
+  /// Delivers a successful tm_dynget: dyn_join over the new nodes, then the
+  /// application's on_grant runs.
+  void deliver_grant(const Job& job, const cluster::Placement& extra);
+
+  /// Delivers a final tm_dynget rejection.
+  void deliver_reject(const Job& job);
+
+  /// Informs the application of a scheduler-initiated malleable shrink
+  /// (the job record already reflects the reduced allocation).
+  void deliver_reshape(const Job& job);
+
+  /// Informs the application that a node failure removed `lost_cores` from
+  /// its allocation. The application either survives (new decision, often
+  /// with an immediate spare-node request) or the job is reported failed
+  /// back to the server for requeueing.
+  void deliver_node_loss(const Job& job, CoreCount lost_cores);
+
+  /// Kills a job's processes (preemption / qdel): all pending application
+  /// events are cancelled.
+  void kill(JobId id);
+
+  /// Number of jobs with live application state.
+  [[nodiscard]] std::size_t active_jobs() const { return running_.size(); }
+
+ private:
+  struct JobRuntime {
+    CoreCount cores = 0;
+    EventId completion = EventId::invalid();
+    EventId next_ask = EventId::invalid();
+    EventId next_release = EventId::invalid();
+    std::uint64_t generation = 0;  ///< invalidates in-flight events
+  };
+
+  /// Installs a fresh AppDecision: (re)schedules completion, the next
+  /// tm_dynget and the next tm_dynfree.
+  void apply_decision(JobId id, const AppDecision& decision);
+  void cancel_events(JobRuntime& rt);
+  /// Picks which of the job's node shares to give back for a release of
+  /// `cores` cores (vacates the fullest shares last, freeing whole nodes
+  /// where possible).
+  [[nodiscard]] cluster::Placement choose_release(const Job& job,
+                                                  CoreCount cores) const;
+
+  sim::Simulator& sim_;
+  Server& server_;
+  LatencyModel latency_;
+  std::unordered_map<JobId, JobRuntime> running_;
+};
+
+}  // namespace dbs::rms

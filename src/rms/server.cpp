@@ -1,0 +1,277 @@
+#include "rms/server.hpp"
+
+#include <utility>
+
+#include "common/assert.hpp"
+#include "common/log.hpp"
+#include "rms/mom.hpp"
+
+namespace dbs::rms {
+
+Server::Server(sim::Simulator& simulator, cluster::Cluster& cluster,
+               LatencyModel latency)
+    : sim_(simulator), cluster_(cluster), latency_(latency) {
+  latency_.validate();
+}
+
+void Server::set_scheduler_trigger(std::function<void()> trigger) {
+  trigger_ = std::move(trigger);
+}
+
+void Server::add_observer(ServerObserver* observer) {
+  DBS_REQUIRE(observer != nullptr, "null observer");
+  observers_.push_back(observer);
+}
+
+CoreCount Server::effective_ppn(const Job& job) const {
+  const CoreCount ppn = job.spec().ppn;
+  DBS_REQUIRE(ppn >= 0 && ppn <= cluster_.cores_per_node(),
+              "ppn exceeds node size");
+  return ppn == 0 ? cluster_.cores_per_node() : ppn;
+}
+
+void Server::notify_scheduler() {
+  if (!trigger_ || trigger_pending_) return;
+  trigger_pending_ = true;
+  sim_.schedule_after(latency_.scheduler_delay, [this] {
+    trigger_pending_ = false;
+    trigger_();
+  });
+}
+
+JobId Server::submit(JobSpec spec, std::unique_ptr<Application> app) {
+  const JobId id{next_job_++};
+  Job& job = queue_.add(
+      std::make_unique<Job>(id, std::move(spec), std::move(app), sim_.now()));
+  DBS_TRACE("submit " << id.value() << " (" << job.spec().name << ") at "
+                      << sim_.now());
+  for (auto* o : observers_) o->on_submit(job);
+  notify_scheduler();
+  return id;
+}
+
+bool Server::cancel(JobId id) {
+  if (!queue_.contains(id)) return false;
+  Job& job = queue_.at(id);
+  if (job.finished()) return false;
+  if (job.is_running()) {
+    if (const DynRequest* r = queue_.dyn_request_of(id))
+      queue_.remove_dyn_request(r->id);
+    moms_->kill(id);
+    cluster_.release_all(id);
+  }
+  job.mark_cancelled(sim_.now());
+  notify_scheduler();
+  return true;
+}
+
+bool Server::start_job(JobId id, bool backfilled) {
+  DBS_REQUIRE(moms_ != nullptr, "moms not wired");
+  Job& job = queue_.at(id);
+  DBS_REQUIRE(job.state() == JobState::Queued, "start_job needs a queued job");
+  auto placement = cluster_.allocate_chunked(id, job.spec().cores,
+                                             effective_ppn(job), alloc_policy_);
+  if (!placement) return false;
+  job.mark_started(sim_.now(), std::move(*placement), backfilled);
+  DBS_TRACE("start " << id.value() << " (" << job.spec().name << ") on "
+                     << job.placement().node_count() << " nodes at "
+                     << sim_.now() << (backfilled ? " [backfill]" : ""));
+  for (auto* o : observers_) o->on_job_start(job);
+  moms_->launch(job);
+  return true;
+}
+
+bool Server::grant_dyn(RequestId req_id) {
+  DBS_REQUIRE(moms_ != nullptr, "moms not wired");
+  const DynRequest* req = nullptr;
+  for (const auto& r : queue_.dyn_requests())
+    if (r.id == req_id) req = &r;
+  DBS_REQUIRE(req != nullptr, "unknown dynamic request");
+  Job& job = queue_.at(req->job);
+  DBS_REQUIRE(job.state() == JobState::DynQueued,
+              "grant requires a dynqueued job");
+
+  auto extra = cluster_.allocate_chunked(job.id(), req->extra_cores,
+                                         effective_ppn(job), alloc_policy_);
+  if (!extra) return false;
+
+  const DynRequest done = *req;  // copy before removal invalidates req
+  queue_.remove_dyn_request(req_id);
+  availability_hints_.erase(job.id());
+  job.expand(*extra);
+  job.mark_running_again();
+  job.count_dyn_grant();
+  DBS_TRACE("grant +" << done.extra_cores << " cores to job "
+                      << job.id().value() << " at " << sim_.now());
+  for (auto* o : observers_) o->on_dyn_grant(job, done, done.extra_cores);
+  moms_->deliver_grant(job, *extra);
+  return true;
+}
+
+void Server::reject_dyn(RequestId req_id, std::optional<Time> availability_hint) {
+  const DynRequest* req = nullptr;
+  for (const auto& r : queue_.dyn_requests())
+    if (r.id == req_id) req = &r;
+  DBS_REQUIRE(req != nullptr, "unknown dynamic request");
+
+  if (sim_.now() < req->deadline) {
+    // Negotiation extension: the request stays queued; remember when the
+    // scheduler believes resources could be available.
+    if (availability_hint) availability_hints_[req->job] = *availability_hint;
+    return;
+  }
+  finalize_reject(*req);
+}
+
+void Server::finalize_reject(const DynRequest& req) {
+  DBS_REQUIRE(moms_ != nullptr, "moms not wired");
+  const DynRequest done = req;
+  Job& job = queue_.at(done.job);
+  queue_.remove_dyn_request(done.id);
+  availability_hints_.erase(job.id());
+  job.mark_running_again();
+  job.count_dyn_reject();
+  DBS_TRACE("reject +" << done.extra_cores << " cores for job "
+                       << job.id().value() << " at " << sim_.now());
+  for (auto* o : observers_) o->on_dyn_reject(job, done);
+  moms_->deliver_reject(job);
+}
+
+void Server::preempt(JobId id) {
+  DBS_REQUIRE(moms_ != nullptr, "moms not wired");
+  Job& job = queue_.at(id);
+  DBS_REQUIRE(job.is_running(), "preempt requires a running job");
+  DBS_REQUIRE(job.spec().preemptible, "job is not preemptible");
+  if (const DynRequest* r = queue_.dyn_request_of(id))
+    queue_.remove_dyn_request(r->id);
+  moms_->kill(id);
+  cluster_.release_all(id);
+  if (job.state() == JobState::DynQueued) job.mark_running_again();
+  job.mark_requeued();
+  for (auto* o : observers_) o->on_requeue(job);
+  notify_scheduler();
+}
+
+std::optional<Time> Server::availability_hint(JobId id) const {
+  auto it = availability_hints_.find(id);
+  if (it == availability_hints_.end()) return std::nullopt;
+  return it->second;
+}
+
+void Server::mom_dyn_request(JobId id, CoreCount extra_cores, Duration timeout,
+                             int attempt) {
+  Job& job = queue_.at(id);
+  DBS_REQUIRE(job.state() == JobState::Running,
+              "dynamic request requires a running job");
+  DBS_REQUIRE(extra_cores > 0, "dynamic request must ask for cores");
+  job.mark_dynqueued();
+  job.count_dyn_request();
+  const DynRequest req{RequestId{next_request_++}, id, extra_cores, sim_.now(),
+                       attempt, sim_.now() + timeout};
+  queue_.push_dyn_request(req);
+  DBS_TRACE("dynget +" << extra_cores << " cores from job " << id.value()
+                       << " (attempt " << attempt << ") at " << sim_.now());
+  for (auto* o : observers_) o->on_dyn_request(job, req);
+  notify_scheduler();
+}
+
+void Server::mom_job_finished(JobId id) {
+  Job& job = queue_.at(id);
+  if (job.finished()) return;  // lost the race against qdel
+  if (const DynRequest* r = queue_.dyn_request_of(id)) {
+    // The job finished while its last request was still queued.
+    queue_.remove_dyn_request(r->id);
+    job.mark_running_again();
+  }
+  cluster_.release_all(id);
+  job.mark_completed(sim_.now());
+  DBS_TRACE("finish " << id.value() << " (" << job.spec().name << ") at "
+                      << sim_.now());
+  for (auto* o : observers_) o->on_job_finish(job);
+  notify_scheduler();
+}
+
+void Server::shrink_job(JobId id, CoreCount cores) {
+  DBS_REQUIRE(moms_ != nullptr, "moms not wired");
+  Job& job = queue_.at(id);
+  DBS_REQUIRE(job.is_running(), "shrink requires a running job");
+  DBS_REQUIRE(job.spec().malleable(), "job is not malleable");
+  DBS_REQUIRE(cores > 0 &&
+                  job.allocated_cores() - cores >= job.spec().malleable_min,
+              "shrink below the malleable minimum");
+  const cluster::Placement freed = job.placement().select_release(cores);
+  cluster_.release(id, freed);
+  job.shrink(freed);
+  DBS_TRACE("malleable shrink -" << cores << " cores of job " << id.value()
+                                 << " at " << sim_.now());
+  for (auto* o : observers_) o->on_malleable_shrink(job, cores);
+  moms_->deliver_reshape(job);
+}
+
+void Server::node_failure(NodeId node_id) {
+  DBS_REQUIRE(moms_ != nullptr, "moms not wired");
+  cluster::Node& node = cluster_.node(node_id);
+  DBS_REQUIRE(node.state() == cluster::NodeState::Up, "node already down");
+
+  // Collect the victims before mutating anything.
+  std::vector<std::pair<JobId, CoreCount>> victims;
+  for (const Job* job : queue_.running()) {
+    const CoreCount held = node.held_by(job->id());
+    if (held > 0) victims.emplace_back(job->id(), held);
+  }
+
+  node.set_state(cluster::NodeState::Down);
+  for (const auto& [id, lost] : victims) {
+    Job& job = queue_.at(id);
+    // A pending dynamic request is superseded by the failure.
+    if (const DynRequest* r = queue_.dyn_request_of(id)) {
+      queue_.remove_dyn_request(r->id);
+      job.mark_running_again();
+    }
+    node.release(id, lost);
+    if (job.allocated_cores() == lost) {
+      // Whole allocation on the failed node: restart from scratch.
+      moms_->kill(id);
+      cluster_.release_all(id);
+      job.mark_requeued();
+      for (auto* o : observers_) o->on_requeue(job);
+      continue;
+    }
+    job.shrink(cluster::Placement{{{node_id, lost}}});
+    moms_->deliver_node_loss(job, lost);
+  }
+  DBS_TRACE("node " << node_id.value() << " failed, " << victims.size()
+                    << " jobs affected");
+  notify_scheduler();
+}
+
+void Server::restore_node(NodeId node_id) {
+  cluster_.node(node_id).set_state(cluster::NodeState::Up);
+  notify_scheduler();
+}
+
+void Server::mom_job_failed(JobId id) {
+  Job& job = queue_.at(id);
+  if (job.finished() || job.state() == JobState::Queued) return;
+  moms_->kill(id);
+  cluster_.release_all(id);
+  if (job.state() == JobState::DynQueued) {
+    if (const DynRequest* r = queue_.dyn_request_of(id))
+      queue_.remove_dyn_request(r->id);
+    job.mark_running_again();
+  }
+  job.mark_requeued();
+  for (auto* o : observers_) o->on_requeue(job);
+  notify_scheduler();
+}
+
+void Server::mom_dyn_release(JobId id, const cluster::Placement& freed) {
+  Job& job = queue_.at(id);
+  DBS_REQUIRE(job.is_running(), "release requires a running job");
+  cluster_.release(id, freed);
+  job.shrink(freed);
+  for (auto* o : observers_) o->on_dyn_release(job, freed.total_cores());
+  notify_scheduler();
+}
+
+}  // namespace dbs::rms

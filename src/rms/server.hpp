@@ -1,0 +1,141 @@
+// The pbs_server analogue: owns the job queue, executes scheduler commands
+// against the cluster, and relays the dynamic (de)allocation protocol
+// between the moms and the scheduler.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "common/types.hpp"
+#include "rms/comm.hpp"
+#include "rms/job_queue.hpp"
+#include "sim/simulator.hpp"
+
+namespace dbs::rms {
+
+class MomManager;
+
+/// Passive observer of server-side job events (metrics, tests).
+class ServerObserver {
+ public:
+  virtual ~ServerObserver() = default;
+  virtual void on_submit(const Job&) {}
+  virtual void on_job_start(const Job&) {}
+  virtual void on_job_finish(const Job&) {}
+  virtual void on_dyn_request(const Job&, const DynRequest&) {}
+  virtual void on_dyn_grant(const Job&, const DynRequest&, CoreCount /*extra*/) {}
+  virtual void on_dyn_reject(const Job&, const DynRequest&) {}
+  virtual void on_dyn_release(const Job&, CoreCount /*cores*/) {}
+  virtual void on_malleable_shrink(const Job&, CoreCount /*cores*/) {}
+  virtual void on_requeue(const Job&) {}
+};
+
+class Server {
+ public:
+  Server(sim::Simulator& simulator, cluster::Cluster& cluster,
+         LatencyModel latency);
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Wires the mom manager (must be called once before any job starts).
+  void set_moms(MomManager* moms) { moms_ = moms; }
+
+  /// Registers the scheduler wake-up. Any job/resource state change
+  /// schedules one call (coalesced) after `latency.scheduler_delay`.
+  void set_scheduler_trigger(std::function<void()> trigger);
+
+  void add_observer(ServerObserver* observer);
+
+  // --- client commands ---------------------------------------------------
+  /// qsub: enqueues the job; effective immediately (submission latency is
+  /// applied by the workload driver, which schedules the submit event).
+  JobId submit(JobSpec spec, std::unique_ptr<Application> app);
+
+  /// qdel: cancels a queued or running job. Returns false if unknown/done.
+  bool cancel(JobId id);
+
+  // --- queries -------------------------------------------------------------
+  [[nodiscard]] const JobQueue& jobs() const { return queue_; }
+  [[nodiscard]] const cluster::Cluster& cluster() const { return cluster_; }
+  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+  [[nodiscard]] const sim::Simulator& simulator() const { return sim_; }
+  [[nodiscard]] const LatencyModel& latency() const { return latency_; }
+  [[nodiscard]] const Job& job(JobId id) const { return queue_.at(id); }
+
+  // --- scheduler commands ---------------------------------------------------
+  /// Allocates and dispatches a queued job. Returns false (and changes
+  /// nothing) if the cluster lacks free cores.
+  bool start_job(JobId id, bool backfilled);
+
+  /// Grants the pending dynamic request `req`: allocates the extra cores,
+  /// expands the job and informs the mother superior. Returns false (and
+  /// changes nothing) if the cores are no longer free.
+  bool grant_dyn(RequestId req);
+
+  /// Rejects the pending dynamic request. With the negotiation extension
+  /// (deadline in the future) the request simply stays queued and
+  /// `availability_hint` is recorded; otherwise it is removed and the
+  /// application notified.
+  void reject_dyn(RequestId req, std::optional<Time> availability_hint);
+
+  /// Preempts a running preemptible job: releases its cores and requeues it
+  /// (progress lost; the application restarts from scratch).
+  void preempt(JobId id);
+
+  /// Scheduler-initiated shrink of a running malleable job: releases
+  /// `cores` immediately (so they can serve a dynamic request) and informs
+  /// the application via on_reshaped. Precondition: the job is malleable
+  /// and keeps at least its malleable_min cores.
+  void shrink_job(JobId id, CoreCount cores);
+
+  /// Last availability hint returned for a job's negotiating request.
+  [[nodiscard]] std::optional<Time> availability_hint(JobId id) const;
+
+  // --- fault handling -------------------------------------------------------
+  /// A compute node fails: it goes Down, every job with cores on it loses
+  /// them, and each affected application decides (via on_nodes_lost)
+  /// whether it survives on the remainder — typically by immediately
+  /// requesting spare nodes — or must be requeued. Jobs that lose their
+  /// whole allocation are requeued outright.
+  void node_failure(NodeId node);
+
+  /// Brings a Down node back into service.
+  void restore_node(NodeId node);
+
+  // --- mom-facing entry points (already latency-delayed by the caller) ----
+  void mom_dyn_request(JobId id, CoreCount extra_cores, Duration timeout,
+                       int attempt);
+  void mom_job_finished(JobId id);
+  void mom_dyn_release(JobId id, const cluster::Placement& freed);
+  /// The application could not survive a node loss: requeue the job.
+  void mom_job_failed(JobId id);
+
+  /// Allocation policy used for placements.
+  void set_allocation_policy(cluster::AllocationPolicy p) { alloc_policy_ = p; }
+
+  /// The job's chunk size for placements: its ppn, or the node size.
+  [[nodiscard]] CoreCount effective_ppn(const Job& job) const;
+
+ private:
+  void notify_scheduler();
+  void finalize_reject(const DynRequest& req);
+
+  sim::Simulator& sim_;
+  cluster::Cluster& cluster_;
+  LatencyModel latency_;
+  MomManager* moms_ = nullptr;
+  std::function<void()> trigger_;
+  bool trigger_pending_ = false;
+  std::vector<ServerObserver*> observers_;
+  JobQueue queue_;
+  std::uint64_t next_job_ = 0;
+  std::uint64_t next_request_ = 0;
+  cluster::AllocationPolicy alloc_policy_ = cluster::AllocationPolicy::Pack;
+  std::unordered_map<JobId, Time> availability_hints_;
+};
+
+}  // namespace dbs::rms

@@ -1,0 +1,73 @@
+#include "rms/status.hpp"
+
+#include <sstream>
+
+#include "common/table.hpp"
+
+namespace dbs::rms {
+
+std::string format_qstat(const Server& server, bool include_finished) {
+  TextTable table({"Job", "Name", "User", "State", "Cores", "Wait", "Run"});
+  const Time now = server.simulator().now();
+  for (const Job* job : server.jobs().all()) {
+    if (!include_finished && job->finished()) continue;
+    std::string wait = "-";
+    std::string run = "-";
+    if (job->started()) {
+      wait = (job->start_time() - job->submit_time()).to_hms();
+      run = ((job->finished() ? job->end_time() : now) - job->start_time())
+                .to_hms();
+    } else if (!job->finished()) {
+      wait = (now - job->submit_time()).to_hms();
+    }
+    std::string cores = std::to_string(job->spec().cores);
+    if (job->is_running() &&
+        job->allocated_cores() != job->spec().cores)
+      cores += "->" + std::to_string(job->allocated_cores());
+    table.add_row({std::to_string(job->id().value()), job->spec().name,
+                   job->spec().cred.user, std::string(to_string(job->state())),
+                   cores, wait, run});
+  }
+  return table.to_string();
+}
+
+std::string format_pbsnodes(const Server& server) {
+  TextTable table({"Node", "State", "Used/Total", "Jobs"});
+  for (const cluster::Node& node : server.cluster().nodes()) {
+    std::string jobs;
+    for (const Job* job : server.jobs().running()) {
+      if (node.held_by(job->id()) == 0) continue;
+      if (!jobs.empty()) jobs += ",";
+      jobs += std::to_string(job->id().value());
+    }
+    const char* state = node.state() == cluster::NodeState::Up ? "up"
+                        : node.state() == cluster::NodeState::Down ? "down"
+                                                                   : "offline";
+    table.add_row({std::to_string(node.id().value()), state,
+                   std::to_string(node.used_cores()) + "/" +
+                       std::to_string(node.total_cores()),
+                   jobs.empty() ? "-" : jobs});
+  }
+  return table.to_string();
+}
+
+std::string format_load_summary(const Server& server) {
+  std::size_t running = 0, dynqueued = 0, queued = 0;
+  for (const Job* job : server.jobs().all()) {
+    switch (job->state()) {
+      case JobState::Running: ++running; break;
+      case JobState::DynQueued: ++dynqueued; break;
+      case JobState::Queued: ++queued; break;
+      default: break;
+    }
+  }
+  std::ostringstream os;
+  os << "cores " << server.cluster().used_cores() << "/"
+     << server.cluster().total_cores() << " used | jobs: " << running
+     << " running, " << dynqueued << " dynqueued, " << queued
+     << " queued | pending dynamic requests: "
+     << server.jobs().dyn_requests().size();
+  return os.str();
+}
+
+}  // namespace dbs::rms

@@ -1,0 +1,23 @@
+// Human-readable status rendering, in the spirit of Torque's `qstat` and
+// `pbsnodes` client commands.
+#pragma once
+
+#include <string>
+
+#include "rms/server.hpp"
+
+namespace dbs::rms {
+
+/// One line per job: id, name, user, state, cores (requested->held),
+/// elapsed wait/run time. `include_finished` adds completed/cancelled jobs.
+[[nodiscard]] std::string format_qstat(const Server& server,
+                                       bool include_finished = false);
+
+/// One line per node: id, state, used/total cores, resident job ids.
+[[nodiscard]] std::string format_pbsnodes(const Server& server);
+
+/// A one-line load summary: used/total cores, running/queued/dynqueued
+/// counts, pending dynamic requests.
+[[nodiscard]] std::string format_load_summary(const Server& server);
+
+}  // namespace dbs::rms

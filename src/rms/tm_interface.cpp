@@ -1,0 +1,46 @@
+#include "rms/tm_interface.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "rms/job.hpp"
+#include "rms/server.hpp"
+
+namespace dbs::rms {
+
+TmInterface::TmInterface(Server& server, JobId job)
+    : server_(server), job_(job) {
+  DBS_REQUIRE(job.valid(), "tm interface needs a job");
+}
+
+void TmInterface::tm_dynget(CoreCount extra_cores, Duration timeout) {
+  DBS_REQUIRE(extra_cores > 0, "tm_dynget needs a positive core count");
+  const Job& job = server_.job(job_);
+  DBS_REQUIRE(job.state() == JobState::Running,
+              "tm_dynget requires a running job without a pending request");
+  const int attempt = job.dyn_requests_made() + 1;
+  server_.simulator().schedule_after(
+      server_.latency().mom_to_server,
+      [this, extra_cores, timeout, attempt] {
+        if (!server_.job(job_).is_running()) return;
+        server_.mom_dyn_request(job_, extra_cores, timeout, attempt);
+      });
+}
+
+void TmInterface::tm_dynfree(CoreCount cores) {
+  const Job& job = server_.job(job_);
+  DBS_REQUIRE(job.is_running(), "tm_dynfree requires a running job");
+  DBS_REQUIRE(cores > 0 && cores < job.allocated_cores(),
+              "tm_dynfree must keep at least one core");
+  // Vacate the smallest node shares first (frees whole nodes early).
+  const cluster::Placement freed = job.placement().select_release(cores);
+  server_.simulator().schedule_after(
+      server_.latency().dyn_join(freed.node_count()) +
+          server_.latency().mom_to_server,
+      [this, freed] {
+        if (!server_.job(job_).is_running()) return;
+        server_.mom_dyn_release(job_, freed);
+      });
+}
+
+}  // namespace dbs::rms

@@ -1,0 +1,39 @@
+// The extended TM interface of the paper (§III-B): tm_dynget() and
+// tm_dynfree(). In the real system these are C functions an MPI application
+// calls on its mother-superior node; here they are a thin façade over the
+// mom→server protocol so examples and tests can drive the dynamic
+// (de)allocation path directly, outside an Application model.
+#pragma once
+
+#include "common/time.hpp"
+#include "common/types.hpp"
+
+namespace dbs::rms {
+
+class Server;
+
+class TmInterface {
+ public:
+  /// Binds the interface to a job's mother superior.
+  TmInterface(Server& server, JobId job);
+
+  /// Requests `extra_cores` more cores. The request travels to the server
+  /// with mom→server latency and is decided in the next scheduling
+  /// iteration. A non-zero `timeout` enables negotiation: the request stays
+  /// queued until granted or the timeout expires.
+  /// Precondition: the job is Running with no pending dynamic request.
+  void tm_dynget(CoreCount extra_cores, Duration timeout = Duration::zero());
+
+  /// Releases `cores` of the job's current allocation (any subset — the
+  /// flexibility the paper highlights over SLURM's all-or-nothing rule).
+  /// Precondition: the job is Running and keeps at least one core.
+  void tm_dynfree(CoreCount cores);
+
+  [[nodiscard]] JobId job() const { return job_; }
+
+ private:
+  Server& server_;
+  JobId job_;
+};
+
+}  // namespace dbs::rms

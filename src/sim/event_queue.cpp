@@ -1,0 +1,62 @@
+#include "sim/event_queue.hpp"
+
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace dbs::sim {
+
+EventId EventQueue::push(Time at, EventFn fn) {
+  DBS_REQUIRE(fn != nullptr, "event must have an action");
+  const EventId id{next_seq_};
+  heap_.push(Entry{at, next_seq_, id, std::move(fn)});
+  ++next_seq_;
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) {
+  if (!id.valid() || id.value() >= next_seq_) return false;
+  // A tombstone for an already-fired event is harmless but reports failure:
+  // fired events are not in the heap, and ids are never reused.
+  if (cancelled_.contains(id)) return false;
+  // We cannot cheaply check heap membership; remember the tombstone and let
+  // skip_tombstones() drop it. Report success only if it was plausibly
+  // pending — callers track liveness themselves via the returned bool of
+  // their own bookkeeping; here pending-ness is approximated by id range.
+  cancelled_.insert(id);
+  return true;
+}
+
+void EventQueue::skip_tombstones() const {
+  while (!heap_.empty() && cancelled_.contains(heap_.top().id)) {
+    cancelled_.erase(heap_.top().id);
+    heap_.pop();
+  }
+}
+
+bool EventQueue::empty() const {
+  skip_tombstones();
+  return heap_.empty();
+}
+
+std::size_t EventQueue::size() const {
+  skip_tombstones();
+  return heap_.size();  // upper bound: may still contain interior tombstones
+}
+
+Time EventQueue::next_time() const {
+  skip_tombstones();
+  DBS_REQUIRE(!heap_.empty(), "next_time() on empty queue");
+  return heap_.top().at;
+}
+
+std::pair<Time, EventFn> EventQueue::pop() {
+  skip_tombstones();
+  DBS_REQUIRE(!heap_.empty(), "pop() on empty queue");
+  const Entry& top = heap_.top();
+  std::pair<Time, EventFn> out{top.at, std::move(top.fn)};
+  heap_.pop();
+  return out;
+}
+
+}  // namespace dbs::sim

@@ -1,0 +1,63 @@
+// Time-ordered event queue with stable FIFO ordering for equal timestamps
+// and O(log n) cancellation via tombstones.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "common/time.hpp"
+#include "common/types.hpp"
+
+namespace dbs::sim {
+
+/// The action executed when an event fires.
+using EventFn = std::function<void()>;
+
+class EventQueue {
+ public:
+  /// Enqueues `fn` to fire at `at`. Events with equal time fire in
+  /// insertion order. Returns a handle usable with cancel().
+  EventId push(Time at, EventFn fn);
+
+  /// Cancels a pending event. Returns false if it already fired, was
+  /// already cancelled, or never existed.
+  bool cancel(EventId id);
+
+  [[nodiscard]] bool empty() const;
+  [[nodiscard]] std::size_t size() const;
+
+  /// Time of the earliest pending (non-cancelled) event.
+  /// Precondition: !empty().
+  [[nodiscard]] Time next_time() const;
+
+  /// Removes and returns the earliest event. Precondition: !empty().
+  std::pair<Time, EventFn> pop();
+
+ private:
+  struct Entry {
+    Time at;
+    std::uint64_t seq;
+    EventId id;
+    // mutable so pop() can move the callable out through the queue's
+    // const top() reference without copying.
+    mutable EventFn fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  /// Drops cancelled entries from the front.
+  void skip_tombstones() const;
+
+  mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  mutable std::unordered_set<EventId> cancelled_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace dbs::sim

@@ -1,0 +1,47 @@
+#include "sim/simulator.hpp"
+
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace dbs::sim {
+
+EventId Simulator::schedule_at(Time at, EventFn fn) {
+  DBS_REQUIRE(at >= now_, "cannot schedule into the past");
+  return queue_.push(at, std::move(fn));
+}
+
+EventId Simulator::schedule_after(Duration d, EventFn fn) {
+  DBS_REQUIRE(!d.is_negative(), "delay must be non-negative");
+  return queue_.push(now_ + d, std::move(fn));
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  auto [at, fn] = queue_.pop();
+  DBS_ASSERT(at >= now_, "event queue returned a past event");
+  now_ = at;
+  fn();
+  ++events_fired_;
+  return true;
+}
+
+std::uint64_t Simulator::run() {
+  std::uint64_t n = 0;
+  while (step()) ++n;
+  return n;
+}
+
+std::uint64_t Simulator::run_until(Time until) {
+  std::uint64_t n = 0;
+  while (!queue_.empty() && queue_.next_time() <= until) {
+    step();
+    ++n;
+  }
+  // Advance the clock to the horizon even if nothing fires exactly there,
+  // so repeated run_until calls observe monotonic time.
+  if (now_ < until) now_ = until;
+  return n;
+}
+
+}  // namespace dbs::sim

@@ -1,0 +1,109 @@
+#include "workload/esp.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "workload/submission.hpp"
+
+namespace dbs::wl {
+
+std::size_t Workload::evolving_count() const {
+  std::size_t n = 0;
+  for (const auto& j : jobs) n += j.behavior.evolving ? 1 : 0;
+  return n;
+}
+
+std::size_t Workload::rigid_count() const {
+  return jobs.size() - evolving_count();
+}
+
+const std::vector<EspJobType>& esp_table() {
+  static const std::vector<EspJobType> table = {
+      {'A', 0.03125, 75, "user01", Duration::seconds(267), false, Duration::zero()},
+      {'B', 0.06250, 9, "user02", Duration::seconds(322), false, Duration::zero()},
+      {'C', 0.50000, 3, "user03", Duration::seconds(534), false, Duration::zero()},
+      {'D', 0.25000, 3, "user04", Duration::seconds(616), false, Duration::zero()},
+      {'E', 0.50000, 3, "user05", Duration::seconds(315), false, Duration::zero()},
+      {'F', 0.06250, 9, "user06", Duration::seconds(1846), true, Duration::seconds(1230)},
+      {'G', 0.12500, 6, "user06", Duration::seconds(1334), true, Duration::seconds(1067)},
+      {'H', 0.15820, 6, "user06", Duration::seconds(1067), true, Duration::seconds(896)},
+      {'I', 0.03125, 24, "user06", Duration::seconds(1432), true, Duration::seconds(716)},
+      {'J', 0.06250, 24, "user06", Duration::seconds(725), true, Duration::seconds(483)},
+      {'K', 0.09570, 15, "user07", Duration::seconds(487), false, Duration::zero()},
+      {'L', 0.12500, 36, "user08", Duration::seconds(366), false, Duration::zero()},
+      {'M', 0.25000, 15, "user09", Duration::seconds(187), false, Duration::zero()},
+      {'Z', 1.00000, 2, "user10", Duration::seconds(100), false, Duration::zero()},
+  };
+  return table;
+}
+
+CoreCount esp_cores(const EspJobType& type, CoreCount total_cores) {
+  DBS_REQUIRE(total_cores > 0, "machine needs cores");
+  const auto cores = static_cast<CoreCount>(
+      std::llround(type.fraction * static_cast<double>(total_cores)));
+  return std::max<CoreCount>(1, cores);
+}
+
+Duration model_det(Duration set, CoreCount cores, CoreCount extra_cores) {
+  DBS_REQUIRE(cores > 0 && extra_cores >= 0, "invalid core counts");
+  return set.scaled(static_cast<double>(cores) /
+                    static_cast<double>(cores + extra_cores));
+}
+
+Workload generate_esp(const EspParams& params) {
+  DBS_REQUIRE(params.walltime_factor >= 1.0,
+              "walltime must cover the static execution time");
+  DBS_REQUIRE(params.first_ask_frac > 0.0 && params.first_ask_frac < 1.0 &&
+                  params.retry_frac > params.first_ask_frac &&
+                  params.retry_frac < 1.0,
+              "ask fractions must satisfy 0 < first < retry < 1");
+
+  Workload wl;
+  wl.total_cores = params.total_cores;
+
+  std::vector<SubmitSpec> regular;
+  std::vector<SubmitSpec> z_jobs;
+  for (const EspJobType& type : esp_table()) {
+    const CoreCount cores = esp_cores(type, params.total_cores);
+    for (int i = 0; i < type.count; ++i) {
+      SubmitSpec s;
+      s.spec.name = std::string(1, type.letter) + "-" +
+                    (i + 1 < 10 ? "0" : "") + std::to_string(i + 1);
+      s.spec.cred = {type.user, "espgroup", "espacct", "batch", ""};
+      s.spec.cores = cores;
+      s.spec.walltime = type.set.scaled(params.walltime_factor);
+      s.spec.type_tag = std::string(1, type.letter);
+      s.spec.exclusive_priority = type.letter == 'Z';
+      s.behavior.static_runtime = type.set;
+      s.behavior.evolving = type.evolving && params.evolving_enabled;
+      s.behavior.first_ask_frac = params.first_ask_frac;
+      s.behavior.retry_frac = params.retry_frac;
+      s.behavior.ask_cores = params.ask_cores;
+      s.behavior.negotiation_timeout = params.negotiation_timeout;
+      (type.letter == 'Z' ? z_jobs : regular).push_back(std::move(s));
+    }
+  }
+
+  // ESP prescribes a fixed pseudo-random submission order; we derive one
+  // deterministically from the seed.
+  Rng rng(params.seed);
+  rng.shuffle(regular);
+
+  const std::vector<Time> schedule =
+      esp_schedule(regular.size(), params.instant_jobs, params.submit_interval);
+  for (std::size_t i = 0; i < regular.size(); ++i)
+    regular[i].at = schedule[i];
+
+  const Time last = schedule.empty() ? Time::epoch() : schedule.back();
+  Time z_at = last + params.z_delay;
+  for (auto& z : z_jobs) {
+    z.at = z_at;
+    z_at += params.submit_interval;
+  }
+
+  wl.jobs = std::move(regular);
+  wl.jobs.insert(wl.jobs.end(), z_jobs.begin(), z_jobs.end());
+  return wl;
+}
+
+}  // namespace dbs::wl

@@ -1,0 +1,33 @@
+#include "workload/submission.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace dbs::wl {
+
+std::vector<Time> esp_schedule(std::size_t count, std::size_t instant,
+                               Duration interval) {
+  DBS_REQUIRE(!interval.is_negative(), "interval cannot be negative");
+  std::vector<Time> times;
+  times.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    if (i < instant)
+      times.push_back(Time::epoch());
+    else
+      times.push_back(Time::epoch() +
+                      interval * static_cast<std::int64_t>(i - instant + 1));
+  }
+  return times;
+}
+
+Time next_poisson_arrival(Time previous, Duration mean, double uniform_draw) {
+  DBS_REQUIRE(mean > Duration::zero(), "mean inter-arrival must be positive");
+  DBS_REQUIRE(uniform_draw >= 0.0 && uniform_draw < 1.0,
+              "draw must be in [0,1)");
+  // Inverse-CDF of the exponential distribution.
+  const double gap = -std::log(1.0 - uniform_draw);
+  return previous + mean.scaled(gap);
+}
+
+}  // namespace dbs::wl

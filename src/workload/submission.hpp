@@ -1,0 +1,22 @@
+// Submission schedules: when each job of a workload reaches the server.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace dbs::wl {
+
+/// The ESP submission discipline: the first `instant` jobs arrive at t = 0,
+/// the rest one by one every `interval`.
+[[nodiscard]] std::vector<Time> esp_schedule(std::size_t count,
+                                             std::size_t instant,
+                                             Duration interval);
+
+/// Poisson-like arrivals: exponential inter-arrival times with the given
+/// mean, deterministic via the caller's RNG draws in [0,1).
+[[nodiscard]] Time next_poisson_arrival(Time previous, Duration mean,
+                                        double uniform_draw);
+
+}  // namespace dbs::wl

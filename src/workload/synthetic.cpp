@@ -1,0 +1,66 @@
+#include "workload/synthetic.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+#include "workload/submission.hpp"
+
+namespace dbs::wl {
+
+Workload generate_synthetic(const SyntheticParams& p) {
+  DBS_REQUIRE(p.total_cores > 0, "machine needs cores");
+  DBS_REQUIRE(p.min_size_log2 >= 0 && p.min_size_log2 <= p.max_size_log2,
+              "invalid size range");
+  DBS_REQUIRE(p.min_runtime > Duration::zero() &&
+                  p.min_runtime <= p.max_runtime,
+              "invalid runtime range");
+  DBS_REQUIRE(p.evolving_fraction >= 0.0 && p.evolving_fraction <= 1.0,
+              "evolving fraction must be in [0,1]");
+  DBS_REQUIRE(p.preemptible_fraction >= 0.0 && p.preemptible_fraction <= 1.0,
+              "preemptible fraction must be in [0,1]");
+  DBS_REQUIRE(p.malleable_fraction >= 0.0 && p.malleable_fraction <= 1.0,
+              "malleable fraction must be in [0,1]");
+  DBS_REQUIRE(p.walltime_factor >= 1.0, "walltime must cover the runtime");
+  DBS_REQUIRE(p.user_count > 0, "need at least one user");
+
+  Rng rng(p.seed);
+  Workload wl;
+  wl.total_cores = p.total_cores;
+  Time arrival = Time::epoch();
+
+  for (std::size_t i = 0; i < p.job_count; ++i) {
+    SubmitSpec s;
+    const int k = static_cast<int>(
+        rng.next_int(p.min_size_log2, p.max_size_log2));
+    s.spec.cores = std::min<CoreCount>(p.total_cores, CoreCount{1} << k);
+    const std::int64_t run_s = rng.next_int(
+        p.min_runtime.as_micros() / 1'000'000,
+        p.max_runtime.as_micros() / 1'000'000);
+    s.behavior.static_runtime = Duration::seconds(run_s);
+    s.spec.walltime = s.behavior.static_runtime.scaled(p.walltime_factor);
+    s.spec.name = "syn-" + std::to_string(i);
+    s.spec.type_tag = "syn";
+    const std::size_t u = i % p.user_count;
+    s.spec.cred = {"user" + std::to_string(u), "group" + std::to_string(u / 2),
+                   "", "batch", ""};
+    s.behavior.evolving = rng.next_double() < p.evolving_fraction;
+    s.behavior.ask_cores = p.ask_cores;
+    s.behavior.first_ask_frac = p.first_ask_frac;
+    s.behavior.retry_frac = p.retry_frac;
+    s.spec.preemptible = rng.next_double() < p.preemptible_fraction;
+    // Malleable and evolving are mutually exclusive here: malleable jobs
+    // use the work-conserving model, evolving ones the ESP model.
+    if (rng.next_double() < p.malleable_fraction && !s.behavior.evolving) {
+      s.spec.malleable_min = std::max<CoreCount>(1, s.spec.cores / 2);
+      s.behavior.malleable = true;
+    }
+    s.at = arrival;
+    arrival =
+        next_poisson_arrival(arrival, p.mean_interarrival, rng.next_double());
+    wl.jobs.push_back(std::move(s));
+  }
+  return wl;
+}
+
+}  // namespace dbs::wl

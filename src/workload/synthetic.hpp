@@ -1,0 +1,50 @@
+// Synthetic random workloads for ablations and property tests: a mix of
+// rigid and evolving jobs with configurable size/runtime distributions.
+#pragma once
+
+#include <cstdint>
+
+#include "workload/esp.hpp"
+
+namespace dbs::wl {
+
+struct SyntheticParams {
+  std::size_t job_count = 100;
+  CoreCount total_cores = 128;
+  std::uint64_t seed = 1;
+
+  /// Job sizes are 2^k cores, k uniform in [min_size_log2, max_size_log2].
+  int min_size_log2 = 0;
+  int max_size_log2 = 6;
+
+  /// Runtimes uniform in [min_runtime, max_runtime].
+  Duration min_runtime = Duration::minutes(2);
+  Duration max_runtime = Duration::minutes(40);
+
+  /// Fraction of jobs that evolve (ask for extra cores mid-run).
+  double evolving_fraction = 0.3;
+  CoreCount ask_cores = 4;
+  double first_ask_frac = 0.16;
+  double retry_frac = 0.25;
+
+  /// Mean inter-arrival time (exponential); the first job arrives at t = 0.
+  Duration mean_interarrival = Duration::seconds(30);
+
+  /// walltime = runtime * walltime_factor.
+  double walltime_factor = 1.0;
+
+  /// Number of distinct users jobs are spread across (round robin).
+  std::size_t user_count = 8;
+
+  /// Fraction of jobs marked preemptible (for preemption ablations).
+  double preemptible_fraction = 0.0;
+
+  /// Fraction of jobs submitted as malleable (shrinkable to half their
+  /// size, for malleable-steal ablations).
+  double malleable_fraction = 0.0;
+};
+
+/// Deterministic for a given parameter set.
+[[nodiscard]] Workload generate_synthetic(const SyntheticParams& params);
+
+}  // namespace dbs::wl

@@ -1,0 +1,116 @@
+#include "workload/trace.hpp"
+
+#include <ostream>
+#include <sstream>
+
+#include "common/assert.hpp"
+#include "common/string_util.hpp"
+
+namespace dbs::wl {
+
+namespace {
+std::string flags_of(const SubmitSpec& s) {
+  std::string f;
+  if (s.behavior.evolving) f += 'E';
+  if (s.spec.exclusive_priority) f += 'X';
+  if (s.spec.preemptible) f += 'P';
+  return f.empty() ? "-" : f;
+}
+
+std::string field_or_dash(const std::string& s) { return s.empty() ? "-" : s; }
+}  // namespace
+
+void write_trace(std::ostream& os, const Workload& workload) {
+  os << "# dbs workload trace v1\n";
+  os << "# total_cores " << workload.total_cores << "\n";
+  for (const SubmitSpec& s : workload.jobs) {
+    os << s.at.as_micros() << ' ' << s.spec.name << ' ' << s.spec.cred.user
+       << ' ' << field_or_dash(s.spec.cred.group) << ' '
+       << field_or_dash(s.spec.cred.job_class) << ' '
+       << s.spec.cores << ' ' << s.spec.walltime.as_micros() << ' '
+       << flags_of(s) << ' ' << s.behavior.static_runtime.as_micros() << ' '
+       << s.behavior.first_ask_frac << ' ' << s.behavior.retry_frac << ' '
+       << s.behavior.ask_cores << ' '
+       << s.behavior.negotiation_timeout.as_micros() << ' '
+       << s.spec.malleable_min << '\n';
+  }
+}
+
+std::string trace_to_string(const Workload& workload) {
+  std::ostringstream os;
+  write_trace(os, workload);
+  return os.str();
+}
+
+Workload read_trace(std::istream& is) {
+  Workload wl;
+  std::string line;
+  int line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    const std::string_view trimmed = trim(line);
+    if (trimmed.empty()) continue;
+    if (trimmed.front() == '#') {
+      const auto fields = split(trimmed.substr(1));
+      if (fields.size() == 2 && fields[0] == "total_cores") {
+        const auto v = parse_int(fields[1]);
+        DBS_REQUIRE(v.has_value(), "trace line " + std::to_string(line_no) +
+                                       ": bad total_cores");
+        wl.total_cores = static_cast<CoreCount>(*v);
+      }
+      continue;
+    }
+    const auto f = split(trimmed);
+    DBS_REQUIRE(f.size() == 13 || f.size() == 14,
+                "trace line " + std::to_string(line_no) +
+                    ": expected 13-14 fields, got " + std::to_string(f.size()));
+    const auto at = parse_int(f[0]);
+    const auto cores = parse_int(f[5]);
+    const auto wall = parse_int(f[6]);
+    const auto runtime = parse_int(f[8]);
+    const auto ask_frac = parse_double(f[9]);
+    const auto retry_frac = parse_double(f[10]);
+    const auto ask_cores = parse_int(f[11]);
+    const auto nego = parse_int(f[12]);
+    DBS_REQUIRE(at && cores && wall && runtime && ask_frac && retry_frac &&
+                    ask_cores && nego,
+                "trace line " + std::to_string(line_no) + ": malformed field");
+
+    SubmitSpec s;
+    s.at = Time::from_micros(*at);
+    s.spec.name = f[1];
+    s.spec.cred.user = f[2];
+    s.spec.cred.group = f[3] == "-" ? "" : f[3];
+    s.spec.cred.job_class = f[4] == "-" ? "" : f[4];
+    s.spec.cores = static_cast<CoreCount>(*cores);
+    s.spec.walltime = Duration::micros(*wall);
+    for (const char c : f[7]) {
+      if (c == 'E') s.behavior.evolving = true;
+      if (c == 'X') s.spec.exclusive_priority = true;
+      if (c == 'P') s.spec.preemptible = true;
+    }
+    s.spec.type_tag = s.spec.name.substr(0, s.spec.name.find('-'));
+    s.behavior.static_runtime = Duration::micros(*runtime);
+    s.behavior.first_ask_frac = *ask_frac;
+    s.behavior.retry_frac = *retry_frac;
+    s.behavior.ask_cores = static_cast<CoreCount>(*ask_cores);
+    s.behavior.negotiation_timeout = Duration::micros(*nego);
+    if (f.size() == 14) {
+      const auto malleable = parse_int(f[13]);
+      DBS_REQUIRE(malleable.has_value(), "trace line " +
+                                             std::to_string(line_no) +
+                                             ": malformed malleable_min");
+      s.spec.malleable_min = static_cast<CoreCount>(*malleable);
+      s.behavior.malleable = s.spec.malleable_min > 0 && !s.behavior.evolving;
+    }
+    wl.jobs.push_back(std::move(s));
+  }
+  return wl;
+}
+
+Workload trace_from_string(const std::string& text) {
+  std::istringstream is(text);
+  return read_trace(is);
+}
+
+}  // namespace dbs::wl

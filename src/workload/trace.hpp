@@ -1,0 +1,29 @@
+// Plain-text workload traces (an SWF-inspired format) so workloads can be
+// saved, inspected and replayed.
+//
+// One job per line:
+//   <at_us> <name> <user> <group> <class> <cores> <walltime_us> <flags>
+//   <runtime_us> <ask_frac> <retry_frac> <ask_cores> <nego_timeout_us>
+//   [<malleable_min>]
+// flags: '-' or any of E (evolving), X (exclusive priority), P (preemptible).
+// Lines starting with '#' and blank lines are ignored.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "workload/esp.hpp"
+
+namespace dbs::wl {
+
+/// Serializes a workload. Includes a header comment with the core count.
+void write_trace(std::ostream& os, const Workload& workload);
+[[nodiscard]] std::string trace_to_string(const Workload& workload);
+
+/// Parses a trace. Throws precondition_error with a line number on
+/// malformed input.
+[[nodiscard]] Workload read_trace(std::istream& is);
+[[nodiscard]] Workload trace_from_string(const std::string& text);
+
+}  // namespace dbs::wl

@@ -1,0 +1,60 @@
+// The calibrated Quadflow cases must keep the properties the paper's Fig. 7
+// depends on: the cells-per-process threshold is crossed by the final
+// adaptation and only by it.
+#include "amr/cases.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dbs::amr {
+namespace {
+
+void expect_trigger_only_at_final(const QuadflowCase& c, int procs) {
+  const double limit = c.threshold_cells_per_proc * procs;
+  ASSERT_GE(c.cells_per_phase.size(), 2u);
+  for (std::size_t p = 0; p + 1 < c.cells_per_phase.size(); ++p)
+    EXPECT_LE(static_cast<double>(c.cells_per_phase[p]), limit)
+        << c.name << " phase " << p;
+  EXPECT_GT(static_cast<double>(c.cells_per_phase.back()), limit) << c.name;
+}
+
+TEST(Cases, FlatPlateShape) {
+  const QuadflowCase c = flat_plate_case();
+  EXPECT_EQ(c.cells_per_phase.size(), 3u);  // 2 adaptations
+  expect_trigger_only_at_final(c, 16);
+  EXPECT_DOUBLE_EQ(c.threshold_cells_per_proc, 3000.0);
+}
+
+TEST(Cases, CylinderShape) {
+  const QuadflowCase c = cylinder_case();
+  EXPECT_EQ(c.cells_per_phase.size(), 6u);  // 5 adaptations
+  expect_trigger_only_at_final(c, 16);
+  EXPECT_DOUBLE_EQ(c.threshold_cells_per_proc, 15000.0);
+}
+
+TEST(Cases, SmallVariantsPreserveShape) {
+  expect_trigger_only_at_final(flat_plate_case_small(), 16);
+  expect_trigger_only_at_final(cylinder_case_small(), 16);
+}
+
+TEST(Cases, ComputationalIntensityRatio) {
+  // §IV-A: FlatPlate with one cell ~ Cylinder with 4-5 cells.
+  const double ratio = flat_plate_case().seconds_per_cell_iter /
+                       cylinder_case().seconds_per_cell_iter;
+  EXPECT_GE(ratio, 3.5);
+  EXPECT_LE(ratio, 5.5);
+}
+
+TEST(Cases, Deterministic) {
+  const QuadflowCase a = cylinder_case_small();
+  const QuadflowCase b = cylinder_case_small();
+  EXPECT_EQ(a.cells_per_phase, b.cells_per_phase);
+}
+
+TEST(Cases, GrowthIsMonotonic) {
+  for (const QuadflowCase& c : {flat_plate_case(), cylinder_case()})
+    for (std::size_t p = 1; p < c.cells_per_phase.size(); ++p)
+      EXPECT_GT(c.cells_per_phase[p], c.cells_per_phase[p - 1]) << c.name;
+}
+
+}  // namespace
+}  // namespace dbs::amr

@@ -1,0 +1,76 @@
+#include "amr/quadtree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace dbs::amr {
+namespace {
+
+TEST(QuadTree, InitialUniformGrid) {
+  EXPECT_EQ(QuadTree(0).cell_count(), 1u);
+  EXPECT_EQ(QuadTree(1).cell_count(), 4u);
+  EXPECT_EQ(QuadTree(3).cell_count(), 64u);
+  EXPECT_EQ(QuadTree(3).depth(), 3);
+}
+
+TEST(QuadTree, RefineAllQuadruples) {
+  QuadTree t(2);
+  const std::size_t split =
+      t.refine_where([](const Cell&) { return true; }, 10);
+  EXPECT_EQ(split, 16u);
+  EXPECT_EQ(t.cell_count(), 64u);
+}
+
+TEST(QuadTree, MaxDepthStopsRefinement) {
+  QuadTree t(2);
+  EXPECT_EQ(t.refine_where([](const Cell&) { return true; }, 2), 0u);
+  EXPECT_EQ(t.cell_count(), 16u);
+}
+
+TEST(QuadTree, OnePassDoesNotRefineFreshChildren) {
+  QuadTree t(0);
+  // If fresh children were revisited, one pass would go straight to depth 5.
+  t.refine_where([](const Cell&) { return true; }, 5);
+  EXPECT_EQ(t.depth(), 1);
+  EXPECT_EQ(t.cell_count(), 4u);
+}
+
+TEST(QuadTree, SelectiveRefinement) {
+  QuadTree t(2);  // 16 cells of size 0.25
+  const std::size_t split = t.refine_where(
+      [](const Cell& c) { return c.y < 0.25; }, 10);
+  EXPECT_EQ(split, 4u);  // bottom row only
+  EXPECT_EQ(t.cell_count(), 16u + 3u * 4u);
+}
+
+TEST(QuadTree, LeavesPartitionTheDomain) {
+  QuadTree t(1);
+  t.refine_where([](const Cell& c) { return c.x < 0.5; }, 3);
+  double area = 0.0;
+  t.for_each_leaf([&](const Cell& c) { area += c.size * c.size; });
+  EXPECT_NEAR(area, 1.0, 1e-12);
+}
+
+TEST(QuadTree, ChildGeometry) {
+  QuadTree t(0);
+  t.refine_where([](const Cell&) { return true; }, 1);
+  t.for_each_leaf([](const Cell& c) {
+    EXPECT_EQ(c.depth, 1);
+    EXPECT_DOUBLE_EQ(c.size, 0.5);
+    EXPECT_TRUE((std::abs(c.x - 0.25) < 1e-12 || std::abs(c.x - 0.75) < 1e-12));
+    EXPECT_TRUE((std::abs(c.y - 0.25) < 1e-12 || std::abs(c.y - 0.75) < 1e-12));
+  });
+}
+
+TEST(QuadTree, Validation) {
+  EXPECT_THROW(QuadTree(-1), precondition_error);
+  EXPECT_THROW(QuadTree(13), precondition_error);
+  QuadTree t(0);
+  EXPECT_THROW(t.refine_where(nullptr, 3), precondition_error);
+}
+
+}  // namespace
+}  // namespace dbs::amr

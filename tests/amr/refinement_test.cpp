@@ -1,0 +1,77 @@
+#include "amr/refinement.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+
+namespace dbs::amr {
+namespace {
+
+TEST(Refinement, TraceShapes) {
+  QuadTree grid(3);
+  RefinementOptions opt;
+  opt.adaptations = 3;
+  opt.max_depth = 8;
+  opt.threshold = 1e-3;
+  const AdaptationTrace trace =
+      run_adaptations(grid, boundary_layer_sensor(0.1), opt);
+  ASSERT_EQ(trace.cells_per_phase.size(), 4u);
+  ASSERT_EQ(trace.refined_per_adaptation.size(), 3u);
+  EXPECT_EQ(trace.cells_per_phase[0], 64u);
+  // Cell counts are non-decreasing (we only refine).
+  for (std::size_t i = 1; i < trace.cells_per_phase.size(); ++i)
+    EXPECT_GE(trace.cells_per_phase[i], trace.cells_per_phase[i - 1]);
+  // Each refinement adds 3 cells per split.
+  for (std::size_t i = 0; i < trace.refined_per_adaptation.size(); ++i)
+    EXPECT_EQ(trace.cells_per_phase[i + 1],
+              trace.cells_per_phase[i] + 3 * trace.refined_per_adaptation[i]);
+}
+
+TEST(Refinement, GrowthLocalizedNearFeature) {
+  QuadTree grid(4);  // 256 cells
+  RefinementOptions opt;
+  opt.adaptations = 2;
+  opt.max_depth = 9;
+  opt.threshold = 5e-4;
+  const AdaptationTrace trace =
+      run_adaptations(grid, boundary_layer_sensor(0.05), opt);
+  // Far fewer cells than uniform refinement (256 -> 4096 -> 65536).
+  EXPECT_LT(trace.cells_per_phase.back(), 65536u / 4);
+  EXPECT_GT(trace.cells_per_phase.back(), 256u);
+}
+
+TEST(Refinement, ScaleWeightedCriterionConverges) {
+  QuadTree grid(2);
+  RefinementOptions opt;
+  opt.adaptations = 20;     // far more than needed
+  opt.max_depth = 6;
+  opt.threshold = 2e-2;     // coarse tolerance
+  const AdaptationTrace trace =
+      run_adaptations(grid, boundary_layer_sensor(0.1), opt);
+  // Once cells resolve the feature, adaptation stops adding cells.
+  const std::size_t final = trace.cells_per_phase.back();
+  EXPECT_EQ(trace.cells_per_phase[trace.cells_per_phase.size() - 2], final);
+}
+
+TEST(Refinement, ZeroAdaptations) {
+  QuadTree grid(2);
+  const AdaptationTrace trace = run_adaptations(
+      grid, boundary_layer_sensor(0.1), RefinementOptions{0, 5, 1e-3});
+  EXPECT_EQ(trace.cells_per_phase.size(), 1u);
+  EXPECT_TRUE(trace.refined_per_adaptation.empty());
+}
+
+TEST(Refinement, Validation) {
+  QuadTree grid(1);
+  RefinementOptions opt;
+  opt.threshold = 0.0;
+  EXPECT_THROW((void)run_adaptations(grid, boundary_layer_sensor(0.1), opt),
+               precondition_error);
+  opt.threshold = 1e-3;
+  opt.adaptations = -1;
+  EXPECT_THROW((void)run_adaptations(grid, boundary_layer_sensor(0.1), opt),
+               precondition_error);
+}
+
+}  // namespace
+}  // namespace dbs::amr

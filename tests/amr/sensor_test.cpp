@@ -1,0 +1,62 @@
+#include "amr/sensor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+
+namespace dbs::amr {
+namespace {
+
+Cell cell(double x, double y, double size = 0.01) {
+  return Cell{x, y, size, 5};
+}
+
+TEST(BoundaryLayerSensor, DecaysAwayFromWall) {
+  const Sensor s = boundary_layer_sensor(0.1);
+  EXPECT_GT(s(cell(0.5, 0.005)), 0.9);
+  EXPECT_GT(s(cell(0.5, 0.05)), s(cell(0.5, 0.5)));
+  EXPECT_LT(s(cell(0.5, 0.9)), 1e-3);
+}
+
+TEST(BoundaryLayerSensor, CellTouchingWallSaturates) {
+  const Sensor s = boundary_layer_sensor(0.1);
+  // Cell centre at its half-size above the wall: wall distance zero.
+  EXPECT_DOUBLE_EQ(s(cell(0.3, 0.05, 0.1)), 1.0);
+}
+
+TEST(BowShockSensor, PeaksOnTheFront) {
+  const Sensor s = bow_shock_sensor(0.7, 0.5, 0.28, 0.05);
+  // A point on the shock arc, upstream.
+  EXPECT_GT(s(cell(0.7 - 0.28, 0.5)), 0.9);
+  // Far from the front.
+  EXPECT_LT(s(cell(0.1, 0.1)), 0.05);
+}
+
+TEST(BowShockSensor, DownstreamIsQuiet) {
+  const Sensor s = bow_shock_sensor(0.7, 0.5, 0.28, 0.05);
+  EXPECT_DOUBLE_EQ(s(cell(0.95, 0.5)), 0.0);
+}
+
+TEST(BowShockSensor, CoarseCellOverlappingFrontRegisters) {
+  const Sensor s = bow_shock_sensor(0.7, 0.5, 0.28, 0.02);
+  // Centre is 0.1 off the front but the cell is huge.
+  EXPECT_GT(s(cell(0.7 - 0.38, 0.5, 0.3)), 0.5);
+}
+
+TEST(CombineMax, TakesPointwiseMaximum) {
+  const Sensor s = combine_max(boundary_layer_sensor(0.05),
+                               bow_shock_sensor(0.7, 0.5, 0.28, 0.05));
+  EXPECT_GT(s(cell(0.5, 0.001)), 0.9);       // wall
+  EXPECT_GT(s(cell(0.7 - 0.28, 0.5)), 0.9);  // shock
+}
+
+TEST(Sensors, Validation) {
+  EXPECT_THROW((void)boundary_layer_sensor(0.0), precondition_error);
+  EXPECT_THROW((void)bow_shock_sensor(0.5, 0.5, -1.0, 0.1),
+               precondition_error);
+  EXPECT_THROW((void)combine_max(nullptr, boundary_layer_sensor(0.1)),
+               precondition_error);
+}
+
+}  // namespace
+}  // namespace dbs::amr

@@ -1,0 +1,130 @@
+// The dynamic-ESP evolving application model: 16% ask, 25% retry, linear
+// speedup reproducing Table I's DET values.
+#include "apps/evolving.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+
+namespace dbs::apps {
+namespace {
+
+wl::Behavior behavior(std::int64_t set_seconds, CoreCount ask = 4) {
+  wl::Behavior b;
+  b.static_runtime = Duration::seconds(set_seconds);
+  b.evolving = true;
+  b.ask_cores = ask;
+  return b;
+}
+
+TEST(EvolvingApp, AsksAtSixteenPercent) {
+  EvolvingApp app(behavior(1000), SpeedupModel::PaperDet);
+  const auto d = app.on_start(Time::from_seconds(50), 8);
+  EXPECT_EQ(d.finish_at, Time::from_seconds(1050));
+  ASSERT_TRUE(d.ask.has_value());
+  EXPECT_EQ(d.ask->at, Time::from_seconds(50 + 160));
+  EXPECT_EQ(d.ask->extra_cores, 4);
+}
+
+TEST(EvolvingApp, GrantShrinksToPaperDet) {
+  // Type F: SET 1846, 8 cores + 4 -> DET 1230.67.
+  EvolvingApp app(behavior(1846), SpeedupModel::PaperDet);
+  (void)app.on_start(Time::epoch(), 8);
+  const auto d = app.on_grant(Time::from_seconds(300), 12);
+  EXPECT_NEAR(d.finish_at.as_seconds(), 1230.67, 0.01);
+  EXPECT_FALSE(d.ask.has_value());
+}
+
+TEST(EvolvingApp, TableOneDetParameterized) {
+  struct Case {
+    std::int64_t set;
+    CoreCount cores;
+    double det;
+  };
+  // F, G, I, J of Table I.
+  for (const Case c : {Case{1846, 8, 1230.67}, Case{1334, 16, 1067.2},
+                       Case{1432, 4, 716.0}, Case{725, 8, 483.33}}) {
+    EvolvingApp app(behavior(c.set), SpeedupModel::PaperDet);
+    (void)app.on_start(Time::epoch(), c.cores);
+    const auto d = app.on_grant(
+        Time::epoch() + Duration::seconds(c.set).scaled(0.16), c.cores + 4);
+    EXPECT_NEAR(d.finish_at.as_seconds(), c.det, 0.5) << c.set;
+  }
+}
+
+TEST(EvolvingApp, ScaleRemainingModel) {
+  EvolvingApp app(behavior(1000), SpeedupModel::ScaleRemaining);
+  (void)app.on_start(Time::epoch(), 8);
+  // Grant at t=160: remaining 840s scales by 8/12 -> finish at 160+560=720.
+  const auto d = app.on_grant(Time::from_seconds(160), 12);
+  EXPECT_NEAR(d.finish_at.as_seconds(), 720.0, 0.01);
+}
+
+TEST(EvolvingApp, RejectSchedulesRetryAtQuarter) {
+  EvolvingApp app(behavior(1000), SpeedupModel::PaperDet);
+  (void)app.on_start(Time::from_seconds(100), 8);
+  const auto d = app.on_reject(Time::from_seconds(265), 8);
+  EXPECT_EQ(d.finish_at, Time::from_seconds(1100));  // unchanged
+  ASSERT_TRUE(d.ask.has_value());
+  EXPECT_EQ(d.ask->at, Time::from_seconds(100 + 250));
+}
+
+TEST(EvolvingApp, RetryImmediateWhenQuarterAlreadyPassed) {
+  EvolvingApp app(behavior(1000), SpeedupModel::PaperDet);
+  (void)app.on_start(Time::epoch(), 8);
+  const auto d = app.on_reject(Time::from_seconds(400), 8);
+  ASSERT_TRUE(d.ask.has_value());
+  EXPECT_EQ(d.ask->at, Time::from_seconds(400));
+}
+
+TEST(EvolvingApp, SecondRejectGivesUp) {
+  EvolvingApp app(behavior(1000), SpeedupModel::PaperDet);
+  (void)app.on_start(Time::epoch(), 8);
+  (void)app.on_reject(Time::from_seconds(170), 8);
+  const auto d = app.on_reject(Time::from_seconds(260), 8);
+  EXPECT_FALSE(d.ask.has_value());
+  EXPECT_EQ(d.finish_at, Time::from_seconds(1000));
+}
+
+TEST(EvolvingApp, GrantAfterRetrySucceeds) {
+  EvolvingApp app(behavior(1000), SpeedupModel::ScaleRemaining);
+  (void)app.on_start(Time::epoch(), 8);
+  (void)app.on_reject(Time::from_seconds(170), 8);
+  const auto d = app.on_grant(Time::from_seconds(250), 12);
+  // Remaining 750 scales by 2/3 -> finish 250+500 = 750.
+  EXPECT_NEAR(d.finish_at.as_seconds(), 750.0, 0.01);
+  EXPECT_FALSE(d.ask.has_value());
+}
+
+TEST(EvolvingApp, PaperDetNeverFinishesInThePast) {
+  EvolvingApp app(behavior(1000), SpeedupModel::PaperDet);
+  (void)app.on_start(Time::epoch(), 8);
+  // A pathologically late grant (after DET would have passed).
+  const auto d = app.on_grant(Time::from_seconds(900), 12);
+  EXPECT_GE(d.finish_at, Time::from_seconds(900));
+}
+
+TEST(EvolvingApp, RestartAfterPreemptionResets) {
+  EvolvingApp app(behavior(1000), SpeedupModel::PaperDet);
+  (void)app.on_start(Time::epoch(), 8);
+  (void)app.on_reject(Time::from_seconds(170), 8);
+  // Preempted and restarted: the schedule starts over.
+  const auto d = app.on_start(Time::from_seconds(5000), 8);
+  EXPECT_EQ(d.finish_at, Time::from_seconds(6000));
+  ASSERT_TRUE(d.ask.has_value());
+  EXPECT_EQ(d.ask->at, Time::from_seconds(5160));
+}
+
+TEST(EvolvingApp, Validation) {
+  wl::Behavior b = behavior(0);
+  EXPECT_THROW((EvolvingApp{b, SpeedupModel::PaperDet}), precondition_error);
+  b = behavior(100, 0);
+  EXPECT_THROW((EvolvingApp{b, SpeedupModel::PaperDet}), precondition_error);
+  b = behavior(100);
+  b.first_ask_frac = 0.5;
+  b.retry_frac = 0.3;
+  EXPECT_THROW((EvolvingApp{b, SpeedupModel::PaperDet}), precondition_error);
+}
+
+}  // namespace
+}  // namespace dbs::apps

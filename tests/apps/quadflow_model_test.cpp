@@ -1,0 +1,112 @@
+#include "apps/quadflow_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+
+namespace dbs::apps {
+namespace {
+
+amr::QuadflowCase toy_case() {
+  amr::QuadflowCase c;
+  c.name = "toy";
+  c.cells_per_phase = {1000, 2000, 8000};
+  c.threshold_cells_per_proc = 300;   // 16 procs -> 4800 cells
+  c.iterations_per_phase = 10.0;
+  c.seconds_per_cell_iter = 0.01;
+  c.min_cells_per_proc = 100.0;
+  return c;
+}
+
+TEST(QuadflowPhaseTime, StrongScalingWithGrain) {
+  const amr::QuadflowCase c = toy_case();
+  // Phase 0: 1000 cells on 16 cores -> 62.5 cells/proc < grain 100:
+  // underloaded, time = grain * iters * spc = 100*10*0.01 = 10s.
+  EXPECT_NEAR(quadflow_phase_time(c, 0, 16).as_seconds(), 10.0, 1e-6);
+  // Phase 2: 8000 cells on 16 cores -> 500/proc: time = 500*0.1 = 50s.
+  EXPECT_NEAR(quadflow_phase_time(c, 2, 16).as_seconds(), 50.0, 1e-6);
+  // 32 cores: 250/proc -> 25s (full 2x).
+  EXPECT_NEAR(quadflow_phase_time(c, 2, 32).as_seconds(), 25.0, 1e-6);
+}
+
+TEST(QuadflowPhaseTime, TinyGridIsSerial) {
+  amr::QuadflowCase c = toy_case();
+  c.cells_per_phase = {50};
+  c.min_cells_per_proc = 100.0;
+  // Whole grid smaller than one grain: time = cells * iters * spc.
+  EXPECT_NEAR(quadflow_phase_time(c, 0, 16).as_seconds(), 5.0, 1e-6);
+}
+
+TEST(QuadflowTrigger, FiresAtFirstExceedingAdaptation) {
+  const amr::QuadflowCase c = toy_case();
+  const auto trigger = quadflow_trigger_phase(c, 16);
+  ASSERT_TRUE(trigger.has_value());
+  EXPECT_EQ(*trigger, 2u);  // 8000/16 = 500 > 300; 2000/16 = 125 <= 300
+  // With 64 cores nothing crosses.
+  EXPECT_FALSE(quadflow_trigger_phase(c, 64).has_value());
+}
+
+TEST(QuadflowTrigger, InitialGridNeverTriggers) {
+  amr::QuadflowCase c = toy_case();
+  c.cells_per_phase = {100000, 100};
+  EXPECT_FALSE(quadflow_trigger_phase(c, 16).has_value());
+}
+
+TEST(QuadflowScenario, DynamicExpandsAtTrigger) {
+  const amr::QuadflowCase c = toy_case();
+  const QuadflowScenario dyn = quadflow_dynamic(c, 16, 16);
+  ASSERT_TRUE(dyn.expand_phase.has_value());
+  EXPECT_EQ(*dyn.expand_phase, 2u);
+  EXPECT_EQ(dyn.final_cores, 32);
+  const QuadflowScenario s16 = quadflow_static(c, 16);
+  const QuadflowScenario s32 = quadflow_static(c, 32);
+  // Before the trigger phases match static-16; at/after, static-32.
+  EXPECT_EQ(dyn.phase_durations[0], s16.phase_durations[0]);
+  EXPECT_EQ(dyn.phase_durations[1], s16.phase_durations[1]);
+  EXPECT_EQ(dyn.phase_durations[2], s32.phase_durations[2]);
+  EXPECT_LT(dyn.total(), s16.total());
+  EXPECT_GT(dyn.total(), s32.total() - Duration::micros(1));
+}
+
+TEST(QuadflowApp, AsksAtTriggerBoundary) {
+  const amr::QuadflowCase c = toy_case();
+  QuadflowApp app(c, 16);
+  const auto d = app.on_start(Time::epoch(), 16);
+  // Phase 0 takes 10s (underloaded), phase 1 takes 12.5s; ask at t=22.5.
+  ASSERT_TRUE(d.ask.has_value());
+  EXPECT_NEAR(d.ask->at.as_seconds(), 22.5, 1e-6);
+  EXPECT_EQ(d.ask->extra_cores, 16);
+  EXPECT_NEAR(d.finish_at.as_seconds(), 72.5, 1e-6);
+}
+
+TEST(QuadflowApp, GrantShortensTail) {
+  const amr::QuadflowCase c = toy_case();
+  QuadflowApp app(c, 16);
+  (void)app.on_start(Time::epoch(), 16);
+  const auto d = app.on_grant(Time::from_seconds(23), 32);
+  // Remaining phase 2 on 32 cores: 25s.
+  EXPECT_NEAR(d.finish_at.as_seconds(), 48.0, 1e-6);
+  EXPECT_FALSE(d.ask.has_value());
+}
+
+TEST(QuadflowApp, RejectContinuesAndMayRetryLater) {
+  amr::QuadflowCase c = toy_case();
+  c.cells_per_phase = {1000, 8000, 9000};
+  QuadflowApp app(c, 16);
+  const auto start = app.on_start(Time::epoch(), 16);
+  ASSERT_TRUE(start.ask.has_value());  // trigger at phase 1 boundary (t=10)
+  const auto after_reject = app.on_reject(Time::from_seconds(10), 16);
+  // Still over threshold at phase 2: retry at the next boundary.
+  ASSERT_TRUE(after_reject.ask.has_value());
+  EXPECT_NEAR(after_reject.ask->at.as_seconds(), 10.0 + 50.0, 1e-6);
+}
+
+TEST(QuadflowApp, NoAskWhenThresholdNeverCrossed) {
+  amr::QuadflowCase c = toy_case();
+  c.threshold_cells_per_proc = 1e9;
+  QuadflowApp app(c, 16);
+  EXPECT_FALSE(app.on_start(Time::epoch(), 16).ask.has_value());
+}
+
+}  // namespace
+}  // namespace dbs::apps

@@ -1,0 +1,104 @@
+#include "apps/resilient.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+
+namespace dbs::apps {
+namespace {
+
+TEST(ResilientApp, FinishesOnTimeWithoutIncidents) {
+  ResilientApp app(Duration::minutes(10));
+  const auto d = app.on_start(Time::from_seconds(100), 16);
+  EXPECT_EQ(d.finish_at, Time::from_seconds(100) + Duration::minutes(10));
+  EXPECT_FALSE(d.ask.has_value());
+  EXPECT_DOUBLE_EQ(app.remaining_work(), 600.0 * 16);
+}
+
+TEST(ResilientApp, NodeLossStretchesRemainingWork) {
+  ResilientApp app(Duration::minutes(10));
+  (void)app.on_start(Time::epoch(), 16);
+  // Half done at t=300; losing 8 of 16 cores doubles the remaining time.
+  const auto d = app.on_nodes_lost(Time::from_seconds(300), 8, 8);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->finish_at, Time::from_seconds(300 + 600));
+  ASSERT_TRUE(d->ask.has_value());
+  EXPECT_EQ(d->ask->extra_cores, 8);
+  EXPECT_EQ(d->ask->at, Time::from_seconds(300));
+  EXPECT_EQ(app.losses_survived(), 1);
+}
+
+TEST(ResilientApp, ReacquireRestoresOriginalPace) {
+  ResilientApp app(Duration::minutes(10));
+  (void)app.on_start(Time::epoch(), 16);
+  (void)app.on_nodes_lost(Time::from_seconds(300), 8, 8);
+  // Replacement granted 10 seconds later: 10s ran at 8 cores.
+  const auto d = app.on_grant(Time::from_seconds(310), 16);
+  // Remaining work: 16*300 - 8*10 = 4720 core-s -> 295 s at 16 cores.
+  EXPECT_EQ(d.finish_at, Time::from_seconds(310 + 295));
+}
+
+TEST(ResilientApp, RejectContinuesOnRemainingCores) {
+  ResilientApp app(Duration::minutes(10));
+  (void)app.on_start(Time::epoch(), 16);
+  (void)app.on_nodes_lost(Time::from_seconds(300), 8, 8);
+  const auto d = app.on_reject(Time::from_seconds(310), 8);
+  // 16*300 - 8*10 = 4720 core-s at 8 cores = 590 s.
+  EXPECT_EQ(d.finish_at, Time::from_seconds(310 + 590));
+}
+
+TEST(ResilientApp, NoReacquireMode) {
+  ResilientApp app(Duration::minutes(10), /*reacquire=*/false);
+  (void)app.on_start(Time::epoch(), 16);
+  const auto d = app.on_nodes_lost(Time::from_seconds(300), 8, 8);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_FALSE(d->ask.has_value());
+}
+
+TEST(ResilientApp, MultipleLossesAccumulate) {
+  ResilientApp app(Duration::minutes(10), /*reacquire=*/false);
+  (void)app.on_start(Time::epoch(), 16);
+  (void)app.on_nodes_lost(Time::from_seconds(100), 4, 12);
+  const auto d = app.on_nodes_lost(Time::from_seconds(200), 4, 8);
+  EXPECT_EQ(app.losses_survived(), 2);
+  // Work: 9600 - 16*100 - 12*100 = 6800 core-s at 8 cores = 850 s.
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->finish_at, Time::from_seconds(200 + 850));
+}
+
+TEST(ResilientApp, NearCompletionLossFinishesImmediately) {
+  ResilientApp app(Duration::seconds(100));
+  (void)app.on_start(Time::epoch(), 16);
+  const auto d = app.on_nodes_lost(Time::from_seconds(100), 8, 8);
+  ASSERT_TRUE(d.has_value());
+  // No work left: finishes right away, no spare request scheduled.
+  EXPECT_LE(d->finish_at, Time::from_seconds(100) + Duration::millis(1));
+  EXPECT_FALSE(d->ask.has_value());
+}
+
+TEST(ResilientApp, DefaultAppCannotSurvive) {
+  // The base-class default: nullopt -> the server requeues.
+  class Plain final : public rms::Application {
+   public:
+    rms::AppDecision on_start(Time now, CoreCount) override {
+      return {now + Duration::minutes(1), std::nullopt, std::nullopt};
+    }
+    rms::AppDecision on_grant(Time now, CoreCount) override {
+      return {now, std::nullopt, std::nullopt};
+    }
+    rms::AppDecision on_reject(Time now, CoreCount) override {
+      return {now, std::nullopt, std::nullopt};
+    }
+    rms::AppDecision on_released(Time now, CoreCount) override {
+      return {now, std::nullopt, std::nullopt};
+    }
+  } plain;
+  EXPECT_FALSE(plain.on_nodes_lost(Time::epoch(), 4, 4).has_value());
+}
+
+TEST(ResilientApp, Validation) {
+  EXPECT_THROW(ResilientApp{Duration::zero()}, precondition_error);
+}
+
+}  // namespace
+}  // namespace dbs::apps

@@ -1,0 +1,40 @@
+#include "apps/rigid.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+
+namespace dbs::apps {
+namespace {
+
+TEST(RigidApp, FinishesAfterRuntime) {
+  RigidApp app(Duration::minutes(5));
+  const rms::AppDecision d = app.on_start(Time::from_seconds(100), 8);
+  EXPECT_EQ(d.finish_at, Time::from_seconds(100) + Duration::minutes(5));
+  EXPECT_FALSE(d.ask.has_value());
+  EXPECT_FALSE(d.release.has_value());
+}
+
+TEST(RigidApp, RuntimeIndependentOfCores) {
+  RigidApp a(Duration::minutes(5));
+  RigidApp b(Duration::minutes(5));
+  EXPECT_EQ(a.on_start(Time::epoch(), 1).finish_at,
+            b.on_start(Time::epoch(), 128).finish_at);
+}
+
+TEST(RigidApp, Validation) {
+  EXPECT_THROW(RigidApp{Duration::zero()}, precondition_error);
+  RigidApp app(Duration::minutes(1));
+  EXPECT_THROW((void)app.on_start(Time::epoch(), 0), precondition_error);
+}
+
+TEST(RigidApp, NeverInteractsDynamically) {
+  RigidApp app(Duration::minutes(1));
+  (void)app.on_start(Time::epoch(), 4);
+  EXPECT_THROW((void)app.on_grant(Time::epoch(), 8), invariant_error);
+  EXPECT_THROW((void)app.on_reject(Time::epoch(), 4), invariant_error);
+  EXPECT_THROW((void)app.on_released(Time::epoch(), 2), invariant_error);
+}
+
+}  // namespace
+}  // namespace dbs::apps

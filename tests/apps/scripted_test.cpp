@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include "apps/app_model.hpp"
+#include "common/assert.hpp"
+
+namespace dbs::apps {
+namespace {
+
+TEST(ScriptedApp, StepsFireInOrder) {
+  ScriptedApp app(Duration::minutes(10),
+                  {{Duration::minutes(1), 4, 0, 1.0, Duration::zero()},
+                   {Duration::minutes(2), 0, 2, 1.0, Duration::zero()}});
+  auto d = app.on_start(Time::epoch(), 8);
+  ASSERT_TRUE(d.ask.has_value());
+  EXPECT_EQ(d.ask->at, Time::epoch() + Duration::minutes(1));
+  d = app.on_grant(Time::epoch() + Duration::minutes(1), 12);
+  ASSERT_TRUE(d.release.has_value());
+  EXPECT_EQ(d.release->at, Time::epoch() + Duration::minutes(2));
+  EXPECT_EQ(d.release->cores, 2);
+  d = app.on_released(Time::epoch() + Duration::minutes(2), 10);
+  EXPECT_FALSE(d.ask.has_value());
+  EXPECT_FALSE(d.release.has_value());
+  EXPECT_EQ(app.grants(), 1);
+  EXPECT_EQ(app.releases(), 1);
+}
+
+TEST(ScriptedApp, GrantScalesRemaining) {
+  ScriptedApp app(Duration::minutes(10),
+                  {{Duration::minutes(5), 4, 0, 0.5, Duration::zero()}});
+  (void)app.on_start(Time::epoch(), 4);
+  const auto d = app.on_grant(Time::epoch() + Duration::minutes(5), 8);
+  // Remaining 5 min halves -> finish at 7.5 min.
+  EXPECT_EQ(d.finish_at, Time::epoch() + Duration::seconds(450));
+}
+
+TEST(ScriptedApp, RejectSkipsStepWithoutScaling) {
+  ScriptedApp app(Duration::minutes(10),
+                  {{Duration::minutes(5), 4, 0, 0.5, Duration::zero()}});
+  (void)app.on_start(Time::epoch(), 4);
+  const auto d = app.on_reject(Time::epoch() + Duration::minutes(5), 4);
+  EXPECT_EQ(d.finish_at, Time::epoch() + Duration::minutes(10));
+  EXPECT_EQ(app.rejects(), 1);
+}
+
+TEST(ScriptedApp, Validation) {
+  // Both grow and shrink in one step.
+  EXPECT_THROW(ScriptedApp(Duration::minutes(1),
+                           {{Duration::seconds(1), 2, 2, 1.0, {}}}),
+               precondition_error);
+  // Steps out of order.
+  EXPECT_THROW(ScriptedApp(Duration::minutes(1),
+                           {{Duration::seconds(10), 2, 0, 1.0, {}},
+                            {Duration::seconds(5), 0, 1, 1.0, {}}}),
+               precondition_error);
+  // Neither grow nor shrink.
+  EXPECT_THROW(ScriptedApp(Duration::minutes(1),
+                           {{Duration::seconds(1), 0, 0, 1.0, {}}}),
+               precondition_error);
+}
+
+TEST(MakeApplication, SelectsModelByBehavior) {
+  wl::Behavior rigid;
+  rigid.static_runtime = Duration::minutes(1);
+  EXPECT_STREQ(make_application(rigid)->name(), "rigid");
+  wl::Behavior evolving = rigid;
+  evolving.evolving = true;
+  EXPECT_STREQ(make_application(evolving)->name(), "esp-evolving");
+}
+
+}  // namespace
+}  // namespace dbs::apps

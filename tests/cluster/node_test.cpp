@@ -1,0 +1,80 @@
+#include "cluster/node.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+
+namespace dbs::cluster {
+namespace {
+
+TEST(Node, StartsEmpty) {
+  const Node n(NodeId{0}, 8);
+  EXPECT_EQ(n.total_cores(), 8);
+  EXPECT_EQ(n.used_cores(), 0);
+  EXPECT_EQ(n.free_cores(), 8);
+  EXPECT_TRUE(n.available());
+}
+
+TEST(Node, AllocateAndRelease) {
+  Node n(NodeId{0}, 8);
+  n.allocate(JobId{1}, 3);
+  EXPECT_EQ(n.free_cores(), 5);
+  EXPECT_EQ(n.held_by(JobId{1}), 3);
+  n.allocate(JobId{2}, 5);
+  EXPECT_EQ(n.free_cores(), 0);
+  n.release(JobId{1}, 3);
+  EXPECT_EQ(n.free_cores(), 3);
+  EXPECT_EQ(n.held_by(JobId{1}), 0);
+}
+
+TEST(Node, AdditiveAllocationSameJob) {
+  Node n(NodeId{0}, 8);
+  n.allocate(JobId{1}, 2);
+  n.allocate(JobId{1}, 3);
+  EXPECT_EQ(n.held_by(JobId{1}), 5);
+  EXPECT_EQ(n.job_count(), 1u);
+}
+
+TEST(Node, OversubscriptionRejected) {
+  Node n(NodeId{0}, 8);
+  n.allocate(JobId{1}, 8);
+  EXPECT_THROW(n.allocate(JobId{2}, 1), precondition_error);
+}
+
+TEST(Node, ReleaseMoreThanHeldRejected) {
+  Node n(NodeId{0}, 8);
+  n.allocate(JobId{1}, 2);
+  EXPECT_THROW(n.release(JobId{1}, 3), precondition_error);
+  EXPECT_THROW(n.release(JobId{2}, 1), precondition_error);
+}
+
+TEST(Node, ReleaseAll) {
+  Node n(NodeId{0}, 8);
+  n.allocate(JobId{1}, 5);
+  EXPECT_EQ(n.release_all(JobId{1}), 5);
+  EXPECT_EQ(n.release_all(JobId{1}), 0);
+  EXPECT_EQ(n.free_cores(), 8);
+}
+
+TEST(Node, DownNodeHasNoFreeCores) {
+  Node n(NodeId{0}, 8);
+  n.allocate(JobId{1}, 2);
+  n.set_state(NodeState::Down);
+  EXPECT_EQ(n.free_cores(), 0);
+  EXPECT_EQ(n.used_cores(), 2);  // existing allocation still accounted
+  EXPECT_THROW(n.allocate(JobId{2}, 1), precondition_error);
+  n.set_state(NodeState::Up);
+  EXPECT_EQ(n.free_cores(), 6);
+}
+
+TEST(Node, InvalidConstruction) {
+  EXPECT_THROW(Node(NodeId{0}, 0), precondition_error);
+}
+
+TEST(Node, ZeroAllocationRejected) {
+  Node n(NodeId{0}, 8);
+  EXPECT_THROW(n.allocate(JobId{1}, 0), precondition_error);
+}
+
+}  // namespace
+}  // namespace dbs::cluster

@@ -1,0 +1,49 @@
+#include "common/log.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dbs {
+namespace {
+
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(logging::level()) {}
+  ~LogLevelGuard() { logging::set_level(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(Log, DefaultLevelIsOff) {
+  EXPECT_EQ(logging::level(), LogLevel::Off);
+}
+
+TEST(Log, ThresholdFiltersEvaluation) {
+  LogLevelGuard guard;
+  logging::set_level(LogLevel::Warn);
+  int evaluations = 0;
+  const auto touch = [&] {
+    ++evaluations;
+    return "x";
+  };
+  testing::internal::CaptureStderr();
+  DBS_DEBUG(touch());  // below threshold: expression must not run
+  DBS_WARN(touch());   // at threshold: runs and emits
+  const std::string err = testing::internal::GetCapturedStderr();
+  EXPECT_EQ(evaluations, 1);
+  EXPECT_NE(err.find("[warn ] x"), std::string::npos);
+}
+
+TEST(Log, TraceLevelEmitsEverything) {
+  LogLevelGuard guard;
+  logging::set_level(LogLevel::Trace);
+  testing::internal::CaptureStderr();
+  DBS_TRACE("t" << 1);
+  DBS_INFO("i" << 2);
+  const std::string err = testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("[trace] t1"), std::string::npos);
+  EXPECT_NE(err.find("[info ] i2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dbs

@@ -1,0 +1,81 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+namespace dbs {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  bool any_diff = false;
+  for (int i = 0; i < 10; ++i) any_diff |= a.next_u64() != b.next_u64();
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.next_below(13), 13u);
+  EXPECT_THROW((void)rng.next_below(0), precondition_error);
+}
+
+TEST(Rng, NextIntInclusiveRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.next_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+  }
+  EXPECT_EQ(rng.next_int(5, 5), 5);
+  EXPECT_THROW((void)rng.next_int(2, 1), precondition_error);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.next_double();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, NextDoubleRoughlyUniform) {
+  Rng rng(5);
+  double sum = 0.0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) sum += rng.next_double();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  std::vector<int> v(50);
+  std::iota(v.begin(), v.end(), 0);
+  const std::vector<int> original = v;
+  Rng rng(99);
+  rng.shuffle(v);
+  EXPECT_NE(v, original);  // astronomically unlikely to be identity
+  std::vector<int> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, original);
+}
+
+TEST(Rng, ShuffleDeterministic) {
+  std::vector<int> a(20), b(20);
+  std::iota(a.begin(), a.end(), 0);
+  std::iota(b.begin(), b.end(), 0);
+  Rng r1(42), r2(42);
+  r1.shuffle(a);
+  r2.shuffle(b);
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace dbs

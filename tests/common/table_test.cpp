@@ -1,0 +1,42 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+
+namespace dbs {
+namespace {
+
+TEST(TextTable, RejectsEmptyHeaderAndBadRows) {
+  EXPECT_THROW(TextTable{std::vector<std::string>{}}, precondition_error);
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), precondition_error);
+}
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t({"name", "v"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer", "22"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("| name   | v  |"), std::string::npos) << s;
+  EXPECT_NE(s.find("| longer | 22 |"), std::string::npos) << s;
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(TextTable, CsvEscapesSpecials) {
+  TextTable t({"a", "b"});
+  t.add_row({"plain", "has,comma"});
+  t.add_row({"has\"quote", "multi\nline"});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("plain,\"has,comma\""), std::string::npos) << csv;
+  EXPECT_NE(csv.find("\"has\"\"quote\""), std::string::npos) << csv;
+}
+
+TEST(TextTable, NumberFormatting) {
+  EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::num(std::int64_t{42}), "42");
+  EXPECT_EQ(TextTable::num(-1.5, 1), "-1.5");
+}
+
+}  // namespace
+}  // namespace dbs

@@ -1,0 +1,89 @@
+#include "common/time.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace dbs {
+namespace {
+
+TEST(Duration, FactoryUnitsCompose) {
+  EXPECT_EQ(Duration::seconds(1).as_micros(), 1'000'000);
+  EXPECT_EQ(Duration::millis(3).as_micros(), 3'000);
+  EXPECT_EQ(Duration::minutes(2), Duration::seconds(120));
+  EXPECT_EQ(Duration::hours(1), Duration::minutes(60));
+}
+
+TEST(Duration, Arithmetic) {
+  const Duration a = Duration::seconds(90);
+  const Duration b = Duration::seconds(30);
+  EXPECT_EQ(a + b, Duration::seconds(120));
+  EXPECT_EQ(a - b, Duration::seconds(60));
+  EXPECT_EQ(-b, Duration::seconds(-30));
+  EXPECT_EQ(b * 4, Duration::seconds(120));
+  EXPECT_EQ(a / 3, Duration::seconds(30));
+}
+
+TEST(Duration, ScaledRoundsToNearestMicrosecond) {
+  EXPECT_EQ(Duration::micros(10).scaled(0.25), Duration::micros(3));
+  EXPECT_EQ(Duration::seconds(1846).scaled(8.0 / 12.0),
+            Duration::micros(1'230'666'667));
+}
+
+TEST(Duration, SecondsFRounds) {
+  EXPECT_EQ(Duration::seconds_f(1.5), Duration::micros(1'500'000));
+  EXPECT_EQ(Duration::seconds_f(0.0000004), Duration::zero());
+}
+
+TEST(Duration, RatioAndZeroGuard) {
+  EXPECT_DOUBLE_EQ(Duration::seconds(30).ratio(Duration::seconds(60)), 0.5);
+  EXPECT_THROW((void)Duration::seconds(1).ratio(Duration::zero()),
+               precondition_error);
+}
+
+TEST(Duration, HmsFormatting) {
+  EXPECT_EQ(Duration::seconds(0).to_hms(), "00:00:00");
+  EXPECT_EQ(Duration::seconds(3661).to_hms(), "01:01:01");
+  EXPECT_EQ(Duration::seconds(-90).to_hms(), "-00:01:30");
+  EXPECT_EQ((Duration::hours(30) + Duration::seconds(5)).to_hms(), "30:00:05");
+}
+
+TEST(Duration, ComparisonsAndPredicates) {
+  EXPECT_LT(Duration::seconds(1), Duration::seconds(2));
+  EXPECT_TRUE(Duration::zero().is_zero());
+  EXPECT_TRUE(Duration::seconds(-1).is_negative());
+  EXPECT_FALSE(Duration::seconds(1).is_negative());
+}
+
+TEST(Time, EpochAndArithmetic) {
+  const Time t = Time::epoch() + Duration::seconds(10);
+  EXPECT_EQ(t.as_micros(), 10'000'000);
+  EXPECT_EQ(t - Time::epoch(), Duration::seconds(10));
+  EXPECT_EQ(t - Duration::seconds(4), Time::from_seconds(6));
+}
+
+TEST(Time, MinMaxHelpers) {
+  const Time a = Time::from_seconds(1);
+  const Time b = Time::from_seconds(2);
+  EXPECT_EQ(min(a, b), a);
+  EXPECT_EQ(max(a, b), b);
+  EXPECT_EQ(min(Duration::seconds(1), Duration::seconds(2)),
+            Duration::seconds(1));
+}
+
+TEST(Time, FarFutureDominates) {
+  EXPECT_GT(Time::far_future(), Time::from_seconds(1'000'000'000));
+  // Adding a plausible duration must not overflow into the past.
+  EXPECT_GT(Time::far_future() + Duration::hours(1000), Time::far_future());
+}
+
+TEST(Time, StreamOutput) {
+  std::ostringstream os;
+  os << Time::from_seconds(3600) << " " << Duration::millis(1500);
+  EXPECT_EQ(os.str(), "01:00:00 1.500s");
+}
+
+}  // namespace
+}  // namespace dbs

@@ -1,0 +1,46 @@
+#include "common/types.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace dbs {
+namespace {
+
+TEST(TaggedId, DefaultIsInvalid) {
+  JobId id;
+  EXPECT_FALSE(id.valid());
+  EXPECT_EQ(id, JobId::invalid());
+}
+
+TEST(TaggedId, ValueRoundTrip) {
+  const JobId id{42};
+  EXPECT_TRUE(id.valid());
+  EXPECT_EQ(id.value(), 42u);
+}
+
+TEST(TaggedId, Ordering) {
+  EXPECT_LT(JobId{1}, JobId{2});
+  EXPECT_EQ(NodeId{7}, NodeId{7});
+  EXPECT_NE(NodeId{7}, NodeId{8});
+}
+
+TEST(TaggedId, Hashable) {
+  std::unordered_set<JobId> set;
+  set.insert(JobId{1});
+  set.insert(JobId{2});
+  set.insert(JobId{1});
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_TRUE(set.contains(JobId{2}));
+}
+
+TEST(Credentials, Equality) {
+  const Credentials a{"u", "g", "a", "c", "q"};
+  Credentials b = a;
+  EXPECT_EQ(a, b);
+  b.user = "other";
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace dbs

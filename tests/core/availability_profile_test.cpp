@@ -1,0 +1,144 @@
+#include "core/availability_profile.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+
+namespace dbs::core {
+namespace {
+
+Time at(std::int64_t s) { return Time::from_seconds(s); }
+
+TEST(AvailabilityProfile, ConstantInitially) {
+  const AvailabilityProfile p(at(0), 128);
+  EXPECT_EQ(p.capacity(), 128);
+  EXPECT_EQ(p.free_at(at(0)), 128);
+  EXPECT_EQ(p.free_at(at(1'000'000)), 128);
+  EXPECT_EQ(p.min_free(at(0), at(100)), 128);
+}
+
+TEST(AvailabilityProfile, SubtractCreatesStep) {
+  AvailabilityProfile p(at(0), 100);
+  p.subtract(at(10), at(20), 30);
+  EXPECT_EQ(p.free_at(at(9)), 100);
+  EXPECT_EQ(p.free_at(at(10)), 70);
+  EXPECT_EQ(p.free_at(at(19)), 70);
+  EXPECT_EQ(p.free_at(at(20)), 100);
+}
+
+TEST(AvailabilityProfile, OverlappingSubtractionsStack) {
+  AvailabilityProfile p(at(0), 100);
+  p.subtract(at(0), at(50), 40);
+  p.subtract(at(25), at(75), 40);
+  EXPECT_EQ(p.free_at(at(10)), 60);
+  EXPECT_EQ(p.free_at(at(30)), 20);
+  EXPECT_EQ(p.free_at(at(60)), 60);
+  EXPECT_EQ(p.free_at(at(80)), 100);
+  EXPECT_EQ(p.min_free(at(0), at(100)), 20);
+}
+
+TEST(AvailabilityProfile, SubtractClipsAtOrigin) {
+  AvailabilityProfile p(at(100), 10);
+  p.subtract(at(50), at(150), 4);  // clipped to [100, 150)
+  EXPECT_EQ(p.free_at(at(100)), 6);
+  EXPECT_EQ(p.free_at(at(150)), 10);
+}
+
+TEST(AvailabilityProfile, OversubscriptionCaught) {
+  AvailabilityProfile p(at(0), 10);
+  p.subtract(at(0), at(10), 10);
+  EXPECT_THROW(p.subtract(at(5), at(6), 1), invariant_error);
+}
+
+TEST(AvailabilityProfile, AddRestores) {
+  AvailabilityProfile p(at(0), 100);
+  p.subtract(at(10), at(20), 30);
+  p.add(at(10), at(20), 30);
+  EXPECT_EQ(p.min_free(at(0), at(30)), 100);
+  EXPECT_THROW(p.add(at(0), at(5), 1), invariant_error);  // above capacity
+}
+
+TEST(AvailabilityProfile, SubtractClampedFloorsAtZero) {
+  AvailabilityProfile p(at(0), 10);
+  p.subtract(at(0), at(10), 8);
+  p.subtract_clamped(at(0), Time::far_future(), 5);
+  EXPECT_EQ(p.free_at(at(5)), 0);
+  EXPECT_EQ(p.free_at(at(20)), 5);
+}
+
+TEST(AvailabilityProfile, EarliestFitImmediate) {
+  const AvailabilityProfile p(at(0), 100);
+  EXPECT_EQ(p.earliest_fit(50, Duration::seconds(60), at(0)), at(0));
+  EXPECT_EQ(p.earliest_fit(50, Duration::seconds(60), at(42)), at(42));
+}
+
+TEST(AvailabilityProfile, EarliestFitWaitsForRelease) {
+  AvailabilityProfile p(at(0), 100);
+  p.subtract(at(0), at(100), 80);  // a running job until t=100
+  EXPECT_EQ(p.earliest_fit(30, Duration::seconds(10), at(0)), at(100));
+  EXPECT_EQ(p.earliest_fit(20, Duration::seconds(10), at(0)), at(0));
+}
+
+TEST(AvailabilityProfile, EarliestFitNeedsContinuousWindow) {
+  AvailabilityProfile p(at(0), 100);
+  p.subtract(at(50), at(60), 80);  // a dip in the middle
+  // A 30-core/60s request cannot straddle the dip.
+  EXPECT_EQ(p.earliest_fit(30, Duration::seconds(60), at(0)), at(60));
+  // A short request fits before the dip.
+  EXPECT_EQ(p.earliest_fit(30, Duration::seconds(40), at(0)), at(0));
+  // 20 cores fit through the dip.
+  EXPECT_EQ(p.earliest_fit(20, Duration::seconds(60), at(0)), at(0));
+}
+
+TEST(AvailabilityProfile, EarliestFitSkipsMultipleHoles) {
+  AvailabilityProfile p(at(0), 10);
+  p.subtract(at(0), at(10), 8);
+  p.subtract(at(15), at(30), 5);
+  // 6 cores for 10s: blocked until t=10, then the second hold blocks
+  // [15,30): first window of 10s at >=6 free starts at t=30... but [10,15)
+  // is only 5s long, so the fit is at t=30.
+  EXPECT_EQ(p.earliest_fit(6, Duration::seconds(10), at(0)), at(30));
+  EXPECT_EQ(p.earliest_fit(6, Duration::seconds(5), at(0)), at(10));
+}
+
+TEST(AvailabilityProfile, EarliestFitImpossible) {
+  const AvailabilityProfile p(at(0), 10);
+  EXPECT_EQ(p.earliest_fit(11, Duration::seconds(1), at(0)),
+            Time::far_future());
+}
+
+TEST(AvailabilityProfile, EarliestFitWithPermanentHold) {
+  AvailabilityProfile p(at(0), 10);
+  p.subtract(at(0), Time::far_future(), 4);  // dynamic partition
+  EXPECT_EQ(p.earliest_fit(6, Duration::seconds(10), at(0)), at(0));
+  EXPECT_EQ(p.earliest_fit(7, Duration::seconds(10), at(0)),
+            Time::far_future());
+}
+
+TEST(AvailabilityProfile, CanFit) {
+  AvailabilityProfile p(at(0), 10);
+  p.subtract(at(5), at(10), 6);
+  EXPECT_TRUE(p.can_fit(at(0), Duration::seconds(5), 10));
+  EXPECT_FALSE(p.can_fit(at(0), Duration::seconds(6), 10));
+  EXPECT_TRUE(p.can_fit(at(5), Duration::seconds(5), 4));
+}
+
+TEST(AvailabilityProfile, QueryBeforeOriginRejected) {
+  const AvailabilityProfile p(at(100), 10);
+  EXPECT_THROW((void)p.free_at(at(50)), precondition_error);
+  EXPECT_THROW((void)p.min_free(at(50), at(150)), precondition_error);
+  EXPECT_THROW((void)p.min_free(at(150), at(150)), precondition_error);
+}
+
+TEST(AvailabilityProfile, BreakpointsExposeSteps) {
+  AvailabilityProfile p(at(0), 10);
+  p.subtract(at(5), at(7), 3);
+  const auto bp = p.breakpoints();
+  ASSERT_EQ(bp.size(), 3u);
+  EXPECT_EQ(bp[0], std::make_pair(at(0), CoreCount{10}));
+  EXPECT_EQ(bp[1], std::make_pair(at(5), CoreCount{7}));
+  EXPECT_EQ(bp[2], std::make_pair(at(7), CoreCount{10}));
+}
+
+}  // namespace
+}  // namespace dbs::core

@@ -1,0 +1,239 @@
+// The dynamic-fairness engine: permissions, single-job caps, cumulative
+// target caps, interval decay, same-user exemption, most-restrictive rule.
+#include "core/dfs_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../testutil.hpp"
+#include "rms/job.hpp"
+
+namespace dbs::core {
+namespace {
+
+struct Fixture {
+  std::vector<std::unique_ptr<rms::Job>> storage;
+
+  const rms::Job* job(std::uint64_t id, std::string user,
+                      std::string group = "grp") {
+    rms::JobSpec s = test::spec("j" + std::to_string(id), 4,
+                                Duration::minutes(10), std::move(user));
+    s.cred.group = std::move(group);
+    storage.push_back(std::make_unique<rms::Job>(
+        JobId{id}, s, test::rigid(Duration::minutes(1)), Time::epoch()));
+    return storage.back().get();
+  }
+};
+
+Credentials requester(std::string user = "evolver") {
+  return {std::move(user), "egrp", "", "batch", ""};
+}
+
+DelayedJob delayed(const rms::Job* j, std::int64_t seconds) {
+  return {j, Duration::seconds(seconds)};
+}
+
+TEST(DfsEngine, PolicyNoneAllowsEverything) {
+  Fixture f;
+  DfsConfig cfg;  // policy None
+  cfg.user["victim"] = {false, {}, {}};  // even a perm=0 user
+  DfsEngine engine(cfg);
+  EXPECT_EQ(engine.admit(requester(), {delayed(f.job(1, "victim"), 100000)}),
+            DfsVerdict::Allowed);
+}
+
+TEST(DfsEngine, PermissionVetoes) {
+  Fixture f;
+  DfsConfig cfg;
+  cfg.policy = DfsPolicy::TargetDelay;
+  cfg.user["victim"] = {false, {}, {}};
+  DfsEngine engine(cfg);
+  EXPECT_EQ(engine.admit(requester(), {delayed(f.job(1, "victim"), 1)}),
+            DfsVerdict::DeniedPermission);
+  // Zero-delay "victims" never matter.
+  EXPECT_EQ(engine.admit(requester(), {delayed(f.job(2, "victim"), 0)}),
+            DfsVerdict::Allowed);
+}
+
+TEST(DfsEngine, GroupPermissionVetoes) {
+  Fixture f;
+  DfsConfig cfg;
+  cfg.policy = DfsPolicy::TargetDelay;
+  cfg.group["group06"] = {false, {}, {}};
+  DfsEngine engine(cfg);
+  EXPECT_EQ(engine.admit(requester(),
+                         {delayed(f.job(1, "anyone", "group06"), 1)}),
+            DfsVerdict::DeniedPermission);
+}
+
+TEST(DfsEngine, SameUserDelaysIgnored) {
+  Fixture f;
+  DfsConfig cfg;
+  cfg.policy = DfsPolicy::SingleAndTargetDelay;
+  cfg.defaults = {false, Duration::seconds(1), Duration::seconds(1)};
+  DfsEngine engine(cfg);
+  // The delayed job belongs to the requesting user: always fine.
+  EXPECT_EQ(engine.admit(requester("selfish"),
+                         {delayed(f.job(1, "selfish"), 100000)}),
+            DfsVerdict::Allowed);
+}
+
+TEST(DfsEngine, SingleJobDelayCap) {
+  Fixture f;
+  DfsConfig cfg;
+  cfg.policy = DfsPolicy::SingleJobDelay;
+  cfg.user["victim"] = {true, Duration::seconds(1800), {}};
+  DfsEngine engine(cfg);
+  const rms::Job* j = f.job(1, "victim");
+  EXPECT_EQ(engine.admit(requester(), {delayed(j, 1800)}), DfsVerdict::Allowed);
+  EXPECT_EQ(engine.admit(requester(), {delayed(j, 1801)}),
+            DfsVerdict::DeniedSingleDelay);
+}
+
+TEST(DfsEngine, SingleJobDelayAccumulatesPerJob) {
+  Fixture f;
+  DfsConfig cfg;
+  cfg.policy = DfsPolicy::SingleJobDelay;
+  cfg.user["victim"] = {true, Duration::seconds(1000), {}};
+  DfsEngine engine(cfg);
+  const rms::Job* j = f.job(1, "victim");
+  ASSERT_EQ(engine.admit(requester(), {delayed(j, 600)}), DfsVerdict::Allowed);
+  engine.commit(requester(), {delayed(j, 600)});
+  EXPECT_EQ(engine.job_delay(JobId{1}), Duration::seconds(600));
+  EXPECT_EQ(engine.admit(requester(), {delayed(j, 500)}),
+            DfsVerdict::DeniedSingleDelay);
+  EXPECT_EQ(engine.admit(requester(), {delayed(j, 400)}), DfsVerdict::Allowed);
+}
+
+TEST(DfsEngine, JobStartClearsSingleJobAccount) {
+  Fixture f;
+  DfsConfig cfg;
+  cfg.policy = DfsPolicy::SingleJobDelay;
+  DfsEngine engine(cfg);
+  const rms::Job* j = f.job(1, "victim");
+  engine.commit(requester(), {delayed(j, 600)});
+  engine.on_job_started(JobId{1});
+  EXPECT_EQ(engine.job_delay(JobId{1}), Duration::zero());
+}
+
+TEST(DfsEngine, TargetDelayCapsCumulativePerUser) {
+  Fixture f;
+  DfsConfig cfg;
+  cfg.policy = DfsPolicy::TargetDelay;
+  cfg.defaults.target_delay = Duration::seconds(500);
+  DfsEngine engine(cfg);
+  const rms::Job* j1 = f.job(1, "victim");
+  const rms::Job* j2 = f.job(2, "victim");
+  // Two delays of the same user's jobs in one request sum up.
+  EXPECT_EQ(engine.admit(requester(), {delayed(j1, 300), delayed(j2, 300)}),
+            DfsVerdict::DeniedTargetDelay);
+  ASSERT_EQ(engine.admit(requester(), {delayed(j1, 300), delayed(j2, 200)}),
+            DfsVerdict::Allowed);
+  engine.commit(requester(), {delayed(j1, 300), delayed(j2, 200)});
+  EXPECT_EQ(engine.accumulated(DfsEntityKind::User, "victim"),
+            Duration::seconds(500));
+  EXPECT_EQ(engine.admit(requester(), {delayed(j1, 1)}),
+            DfsVerdict::DeniedTargetDelay);
+}
+
+TEST(DfsEngine, TargetDelayPerGroupMostRestrictive) {
+  Fixture f;
+  DfsConfig cfg;
+  cfg.policy = DfsPolicy::TargetDelay;
+  cfg.user["u1"] = {true, {}, Duration::seconds(10'000)};
+  cfg.group["group05"] = {true, {}, Duration::seconds(400)};
+  DfsEngine engine(cfg);
+  const rms::Job* j = f.job(1, "u1", "group05");
+  // The user limit would allow it; the group limit vetoes.
+  EXPECT_EQ(engine.admit(requester(), {delayed(j, 401)}),
+            DfsVerdict::DeniedTargetDelay);
+  EXPECT_EQ(engine.admit(requester(), {delayed(j, 399)}), DfsVerdict::Allowed);
+}
+
+TEST(DfsEngine, ZeroLimitMeansUnlimited) {
+  Fixture f;
+  DfsConfig cfg;
+  cfg.policy = DfsPolicy::SingleAndTargetDelay;
+  cfg.user["free"] = {true, Duration::zero(), Duration::zero()};
+  DfsEngine engine(cfg);
+  EXPECT_EQ(engine.admit(requester(), {delayed(f.job(1, "free"), 1'000'000)}),
+            DfsVerdict::Allowed);
+}
+
+TEST(DfsEngine, IntervalRollAppliesDecay) {
+  Fixture f;
+  DfsConfig cfg;
+  cfg.policy = DfsPolicy::TargetDelay;
+  cfg.interval = Duration::hours(1);
+  cfg.decay = 0.2;
+  cfg.defaults.target_delay = Duration::seconds(4800);
+  DfsEngine engine(cfg);
+  const rms::Job* j = f.job(1, "victim");
+  engine.commit(requester(), {delayed(j, 3600)});
+  // The paper's example: decay 0.2 carries 20% of 3600 = 720 forward.
+  engine.advance_to(Time::from_seconds(3601));
+  EXPECT_EQ(engine.accumulated(DfsEntityKind::User, "victim"),
+            Duration::seconds(720));
+  // So up to 4080 more seconds of delay fit this interval.
+  EXPECT_EQ(engine.admit(requester(), {delayed(j, 4080)}), DfsVerdict::Allowed);
+  EXPECT_EQ(engine.admit(requester(), {delayed(j, 4081)}),
+            DfsVerdict::DeniedTargetDelay);
+}
+
+TEST(DfsEngine, MultipleIntervalsCompoundDecay) {
+  Fixture f;
+  DfsConfig cfg;
+  cfg.policy = DfsPolicy::TargetDelay;
+  cfg.interval = Duration::hours(1);
+  cfg.decay = 0.5;
+  DfsEngine engine(cfg);
+  engine.commit(requester(), {delayed(f.job(1, "victim"), 1000)});
+  engine.advance_to(Time::from_seconds(2 * 3600 + 1));
+  EXPECT_EQ(engine.accumulated(DfsEntityKind::User, "victim"),
+            Duration::seconds(250));
+}
+
+TEST(DfsEngine, ZeroDecayResetsEachInterval) {
+  Fixture f;
+  DfsConfig cfg;
+  cfg.policy = DfsPolicy::TargetDelay;
+  cfg.interval = Duration::hours(1);
+  cfg.decay = 0.0;
+  DfsEngine engine(cfg);
+  engine.commit(requester(), {delayed(f.job(1, "victim"), 1000)});
+  engine.advance_to(Time::from_seconds(3601));
+  EXPECT_EQ(engine.accumulated(DfsEntityKind::User, "victim"),
+            Duration::zero());
+}
+
+TEST(DfsEngine, CommitChargesAllDimensions) {
+  Fixture f;
+  DfsConfig cfg;
+  cfg.policy = DfsPolicy::TargetDelay;
+  DfsEngine engine(cfg);
+  engine.commit(requester(), {delayed(f.job(1, "u1", "g1"), 100)});
+  EXPECT_EQ(engine.accumulated(DfsEntityKind::User, "u1"),
+            Duration::seconds(100));
+  EXPECT_EQ(engine.accumulated(DfsEntityKind::Group, "g1"),
+            Duration::seconds(100));
+  EXPECT_EQ(engine.accumulated(DfsEntityKind::JobClass, "batch"),
+            Duration::seconds(100));
+  EXPECT_EQ(engine.accumulated(DfsEntityKind::User, "other"),
+            Duration::zero());
+}
+
+TEST(DfsEngine, NegativeDelaysIgnored) {
+  Fixture f;
+  DfsConfig cfg;
+  cfg.policy = DfsPolicy::SingleAndTargetDelay;
+  cfg.defaults = {true, Duration::seconds(10), Duration::seconds(10)};
+  DfsEngine engine(cfg);
+  const rms::Job* j = f.job(1, "victim");
+  EXPECT_EQ(engine.admit(requester(), {{j, Duration::seconds(-50)}}),
+            DfsVerdict::Allowed);
+  engine.commit(requester(), {{j, Duration::seconds(-50)}});
+  EXPECT_EQ(engine.accumulated(DfsEntityKind::User, "victim"),
+            Duration::zero());
+}
+
+}  // namespace
+}  // namespace dbs::core

@@ -1,0 +1,93 @@
+#include "core/fairshare.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+
+namespace dbs::core {
+namespace {
+
+Credentials user(std::string u) { return {std::move(u), "", "", "", ""}; }
+
+FairshareConfig cfg() {
+  FairshareConfig c;
+  c.enabled = true;
+  c.interval = Duration::hours(1);
+  c.depth = 4;
+  c.decay = 0.5;
+  c.user_targets["alice"] = 60.0;
+  c.user_targets["bob"] = 40.0;
+  return c;
+}
+
+TEST(Fairshare, DisabledContributesNothing) {
+  Fairshare fs{FairshareConfig{}};
+  fs.record_usage(user("alice"), 100.0, Time::from_seconds(10));
+  EXPECT_DOUBLE_EQ(fs.component(user("alice")), 0.0);
+  EXPECT_DOUBLE_EQ(fs.effective_usage("alice"), 0.0);
+}
+
+TEST(Fairshare, UsageAccumulatesInCurrentWindow) {
+  Fairshare fs(cfg());
+  fs.record_usage(user("alice"), 100.0, Time::from_seconds(10));
+  fs.record_usage(user("alice"), 50.0, Time::from_seconds(20));
+  EXPECT_DOUBLE_EQ(fs.effective_usage("alice"), 150.0);
+}
+
+TEST(Fairshare, WindowsDecayAcrossIntervals) {
+  Fairshare fs(cfg());
+  fs.record_usage(user("alice"), 100.0, Time::from_seconds(10));
+  fs.advance_to(Time::from_seconds(3600 + 10));
+  // One window old: weighted by decay 0.5.
+  EXPECT_DOUBLE_EQ(fs.effective_usage("alice"), 50.0);
+  fs.advance_to(Time::from_seconds(2 * 3600 + 10));
+  EXPECT_DOUBLE_EQ(fs.effective_usage("alice"), 25.0);
+}
+
+TEST(Fairshare, DepthLimitsHistory) {
+  Fairshare fs(cfg());  // depth 4
+  fs.record_usage(user("alice"), 100.0, Time::from_seconds(10));
+  fs.advance_to(Time::from_seconds(10 * 3600));
+  EXPECT_DOUBLE_EQ(fs.effective_usage("alice"), 0.0);
+}
+
+TEST(Fairshare, ComponentReflectsTargetMinusUsage) {
+  Fairshare fs(cfg());
+  fs.record_usage(user("alice"), 300.0, Time::from_seconds(10));
+  fs.record_usage(user("bob"), 100.0, Time::from_seconds(10));
+  // alice used 75% with a 60% target -> negative component.
+  EXPECT_DOUBLE_EQ(fs.component(user("alice")), 60.0 - 75.0);
+  EXPECT_DOUBLE_EQ(fs.component(user("bob")), 40.0 - 25.0);
+}
+
+TEST(Fairshare, UnconfiguredUserHasNoComponent) {
+  Fairshare fs(cfg());
+  fs.record_usage(user("eve"), 500.0, Time::from_seconds(10));
+  EXPECT_DOUBLE_EQ(fs.component(user("eve")), 0.0);
+}
+
+TEST(Fairshare, ZeroUsageComponentIsTarget) {
+  Fairshare fs(cfg());
+  EXPECT_DOUBLE_EQ(fs.component(user("alice")), 60.0);
+}
+
+TEST(Fairshare, ConfigValidation) {
+  FairshareConfig bad = cfg();
+  bad.interval = Duration::zero();
+  EXPECT_THROW(Fairshare{bad}, precondition_error);
+  bad = cfg();
+  bad.depth = 0;
+  EXPECT_THROW(Fairshare{bad}, precondition_error);
+  bad = cfg();
+  bad.decay = 1.5;
+  EXPECT_THROW(Fairshare{bad}, precondition_error);
+}
+
+TEST(Fairshare, NegativeUsageRejected) {
+  Fairshare fs(cfg());
+  EXPECT_THROW(fs.record_usage(user("alice"), -1.0, Time::from_seconds(1)),
+               precondition_error);
+}
+
+}  // namespace
+}  // namespace dbs::core

@@ -1,0 +1,41 @@
+#include "core/partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+
+namespace dbs::core {
+namespace {
+
+Time at(std::int64_t s) { return Time::from_seconds(s); }
+
+TEST(Partition, RemovesCoresForever) {
+  AvailabilityProfile p(at(0), 32);
+  reserve_dynamic_partition(p, 8);
+  EXPECT_EQ(p.free_at(at(0)), 24);
+  EXPECT_EQ(p.free_at(at(1'000'000)), 24);
+}
+
+TEST(Partition, ZeroIsNoOp) {
+  AvailabilityProfile p(at(0), 32);
+  reserve_dynamic_partition(p, 0);
+  EXPECT_EQ(p.free_at(at(0)), 32);
+  EXPECT_EQ(p.breakpoints().size(), 1u);
+}
+
+TEST(Partition, ClampsWhenRunningJobsOverlap) {
+  AvailabilityProfile p(at(0), 32);
+  p.subtract(at(0), at(100), 30);  // running jobs already use 30
+  reserve_dynamic_partition(p, 8);
+  EXPECT_EQ(p.free_at(at(50)), 0);   // clamped, not negative
+  EXPECT_EQ(p.free_at(at(200)), 24);
+}
+
+TEST(Partition, WholeMachineRejected) {
+  AvailabilityProfile p(at(0), 32);
+  EXPECT_THROW(reserve_dynamic_partition(p, 32), precondition_error);
+  EXPECT_THROW(reserve_dynamic_partition(p, -1), precondition_error);
+}
+
+}  // namespace
+}  // namespace dbs::core

@@ -1,0 +1,126 @@
+#include "core/priority.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../testutil.hpp"
+#include "core/fairshare.hpp"
+
+namespace dbs::core {
+namespace {
+
+std::unique_ptr<rms::Job> job(std::uint64_t id, CoreCount cores,
+                              Duration walltime, Time submit,
+                              std::string user = "alice",
+                              bool exclusive = false) {
+  rms::JobSpec s = test::spec("j" + std::to_string(id), cores, walltime,
+                              std::move(user));
+  s.exclusive_priority = exclusive;
+  return std::make_unique<rms::Job>(JobId{id}, s,
+                                    test::rigid(Duration::minutes(1)), submit);
+}
+
+TEST(PriorityEngine, QueueTimeGrowsPriority) {
+  const PriorityEngine engine({}, {}, nullptr);
+  auto j = job(1, 4, Duration::minutes(10), Time::epoch());
+  const double early = engine.priority(*j, Time::from_seconds(60));
+  const double late = engine.priority(*j, Time::from_seconds(600));
+  EXPECT_GT(late, early);
+  EXPECT_DOUBLE_EQ(early, 1.0);  // one minute queued, weight 1/min
+}
+
+TEST(PriorityEngine, XFactorFavoursShortJobs) {
+  PriorityWeights w;
+  w.queue_time_per_minute = 0.0;
+  w.xfactor = 1.0;
+  const PriorityEngine engine(w, {}, nullptr);
+  auto short_j = job(1, 4, Duration::minutes(10), Time::epoch());
+  auto long_j = job(2, 4, Duration::hours(10), Time::epoch());
+  const Time now = Time::from_seconds(3600);
+  EXPECT_GT(engine.priority(*short_j, now), engine.priority(*long_j, now));
+}
+
+TEST(PriorityEngine, ResourceWeightFavoursBigJobs) {
+  PriorityWeights w;
+  w.queue_time_per_minute = 0.0;
+  w.per_core = 1.0;
+  const PriorityEngine engine(w, {}, nullptr);
+  auto small = job(1, 4, Duration::minutes(10), Time::epoch());
+  auto big = job(2, 64, Duration::minutes(10), Time::epoch());
+  EXPECT_GT(engine.priority(*big, Time::epoch()),
+            engine.priority(*small, Time::epoch()));
+}
+
+TEST(PriorityEngine, CredPriorities) {
+  PriorityWeights w;
+  w.queue_time_per_minute = 0.0;
+  w.cred = 1.0;
+  CredPriorities cred;
+  cred.user["vip"] = 1000.0;
+  cred.group["grp"] = 10.0;
+  const PriorityEngine engine(w, cred, nullptr);
+  auto vip = job(1, 4, Duration::minutes(10), Time::epoch(), "vip");
+  auto pleb = job(2, 4, Duration::minutes(10), Time::epoch(), "pleb");
+  EXPECT_DOUBLE_EQ(engine.priority(*vip, Time::epoch()), 1010.0);
+  EXPECT_DOUBLE_EQ(engine.priority(*pleb, Time::epoch()), 10.0);
+}
+
+TEST(PriorityEngine, PrioritizeSortsDescending) {
+  const PriorityEngine engine({}, {}, nullptr);
+  auto a = job(1, 4, Duration::minutes(10), Time::from_seconds(100));
+  auto b = job(2, 4, Duration::minutes(10), Time::from_seconds(0));
+  auto c = job(3, 4, Duration::minutes(10), Time::from_seconds(50));
+  const auto sorted = engine.prioritize(
+      std::vector<const rms::Job*>{a.get(), b.get(), c.get()},
+      Time::from_seconds(200));
+  EXPECT_EQ(sorted[0]->id(), JobId{2});  // longest queued
+  EXPECT_EQ(sorted[1]->id(), JobId{3});
+  EXPECT_EQ(sorted[2]->id(), JobId{1});
+}
+
+TEST(PriorityEngine, ExclusiveAlwaysFirst) {
+  const PriorityEngine engine({}, {}, nullptr);
+  auto old_job = job(1, 4, Duration::minutes(10), Time::epoch());
+  auto z = job(2, 128, Duration::minutes(10), Time::from_seconds(9000), "zuser",
+               /*exclusive=*/true);
+  const auto sorted = engine.prioritize(
+      std::vector<const rms::Job*>{old_job.get(), z.get()},
+      Time::from_seconds(10000));
+  EXPECT_EQ(sorted[0]->id(), JobId{2});
+}
+
+TEST(PriorityEngine, TiesBreakBySubmissionThenId) {
+  PriorityWeights w;
+  w.queue_time_per_minute = 0.0;  // all priorities equal
+  const PriorityEngine engine(w, {}, nullptr);
+  auto a = job(5, 4, Duration::minutes(10), Time::from_seconds(10));
+  auto b = job(3, 4, Duration::minutes(10), Time::from_seconds(10));
+  auto c = job(4, 4, Duration::minutes(10), Time::from_seconds(5));
+  const auto sorted = engine.prioritize(
+      std::vector<const rms::Job*>{a.get(), b.get(), c.get()},
+      Time::from_seconds(100));
+  EXPECT_EQ(sorted[0]->id(), JobId{4});  // earliest submit
+  EXPECT_EQ(sorted[1]->id(), JobId{3});  // then lower id
+  EXPECT_EQ(sorted[2]->id(), JobId{5});
+}
+
+TEST(PriorityEngine, FairshareComponentApplied) {
+  FairshareConfig fs_cfg;
+  fs_cfg.enabled = true;
+  fs_cfg.user_targets["alice"] = 50.0;
+  fs_cfg.user_targets["bob"] = 50.0;
+  Fairshare fs(fs_cfg);
+  // alice consumed everything so far.
+  fs.record_usage({"alice", "", "", "", ""}, 1000.0, Time::from_seconds(1));
+
+  PriorityWeights w;
+  w.queue_time_per_minute = 0.0;
+  w.fairshare = 1.0;
+  const PriorityEngine engine(w, {}, &fs);
+  auto alice = job(1, 4, Duration::minutes(10), Time::epoch(), "alice");
+  auto bob = job(2, 4, Duration::minutes(10), Time::epoch(), "bob");
+  EXPECT_LT(engine.priority(*alice, Time::from_seconds(10)),
+            engine.priority(*bob, Time::from_seconds(10)));
+}
+
+}  // namespace
+}  // namespace dbs::core

@@ -1,0 +1,52 @@
+#include "core/reservation_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+
+namespace dbs::core {
+namespace {
+
+Reservation res(std::uint64_t job, std::int64_t start, std::int64_t end,
+                CoreCount cores, bool now = false) {
+  return {JobId{job}, Time::from_seconds(start), Time::from_seconds(end),
+          cores, now, false};
+}
+
+TEST(ReservationTable, AddAndFind) {
+  ReservationTable t;
+  t.add(res(1, 0, 100, 8, true));
+  t.add(res(2, 100, 200, 16));
+  EXPECT_EQ(t.size(), 2u);
+  ASSERT_NE(t.find(JobId{2}), nullptr);
+  EXPECT_EQ(t.find(JobId{2})->cores, 16);
+  EXPECT_EQ(t.find(JobId{3}), nullptr);
+}
+
+TEST(ReservationTable, Counts) {
+  ReservationTable t;
+  t.add(res(1, 0, 100, 8, true));
+  t.add(res(2, 0, 50, 4, true));
+  t.add(res(3, 100, 200, 16));
+  EXPECT_EQ(t.start_now_count(), 2u);
+  EXPECT_EQ(t.start_later_count(), 1u);
+}
+
+TEST(ReservationTable, Validation) {
+  ReservationTable t;
+  EXPECT_THROW(t.add(res(1, 100, 100, 8)), precondition_error);  // empty
+  EXPECT_THROW(t.add(res(1, 0, 100, 0)), precondition_error);    // no cores
+  t.add(res(1, 0, 100, 8));
+  EXPECT_THROW(t.add(res(1, 200, 300, 8)), precondition_error);  // duplicate
+}
+
+TEST(ReservationTable, ClearEmpties) {
+  ReservationTable t;
+  t.add(res(1, 0, 100, 8));
+  t.clear();
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.find(JobId{1}), nullptr);
+}
+
+}  // namespace
+}  // namespace dbs::core

@@ -1,0 +1,59 @@
+// Every simulation must be exactly reproducible: same seed, same events,
+// same timings, bit-identical metrics.
+#include <gtest/gtest.h>
+
+#include "batch/experiment.hpp"
+#include "workload/synthetic.hpp"
+
+namespace dbs::batch {
+namespace {
+
+SystemConfig config() {
+  SystemConfig c;
+  c.cluster.node_count = 8;
+  c.cluster.cores_per_node = 8;
+  c.scheduler.reservation_depth = 3;
+  c.scheduler.reservation_delay_depth = 5;
+  c.scheduler.dfs.policy = core::DfsPolicy::TargetDelay;
+  c.scheduler.dfs.defaults.target_delay = Duration::seconds(600);
+  return c;
+}
+
+TEST(Determinism, IdenticalRunsBitForBit) {
+  wl::SyntheticParams p;
+  p.job_count = 150;
+  p.total_cores = 64;
+  p.evolving_fraction = 0.4;
+  p.seed = 7;
+  const wl::Workload workload = generate_synthetic(p);
+
+  const RunResult a = run_workload(config(), workload, "a");
+  const RunResult b = run_workload(config(), workload, "b");
+
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.scheduler_iterations, b.scheduler_iterations);
+  EXPECT_EQ(a.summary.makespan, b.summary.makespan);
+  EXPECT_EQ(a.summary.satisfied_dyn_jobs, b.summary.satisfied_dyn_jobs);
+  ASSERT_EQ(a.jobs.size(), b.jobs.size());
+  for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+    EXPECT_EQ(a.jobs[i].start, b.jobs[i].start) << i;
+    EXPECT_EQ(a.jobs[i].end, b.jobs[i].end) << i;
+    EXPECT_EQ(a.jobs[i].dyn_grants, b.jobs[i].dyn_grants) << i;
+    EXPECT_EQ(a.jobs[i].backfilled, b.jobs[i].backfilled) << i;
+  }
+}
+
+TEST(Determinism, SeedChangesOutcome) {
+  wl::SyntheticParams p;
+  p.job_count = 150;
+  p.total_cores = 64;
+  p.evolving_fraction = 0.4;
+  p.seed = 7;
+  const RunResult a = run_workload(config(), generate_synthetic(p), "a");
+  p.seed = 8;
+  const RunResult b = run_workload(config(), generate_synthetic(p), "b");
+  EXPECT_NE(a.summary.makespan, b.summary.makespan);
+}
+
+}  // namespace
+}  // namespace dbs::batch

@@ -1,0 +1,143 @@
+// The headline reproduction: the Table II orderings of the paper's
+// evaluation must hold on the dynamic ESP workload.
+#include "batch/esp_experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace dbs::batch {
+namespace {
+
+const std::vector<RunResult>& results() {
+  static const std::vector<RunResult> r = run_esp_all(EspExperimentParams{});
+  return r;
+}
+
+const RunResult& get(EspConfig c) {
+  return results()[static_cast<std::size_t>(c)];
+}
+
+TEST(EspExperiment, AllJobsComplete) {
+  for (const RunResult& r : results()) {
+    EXPECT_EQ(r.summary.jobs_submitted, 230u) << r.label;
+    EXPECT_EQ(r.summary.jobs_completed, 230u) << r.label;
+  }
+}
+
+TEST(EspExperiment, StaticHasNoDynamicActivity) {
+  EXPECT_EQ(get(EspConfig::Static).summary.evolving_jobs, 0u);
+  EXPECT_EQ(get(EspConfig::Static).summary.satisfied_dyn_jobs, 0u);
+}
+
+TEST(EspExperiment, DynamicConfigsHave69EvolvingJobs) {
+  for (const EspConfig c :
+       {EspConfig::DynHP, EspConfig::Dyn500, EspConfig::Dyn600})
+    EXPECT_EQ(get(c).summary.evolving_jobs, 69u) << to_string(c);
+}
+
+TEST(EspExperiment, SatisfiedOrderingMatchesPaper) {
+  // Paper: 43 (HP) > 27 (600) > 20 (500) > 0 (static).
+  const std::size_t hp = get(EspConfig::DynHP).summary.satisfied_dyn_jobs;
+  const std::size_t d600 = get(EspConfig::Dyn600).summary.satisfied_dyn_jobs;
+  const std::size_t d500 = get(EspConfig::Dyn500).summary.satisfied_dyn_jobs;
+  EXPECT_GT(hp, d600);
+  EXPECT_GT(d600, d500);
+  EXPECT_GT(d500, 0u);
+  // Magnitude sanity: HP satisfies a majority-ish share, as in the paper.
+  EXPECT_GE(hp, 35u);
+  EXPECT_LE(hp, 60u);
+}
+
+TEST(EspExperiment, MakespanOrderingMatchesPaper) {
+  // Paper: Static 265.78 > Dyn-500 248.85 > Dyn-600 241.06 > Dyn-HP 238.78.
+  const Duration stat = get(EspConfig::Static).summary.makespan;
+  const Duration hp = get(EspConfig::DynHP).summary.makespan;
+  const Duration d500 = get(EspConfig::Dyn500).summary.makespan;
+  const Duration d600 = get(EspConfig::Dyn600).summary.makespan;
+  EXPECT_GT(stat, d500);
+  EXPECT_GT(d500, d600);
+  EXPECT_GT(d600, hp);
+}
+
+TEST(EspExperiment, UtilizationAndThroughputImproveWithDynamics) {
+  const auto& stat = get(EspConfig::Static).summary;
+  const auto& hp = get(EspConfig::DynHP).summary;
+  EXPECT_GT(hp.utilization, stat.utilization);
+  EXPECT_GT(hp.throughput_jobs_per_min, stat.throughput_jobs_per_min);
+  // Utilization in a plausible band (paper: 77-85%).
+  EXPECT_GT(stat.utilization, 60.0);
+  EXPECT_LT(hp.utilization, 95.0);
+}
+
+TEST(EspExperiment, BackfillOrderingMatchesPaper) {
+  // Paper §IV-B: "Dynamic-HP backfills the greatest number of jobs,
+  // followed by the Dynamic-600 and Dynamic-500 configurations."
+  EXPECT_GT(get(EspConfig::DynHP).summary.backfilled_jobs,
+            get(EspConfig::Dyn600).summary.backfilled_jobs);
+  EXPECT_GE(get(EspConfig::Dyn600).summary.backfilled_jobs,
+            get(EspConfig::Dyn500).summary.backfilled_jobs);
+}
+
+TEST(EspExperiment, FairnessFlattensTypeLWaits) {
+  // Paper Figs. 9/10: under the restrictive fairness policy the waiting
+  // times stay close to the static scenario, while Dyn-HP perturbs them
+  // heavily. Compare the mean absolute deviation of type-L waits from the
+  // static run.
+  const auto static_waits = get(EspConfig::Static).waits_of_type("L");
+  const auto deviation = [&](const RunResult& r) {
+    const auto waits = r.waits_of_type("L");
+    double sum = 0.0;
+    for (std::size_t i = 0; i < waits.size(); ++i)
+      sum += std::abs(
+          (waits[i].wait - static_waits[i].wait).as_seconds());
+    return sum / static_cast<double>(waits.size());
+  };
+  EXPECT_LT(deviation(get(EspConfig::Dyn500)),
+            0.5 * deviation(get(EspConfig::DynHP)));
+}
+
+TEST(EspExperiment, ZJobsDrainTheQueue) {
+  for (const RunResult& r : results()) {
+    const auto& jobs = r.jobs;
+    const auto& z1 = jobs[228];
+    const auto& z2 = jobs[229];
+    ASSERT_TRUE(z1.completed() && z2.completed()) << r.label;
+    // Drain: while a Z job is queued no other job starts. So no non-Z job
+    // starts between Z1's submission and Z1's start...
+    for (std::size_t i = 0; i < 228; ++i) {
+      EXPECT_FALSE(*jobs[i].start > z1.submit && *jobs[i].start < *z1.start)
+          << r.label << " job " << i << " started during Z1 drain";
+      // ...nor between Z1's start (Z2 still queued) and Z2's start.
+      EXPECT_FALSE(*jobs[i].start > *z1.start && *jobs[i].start < *z2.start)
+          << r.label << " job " << i << " started during Z2 drain";
+    }
+    // Z jobs own the whole machine, so they run strictly one after another.
+    EXPECT_GE(*z2.start, *z1.end) << r.label;
+  }
+}
+
+TEST(EspExperiment, PapersActual15NodeMachineAlsoWorks) {
+  // The paper ran on 15 nodes x 8 = 120 cores (ESP fractions rounded to
+  // the nearest core). The whole pipeline must hold up there too.
+  EspExperimentParams params;
+  params.workload.total_cores = 120;
+  const RunResult stat = run_esp(params, EspConfig::Static);
+  const RunResult hp = run_esp(params, EspConfig::DynHP);
+  EXPECT_EQ(stat.summary.jobs_completed, 230u);
+  EXPECT_EQ(hp.summary.jobs_completed, 230u);
+  EXPECT_GT(hp.summary.satisfied_dyn_jobs, 20u);
+  EXPECT_LT(hp.summary.makespan, stat.summary.makespan);
+  EXPECT_GT(hp.summary.utilization, stat.summary.utilization);
+}
+
+TEST(EspExperiment, DeterministicAcrossRuns) {
+  const RunResult again = run_esp(EspExperimentParams{}, EspConfig::Dyn600);
+  EXPECT_EQ(again.summary.makespan, get(EspConfig::Dyn600).summary.makespan);
+  EXPECT_EQ(again.summary.satisfied_dyn_jobs,
+            get(EspConfig::Dyn600).summary.satisfied_dyn_jobs);
+  EXPECT_EQ(again.events, get(EspConfig::Dyn600).events);
+}
+
+}  // namespace
+}  // namespace dbs::batch

@@ -1,0 +1,120 @@
+// Full lifecycle of evolving jobs through scheduler + RMS + application.
+#include <gtest/gtest.h>
+
+#include "../testutil.hpp"
+#include "batch/batch_system.hpp"
+
+namespace dbs::batch {
+namespace {
+
+SystemConfig config(std::size_t nodes) {
+  SystemConfig c;
+  c.cluster.node_count = nodes;
+  c.cluster.cores_per_node = 8;
+  c.latency = rms::LatencyModel::zero();
+  c.scheduler.reservation_depth = 5;
+  c.scheduler.reservation_delay_depth = 5;
+  return c;
+}
+
+wl::Behavior evolving(std::int64_t set_seconds) {
+  wl::Behavior b;
+  b.static_runtime = Duration::seconds(set_seconds);
+  b.evolving = true;
+  b.ask_cores = 4;
+  return b;
+}
+
+TEST(EvolvingEndToEnd, GrantAtSixteenPercent) {
+  BatchSystem sys(config(2));
+  const JobId id = sys.submit_now(test::spec("e", 8, Duration::seconds(1000)),
+                                  apps::make_application(evolving(1000)));
+  sys.run();
+  const auto& r = sys.recorder().record(id);
+  EXPECT_EQ(r.dyn_requests, 1);
+  EXPECT_EQ(r.dyn_grants, 1);
+  EXPECT_EQ(*r.end - *r.start, Duration::micros(666'666'667));
+}
+
+TEST(EvolvingEndToEnd, BothAttemptsFailOnFullMachine) {
+  BatchSystem sys(config(1));
+  const JobId id = sys.submit_now(test::spec("e", 8, Duration::seconds(1000)),
+                                  apps::make_application(evolving(1000)));
+  sys.run();
+  const auto& r = sys.recorder().record(id);
+  EXPECT_EQ(r.dyn_requests, 2);
+  EXPECT_EQ(r.dyn_rejects, 2);
+  EXPECT_EQ(r.dyn_grants, 0);
+  EXPECT_EQ(*r.end - *r.start, Duration::seconds(1000));
+}
+
+TEST(EvolvingEndToEnd, RetrySucceedsAfterResourcesFree) {
+  BatchSystem sys(config(2));
+  // Blocker holds the second node across the 16% mark (160s) but ends
+  // before the 25% retry (250s).
+  sys.submit_now(test::spec("blocker", 8, Duration::seconds(1000), "bob"),
+                 test::rigid(Duration::seconds(200)));
+  const JobId id = sys.submit_now(test::spec("e", 8, Duration::seconds(1000)),
+                                  apps::make_application(evolving(1000)));
+  sys.run();
+  const auto& r = sys.recorder().record(id);
+  EXPECT_EQ(r.dyn_requests, 2);
+  EXPECT_EQ(r.dyn_rejects, 1);
+  EXPECT_EQ(r.dyn_grants, 1);
+  // Grant at 250s under PaperDet: finish at SET*8/12 ~ 666.7s.
+  EXPECT_EQ(*r.end - *r.start, Duration::micros(666'666'667));
+}
+
+TEST(EvolvingEndToEnd, FifoOrderAmongRequests) {
+  // Two evolving jobs whose asks land in the same scheduling iteration but
+  // only 4 idle cores exist: the first submitter wins.
+  BatchSystem sys(config(3));  // 24 cores
+  const JobId e1 = sys.submit_now(test::spec("e1", 10, Duration::seconds(1000)),
+                                  apps::make_application(evolving(1000)));
+  const JobId e2 =
+      sys.submit_now(test::spec("e2", 10, Duration::seconds(1000), "bob"),
+                     apps::make_application(evolving(1000)));
+  sys.run();
+  // 4 idle cores; both ask +4 at t=160. FIFO: e1 granted, e2 rejected at
+  // 160, then its 250s retry also fails (e1 holds the cores).
+  EXPECT_EQ(sys.recorder().record(e1).dyn_grants, 1);
+  EXPECT_EQ(sys.recorder().record(e2).dyn_grants, 0);
+  EXPECT_EQ(sys.recorder().record(e2).dyn_rejects, 2);
+}
+
+TEST(EvolvingEndToEnd, ExpandedCoresAreReleasedAtCompletion) {
+  BatchSystem sys(config(2));
+  const JobId e = sys.submit_now(test::spec("e", 8, Duration::seconds(1000)),
+                                 apps::make_application(evolving(1000)));
+  sys.submit_at(Time::from_seconds(300),
+                test::spec("later", 16, Duration::seconds(500), "bob"),
+                [] { return test::rigid(Duration::seconds(100)); });
+  sys.run();
+  const auto& r_e = sys.recorder().record(e);
+  const auto& r_l = sys.recorder().record(JobId{1});
+  // The 16-core job fits only after the evolving job (12 cores) finishes.
+  EXPECT_EQ(*r_l.start, *r_e.end);
+  EXPECT_EQ(sys.cluster().free_cores(), 16);
+}
+
+TEST(EvolvingEndToEnd, MultipleEvolversInterleave) {
+  BatchSystem sys(config(4));  // 32 cores
+  std::vector<JobId> ids;
+  for (int i = 0; i < 3; ++i)
+    ids.push_back(sys.submit_now(
+        test::spec("e" + std::to_string(i), 8, Duration::seconds(600),
+                   "u" + std::to_string(i)),
+        apps::make_application(evolving(600))));
+  sys.run();
+  // 8 idle cores serve two +4 asks; the third is rejected twice.
+  int grants = 0, rejects = 0;
+  for (const JobId id : ids) {
+    grants += sys.recorder().record(id).dyn_grants;
+    rejects += sys.recorder().record(id).dyn_rejects;
+  }
+  EXPECT_EQ(grants, 2);
+  EXPECT_EQ(rejects, 2);
+}
+
+}  // namespace
+}  // namespace dbs::batch

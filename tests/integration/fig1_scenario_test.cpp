@@ -1,0 +1,115 @@
+// The paper's Fig. 1 scenario: a dynamic allocation to running job A delays
+// queued job C's reservation — and the DFS policies control whether that is
+// allowed.
+#include <gtest/gtest.h>
+
+#include "../testutil.hpp"
+#include "apps/app_model.hpp"
+#include "batch/batch_system.hpp"
+
+namespace dbs::batch {
+namespace {
+
+// 6 nodes x 8 cores; "hours" compressed to minutes for test speed.
+SystemConfig fig1_config(core::DfsPolicy policy,
+                         Duration single_limit = Duration::zero()) {
+  SystemConfig c;
+  c.cluster.node_count = 6;
+  c.cluster.cores_per_node = 8;
+  c.latency = rms::LatencyModel::zero();
+  c.scheduler.reservation_depth = 5;
+  c.scheduler.reservation_delay_depth = 5;
+  c.scheduler.dfs.policy = policy;
+  c.scheduler.dfs.defaults.single_delay = single_limit;
+  return c;
+}
+
+struct Fig1 {
+  JobId a, b, c;
+  std::unique_ptr<BatchSystem> sys;
+};
+
+// Job A: 2 nodes for 8 "hours" (minutes), asks for 2 more nodes at t=2min.
+// Job B: 2 nodes for 4 minutes. Job C: queued, needs 4 nodes.
+Fig1 build(core::DfsPolicy policy, Duration single_limit = Duration::zero()) {
+  Fig1 f;
+  f.sys = std::make_unique<BatchSystem>(fig1_config(policy, single_limit));
+  auto app_a = std::make_unique<apps::ScriptedApp>(
+      Duration::minutes(8),
+      std::vector<apps::ScriptedApp::Step>{
+          {Duration::minutes(2), /*grow=*/16, 0, 1.0, Duration::zero()}});
+  f.a = f.sys->submit_now(test::spec("A", 16, Duration::minutes(8)),
+                          std::move(app_a));
+  f.b = f.sys->submit_now(test::spec("B", 16, Duration::minutes(4), "bob"),
+                          test::rigid(Duration::minutes(4)));
+  f.c = f.sys->submit_now(test::spec("C", 32, Duration::minutes(4), "carol"),
+                          test::rigid(Duration::minutes(4)));
+  return f;
+}
+
+TEST(Fig1Scenario, WithoutFairnessDynamicDelaysC) {
+  Fig1 f = build(core::DfsPolicy::None);
+  f.sys->run();
+  // A grabbed nodes 4-5 at t=2; C could have started at t=4 (B's end) but
+  // now must wait for A's walltime end at t=8.
+  EXPECT_EQ(f.sys->recorder().record(f.a).dyn_grants, 1);
+  EXPECT_EQ(*f.sys->recorder().record(f.c).start,
+            Time::epoch() + Duration::minutes(8));
+}
+
+TEST(Fig1Scenario, SingleJobDelayPolicyProtectsC) {
+  // C may be delayed at most 1 minute; A's grab would delay it 4 -> denied.
+  Fig1 f = build(core::DfsPolicy::SingleJobDelay, Duration::minutes(1));
+  f.sys->run();
+  EXPECT_EQ(f.sys->recorder().record(f.a).dyn_grants, 0);
+  EXPECT_GE(f.sys->recorder().record(f.a).dyn_rejects, 1);
+  EXPECT_EQ(*f.sys->recorder().record(f.c).start,
+            Time::epoch() + Duration::minutes(4));
+}
+
+TEST(Fig1Scenario, GenerousSingleLimitAllowsGrab) {
+  Fig1 f = build(core::DfsPolicy::SingleJobDelay, Duration::minutes(30));
+  f.sys->run();
+  EXPECT_EQ(f.sys->recorder().record(f.a).dyn_grants, 1);
+}
+
+TEST(Fig1Scenario, DelayPermissionZeroBlocksAnyDelay) {
+  SystemConfig cfg = fig1_config(core::DfsPolicy::TargetDelay);
+  cfg.scheduler.dfs.user["carol"] = {/*delay_perm=*/false, {}, {}};
+  BatchSystem sys(cfg);
+  auto app_a = std::make_unique<apps::ScriptedApp>(
+      Duration::minutes(8),
+      std::vector<apps::ScriptedApp::Step>{
+          {Duration::minutes(2), 16, 0, 1.0, Duration::zero()}});
+  const JobId a = sys.submit_now(test::spec("A", 16, Duration::minutes(8)),
+                                 std::move(app_a));
+  sys.submit_now(test::spec("B", 16, Duration::minutes(4), "bob"),
+                 test::rigid(Duration::minutes(4)));
+  sys.submit_now(test::spec("C", 32, Duration::minutes(4), "carol"),
+                 test::rigid(Duration::minutes(4)));
+  sys.run();
+  EXPECT_EQ(sys.recorder().record(a).dyn_grants, 0);
+}
+
+TEST(Fig1Scenario, SameUserDelayIsIgnored) {
+  // C belongs to A's user: the delay does not count, the grab is allowed
+  // even under a strict policy.
+  SystemConfig cfg = fig1_config(core::DfsPolicy::SingleJobDelay,
+                                 Duration::seconds(1));
+  BatchSystem sys(cfg);
+  auto app_a = std::make_unique<apps::ScriptedApp>(
+      Duration::minutes(8),
+      std::vector<apps::ScriptedApp::Step>{
+          {Duration::minutes(2), 16, 0, 1.0, Duration::zero()}});
+  const JobId a = sys.submit_now(test::spec("A", 16, Duration::minutes(8)),
+                                 std::move(app_a));
+  sys.submit_now(test::spec("B", 16, Duration::minutes(4), "bob"),
+                 test::rigid(Duration::minutes(4)));
+  sys.submit_now(test::spec("C", 32, Duration::minutes(4), "alice"),
+                 test::rigid(Duration::minutes(4)));
+  sys.run();
+  EXPECT_EQ(sys.recorder().record(a).dyn_grants, 1);
+}
+
+}  // namespace
+}  // namespace dbs::batch

@@ -1,0 +1,77 @@
+// The negotiation extension end to end: a timed-out request stays queued and
+// is granted as soon as resources appear within the timeout.
+#include <gtest/gtest.h>
+
+#include "../testutil.hpp"
+#include "apps/app_model.hpp"
+#include "batch/batch_system.hpp"
+
+namespace dbs::batch {
+namespace {
+
+SystemConfig config() {
+  SystemConfig c;
+  c.cluster.node_count = 2;
+  c.cluster.cores_per_node = 8;
+  c.latency = rms::LatencyModel::zero();
+  c.scheduler.poll_interval = Duration::seconds(10);
+  return c;
+}
+
+TEST(Negotiation, RequestGrantedWhenResourcesAppearWithinTimeout) {
+  BatchSystem sys(config());
+  // The whole second node is busy until t=300; the evolving job asks at
+  // t=60 with a 5-minute negotiation timeout.
+  sys.submit_now(test::spec("blocker", 8, Duration::minutes(10), "bob"),
+                 test::rigid(Duration::seconds(300)));
+  auto app = std::make_unique<apps::ScriptedApp>(
+      Duration::minutes(10),
+      std::vector<apps::ScriptedApp::Step>{
+          {Duration::minutes(1), /*grow=*/8, 0, 1.0, Duration::minutes(5)}});
+  const apps::ScriptedApp* papp = app.get();
+  const JobId evo = sys.submit_now(test::spec("evo", 8, Duration::minutes(12)),
+                                   std::move(app));
+  sys.run();
+  EXPECT_EQ(papp->grants(), 1);
+  EXPECT_EQ(papp->rejects(), 0);
+  const auto& r = sys.recorder().record(evo);
+  EXPECT_EQ(r.dyn_grants, 1);
+  EXPECT_EQ(r.dyn_rejects, 0);
+}
+
+TEST(Negotiation, RequestFinallyRejectedAfterTimeout) {
+  BatchSystem sys(config());
+  sys.submit_now(test::spec("blocker", 8, Duration::minutes(20), "bob"),
+                 test::rigid(Duration::minutes(20)));
+  auto app = std::make_unique<apps::ScriptedApp>(
+      Duration::minutes(10),
+      std::vector<apps::ScriptedApp::Step>{
+          {Duration::minutes(1), 8, 0, 1.0, Duration::minutes(2)}});
+  const apps::ScriptedApp* papp = app.get();
+  const JobId evo = sys.submit_now(test::spec("evo", 8, Duration::minutes(12)),
+                                   std::move(app));
+  sys.run();
+  EXPECT_EQ(papp->grants(), 0);
+  EXPECT_EQ(papp->rejects(), 1);
+  EXPECT_EQ(sys.recorder().record(evo).dyn_rejects, 1);
+}
+
+TEST(Negotiation, WithoutTimeoutRejectionIsImmediate) {
+  BatchSystem sys(config());
+  sys.submit_now(test::spec("blocker", 8, Duration::minutes(20), "bob"),
+                 test::rigid(Duration::minutes(20)));
+  auto app = std::make_unique<apps::ScriptedApp>(
+      Duration::minutes(10),
+      std::vector<apps::ScriptedApp::Step>{
+          {Duration::minutes(1), 8, 0, 1.0, Duration::zero()}});
+  const JobId evo = sys.submit_now(test::spec("evo", 8, Duration::minutes(12)),
+                                   std::move(app));
+  sys.run();
+  const auto& r = sys.recorder().record(evo);
+  EXPECT_EQ(r.dyn_rejects, 1);
+  // The job went back to Running right away and completed at its base time.
+  EXPECT_EQ(*r.end - *r.start, Duration::minutes(10));
+}
+
+}  // namespace
+}  // namespace dbs::batch

@@ -1,0 +1,75 @@
+// Fig. 7 reproduction: the Quadflow case study shapes.
+#include "batch/quadflow_experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace dbs::batch {
+namespace {
+
+TEST(QuadflowExperiment, FlatPlateSavingNearPaper) {
+  const QuadflowFigure fig = quadflow_figure(amr::flat_plate_case());
+  // Paper: the dynamic run was 17% faster than static-16 (saving ~3h).
+  EXPECT_NEAR(fig.saving_percent, 17.0, 3.0);
+  const double saved_hours = (fig.static_small.total().as_seconds() -
+                              fig.dynamic.total().as_seconds()) / 3600.0;
+  EXPECT_NEAR(saved_hours, 3.0, 1.0);
+}
+
+TEST(QuadflowExperiment, CylinderSavingNearPaper) {
+  const QuadflowFigure fig = quadflow_figure(amr::cylinder_case());
+  // Paper: 33% faster, saving ~10 hours.
+  EXPECT_NEAR(fig.saving_percent, 33.0, 4.0);
+  const double saved_hours = (fig.static_small.total().as_seconds() -
+                              fig.dynamic.total().as_seconds()) / 3600.0;
+  EXPECT_NEAR(saved_hours, 10.0, 2.0);
+}
+
+TEST(QuadflowExperiment, FlatPlatePrefixIdenticalFor16And32) {
+  // Paper: "the time taken until the final grid adaptation level is
+  // identical when executed with 16 or 32 cores".
+  const QuadflowFigure fig = quadflow_figure(amr::flat_plate_case());
+  const auto& s16 = fig.static_small.phase_durations;
+  const auto& s32 = fig.static_large.phase_durations;
+  ASSERT_EQ(s16.size(), 3u);
+  EXPECT_EQ(s16[0], s32[0]);
+  EXPECT_EQ(s16[1], s32[1]);
+  EXPECT_LT(s32[2], s16[2]);
+}
+
+TEST(QuadflowExperiment, DynamicMatchesStaticUntilExpansion) {
+  for (const auto& c : {amr::flat_plate_case(), amr::cylinder_case()}) {
+    const QuadflowFigure fig = quadflow_figure(c);
+    ASSERT_TRUE(fig.dynamic.expand_phase.has_value()) << c.name;
+    EXPECT_EQ(*fig.dynamic.expand_phase, c.cells_per_phase.size() - 1)
+        << c.name;  // the final adaptation triggers the request
+    for (std::size_t p = 0; p < *fig.dynamic.expand_phase; ++p)
+      EXPECT_EQ(fig.dynamic.phase_durations[p],
+                fig.static_small.phase_durations[p])
+          << c.name << " phase " << p;
+  }
+}
+
+TEST(QuadflowExperiment, BatchRunMatchesAnalyticModel) {
+  // Small case through the full batch system: turnaround equals the model
+  // total up to protocol latencies.
+  const amr::QuadflowCase c = amr::cylinder_case_small();
+  const QuadflowFigure fig = quadflow_figure(c);
+  const Duration turnaround = quadflow_batch_turnaround(c, 16, 16, 6, 8);
+  const double diff = std::abs(turnaround.as_seconds() -
+                               fig.dynamic.total().as_seconds());
+  EXPECT_LT(diff, 1.0);
+}
+
+TEST(QuadflowExperiment, NoExpansionWhenClusterFull) {
+  // Cluster exactly 2 nodes = 16 cores: the dynamic request cannot be
+  // served and the run degenerates to static-16.
+  const amr::QuadflowCase c = amr::flat_plate_case_small();
+  const Duration turnaround = quadflow_batch_turnaround(c, 16, 16, 2, 8);
+  const Duration static_total = apps::quadflow_static(c, 16).total();
+  EXPECT_NEAR(turnaround.as_seconds(), static_total.as_seconds(), 1.0);
+}
+
+}  // namespace
+}  // namespace dbs::batch

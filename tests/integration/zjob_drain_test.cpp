@@ -1,0 +1,80 @@
+// ESP Z-job semantics: once a Z job is queued it has the highest priority,
+// no other job starts, and backfilling is disabled — but running evolving
+// jobs may still obtain resources dynamically.
+#include <gtest/gtest.h>
+
+#include "../testutil.hpp"
+#include "batch/batch_system.hpp"
+
+namespace dbs::batch {
+namespace {
+
+SystemConfig config() {
+  SystemConfig c;
+  c.cluster.node_count = 4;
+  c.cluster.cores_per_node = 8;
+  c.latency = rms::LatencyModel::zero();
+  c.scheduler.reservation_depth = 5;
+  c.scheduler.reservation_delay_depth = 5;
+  return c;
+}
+
+rms::JobSpec z_spec() {
+  rms::JobSpec z = test::spec("Z", 32, Duration::minutes(2), "zuser");
+  z.exclusive_priority = true;
+  z.type_tag = "Z";
+  return z;
+}
+
+TEST(ZJobDrain, NothingStartsWhileZQueued) {
+  BatchSystem sys(config());
+  sys.submit_now(test::spec("run", 16, Duration::minutes(10)),
+                 test::rigid(Duration::minutes(10)));
+  sys.submit_at(Time::from_seconds(60), z_spec(),
+                [] { return test::rigid(Duration::minutes(2)); });
+  // Small jobs that would trivially fit in the 16 idle cores.
+  for (int i = 0; i < 3; ++i)
+    sys.submit_at(Time::from_seconds(90 + i),
+                  test::spec("s" + std::to_string(i), 4, Duration::minutes(1),
+                             "u" + std::to_string(i)),
+                  [] { return test::rigid(Duration::minutes(1)); });
+  sys.run();
+  const auto records = sys.recorder().records();
+  const Time z_start = *records[1].start;
+  EXPECT_EQ(z_start, Time::epoch() + Duration::minutes(10));
+  for (int i = 2; i <= 4; ++i)
+    EXPECT_GE(*records[static_cast<std::size_t>(i)].start, z_start) << i;
+}
+
+TEST(ZJobDrain, RunningEvolvingJobStillGetsResources) {
+  BatchSystem sys(config());
+  wl::Behavior evo;
+  evo.static_runtime = Duration::minutes(10);
+  evo.evolving = true;
+  evo.ask_cores = 4;
+  // Evolving job asks at t=96s — while Z (submitted at 30s) is draining.
+  const JobId e = sys.submit_now(test::spec("evo", 16, Duration::minutes(10)),
+                                 apps::make_application(evo));
+  sys.submit_at(Time::from_seconds(30), z_spec(),
+                [] { return test::rigid(Duration::minutes(2)); });
+  sys.run();
+  EXPECT_EQ(sys.recorder().record(e).dyn_grants, 1);
+}
+
+TEST(ZJobDrain, TwoZJobsRunSequentially) {
+  BatchSystem sys(config());
+  sys.submit_now(z_spec(), test::rigid(Duration::minutes(2)));
+  sys.submit_at(Time::from_seconds(1), z_spec(),
+                [] { return test::rigid(Duration::minutes(2)); });
+  sys.submit_at(Time::from_seconds(2),
+                test::spec("after", 4, Duration::minutes(1)),
+                [] { return test::rigid(Duration::minutes(1)); });
+  sys.run();
+  const auto records = sys.recorder().records();
+  EXPECT_EQ(*records[0].start, Time::epoch());
+  EXPECT_EQ(*records[1].start, Time::epoch() + Duration::minutes(2));
+  EXPECT_GE(*records[2].start, *records[1].start);
+}
+
+}  // namespace
+}  // namespace dbs::batch

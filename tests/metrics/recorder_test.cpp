@@ -1,0 +1,104 @@
+#include "metrics/recorder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../testutil.hpp"
+#include "apps/app_model.hpp"
+#include "common/assert.hpp"
+
+namespace dbs::metrics {
+namespace {
+
+using test::BareSystem;
+
+TEST(Recorder, JobLifecycleRecorded) {
+  BareSystem s;
+  Recorder rec(s.sim, s.cluster);
+  s.server.add_observer(&rec);
+  const JobId id = s.server.submit(test::spec("a", 8, Duration::minutes(10)),
+                                   test::rigid(Duration::minutes(5)));
+  ASSERT_TRUE(s.server.start_job(id, true));
+  s.sim.run();
+  const JobRecord& r = rec.record(id);
+  EXPECT_EQ(r.name, "a");
+  EXPECT_EQ(r.user, "alice");
+  EXPECT_EQ(r.cores_requested, 8);
+  EXPECT_EQ(r.cores_peak, 8);
+  EXPECT_TRUE(r.backfilled);
+  ASSERT_TRUE(r.completed());
+  EXPECT_LT(r.wait_time(), Duration::seconds(1));
+  EXPECT_GE(r.turnaround(), Duration::minutes(5));
+}
+
+TEST(Recorder, DynEventsCounted) {
+  BareSystem s;
+  Recorder rec(s.sim, s.cluster);
+  s.server.add_observer(&rec);
+  auto app = std::make_unique<apps::ScriptedApp>(
+      Duration::minutes(10),
+      std::vector<apps::ScriptedApp::Step>{
+          {Duration::minutes(1), 4, 0, 1.0, Duration::zero()}});
+  const JobId id = s.server.submit(test::spec("e", 4, Duration::minutes(20)),
+                                   std::move(app));
+  ASSERT_TRUE(s.server.start_job(id, false));
+  s.sim.run_until(Time::from_seconds(90));
+  ASSERT_TRUE(s.server.grant_dyn(s.server.jobs().dyn_requests().front().id));
+  s.sim.run();
+  const JobRecord& r = rec.record(id);
+  EXPECT_TRUE(r.evolving);
+  EXPECT_EQ(r.dyn_requests, 1);
+  EXPECT_EQ(r.dyn_grants, 1);
+  EXPECT_TRUE(r.dyn_satisfied());
+  EXPECT_EQ(r.cores_peak, 8);
+}
+
+TEST(Recorder, UsageSeriesTracksAllocation) {
+  BareSystem s;
+  Recorder rec(s.sim, s.cluster);
+  s.server.add_observer(&rec);
+  const JobId id = s.server.submit(test::spec("a", 8, Duration::minutes(10)),
+                                   test::rigid(Duration::minutes(5)));
+  ASSERT_TRUE(s.server.start_job(id, false));
+  s.sim.run();
+  const auto& series = rec.usage_series();
+  ASSERT_GE(series.size(), 2u);
+  EXPECT_EQ(series.front().second, 8);
+  EXPECT_EQ(series.back().second, 0);
+}
+
+TEST(Recorder, UsedCoreSecondsIntegratesSteps) {
+  BareSystem s;
+  Recorder rec(s.sim, s.cluster);
+  s.server.add_observer(&rec);
+  const JobId id = s.server.submit(test::spec("a", 8, Duration::minutes(10)),
+                                   test::rigid(Duration::minutes(5)));
+  ASSERT_TRUE(s.server.start_job(id, false));
+  s.sim.run();
+  // 8 cores for ~300s = ~2400 core-seconds.
+  const double used =
+      rec.used_core_seconds(rec.first_submit(), rec.last_finish());
+  EXPECT_NEAR(used, 2400.0, 10.0);
+}
+
+TEST(Recorder, RequeueResetsStart) {
+  BareSystem s;
+  Recorder rec(s.sim, s.cluster);
+  s.server.add_observer(&rec);
+  rms::JobSpec spec = test::spec("p", 4, Duration::minutes(10));
+  spec.preemptible = true;
+  const JobId id = s.server.submit(spec, test::rigid(Duration::minutes(5)));
+  ASSERT_TRUE(s.server.start_job(id, true));
+  s.sim.run_until(Time::from_seconds(10));
+  s.server.preempt(id);
+  EXPECT_EQ(rec.record(id).requeues, 1);
+  EXPECT_FALSE(rec.record(id).start.has_value());
+}
+
+TEST(Recorder, UnknownJobRejected) {
+  BareSystem s;
+  Recorder rec(s.sim, s.cluster);
+  EXPECT_THROW((void)rec.record(JobId{7}), precondition_error);
+}
+
+}  // namespace
+}  // namespace dbs::metrics

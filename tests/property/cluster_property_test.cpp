@@ -1,0 +1,107 @@
+// Property tests for the cluster allocator: random chunked
+// allocate/release sequences against a reference model.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "common/rng.hpp"
+
+namespace dbs::cluster {
+namespace {
+
+class ClusterProperty : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ClusterProperty, AccountingMatchesReferenceModel) {
+  Rng rng(GetParam());
+  Cluster cluster(ClusterSpec{8, 8});
+  std::map<JobId, Placement> live;
+  std::map<JobId, CoreCount> expected;
+  CoreCount expected_used = 0;
+  std::uint64_t next_job = 0;
+
+  for (int step = 0; step < 2000; ++step) {
+    const bool allocate = live.empty() || rng.next_double() < 0.55;
+    if (allocate) {
+      const JobId id{next_job++};
+      const auto cores = static_cast<CoreCount>(rng.next_int(1, 24));
+      const auto ppn = static_cast<CoreCount>(rng.next_int(1, 8));
+      const auto placement = cluster.allocate_chunked(id, cores, ppn);
+      // Failure must change nothing.
+      if (!placement.has_value()) {
+        EXPECT_EQ(cluster.used_cores(), expected_used);
+        continue;
+      }
+      // Success must deliver exactly the request, chunked correctly.
+      EXPECT_EQ(placement->total_cores(), cores);
+      for (const NodeShare& s : placement->shares) EXPECT_LE(s.cores, ppn);
+      const std::size_t full_chunks = static_cast<std::size_t>(cores / ppn);
+      EXPECT_EQ(placement->shares.size(),
+                full_chunks + (cores % ppn != 0 ? 1 : 0));
+      live[id] = *placement;
+      expected[id] = cores;
+      expected_used += cores;
+    } else {
+      auto it = live.begin();
+      std::advance(it, static_cast<long>(rng.next_below(live.size())));
+      if (rng.next_double() < 0.3 && it->second.total_cores() > 1) {
+        // Partial release of a random subset.
+        const auto part = static_cast<CoreCount>(
+            rng.next_int(1, it->second.total_cores() - 1));
+        const Placement freed = it->second.select_release(part);
+        cluster.release(it->first, freed);
+        expected_used -= part;
+        expected[it->first] -= part;
+        // Maintain the local mirror.
+        Placement remaining;
+        for (const NodeShare& s : it->second.shares) {
+          CoreCount kept = s.cores;
+          for (const NodeShare& f : freed.shares)
+            if (f.node == s.node) kept -= f.cores;
+          if (kept > 0) remaining.shares.push_back({s.node, kept});
+        }
+        it->second = remaining;
+      } else {
+        const Placement freed = cluster.release_all(it->first);
+        EXPECT_EQ(freed.total_cores(), expected[it->first]);
+        expected_used -= expected[it->first];
+        expected.erase(it->first);
+        live.erase(it);
+      }
+    }
+    EXPECT_EQ(cluster.used_cores(), expected_used);
+    EXPECT_EQ(cluster.free_cores(), 64 - expected_used);
+    cluster.check_invariants();
+    for (const auto& [id, cores] : expected)
+      EXPECT_EQ(cluster.held_by(id), cores);
+  }
+}
+
+TEST_P(ClusterProperty, CanAllocateChunkedIsConsistent) {
+  Rng rng(GetParam() + 99);
+  Cluster cluster(ClusterSpec{4, 8});
+  // Random pre-occupancy.
+  std::uint64_t next_job = 0;
+  for (int i = 0; i < 6; ++i) {
+    const auto cores = static_cast<CoreCount>(rng.next_int(1, 8));
+    (void)cluster.allocate_chunked(JobId{next_job++}, cores, 8);
+  }
+  // The dry-run answer must match what allocate_chunked actually does.
+  for (int query = 0; query < 100; ++query) {
+    const auto cores = static_cast<CoreCount>(rng.next_int(1, 32));
+    const auto ppn = static_cast<CoreCount>(rng.next_int(1, 8));
+    const bool predicted = cluster.can_allocate_chunked(cores, ppn);
+    const JobId id{next_job++};
+    const auto placement = cluster.allocate_chunked(id, cores, ppn);
+    EXPECT_EQ(predicted, placement.has_value())
+        << cores << " cores ppn " << ppn;
+    if (placement) cluster.release(id, *placement);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ClusterProperty,
+                         testing::Values(1u, 7u, 42u, 1234u));
+
+}  // namespace
+}  // namespace dbs::cluster

@@ -1,0 +1,140 @@
+// Property tests for DFS accounting: monotonicity, conservation across
+// commits, decay bounds, and admit/commit consistency under random delay
+// batches.
+#include <gtest/gtest.h>
+
+#include "../testutil.hpp"
+#include "common/rng.hpp"
+#include "core/dfs_engine.hpp"
+
+namespace dbs::core {
+namespace {
+
+struct World {
+  std::vector<std::unique_ptr<rms::Job>> storage;
+  std::vector<const rms::Job*> jobs;
+
+  explicit World(Rng& rng, int job_count) {
+    for (int i = 0; i < job_count; ++i) {
+      rms::JobSpec s =
+          test::spec("j" + std::to_string(i), 4, Duration::minutes(10),
+                     "user" + std::to_string(rng.next_int(0, 4)));
+      s.cred.group = "group" + std::to_string(rng.next_int(0, 2));
+      storage.push_back(std::make_unique<rms::Job>(
+          JobId{static_cast<std::uint64_t>(i)}, s,
+          test::rigid(Duration::minutes(1)), Time::epoch()));
+      jobs.push_back(storage.back().get());
+    }
+  }
+};
+
+class DfsProperty : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DfsProperty, AdmittedBatchesNeverExceedTargets) {
+  Rng rng(GetParam());
+  World world(rng, 20);
+
+  DfsConfig cfg;
+  cfg.policy = DfsPolicy::TargetDelay;
+  cfg.defaults.target_delay = Duration::seconds(1000);
+  DfsEngine engine(cfg);
+  const Credentials requester{"evolver", "egrp", "", "", ""};
+
+  std::unordered_map<std::string, Duration> charged;
+  for (int round = 0; round < 200; ++round) {
+    std::vector<DelayedJob> batch;
+    const int n = static_cast<int>(rng.next_int(1, 4));
+    for (int i = 0; i < n; ++i) {
+      const auto idx = static_cast<std::size_t>(
+          rng.next_int(0, static_cast<std::int64_t>(world.jobs.size()) - 1));
+      batch.push_back(
+          {world.jobs[idx], Duration::seconds(rng.next_int(0, 400))});
+    }
+    if (engine.admit(requester, batch) != DfsVerdict::Allowed) continue;
+    engine.commit(requester, batch);
+    for (const auto& d : batch)
+      if (d.delay > Duration::zero())
+        charged[d.job->spec().cred.user] += d.delay;
+  }
+  // Mirror accounting agrees and never exceeds the target.
+  for (const auto& [user, total] : charged) {
+    EXPECT_EQ(engine.accumulated(DfsEntityKind::User, user), total);
+    EXPECT_LE(total, Duration::seconds(1000));
+  }
+}
+
+TEST_P(DfsProperty, AccumulatedDelayIsMonotonicWithinInterval) {
+  Rng rng(GetParam() + 7);
+  World world(rng, 10);
+  DfsConfig cfg;
+  cfg.policy = DfsPolicy::TargetDelay;  // unlimited targets by default
+  DfsEngine engine(cfg);
+  const Credentials requester{"evolver", "", "", "", ""};
+  Duration previous;
+  for (int round = 0; round < 100; ++round) {
+    const auto idx = static_cast<std::size_t>(rng.next_int(0, 9));
+    engine.commit(requester, {{world.jobs[idx],
+                               Duration::seconds(rng.next_int(0, 100))}});
+    Duration total;
+    for (int u = 0; u < 5; ++u)
+      total += engine.accumulated(DfsEntityKind::User,
+                                  "user" + std::to_string(u));
+    EXPECT_GE(total, previous);
+    previous = total;
+  }
+}
+
+TEST_P(DfsProperty, DecayNeverIncreasesAccumulation) {
+  Rng rng(GetParam() + 13);
+  World world(rng, 10);
+  for (const double decay : {0.0, 0.2, 0.5, 0.9, 1.0}) {
+    DfsConfig cfg;
+    cfg.policy = DfsPolicy::TargetDelay;
+    cfg.interval = Duration::hours(1);
+    cfg.decay = decay;
+    DfsEngine engine(cfg);
+    const Credentials requester{"evolver", "", "", "", ""};
+    for (int i = 0; i < 20; ++i) {
+      const auto idx = static_cast<std::size_t>(rng.next_int(0, 9));
+      engine.commit(requester,
+                    {{world.jobs[idx], Duration::seconds(rng.next_int(1, 500))}});
+    }
+    Duration before;
+    for (int u = 0; u < 5; ++u)
+      before += engine.accumulated(DfsEntityKind::User,
+                                   "user" + std::to_string(u));
+    engine.advance_to(Time::from_seconds(3601));
+    Duration after;
+    for (int u = 0; u < 5; ++u)
+      after += engine.accumulated(DfsEntityKind::User,
+                                  "user" + std::to_string(u));
+    EXPECT_LE(after, before);
+    // Exact scaling within rounding (each entity rounds once).
+    EXPECT_NEAR(after.as_seconds(), before.as_seconds() * decay, 1e-3);
+  }
+}
+
+TEST_P(DfsProperty, AdmitIsPureAndDeterministic) {
+  Rng rng(GetParam() + 21);
+  World world(rng, 8);
+  DfsConfig cfg;
+  cfg.policy = DfsPolicy::SingleAndTargetDelay;
+  cfg.defaults.target_delay = Duration::seconds(300);
+  cfg.defaults.single_delay = Duration::seconds(200);
+  DfsEngine engine(cfg);
+  const Credentials requester{"evolver", "", "", "", ""};
+  std::vector<DelayedJob> batch;
+  for (int i = 0; i < 3; ++i) {
+    const auto idx = static_cast<std::size_t>(rng.next_int(0, 7));
+    batch.push_back({world.jobs[idx], Duration::seconds(rng.next_int(0, 400))});
+  }
+  const DfsVerdict v1 = engine.admit(requester, batch);
+  const DfsVerdict v2 = engine.admit(requester, batch);
+  EXPECT_EQ(v1, v2);  // admit never mutates state
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DfsProperty,
+                         testing::Values(11u, 22u, 33u, 44u, 55u));
+
+}  // namespace
+}  // namespace dbs::core

@@ -1,0 +1,121 @@
+// Property tests for the availability profile: random hold sets must keep
+// the algebraic invariants that planning correctness rests on.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/availability_profile.hpp"
+
+namespace dbs::core {
+namespace {
+
+struct Hold {
+  Time from;
+  Time to;
+  CoreCount cores;
+};
+
+std::vector<Hold> random_holds(Rng& rng, CoreCount capacity, int count) {
+  std::vector<Hold> holds;
+  for (int i = 0; i < count; ++i) {
+    const auto a = rng.next_int(0, 10'000);
+    const auto b = rng.next_int(0, 10'000);
+    if (a == b) continue;
+    holds.push_back({Time::from_seconds(std::min(a, b)),
+                     Time::from_seconds(std::max(a, b)),
+                     static_cast<CoreCount>(rng.next_int(1, capacity / 4))});
+  }
+  return holds;
+}
+
+/// Reference free-core computation at one instant.
+CoreCount reference_free(const std::vector<Hold>& holds, CoreCount capacity,
+                         Time t) {
+  CoreCount used = 0;
+  for (const Hold& h : holds)
+    if (h.from <= t && t < h.to) used += h.cores;
+  return capacity - used;
+}
+
+class ProfileProperty : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ProfileProperty, MatchesReferenceModel) {
+  Rng rng(GetParam());
+  const CoreCount capacity = 128;
+  AvailabilityProfile profile(Time::epoch(), capacity);
+  std::vector<Hold> applied;
+  for (const Hold& h : random_holds(rng, capacity, 30)) {
+    // Only apply holds that stay feasible (as the scheduler does).
+    bool fits = true;
+    for (std::int64_t s = h.from.as_micros() / 1'000'000;
+         s < h.to.as_micros() / 1'000'000 && fits; ++s)
+      fits = reference_free(applied, capacity, Time::from_seconds(s)) >=
+             h.cores;
+    if (!fits) continue;
+    profile.subtract(h.from, h.to, h.cores);
+    applied.push_back(h);
+  }
+  // Pointwise agreement at random probe instants.
+  for (int probe = 0; probe < 200; ++probe) {
+    const Time t = Time::from_seconds(rng.next_int(0, 10'500));
+    EXPECT_EQ(profile.free_at(t), reference_free(applied, capacity, t))
+        << "at " << t;
+  }
+}
+
+TEST_P(ProfileProperty, EarliestFitIsCorrectAndMinimal) {
+  Rng rng(GetParam() + 1000);
+  const CoreCount capacity = 64;
+  AvailabilityProfile profile(Time::epoch(), capacity);
+  std::vector<Hold> applied;
+  for (const Hold& h : random_holds(rng, capacity, 15)) {
+    bool fits = true;
+    for (std::int64_t s = h.from.as_micros() / 1'000'000;
+         s < h.to.as_micros() / 1'000'000 && fits; ++s)
+      fits = reference_free(applied, capacity, Time::from_seconds(s)) >= h.cores;
+    if (!fits) continue;
+    profile.subtract(h.from, h.to, h.cores);
+    applied.push_back(h);
+  }
+
+  for (int query = 0; query < 20; ++query) {
+    const CoreCount cores = static_cast<CoreCount>(rng.next_int(1, capacity));
+    const Duration dur = Duration::seconds(rng.next_int(1, 500));
+    const Time t = profile.earliest_fit(cores, dur, Time::epoch());
+    ASSERT_NE(t, Time::far_future());
+    // The window fits...
+    EXPECT_GE(profile.min_free(t, t + dur), cores);
+    // ...and (second-granularity) no earlier second-aligned start fits a
+    // window that ends at a breakpoint-aligned boundary. Probe a sample of
+    // earlier instants.
+    for (int probe = 0; probe < 20; ++probe) {
+      if (t == Time::epoch()) break;
+      const std::int64_t span_us = t.as_micros();
+      const Time earlier =
+          Time::from_micros(rng.next_int(0, span_us - 1));
+      EXPECT_LT(profile.min_free(earlier, earlier + dur), cores)
+          << "window at " << earlier << " also fits, earliest_fit gave " << t;
+    }
+  }
+}
+
+TEST_P(ProfileProperty, SubtractAddRoundTrips) {
+  Rng rng(GetParam() + 2000);
+  AvailabilityProfile profile(Time::epoch(), 64);
+  const auto holds = random_holds(rng, 64, 10);
+  for (const Hold& h : holds) profile.subtract_clamped(h.from, h.to, h.cores);
+  const auto before = profile.breakpoints();
+  profile.subtract(Time::from_seconds(20'000), Time::from_seconds(30'000), 5);
+  profile.add(Time::from_seconds(20'000), Time::from_seconds(30'000), 5);
+  // Values agree pointwise with the pre-round-trip profile.
+  for (const auto& [t, free] : before)
+    EXPECT_EQ(profile.free_at(t), free);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProfileProperty,
+                         testing::Values(1u, 2u, 3u, 4u, 5u, 42u, 1234u,
+                                         99999u));
+
+}  // namespace
+}  // namespace dbs::core

@@ -1,0 +1,85 @@
+// Workload-level properties: ESP integrity across machine sizes and seeds,
+// trace round-trips for arbitrary synthetic workloads.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.hpp"
+#include "workload/esp.hpp"
+#include "workload/trace.hpp"
+#include "workload/synthetic.hpp"
+
+namespace dbs::wl {
+namespace {
+
+class EspAcrossMachines : public testing::TestWithParam<CoreCount> {};
+
+TEST_P(EspAcrossMachines, CompositionInvariant) {
+  EspParams p;
+  p.total_cores = GetParam();
+  const Workload wl = generate_esp(p);
+  EXPECT_EQ(wl.jobs.size(), 230u);
+  EXPECT_EQ(wl.evolving_count(), 69u);
+  std::size_t z_count = 0;
+  for (const auto& j : wl.jobs) {
+    EXPECT_GE(j.spec.cores, 1);
+    EXPECT_LE(j.spec.cores, GetParam());
+    EXPECT_GE(j.spec.walltime, j.behavior.static_runtime);
+    if (j.spec.exclusive_priority) {
+      ++z_count;
+      EXPECT_EQ(j.spec.cores, GetParam());  // Z uses the whole machine
+    }
+  }
+  EXPECT_EQ(z_count, 2u);
+  // Submission times are non-decreasing.
+  for (std::size_t i = 1; i < wl.jobs.size(); ++i)
+    EXPECT_GE(wl.jobs[i].at, wl.jobs[i - 1].at);
+}
+
+INSTANTIATE_TEST_SUITE_P(MachineSizes, EspAcrossMachines,
+                         testing::Values(64, 120, 128, 256, 512));
+
+class EspSeeds : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EspSeeds, ShuffleIsPermutationOfTypes) {
+  EspParams p;
+  p.seed = GetParam();
+  const Workload wl = generate_esp(p);
+  std::map<std::string, int> counts;
+  for (const auto& j : wl.jobs) ++counts[j.spec.type_tag];
+  for (const auto& t : esp_table())
+    EXPECT_EQ(counts[std::string(1, t.letter)], t.count) << t.letter;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EspSeeds,
+                         testing::Values(1u, 2014u, 31337u, 7u));
+
+class TraceRoundTrip : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TraceRoundTrip, SyntheticSurvivesSerialization) {
+  SyntheticParams p;
+  p.seed = GetParam();
+  p.job_count = 80;
+  p.evolving_fraction = 0.4;
+  p.preemptible_fraction = 0.2;
+  const Workload original = generate_synthetic(p);
+  const Workload copy =
+      trace_from_string(trace_to_string(original));
+  ASSERT_EQ(copy.jobs.size(), original.jobs.size());
+  for (std::size_t i = 0; i < original.jobs.size(); ++i) {
+    const auto& a = original.jobs[i];
+    const auto& b = copy.jobs[i];
+    EXPECT_EQ(a.at, b.at);
+    EXPECT_EQ(a.spec.cores, b.spec.cores);
+    EXPECT_EQ(a.spec.walltime, b.spec.walltime);
+    EXPECT_EQ(a.spec.preemptible, b.spec.preemptible);
+    EXPECT_EQ(a.behavior.evolving, b.behavior.evolving);
+    EXPECT_EQ(a.behavior.static_runtime, b.behavior.static_runtime);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TraceRoundTrip,
+                         testing::Values(5u, 6u, 7u, 8u));
+
+}  // namespace
+}  // namespace dbs::wl

@@ -1,0 +1,180 @@
+// The dynamic (de)allocation protocol end to end at the RMS level:
+// tm_dynget -> dynqueued -> grant/reject -> dyn_join -> application.
+#include <gtest/gtest.h>
+
+#include "../testutil.hpp"
+#include "apps/app_model.hpp"
+#include "common/assert.hpp"
+#include "rms/server.hpp"
+
+namespace dbs::rms {
+namespace {
+
+using apps::ScriptedApp;
+using test::BareSystem;
+
+struct DynObserver : ServerObserver {
+  int requests = 0, grants = 0, rejects = 0, releases = 0;
+  CoreCount last_extra = 0;
+  void on_dyn_request(const Job&, const DynRequest&) override { ++requests; }
+  void on_dyn_grant(const Job&, const DynRequest&, CoreCount extra) override {
+    ++grants;
+    last_extra = extra;
+  }
+  void on_dyn_reject(const Job&, const DynRequest&) override { ++rejects; }
+  void on_dyn_release(const Job&, CoreCount) override { ++releases; }
+};
+
+JobId submit_scripted(BareSystem& s, CoreCount cores,
+                      std::vector<ScriptedApp::Step> steps,
+                      ScriptedApp** out = nullptr) {
+  auto app = std::make_unique<ScriptedApp>(Duration::minutes(10),
+                                           std::move(steps));
+  if (out != nullptr) *out = app.get();
+  return s.server.submit(test::spec("dyn", cores, Duration::minutes(20)),
+                         std::move(app));
+}
+
+TEST(DynamicProtocol, RequestEntersDynQueuedState) {
+  BareSystem s;
+  const JobId id = submit_scripted(
+      s, 4, {{Duration::minutes(1), /*grow=*/4, 0, 1.0, Duration::zero()}});
+  ASSERT_TRUE(s.server.start_job(id, false));
+  // No scheduler attached: the request arrives and the job stays dynqueued.
+  s.sim.run_until(Time::from_seconds(90));
+  EXPECT_EQ(s.server.job(id).state(), JobState::DynQueued);
+  ASSERT_EQ(s.server.jobs().dyn_requests().size(), 1u);
+  const DynRequest& req = s.server.jobs().dyn_requests().front();
+  EXPECT_EQ(req.extra_cores, 4);
+  EXPECT_EQ(req.attempt, 1);
+}
+
+TEST(DynamicProtocol, GrantExpandsAllocationAndInformsApp) {
+  BareSystem s;
+  DynObserver obs;
+  s.server.add_observer(&obs);
+  ScriptedApp* app = nullptr;
+  const JobId id = submit_scripted(
+      s, 4, {{Duration::minutes(1), 4, 0, 0.5, Duration::zero()}}, &app);
+  ASSERT_TRUE(s.server.start_job(id, false));
+  s.sim.run_until(Time::from_seconds(90));
+  ASSERT_EQ(s.server.jobs().dyn_requests().size(), 1u);
+  ASSERT_TRUE(s.server.grant_dyn(s.server.jobs().dyn_requests().front().id));
+  EXPECT_EQ(s.server.job(id).state(), JobState::Running);
+  EXPECT_EQ(s.server.job(id).allocated_cores(), 8);
+  EXPECT_EQ(s.cluster.held_by(id), 8);
+  s.sim.run();
+  EXPECT_EQ(obs.grants, 1);
+  EXPECT_EQ(obs.last_extra, 4);
+  EXPECT_EQ(app->grants(), 1);
+  // remaining_scale 0.5 halves the remaining runtime: the job finishes
+  // around 1min + 4.5min instead of 10min.
+  const Duration runtime =
+      s.server.job(id).end_time() - s.server.job(id).start_time();
+  EXPECT_LT(runtime, Duration::minutes(6));
+  EXPECT_GT(runtime, Duration::minutes(5));
+}
+
+TEST(DynamicProtocol, RejectReturnsJobToRunning) {
+  BareSystem s;
+  DynObserver obs;
+  s.server.add_observer(&obs);
+  ScriptedApp* app = nullptr;
+  const JobId id = submit_scripted(
+      s, 4, {{Duration::minutes(1), 4, 0, 1.0, Duration::zero()}}, &app);
+  ASSERT_TRUE(s.server.start_job(id, false));
+  s.sim.run_until(Time::from_seconds(90));
+  s.server.reject_dyn(s.server.jobs().dyn_requests().front().id, std::nullopt);
+  EXPECT_EQ(s.server.job(id).state(), JobState::Running);
+  EXPECT_EQ(s.server.job(id).allocated_cores(), 4);
+  s.sim.run();
+  EXPECT_EQ(obs.rejects, 1);
+  EXPECT_EQ(app->rejects(), 1);
+  EXPECT_EQ(s.server.job(id).state(), JobState::Completed);
+}
+
+TEST(DynamicProtocol, GrantFailsWhenCoresVanished) {
+  BareSystem s(1, 8);
+  const JobId id = submit_scripted(
+      s, 4, {{Duration::minutes(1), 4, 0, 1.0, Duration::zero()}});
+  ASSERT_TRUE(s.server.start_job(id, false));
+  s.sim.run_until(Time::from_seconds(90));
+  // Another job takes the remaining cores before the grant is attempted.
+  const JobId thief = s.server.submit(test::spec("thief", 4, Duration::minutes(5)),
+                                      test::rigid(Duration::minutes(2)));
+  ASSERT_TRUE(s.server.start_job(thief, false));
+  EXPECT_FALSE(s.server.grant_dyn(s.server.jobs().dyn_requests().front().id));
+  // The request is still pending; the job remains dynqueued.
+  EXPECT_EQ(s.server.job(id).state(), JobState::DynQueued);
+}
+
+TEST(DynamicProtocol, NegotiationKeepsRequestQueuedUntilDeadline) {
+  BareSystem s;
+  const JobId id = submit_scripted(
+      s, 4, {{Duration::minutes(1), 4, 0, 1.0, Duration::minutes(3)}});
+  ASSERT_TRUE(s.server.start_job(id, false));
+  s.sim.run_until(Time::from_seconds(90));
+  const RequestId req = s.server.jobs().dyn_requests().front().id;
+  // Before the deadline a rejection only records the availability hint.
+  s.server.reject_dyn(req, Time::from_seconds(500));
+  EXPECT_EQ(s.server.jobs().dyn_requests().size(), 1u);
+  EXPECT_EQ(s.server.availability_hint(id), Time::from_seconds(500));
+  // Still before the deadline (ask at ~60s + 180s timeout = ~240s).
+  s.sim.run_until(Time::from_seconds(200));
+  s.server.reject_dyn(req, std::nullopt);
+  EXPECT_EQ(s.server.jobs().dyn_requests().size(), 1u);  // deadline not yet hit
+  // Past the deadline the rejection is final.
+  s.sim.run_until(Time::from_seconds(360));
+  s.server.reject_dyn(req, std::nullopt);
+  EXPECT_TRUE(s.server.jobs().dyn_requests().empty());
+  EXPECT_EQ(s.server.job(id).state(), JobState::Running);
+  EXPECT_FALSE(s.server.availability_hint(id).has_value());
+}
+
+TEST(DynamicProtocol, ReleaseShrinksAllocation) {
+  BareSystem s;
+  DynObserver obs;
+  s.server.add_observer(&obs);
+  ScriptedApp* app = nullptr;
+  const JobId id = submit_scripted(
+      s, 12, {{Duration::minutes(2), 0, /*shrink=*/6, 1.0, Duration::zero()}},
+      &app);
+  ASSERT_TRUE(s.server.start_job(id, false));
+  s.sim.run_until(Time::from_seconds(150));
+  EXPECT_EQ(s.server.job(id).allocated_cores(), 6);
+  EXPECT_EQ(s.cluster.held_by(id), 6);
+  EXPECT_EQ(s.cluster.free_cores(), 26);
+  s.sim.run();
+  EXPECT_EQ(obs.releases, 1);
+  EXPECT_EQ(app->releases(), 1);
+  EXPECT_EQ(s.server.job(id).state(), JobState::Completed);
+}
+
+TEST(DynamicProtocol, ReleaseAnySubsetAcrossNodes) {
+  // The paper's flexibility claim over SLURM: release any subset, not only
+  // whole previous grants.
+  BareSystem s(4, 8);
+  ScriptedApp* app = nullptr;
+  const JobId id = submit_scripted(
+      s, 20, {{Duration::minutes(1), 0, 7, 1.0, Duration::zero()}}, &app);
+  ASSERT_TRUE(s.server.start_job(id, false));
+  s.sim.run_until(Time::from_seconds(120));
+  EXPECT_EQ(s.server.job(id).allocated_cores(), 13);
+  EXPECT_EQ(s.cluster.held_by(id), 13);
+}
+
+TEST(DynamicProtocol, JobFinishingWithPendingRequestCleansUp) {
+  BareSystem s;
+  // Ask very close to the end so no grant arrives before completion.
+  const JobId id = submit_scripted(
+      s, 4, {{Duration::minutes(10) - Duration::seconds(1), 4, 0, 1.0,
+              Duration::zero()}});
+  ASSERT_TRUE(s.server.start_job(id, false));
+  s.sim.run();
+  EXPECT_EQ(s.server.job(id).state(), JobState::Completed);
+  EXPECT_TRUE(s.server.jobs().dyn_requests().empty());
+  EXPECT_EQ(s.cluster.free_cores(), 32);
+}
+
+}  // namespace
+}  // namespace dbs::rms

@@ -1,0 +1,85 @@
+#include "rms/job_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../testutil.hpp"
+#include "common/assert.hpp"
+
+namespace dbs::rms {
+namespace {
+
+std::unique_ptr<Job> job(std::uint64_t id, std::string user = "alice") {
+  return std::make_unique<Job>(
+      JobId{id}, test::spec("j" + std::to_string(id), 2, Duration::minutes(5), user),
+      test::rigid(Duration::minutes(1)), Time::epoch());
+}
+
+TEST(JobQueue, AddAndLookup) {
+  JobQueue q;
+  q.add(job(1));
+  q.add(job(2));
+  EXPECT_TRUE(q.contains(JobId{1}));
+  EXPECT_FALSE(q.contains(JobId{9}));
+  EXPECT_EQ(q.at(JobId{2}).spec().name, "j2");
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_THROW((void)q.at(JobId{9}), precondition_error);
+  EXPECT_THROW(q.add(job(1)), precondition_error);
+}
+
+TEST(JobQueue, QueuedInSubmissionOrder) {
+  JobQueue q;
+  q.add(job(3));
+  q.add(job(1));
+  q.add(job(2));
+  const auto queued = q.queued();
+  ASSERT_EQ(queued.size(), 3u);
+  EXPECT_EQ(queued[0]->id(), JobId{3});
+  EXPECT_EQ(queued[1]->id(), JobId{1});
+}
+
+TEST(JobQueue, StateFiltering) {
+  JobQueue q;
+  Job& a = q.add(job(1));
+  q.add(job(2));
+  a.mark_started(Time::epoch(), cluster::Placement{{{NodeId{0}, 2}}}, false);
+  EXPECT_EQ(q.queued().size(), 1u);
+  EXPECT_EQ(q.running().size(), 1u);
+  EXPECT_EQ(q.all().size(), 2u);
+  a.mark_completed(Time::from_seconds(1));
+  EXPECT_TRUE(q.running().empty());
+}
+
+TEST(JobQueue, DynFifoOrder) {
+  JobQueue q;
+  Job& a = q.add(job(1));
+  Job& b = q.add(job(2));
+  a.mark_started(Time::epoch(), cluster::Placement{{{NodeId{0}, 2}}}, false);
+  b.mark_started(Time::epoch(), cluster::Placement{{{NodeId{1}, 2}}}, false);
+  q.push_dyn_request({RequestId{10}, JobId{2}, 4, Time::epoch(), 1, Time::epoch()});
+  q.push_dyn_request({RequestId{11}, JobId{1}, 2, Time::epoch(), 1, Time::epoch()});
+  ASSERT_EQ(q.dyn_requests().size(), 2u);
+  EXPECT_EQ(q.dyn_requests().front().job, JobId{2});
+  EXPECT_NE(q.dyn_request_of(JobId{1}), nullptr);
+  EXPECT_EQ(q.dyn_request_of(JobId{3}), nullptr);
+}
+
+TEST(JobQueue, OnePendingRequestPerJob) {
+  JobQueue q;
+  q.add(job(1));
+  q.push_dyn_request({RequestId{1}, JobId{1}, 4, Time::epoch(), 1, Time::epoch()});
+  EXPECT_THROW(
+      q.push_dyn_request({RequestId{2}, JobId{1}, 4, Time::epoch(), 2, Time::epoch()}),
+      precondition_error);
+}
+
+TEST(JobQueue, RemoveDynRequest) {
+  JobQueue q;
+  q.add(job(1));
+  q.push_dyn_request({RequestId{1}, JobId{1}, 4, Time::epoch(), 1, Time::epoch()});
+  EXPECT_TRUE(q.remove_dyn_request(RequestId{1}));
+  EXPECT_FALSE(q.remove_dyn_request(RequestId{1}));
+  EXPECT_TRUE(q.dyn_requests().empty());
+}
+
+}  // namespace
+}  // namespace dbs::rms

@@ -1,0 +1,124 @@
+#include "rms/job.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../testutil.hpp"
+#include "common/assert.hpp"
+
+namespace dbs::rms {
+namespace {
+
+std::unique_ptr<Job> make_job(JobSpec s = test::spec("j", 4, Duration::minutes(10))) {
+  return std::make_unique<Job>(JobId{1}, std::move(s), test::rigid(Duration::minutes(5)),
+                               Time::from_seconds(100));
+}
+
+cluster::Placement place(CoreCount cores) {
+  return cluster::Placement{{{NodeId{0}, cores}}};
+}
+
+TEST(Job, ConstructionValidation) {
+  JobSpec bad = test::spec("j", 0, Duration::minutes(1));
+  EXPECT_THROW(Job(JobId{1}, bad, test::rigid(Duration::minutes(1)), Time::epoch()),
+               precondition_error);
+  bad = test::spec("j", 1, Duration::zero());
+  EXPECT_THROW(Job(JobId{1}, bad, test::rigid(Duration::minutes(1)), Time::epoch()),
+               precondition_error);
+  bad = test::spec("j", 1, Duration::minutes(1));
+  EXPECT_THROW(Job(JobId{1}, bad, nullptr, Time::epoch()), precondition_error);
+  bad = test::spec("j", 1, Duration::minutes(1), "");
+  EXPECT_THROW(Job(JobId{1}, bad, test::rigid(Duration::minutes(1)), Time::epoch()),
+               precondition_error);
+}
+
+TEST(Job, LifecycleTransitions) {
+  auto job = make_job();
+  EXPECT_EQ(job->state(), JobState::Queued);
+  EXPECT_FALSE(job->started());
+
+  job->mark_started(Time::from_seconds(200), place(4), false);
+  EXPECT_EQ(job->state(), JobState::Running);
+  EXPECT_TRUE(job->is_running());
+  EXPECT_EQ(job->start_time(), Time::from_seconds(200));
+  EXPECT_EQ(job->walltime_end(), Time::from_seconds(200) + Duration::minutes(10));
+
+  job->mark_dynqueued();
+  EXPECT_EQ(job->state(), JobState::DynQueued);
+  EXPECT_TRUE(job->is_running());
+  job->mark_running_again();
+  EXPECT_EQ(job->state(), JobState::Running);
+
+  job->mark_completed(Time::from_seconds(500));
+  EXPECT_TRUE(job->finished());
+  EXPECT_EQ(job->end_time(), Time::from_seconds(500));
+}
+
+TEST(Job, InvalidTransitionsRejected) {
+  auto job = make_job();
+  EXPECT_THROW(job->mark_dynqueued(), precondition_error);
+  EXPECT_THROW(job->mark_completed(Time::epoch()), precondition_error);
+  EXPECT_THROW((void)job->start_time(), precondition_error);
+  job->mark_started(Time::epoch(), place(4), false);
+  EXPECT_THROW(job->mark_started(Time::epoch(), place(4), false),
+               precondition_error);
+}
+
+TEST(Job, PlacementMustMatchRequest) {
+  auto job = make_job();
+  EXPECT_THROW(job->mark_started(Time::epoch(), place(3), false),
+               precondition_error);
+}
+
+TEST(Job, ExpandAndShrink) {
+  auto job = make_job();
+  job->mark_started(Time::epoch(), place(4), false);
+  job->expand(cluster::Placement{{{NodeId{1}, 4}}});
+  EXPECT_EQ(job->allocated_cores(), 8);
+  job->shrink(cluster::Placement{{{NodeId{1}, 2}}});
+  EXPECT_EQ(job->allocated_cores(), 6);
+  EXPECT_THROW(job->shrink(cluster::Placement{{{NodeId{2}, 1}}}),
+               precondition_error);
+  EXPECT_THROW(job->shrink(cluster::Placement{{{NodeId{1}, 3}}}),
+               precondition_error);
+}
+
+TEST(Job, ShrinkToZeroRejected) {
+  auto job = make_job();
+  job->mark_started(Time::epoch(), place(4), false);
+  EXPECT_THROW(job->shrink(cluster::Placement{{{NodeId{0}, 4}}}),
+               precondition_error);
+}
+
+TEST(Job, RequeueResetsProgress) {
+  auto job = make_job();
+  job->mark_started(Time::from_seconds(10), place(4), true);
+  EXPECT_TRUE(job->was_backfilled());
+  job->mark_requeued();
+  EXPECT_EQ(job->state(), JobState::Queued);
+  EXPECT_FALSE(job->started());
+  EXPECT_FALSE(job->was_backfilled());
+  EXPECT_EQ(job->allocated_cores(), 0);
+}
+
+TEST(Job, DynCountersAndSatisfied) {
+  auto job = make_job();
+  EXPECT_FALSE(job->dyn_satisfied());
+  job->count_dyn_request();
+  job->count_dyn_reject();
+  EXPECT_FALSE(job->dyn_satisfied());
+  job->count_dyn_request();
+  job->count_dyn_grant();
+  EXPECT_TRUE(job->dyn_satisfied());
+  EXPECT_EQ(job->dyn_requests_made(), 2);
+  EXPECT_EQ(job->dyn_grants(), 1);
+  EXPECT_EQ(job->dyn_rejects(), 1);
+}
+
+TEST(JobState, Names) {
+  EXPECT_EQ(to_string(JobState::Queued), "queued");
+  EXPECT_EQ(to_string(JobState::DynQueued), "dynqueued");
+  EXPECT_EQ(to_string(JobState::Completed), "completed");
+}
+
+}  // namespace
+}  // namespace dbs::rms

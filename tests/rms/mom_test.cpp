@@ -1,0 +1,92 @@
+// Mother-superior state machine details: generation guards, kill during
+// in-flight events, decision validation.
+#include "rms/mom.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../testutil.hpp"
+#include "apps/app_model.hpp"
+#include "common/assert.hpp"
+#include "rms/server.hpp"
+
+namespace dbs::rms {
+namespace {
+
+using test::BareSystem;
+
+TEST(Mom, TracksActiveJobs) {
+  BareSystem s;
+  const JobId id = s.server.submit(test::spec("a", 4, Duration::minutes(10)),
+                                   test::rigid(Duration::minutes(5)));
+  EXPECT_EQ(s.moms.active_jobs(), 0u);
+  ASSERT_TRUE(s.server.start_job(id, false));
+  EXPECT_EQ(s.moms.active_jobs(), 1u);
+  s.sim.run();
+  EXPECT_EQ(s.moms.active_jobs(), 0u);
+}
+
+TEST(Mom, KillDuringJoinPreventsAppStart) {
+  // Kill the job while the join is still in flight: the application must
+  // never start and no completion event may fire.
+  BareSystem s;
+  const JobId id = s.server.submit(test::spec("a", 4, Duration::minutes(10)),
+                                   test::rigid(Duration::seconds(30)));
+  ASSERT_TRUE(s.server.start_job(id, false));
+  s.moms.kill(id);
+  s.sim.run();
+  EXPECT_EQ(s.moms.active_jobs(), 0u);
+  // The job record stays Running forever (no mom to report completion) —
+  // the server-side qdel path is what cleans this up in practice.
+  EXPECT_TRUE(s.server.job(id).is_running());
+}
+
+TEST(Mom, GrantAfterCompletionIsHarmless) {
+  BareSystem s;
+  auto app = std::make_unique<apps::ScriptedApp>(
+      Duration::seconds(30),
+      std::vector<apps::ScriptedApp::Step>{
+          {Duration::seconds(10), 4, 0, 1.0, Duration::zero()}});
+  const JobId id = s.server.submit(test::spec("a", 4, Duration::minutes(10)),
+                                   std::move(app));
+  ASSERT_TRUE(s.server.start_job(id, false));
+  // Let the request arrive, then the job finish, THEN grant.
+  s.sim.run_until(Time::from_seconds(15));
+  ASSERT_EQ(s.server.jobs().dyn_requests().size(), 1u);
+  const RequestId req = s.server.jobs().dyn_requests().front().id;
+  s.sim.run_until(Time::from_seconds(29));
+  ASSERT_TRUE(s.server.grant_dyn(req));  // cores committed...
+  s.sim.run();  // ...but the job finishes before dyn_join completes
+  EXPECT_EQ(s.server.job(id).state(), JobState::Completed);
+  EXPECT_EQ(s.cluster.free_cores(), 32);  // everything released
+}
+
+TEST(Mom, RejectsInvalidDecisions) {
+  BareSystem s;
+  // An application whose decision finishes in the past must be caught.
+  class BadApp final : public Application {
+   public:
+    AppDecision on_start(Time now, CoreCount) override {
+      return {now - Duration::seconds(1), std::nullopt, std::nullopt};
+    }
+    AppDecision on_grant(Time now, CoreCount) override { return {now, {}, {}}; }
+    AppDecision on_reject(Time now, CoreCount) override { return {now, {}, {}}; }
+    AppDecision on_released(Time now, CoreCount) override {
+      return {now, {}, {}};
+    }
+  };
+  const JobId id = s.server.submit(test::spec("bad", 4, Duration::minutes(10)),
+                                   std::make_unique<BadApp>());
+  ASSERT_TRUE(s.server.start_job(id, false));
+  EXPECT_THROW(s.sim.run(), precondition_error);
+}
+
+TEST(Mom, LaunchTwiceRejected) {
+  BareSystem s;
+  const JobId id = s.server.submit(test::spec("a", 4, Duration::minutes(10)),
+                                   test::rigid(Duration::minutes(5)));
+  ASSERT_TRUE(s.server.start_job(id, false));
+  EXPECT_THROW(s.moms.launch(s.server.job(id)), precondition_error);
+}
+
+}  // namespace
+}  // namespace dbs::rms

@@ -1,0 +1,141 @@
+#include "rms/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../testutil.hpp"
+#include "common/assert.hpp"
+
+namespace dbs::rms {
+namespace {
+
+using test::BareSystem;
+
+struct CountingObserver : ServerObserver {
+  int submits = 0, starts = 0, finishes = 0, requeues = 0;
+  void on_submit(const Job&) override { ++submits; }
+  void on_job_start(const Job&) override { ++starts; }
+  void on_job_finish(const Job&) override { ++finishes; }
+  void on_requeue(const Job&) override { ++requeues; }
+};
+
+TEST(Server, SubmitQueuesJobAndNotifiesScheduler) {
+  BareSystem s;
+  int triggers = 0;
+  s.server.set_scheduler_trigger([&] { ++triggers; });
+  const JobId id = s.server.submit(test::spec("a", 4, Duration::minutes(10)),
+                                   test::rigid(Duration::minutes(5)));
+  EXPECT_EQ(s.server.job(id).state(), JobState::Queued);
+  s.sim.run();
+  EXPECT_EQ(triggers, 1);
+}
+
+TEST(Server, TriggerCoalescing) {
+  BareSystem s;
+  int triggers = 0;
+  s.server.set_scheduler_trigger([&] { ++triggers; });
+  s.server.submit(test::spec("a", 1, Duration::minutes(1)),
+                  test::rigid(Duration::minutes(1)));
+  s.server.submit(test::spec("b", 1, Duration::minutes(1)),
+                  test::rigid(Duration::minutes(1)));
+  s.sim.run_until(Time::from_seconds(1));
+  EXPECT_EQ(triggers, 1);  // both submissions coalesced into one wake-up
+}
+
+TEST(Server, StartJobAllocatesAndRuns) {
+  BareSystem s;
+  CountingObserver obs;
+  s.server.add_observer(&obs);
+  const JobId id = s.server.submit(test::spec("a", 12, Duration::minutes(10)),
+                                   test::rigid(Duration::minutes(5)));
+  ASSERT_TRUE(s.server.start_job(id, false));
+  EXPECT_EQ(s.server.job(id).state(), JobState::Running);
+  EXPECT_EQ(s.cluster.free_cores(), 32 - 12);
+  s.sim.run();
+  EXPECT_EQ(s.server.job(id).state(), JobState::Completed);
+  EXPECT_EQ(s.cluster.free_cores(), 32);
+  EXPECT_EQ(obs.starts, 1);
+  EXPECT_EQ(obs.finishes, 1);
+  // Completion ~ runtime + protocol latencies; well under a minute of slack.
+  const Duration turnaround =
+      s.server.job(id).end_time() - s.server.job(id).start_time();
+  EXPECT_GE(turnaround, Duration::minutes(5));
+  EXPECT_LT(turnaround, Duration::minutes(5) + Duration::seconds(1));
+}
+
+TEST(Server, StartJobFailsWithoutCapacity) {
+  BareSystem s(1, 8);
+  const JobId big = s.server.submit(test::spec("big", 8, Duration::minutes(10)),
+                                    test::rigid(Duration::minutes(5)));
+  const JobId other = s.server.submit(test::spec("x", 4, Duration::minutes(10)),
+                                      test::rigid(Duration::minutes(5)));
+  ASSERT_TRUE(s.server.start_job(big, false));
+  EXPECT_FALSE(s.server.start_job(other, false));
+  EXPECT_EQ(s.server.job(other).state(), JobState::Queued);
+}
+
+TEST(Server, CancelQueuedJob) {
+  BareSystem s;
+  const JobId id = s.server.submit(test::spec("a", 4, Duration::minutes(10)),
+                                   test::rigid(Duration::minutes(5)));
+  EXPECT_TRUE(s.server.cancel(id));
+  EXPECT_EQ(s.server.job(id).state(), JobState::Cancelled);
+  EXPECT_FALSE(s.server.cancel(id));
+  EXPECT_FALSE(s.server.cancel(JobId{999}));
+}
+
+TEST(Server, CancelRunningJobFreesCores) {
+  BareSystem s;
+  const JobId id = s.server.submit(test::spec("a", 8, Duration::minutes(10)),
+                                   test::rigid(Duration::minutes(5)));
+  ASSERT_TRUE(s.server.start_job(id, false));
+  s.sim.run_until(Time::from_seconds(30));
+  EXPECT_TRUE(s.server.cancel(id));
+  EXPECT_EQ(s.cluster.free_cores(), 32);
+  s.sim.run();  // any stale completion events must be harmless
+  EXPECT_EQ(s.server.job(id).state(), JobState::Cancelled);
+}
+
+TEST(Server, PreemptRequeuesPreemptibleJob) {
+  BareSystem s;
+  CountingObserver obs;
+  s.server.add_observer(&obs);
+  JobSpec spec = test::spec("p", 8, Duration::minutes(10));
+  spec.preemptible = true;
+  const JobId id = s.server.submit(spec, test::rigid(Duration::minutes(5)));
+  ASSERT_TRUE(s.server.start_job(id, true));
+  s.sim.run_until(Time::from_seconds(10));
+  s.server.preempt(id);
+  EXPECT_EQ(s.server.job(id).state(), JobState::Queued);
+  EXPECT_EQ(s.cluster.free_cores(), 32);
+  EXPECT_EQ(obs.requeues, 1);
+  // Restart from scratch works.
+  ASSERT_TRUE(s.server.start_job(id, false));
+  s.sim.run();
+  EXPECT_EQ(s.server.job(id).state(), JobState::Completed);
+}
+
+TEST(Server, PreemptRejectsNonPreemptible) {
+  BareSystem s;
+  const JobId id = s.server.submit(test::spec("a", 4, Duration::minutes(10)),
+                                   test::rigid(Duration::minutes(5)));
+  ASSERT_TRUE(s.server.start_job(id, false));
+  EXPECT_THROW(s.server.preempt(id), precondition_error);
+}
+
+TEST(Server, PpnValidation) {
+  BareSystem s(2, 8);
+  JobSpec spec = test::spec("a", 8, Duration::minutes(1));
+  spec.ppn = 9;
+  const JobId id = s.server.submit(spec, test::rigid(Duration::minutes(1)));
+  EXPECT_THROW((void)s.server.start_job(id, false), precondition_error);
+}
+
+TEST(Server, EffectivePpnDefaultsToNodeSize) {
+  BareSystem s(2, 8);
+  const JobId id = s.server.submit(test::spec("a", 8, Duration::minutes(1)),
+                                   test::rigid(Duration::minutes(1)));
+  EXPECT_EQ(s.server.effective_ppn(s.server.job(id)), 8);
+}
+
+}  // namespace
+}  // namespace dbs::rms

@@ -1,0 +1,75 @@
+#include "rms/status.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../testutil.hpp"
+#include "apps/app_model.hpp"
+
+namespace dbs::rms {
+namespace {
+
+using test::BareSystem;
+
+TEST(Status, QstatShowsStatesAndExpansion) {
+  BareSystem s;
+  auto app = std::make_unique<apps::ScriptedApp>(
+      Duration::minutes(5),
+      std::vector<apps::ScriptedApp::Step>{
+          {Duration::seconds(10), /*grow=*/4, 0, 1.0, Duration::zero()}});
+  const JobId running = s.server.submit(
+      test::spec("runner", 4, Duration::minutes(10)), std::move(app));
+  ASSERT_TRUE(s.server.start_job(running, false));
+  s.server.submit(test::spec("waiter", 32, Duration::minutes(10), "bob"),
+                  test::rigid(Duration::minutes(5)));
+  s.sim.run_until(Time::from_seconds(15));
+  ASSERT_FALSE(s.server.jobs().dyn_requests().empty());
+  ASSERT_TRUE(s.server.grant_dyn(s.server.jobs().dyn_requests().front().id));
+  s.sim.run_until(Time::from_seconds(30));
+
+  const std::string out = format_qstat(s.server);
+  EXPECT_NE(out.find("runner"), std::string::npos);
+  EXPECT_NE(out.find("running"), std::string::npos);
+  EXPECT_NE(out.find("waiter"), std::string::npos);
+  EXPECT_NE(out.find("queued"), std::string::npos);
+  // Expanded allocations render as requested->held.
+  EXPECT_NE(out.find("4->8"), std::string::npos) << out;
+}
+
+TEST(Status, QstatFiltersFinishedByDefault) {
+  BareSystem s;
+  const JobId id = s.server.submit(test::spec("quick", 4, Duration::minutes(10)),
+                                   test::rigid(Duration::seconds(10)));
+  ASSERT_TRUE(s.server.start_job(id, false));
+  s.sim.run();
+  EXPECT_EQ(format_qstat(s.server).find("quick"), std::string::npos);
+  EXPECT_NE(format_qstat(s.server, /*include_finished=*/true).find("quick"),
+            std::string::npos);
+}
+
+TEST(Status, PbsnodesShowsOccupancyAndState) {
+  BareSystem s(3, 8);
+  const JobId id = s.server.submit(test::spec("a", 8, Duration::minutes(10)),
+                                   test::rigid(Duration::minutes(5)));
+  ASSERT_TRUE(s.server.start_job(id, false));
+  s.cluster.set_node_state(NodeId{2}, cluster::NodeState::Down);
+  const std::string out = format_pbsnodes(s.server);
+  EXPECT_NE(out.find("8/8"), std::string::npos);
+  EXPECT_NE(out.find("0/8"), std::string::npos);
+  EXPECT_NE(out.find("down"), std::string::npos);
+}
+
+TEST(Status, LoadSummaryCounts) {
+  BareSystem s;
+  const JobId a = s.server.submit(test::spec("a", 8, Duration::minutes(10)),
+                                  test::rigid(Duration::minutes(5)));
+  ASSERT_TRUE(s.server.start_job(a, false));
+  s.server.submit(test::spec("b", 8, Duration::minutes(10), "bob"),
+                  test::rigid(Duration::minutes(5)));
+  const std::string out = format_load_summary(s.server);
+  EXPECT_NE(out.find("cores 8/32 used"), std::string::npos) << out;
+  EXPECT_NE(out.find("1 running"), std::string::npos);
+  EXPECT_NE(out.find("1 queued"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dbs::rms

@@ -1,0 +1,77 @@
+#include "rms/tm_interface.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../testutil.hpp"
+#include "common/assert.hpp"
+#include "rms/server.hpp"
+
+namespace dbs::rms {
+namespace {
+
+using test::BareSystem;
+
+TEST(TmInterface, DyngetReachesServer) {
+  BareSystem s;
+  const JobId id = s.server.submit(test::spec("a", 4, Duration::minutes(10)),
+                                   test::rigid(Duration::minutes(5)));
+  ASSERT_TRUE(s.server.start_job(id, false));
+  s.sim.run_until(Time::from_seconds(1));
+
+  TmInterface tm(s.server, id);
+  tm.tm_dynget(4);
+  s.sim.run_until(Time::from_seconds(2));
+  EXPECT_EQ(s.server.job(id).state(), JobState::DynQueued);
+  ASSERT_EQ(s.server.jobs().dyn_requests().size(), 1u);
+  EXPECT_EQ(s.server.jobs().dyn_requests().front().extra_cores, 4);
+}
+
+TEST(TmInterface, DyngetRequiresRunningJob) {
+  BareSystem s;
+  const JobId id = s.server.submit(test::spec("a", 4, Duration::minutes(10)),
+                                   test::rigid(Duration::minutes(5)));
+  TmInterface tm(s.server, id);
+  EXPECT_THROW(tm.tm_dynget(4), precondition_error);
+  EXPECT_THROW(tm.tm_dynget(0), precondition_error);
+}
+
+TEST(TmInterface, DynfreeReleasesSubset) {
+  BareSystem s;
+  const JobId id = s.server.submit(test::spec("a", 12, Duration::minutes(10)),
+                                   test::rigid(Duration::minutes(5)));
+  ASSERT_TRUE(s.server.start_job(id, false));
+  s.sim.run_until(Time::from_seconds(1));
+
+  TmInterface tm(s.server, id);
+  tm.tm_dynfree(5);
+  s.sim.run_until(Time::from_seconds(2));
+  EXPECT_EQ(s.server.job(id).allocated_cores(), 7);
+  EXPECT_EQ(s.cluster.held_by(id), 7);
+}
+
+TEST(TmInterface, DynfreeMustKeepOneCore) {
+  BareSystem s;
+  const JobId id = s.server.submit(test::spec("a", 4, Duration::minutes(10)),
+                                   test::rigid(Duration::minutes(5)));
+  ASSERT_TRUE(s.server.start_job(id, false));
+  TmInterface tm(s.server, id);
+  EXPECT_THROW(tm.tm_dynfree(4), precondition_error);
+  EXPECT_THROW(tm.tm_dynfree(0), precondition_error);
+}
+
+TEST(TmInterface, RaceWithCompletionIsHarmless) {
+  BareSystem s;
+  const JobId id = s.server.submit(test::spec("a", 4, Duration::minutes(10)),
+                                   test::rigid(Duration::seconds(30)));
+  ASSERT_TRUE(s.server.start_job(id, false));
+  s.sim.run_until(Time::from_seconds(1));
+  TmInterface tm(s.server, id);
+  tm.tm_dynget(4);
+  // The job completes while the request message is in flight... run all
+  // events; nothing must throw and accounting must balance.
+  s.sim.run();
+  EXPECT_EQ(s.cluster.free_cores(), 32);
+}
+
+}  // namespace
+}  // namespace dbs::rms

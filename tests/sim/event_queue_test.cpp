@@ -1,0 +1,85 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace dbs::sim {
+namespace {
+
+TEST(EventQueue, OrdersByTime) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.push(Time::from_seconds(2), [&] { fired.push_back(2); });
+  q.push(Time::from_seconds(1), [&] { fired.push_back(1); });
+  q.push(Time::from_seconds(3), [&] { fired.push_back(3); });
+  while (!q.empty()) q.pop().second();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, FifoForEqualTimes) {
+  EventQueue q;
+  std::vector<int> fired;
+  for (int i = 0; i < 10; ++i)
+    q.push(Time::from_seconds(5), [&fired, i] { fired.push_back(i); });
+  while (!q.empty()) q.pop().second();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(fired[static_cast<size_t>(i)], i);
+}
+
+TEST(EventQueue, CancelPreventsFiring) {
+  EventQueue q;
+  bool fired = false;
+  const EventId id = q.push(Time::from_seconds(1), [&] { fired = true; });
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, CancelTwiceFails) {
+  EventQueue q;
+  const EventId id = q.push(Time::from_seconds(1), [] {});
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, CancelUnknownFails) {
+  EventQueue q;
+  EXPECT_FALSE(q.cancel(EventId::invalid()));
+  EXPECT_FALSE(q.cancel(EventId{999}));
+}
+
+TEST(EventQueue, CancelMiddleKeepsOthers) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.push(Time::from_seconds(1), [&] { fired.push_back(1); });
+  const EventId mid = q.push(Time::from_seconds(2), [&] { fired.push_back(2); });
+  q.push(Time::from_seconds(3), [&] { fired.push_back(3); });
+  EXPECT_TRUE(q.cancel(mid));
+  while (!q.empty()) q.pop().second();
+  EXPECT_EQ(fired, (std::vector<int>{1, 3}));
+}
+
+TEST(EventQueue, NextTimeSkipsCancelled) {
+  EventQueue q;
+  const EventId first = q.push(Time::from_seconds(1), [] {});
+  q.push(Time::from_seconds(2), [] {});
+  q.cancel(first);
+  EXPECT_EQ(q.next_time(), Time::from_seconds(2));
+}
+
+TEST(EventQueue, EmptyQueueGuards) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_THROW((void)q.next_time(), precondition_error);
+  EXPECT_THROW((void)q.pop(), precondition_error);
+}
+
+TEST(EventQueue, NullEventRejected) {
+  EventQueue q;
+  EXPECT_THROW(q.push(Time::epoch(), nullptr), precondition_error);
+}
+
+}  // namespace
+}  // namespace dbs::sim

@@ -1,0 +1,97 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace dbs::sim {
+namespace {
+
+TEST(Simulator, ClockAdvancesWithEvents) {
+  Simulator sim;
+  std::vector<Time> at;
+  sim.schedule_at(Time::from_seconds(5), [&] { at.push_back(sim.now()); });
+  sim.schedule_at(Time::from_seconds(2), [&] { at.push_back(sim.now()); });
+  sim.run();
+  ASSERT_EQ(at.size(), 2u);
+  EXPECT_EQ(at[0], Time::from_seconds(2));
+  EXPECT_EQ(at[1], Time::from_seconds(5));
+  EXPECT_EQ(sim.now(), Time::from_seconds(5));
+  EXPECT_EQ(sim.events_fired(), 2u);
+}
+
+TEST(Simulator, ScheduleAfterIsRelative) {
+  Simulator sim;
+  Time observed;
+  sim.schedule_at(Time::from_seconds(10), [&] {
+    sim.schedule_after(Duration::seconds(5), [&] { observed = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(observed, Time::from_seconds(15));
+}
+
+TEST(Simulator, PastSchedulingRejected) {
+  Simulator sim;
+  sim.schedule_at(Time::from_seconds(10), [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(Time::from_seconds(5), [] {}),
+               precondition_error);
+  EXPECT_THROW(sim.schedule_after(Duration::seconds(-1), [] {}),
+               precondition_error);
+}
+
+TEST(Simulator, RunUntilStopsAtHorizon) {
+  Simulator sim;
+  int fired = 0;
+  for (int s = 1; s <= 10; ++s)
+    sim.schedule_at(Time::from_seconds(s), [&] { ++fired; });
+  sim.run_until(Time::from_seconds(5));
+  EXPECT_EQ(fired, 5);
+  EXPECT_EQ(sim.now(), Time::from_seconds(5));
+  sim.run();
+  EXPECT_EQ(fired, 10);
+}
+
+TEST(Simulator, RunUntilAdvancesClockWithoutEvents) {
+  Simulator sim;
+  sim.run_until(Time::from_seconds(100));
+  EXPECT_EQ(sim.now(), Time::from_seconds(100));
+}
+
+TEST(Simulator, CancelStopsEvent) {
+  Simulator sim;
+  bool fired = false;
+  const EventId id = sim.schedule_after(Duration::seconds(1), [&] { fired = true; });
+  EXPECT_TRUE(sim.cancel(id));
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, EventsCanScheduleMoreEvents) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 5) sim.schedule_after(Duration::seconds(1), chain);
+  };
+  sim.schedule_at(Time::epoch(), chain);
+  sim.run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(sim.now(), Time::from_seconds(4));
+}
+
+TEST(Simulator, StepFiresOneEvent) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(Time::from_seconds(1), [&] { ++fired; });
+  sim.schedule_at(Time::from_seconds(2), [&] { ++fired; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+  EXPECT_TRUE(sim.idle());
+}
+
+}  // namespace
+}  // namespace dbs::sim

@@ -1,0 +1,53 @@
+#include "workload/submission.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+
+namespace dbs::wl {
+namespace {
+
+TEST(EspSchedule, FirstBatchInstantRestSpaced) {
+  const auto times = esp_schedule(10, 3, Duration::seconds(30));
+  ASSERT_EQ(times.size(), 10u);
+  EXPECT_EQ(times[0], Time::epoch());
+  EXPECT_EQ(times[2], Time::epoch());
+  EXPECT_EQ(times[3], Time::from_seconds(30));
+  EXPECT_EQ(times[9], Time::from_seconds(7 * 30));
+}
+
+TEST(EspSchedule, AllInstantWhenCountBelowBatch) {
+  const auto times = esp_schedule(5, 50, Duration::seconds(30));
+  for (const Time t : times) EXPECT_EQ(t, Time::epoch());
+}
+
+TEST(EspSchedule, EmptyCount) {
+  EXPECT_TRUE(esp_schedule(0, 10, Duration::seconds(30)).empty());
+}
+
+TEST(PoissonArrival, MonotonicAndScalesWithMean) {
+  const Time t0 = Time::from_seconds(100);
+  const Time a = next_poisson_arrival(t0, Duration::seconds(30), 0.5);
+  EXPECT_GT(a, t0);
+  const Time b = next_poisson_arrival(t0, Duration::seconds(60), 0.5);
+  // Each call rounds to the microsecond independently.
+  EXPECT_NEAR(static_cast<double>((b - t0).as_micros()),
+              2.0 * static_cast<double>((a - t0).as_micros()), 1.0);
+}
+
+TEST(PoissonArrival, ZeroDrawMeansImmediate) {
+  const Time t0 = Time::from_seconds(5);
+  EXPECT_EQ(next_poisson_arrival(t0, Duration::seconds(30), 0.0), t0);
+}
+
+TEST(PoissonArrival, Validation) {
+  EXPECT_THROW(
+      (void)next_poisson_arrival(Time::epoch(), Duration::zero(), 0.5),
+      precondition_error);
+  EXPECT_THROW(
+      (void)next_poisson_arrival(Time::epoch(), Duration::seconds(1), 1.0),
+      precondition_error);
+}
+
+}  // namespace
+}  // namespace dbs::wl

@@ -1,0 +1,87 @@
+#include "workload/synthetic.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+
+namespace dbs::wl {
+namespace {
+
+TEST(Synthetic, RespectsBasicBounds) {
+  SyntheticParams p;
+  p.job_count = 200;
+  const Workload wl = generate_synthetic(p);
+  ASSERT_EQ(wl.jobs.size(), 200u);
+  Time previous = Time::epoch();
+  for (const auto& j : wl.jobs) {
+    EXPECT_GE(j.spec.cores, 1);
+    EXPECT_LE(j.spec.cores, p.total_cores);
+    EXPECT_GE(j.behavior.static_runtime, p.min_runtime);
+    EXPECT_LE(j.behavior.static_runtime, p.max_runtime);
+    EXPECT_GE(j.spec.walltime, j.behavior.static_runtime);
+    EXPECT_GE(j.at, previous);  // arrivals are monotonic
+    previous = j.at;
+  }
+}
+
+TEST(Synthetic, EvolvingFractionApproximatelyMet) {
+  SyntheticParams p;
+  p.job_count = 2000;
+  p.evolving_fraction = 0.3;
+  const Workload wl = generate_synthetic(p);
+  const double frac =
+      static_cast<double>(wl.evolving_count()) / static_cast<double>(wl.jobs.size());
+  EXPECT_NEAR(frac, 0.3, 0.05);
+}
+
+TEST(Synthetic, ZeroAndFullEvolvingFractions) {
+  SyntheticParams p;
+  p.job_count = 50;
+  p.evolving_fraction = 0.0;
+  EXPECT_EQ(generate_synthetic(p).evolving_count(), 0u);
+  p.evolving_fraction = 1.0;
+  EXPECT_EQ(generate_synthetic(p).evolving_count(), 50u);
+}
+
+TEST(Synthetic, DeterministicPerSeed) {
+  SyntheticParams p;
+  p.job_count = 100;
+  const Workload a = generate_synthetic(p);
+  const Workload b = generate_synthetic(p);
+  for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+    EXPECT_EQ(a.jobs[i].at, b.jobs[i].at);
+    EXPECT_EQ(a.jobs[i].spec.cores, b.jobs[i].spec.cores);
+  }
+  p.seed = 2;
+  const Workload c = generate_synthetic(p);
+  bool differs = false;
+  for (std::size_t i = 0; i < a.jobs.size(); ++i)
+    differs |= a.jobs[i].spec.cores != c.jobs[i].spec.cores ||
+               a.jobs[i].at != c.jobs[i].at;
+  EXPECT_TRUE(differs);
+}
+
+TEST(Synthetic, UsersRoundRobin) {
+  SyntheticParams p;
+  p.job_count = 16;
+  p.user_count = 4;
+  const Workload wl = generate_synthetic(p);
+  EXPECT_EQ(wl.jobs[0].spec.cred.user, "user0");
+  EXPECT_EQ(wl.jobs[5].spec.cred.user, "user1");
+}
+
+TEST(Synthetic, ParameterValidation) {
+  SyntheticParams p;
+  p.evolving_fraction = 1.5;
+  EXPECT_THROW((void)generate_synthetic(p), precondition_error);
+  p = SyntheticParams{};
+  p.min_size_log2 = 5;
+  p.max_size_log2 = 2;
+  EXPECT_THROW((void)generate_synthetic(p), precondition_error);
+  p = SyntheticParams{};
+  p.walltime_factor = 0.5;
+  EXPECT_THROW((void)generate_synthetic(p), precondition_error);
+}
+
+}  // namespace
+}  // namespace dbs::wl

@@ -1,0 +1,128 @@
+// dbsim — run a workload trace through the dynamic batch system.
+//
+//   dbsim --trace workload.trace [--config maui.cfg] [--nodes 16]
+//           [--cores-per-node 8] [--qstat] [--csv waits.csv]
+//
+// The trace format is documented in src/workload/trace.hpp (write one with
+// `esp_campaign --trace`). The config file uses the Maui-style syntax of
+// the paper's Fig. 6 (see src/config/maui_config.hpp).
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "batch/experiment.hpp"
+#include "config/maui_config.hpp"
+#include "rms/status.hpp"
+#include "workload/trace.hpp"
+
+using namespace dbs;
+
+namespace {
+
+int usage(const char* argv0, int code) {
+  std::cerr << "usage: " << argv0
+            << " --trace FILE [--config FILE] [--nodes N]\n"
+               "       [--cores-per-node N] [--qstat] [--csv FILE]\n";
+  return code;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "cannot open " << path << "\n";
+    std::exit(1);
+  }
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string trace_path;
+  std::string config_path;
+  std::string csv_path;
+  std::size_t nodes = 0;
+  CoreCount cores_per_node = 8;
+  bool qstat = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> std::string {
+      if (i + 1 >= argc) std::exit(usage(argv[0], 2));
+      return argv[++i];
+    };
+    if (arg == "--trace") trace_path = next();
+    else if (arg == "--config") config_path = next();
+    else if (arg == "--nodes") nodes = static_cast<std::size_t>(std::stoul(next()));
+    else if (arg == "--cores-per-node") cores_per_node = std::stoi(next());
+    else if (arg == "--qstat") qstat = true;
+    else if (arg == "--csv") csv_path = next();
+    else if (arg == "--help" || arg == "-h") return usage(argv[0], 0);
+    else return usage(argv[0], 2);
+  }
+  if (trace_path.empty()) return usage(argv[0], 2);
+
+  const wl::Workload workload = wl::trace_from_string(slurp(trace_path));
+  if (workload.jobs.empty()) {
+    std::cerr << "trace contains no jobs\n";
+    return 1;
+  }
+
+  batch::SystemConfig system_config;
+  if (!config_path.empty()) {
+    const cfg::ParseResult parsed = cfg::parse_maui_config(slurp(config_path));
+    for (const cfg::ParseIssue& issue : parsed.issues)
+      std::cerr << config_path << ":" << issue.line << ": " << issue.message
+                << "\n";
+    if (!parsed.ok()) return 1;
+    system_config.scheduler = parsed.config;
+  }
+  if (nodes == 0) {
+    const CoreCount total =
+        workload.total_cores > 0 ? workload.total_cores : 128;
+    nodes = static_cast<std::size_t>((total + cores_per_node - 1) /
+                                     cores_per_node);
+  }
+  system_config.cluster.node_count = nodes;
+  system_config.cluster.cores_per_node = cores_per_node;
+
+  batch::BatchSystem system(system_config);
+  system.submit_workload(workload);
+  if (qstat) {
+    // Print a status snapshot mid-run (after the first quarter of the
+    // submission window) before finishing the simulation.
+    const Time snapshot =
+        workload.jobs.back().at - (workload.jobs.back().at -
+                                   workload.jobs.front().at) / 4 * 3;
+    system.run_until(snapshot);
+    std::cout << "--- qstat @ " << snapshot.to_string() << " ---\n"
+              << rms::format_qstat(system.server()) << "\n"
+              << rms::format_pbsnodes(system.server()) << "\n"
+              << rms::format_load_summary(system.server()) << "\n\n";
+  }
+  system.run();
+
+  const metrics::WorkloadSummary summary = metrics::summarize(system.recorder());
+  TextTable table(metrics::performance_header());
+  table.add_row(metrics::performance_row(trace_path, summary, 0.0));
+  std::cout << table.to_string();
+  std::cout << "avg wait " << summary.avg_wait.to_hms() << ", max wait "
+            << summary.max_wait.to_hms() << ", backfilled "
+            << summary.backfilled_jobs << ", evolving "
+            << summary.evolving_jobs << " (satisfied "
+            << summary.satisfied_dyn_jobs << ")\n";
+
+  if (!csv_path.empty()) {
+    TextTable csv({"submit_index", "name", "wait_seconds"});
+    for (const auto& w : metrics::wait_series(system.recorder()))
+      csv.add_row({std::to_string(w.submit_index), w.name,
+                   TextTable::num(w.wait.as_seconds(), 3)});
+    std::ofstream out(csv_path);
+    out << csv.to_csv();
+    std::cout << "wrote per-job waits to " << csv_path << "\n";
+  }
+  return 0;
+}
