@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_walltime.dir/bench_ablation_walltime.cpp.o"
+  "CMakeFiles/bench_ablation_walltime.dir/bench_ablation_walltime.cpp.o.d"
+  "bench_ablation_walltime"
+  "bench_ablation_walltime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_walltime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_dyn600.dir/bench_fig11_dyn600.cpp.o"
+  "CMakeFiles/bench_fig11_dyn600.dir/bench_fig11_dyn600.cpp.o.d"
+  "bench_fig11_dyn600"
+  "bench_fig11_dyn600.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_dyn600.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_quadflow.dir/bench_fig7_quadflow.cpp.o"
+  "CMakeFiles/bench_fig7_quadflow.dir/bench_fig7_quadflow.cpp.o.d"
+  "bench_fig7_quadflow"
+  "bench_fig7_quadflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_quadflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_waiting_hp.dir/bench_fig8_waiting_hp.cpp.o"
+  "CMakeFiles/bench_fig8_waiting_hp.dir/bench_fig8_waiting_hp.cpp.o.d"
+  "bench_fig8_waiting_hp"
+  "bench_fig8_waiting_hp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_waiting_hp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig8_waiting_hp.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_typeL.dir/bench_fig9_typeL.cpp.o"
+  "CMakeFiles/bench_fig9_typeL.dir/bench_fig9_typeL.cpp.o.d"
+  "bench_fig9_typeL"
+  "bench_fig9_typeL.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_typeL.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

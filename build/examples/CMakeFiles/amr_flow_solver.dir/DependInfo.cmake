@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/amr_flow_solver.cpp" "examples/CMakeFiles/amr_flow_solver.dir/amr_flow_solver.cpp.o" "gcc" "examples/CMakeFiles/amr_flow_solver.dir/amr_flow_solver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dbs_batch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbs_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbs_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbs_amr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbs_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbs_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbs_rms.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbs_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

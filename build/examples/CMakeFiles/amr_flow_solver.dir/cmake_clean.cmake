@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amr_flow_solver.dir/amr_flow_solver.cpp.o"
+  "CMakeFiles/amr_flow_solver.dir/amr_flow_solver.cpp.o.d"
+  "amr_flow_solver"
+  "amr_flow_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amr_flow_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

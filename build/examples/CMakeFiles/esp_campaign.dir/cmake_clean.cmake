@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esp_campaign.dir/esp_campaign.cpp.o"
+  "CMakeFiles/esp_campaign.dir/esp_campaign.cpp.o.d"
+  "esp_campaign"
+  "esp_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esp_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

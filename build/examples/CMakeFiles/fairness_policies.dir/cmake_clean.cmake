@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fairness_policies.dir/fairness_policies.cpp.o"
+  "CMakeFiles/fairness_policies.dir/fairness_policies.cpp.o.d"
+  "fairness_policies"
+  "fairness_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fairness_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_scenario.dir/fig1_scenario.cpp.o"
+  "CMakeFiles/fig1_scenario.dir/fig1_scenario.cpp.o.d"
+  "fig1_scenario"
+  "fig1_scenario.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

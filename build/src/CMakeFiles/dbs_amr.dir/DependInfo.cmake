@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/amr/cases.cpp" "src/CMakeFiles/dbs_amr.dir/amr/cases.cpp.o" "gcc" "src/CMakeFiles/dbs_amr.dir/amr/cases.cpp.o.d"
+  "/root/repo/src/amr/quadtree.cpp" "src/CMakeFiles/dbs_amr.dir/amr/quadtree.cpp.o" "gcc" "src/CMakeFiles/dbs_amr.dir/amr/quadtree.cpp.o.d"
+  "/root/repo/src/amr/refinement.cpp" "src/CMakeFiles/dbs_amr.dir/amr/refinement.cpp.o" "gcc" "src/CMakeFiles/dbs_amr.dir/amr/refinement.cpp.o.d"
+  "/root/repo/src/amr/sensor.cpp" "src/CMakeFiles/dbs_amr.dir/amr/sensor.cpp.o" "gcc" "src/CMakeFiles/dbs_amr.dir/amr/sensor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dbs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbs_amr.dir/amr/cases.cpp.o"
+  "CMakeFiles/dbs_amr.dir/amr/cases.cpp.o.d"
+  "CMakeFiles/dbs_amr.dir/amr/quadtree.cpp.o"
+  "CMakeFiles/dbs_amr.dir/amr/quadtree.cpp.o.d"
+  "CMakeFiles/dbs_amr.dir/amr/refinement.cpp.o"
+  "CMakeFiles/dbs_amr.dir/amr/refinement.cpp.o.d"
+  "CMakeFiles/dbs_amr.dir/amr/sensor.cpp.o"
+  "CMakeFiles/dbs_amr.dir/amr/sensor.cpp.o.d"
+  "libdbs_amr.a"
+  "libdbs_amr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbs_amr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

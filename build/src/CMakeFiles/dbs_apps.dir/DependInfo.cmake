@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/app_model.cpp" "src/CMakeFiles/dbs_apps.dir/apps/app_model.cpp.o" "gcc" "src/CMakeFiles/dbs_apps.dir/apps/app_model.cpp.o.d"
+  "/root/repo/src/apps/evolving.cpp" "src/CMakeFiles/dbs_apps.dir/apps/evolving.cpp.o" "gcc" "src/CMakeFiles/dbs_apps.dir/apps/evolving.cpp.o.d"
+  "/root/repo/src/apps/quadflow_model.cpp" "src/CMakeFiles/dbs_apps.dir/apps/quadflow_model.cpp.o" "gcc" "src/CMakeFiles/dbs_apps.dir/apps/quadflow_model.cpp.o.d"
+  "/root/repo/src/apps/resilient.cpp" "src/CMakeFiles/dbs_apps.dir/apps/resilient.cpp.o" "gcc" "src/CMakeFiles/dbs_apps.dir/apps/resilient.cpp.o.d"
+  "/root/repo/src/apps/rigid.cpp" "src/CMakeFiles/dbs_apps.dir/apps/rigid.cpp.o" "gcc" "src/CMakeFiles/dbs_apps.dir/apps/rigid.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dbs_rms.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbs_amr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbs_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbs_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbs_apps.dir/apps/app_model.cpp.o"
+  "CMakeFiles/dbs_apps.dir/apps/app_model.cpp.o.d"
+  "CMakeFiles/dbs_apps.dir/apps/evolving.cpp.o"
+  "CMakeFiles/dbs_apps.dir/apps/evolving.cpp.o.d"
+  "CMakeFiles/dbs_apps.dir/apps/quadflow_model.cpp.o"
+  "CMakeFiles/dbs_apps.dir/apps/quadflow_model.cpp.o.d"
+  "CMakeFiles/dbs_apps.dir/apps/resilient.cpp.o"
+  "CMakeFiles/dbs_apps.dir/apps/resilient.cpp.o.d"
+  "CMakeFiles/dbs_apps.dir/apps/rigid.cpp.o"
+  "CMakeFiles/dbs_apps.dir/apps/rigid.cpp.o.d"
+  "libdbs_apps.a"
+  "libdbs_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbs_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/batch/batch_system.cpp" "src/CMakeFiles/dbs_batch.dir/batch/batch_system.cpp.o" "gcc" "src/CMakeFiles/dbs_batch.dir/batch/batch_system.cpp.o.d"
+  "/root/repo/src/batch/esp_experiment.cpp" "src/CMakeFiles/dbs_batch.dir/batch/esp_experiment.cpp.o" "gcc" "src/CMakeFiles/dbs_batch.dir/batch/esp_experiment.cpp.o.d"
+  "/root/repo/src/batch/experiment.cpp" "src/CMakeFiles/dbs_batch.dir/batch/experiment.cpp.o" "gcc" "src/CMakeFiles/dbs_batch.dir/batch/experiment.cpp.o.d"
+  "/root/repo/src/batch/overhead_experiment.cpp" "src/CMakeFiles/dbs_batch.dir/batch/overhead_experiment.cpp.o" "gcc" "src/CMakeFiles/dbs_batch.dir/batch/overhead_experiment.cpp.o.d"
+  "/root/repo/src/batch/quadflow_experiment.cpp" "src/CMakeFiles/dbs_batch.dir/batch/quadflow_experiment.cpp.o" "gcc" "src/CMakeFiles/dbs_batch.dir/batch/quadflow_experiment.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dbs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbs_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbs_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbs_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbs_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbs_amr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbs_rms.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbs_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbs_batch.dir/batch/batch_system.cpp.o"
+  "CMakeFiles/dbs_batch.dir/batch/batch_system.cpp.o.d"
+  "CMakeFiles/dbs_batch.dir/batch/esp_experiment.cpp.o"
+  "CMakeFiles/dbs_batch.dir/batch/esp_experiment.cpp.o.d"
+  "CMakeFiles/dbs_batch.dir/batch/experiment.cpp.o"
+  "CMakeFiles/dbs_batch.dir/batch/experiment.cpp.o.d"
+  "CMakeFiles/dbs_batch.dir/batch/overhead_experiment.cpp.o"
+  "CMakeFiles/dbs_batch.dir/batch/overhead_experiment.cpp.o.d"
+  "CMakeFiles/dbs_batch.dir/batch/quadflow_experiment.cpp.o"
+  "CMakeFiles/dbs_batch.dir/batch/quadflow_experiment.cpp.o.d"
+  "libdbs_batch.a"
+  "libdbs_batch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbs_batch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

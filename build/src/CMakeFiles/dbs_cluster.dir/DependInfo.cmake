@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/allocation_policy.cpp" "src/CMakeFiles/dbs_cluster.dir/cluster/allocation_policy.cpp.o" "gcc" "src/CMakeFiles/dbs_cluster.dir/cluster/allocation_policy.cpp.o.d"
+  "/root/repo/src/cluster/cluster.cpp" "src/CMakeFiles/dbs_cluster.dir/cluster/cluster.cpp.o" "gcc" "src/CMakeFiles/dbs_cluster.dir/cluster/cluster.cpp.o.d"
+  "/root/repo/src/cluster/node.cpp" "src/CMakeFiles/dbs_cluster.dir/cluster/node.cpp.o" "gcc" "src/CMakeFiles/dbs_cluster.dir/cluster/node.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dbs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbs_cluster.dir/cluster/allocation_policy.cpp.o"
+  "CMakeFiles/dbs_cluster.dir/cluster/allocation_policy.cpp.o.d"
+  "CMakeFiles/dbs_cluster.dir/cluster/cluster.cpp.o"
+  "CMakeFiles/dbs_cluster.dir/cluster/cluster.cpp.o.d"
+  "CMakeFiles/dbs_cluster.dir/cluster/node.cpp.o"
+  "CMakeFiles/dbs_cluster.dir/cluster/node.cpp.o.d"
+  "libdbs_cluster.a"
+  "libdbs_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbs_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbs_common.dir/common/log.cpp.o"
+  "CMakeFiles/dbs_common.dir/common/log.cpp.o.d"
+  "CMakeFiles/dbs_common.dir/common/string_util.cpp.o"
+  "CMakeFiles/dbs_common.dir/common/string_util.cpp.o.d"
+  "CMakeFiles/dbs_common.dir/common/table.cpp.o"
+  "CMakeFiles/dbs_common.dir/common/table.cpp.o.d"
+  "CMakeFiles/dbs_common.dir/common/time.cpp.o"
+  "CMakeFiles/dbs_common.dir/common/time.cpp.o.d"
+  "libdbs_common.a"
+  "libdbs_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbs_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

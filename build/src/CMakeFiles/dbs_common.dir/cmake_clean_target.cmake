@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdbs_common.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbs_config.dir/config/maui_config.cpp.o"
+  "CMakeFiles/dbs_config.dir/config/maui_config.cpp.o.d"
+  "libdbs_config.a"
+  "libdbs_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbs_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/availability_profile.cpp" "src/CMakeFiles/dbs_core.dir/core/availability_profile.cpp.o" "gcc" "src/CMakeFiles/dbs_core.dir/core/availability_profile.cpp.o.d"
+  "/root/repo/src/core/backfill.cpp" "src/CMakeFiles/dbs_core.dir/core/backfill.cpp.o" "gcc" "src/CMakeFiles/dbs_core.dir/core/backfill.cpp.o.d"
+  "/root/repo/src/core/delay_measurement.cpp" "src/CMakeFiles/dbs_core.dir/core/delay_measurement.cpp.o" "gcc" "src/CMakeFiles/dbs_core.dir/core/delay_measurement.cpp.o.d"
+  "/root/repo/src/core/dfs_engine.cpp" "src/CMakeFiles/dbs_core.dir/core/dfs_engine.cpp.o" "gcc" "src/CMakeFiles/dbs_core.dir/core/dfs_engine.cpp.o.d"
+  "/root/repo/src/core/dfs_policy.cpp" "src/CMakeFiles/dbs_core.dir/core/dfs_policy.cpp.o" "gcc" "src/CMakeFiles/dbs_core.dir/core/dfs_policy.cpp.o.d"
+  "/root/repo/src/core/fairshare.cpp" "src/CMakeFiles/dbs_core.dir/core/fairshare.cpp.o" "gcc" "src/CMakeFiles/dbs_core.dir/core/fairshare.cpp.o.d"
+  "/root/repo/src/core/malleable.cpp" "src/CMakeFiles/dbs_core.dir/core/malleable.cpp.o" "gcc" "src/CMakeFiles/dbs_core.dir/core/malleable.cpp.o.d"
+  "/root/repo/src/core/maui_scheduler.cpp" "src/CMakeFiles/dbs_core.dir/core/maui_scheduler.cpp.o" "gcc" "src/CMakeFiles/dbs_core.dir/core/maui_scheduler.cpp.o.d"
+  "/root/repo/src/core/negotiation.cpp" "src/CMakeFiles/dbs_core.dir/core/negotiation.cpp.o" "gcc" "src/CMakeFiles/dbs_core.dir/core/negotiation.cpp.o.d"
+  "/root/repo/src/core/partition.cpp" "src/CMakeFiles/dbs_core.dir/core/partition.cpp.o" "gcc" "src/CMakeFiles/dbs_core.dir/core/partition.cpp.o.d"
+  "/root/repo/src/core/preemption.cpp" "src/CMakeFiles/dbs_core.dir/core/preemption.cpp.o" "gcc" "src/CMakeFiles/dbs_core.dir/core/preemption.cpp.o.d"
+  "/root/repo/src/core/priority.cpp" "src/CMakeFiles/dbs_core.dir/core/priority.cpp.o" "gcc" "src/CMakeFiles/dbs_core.dir/core/priority.cpp.o.d"
+  "/root/repo/src/core/reservation_table.cpp" "src/CMakeFiles/dbs_core.dir/core/reservation_table.cpp.o" "gcc" "src/CMakeFiles/dbs_core.dir/core/reservation_table.cpp.o.d"
+  "/root/repo/src/core/scheduler_config.cpp" "src/CMakeFiles/dbs_core.dir/core/scheduler_config.cpp.o" "gcc" "src/CMakeFiles/dbs_core.dir/core/scheduler_config.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dbs_rms.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbs_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

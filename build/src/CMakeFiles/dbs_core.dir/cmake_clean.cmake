@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbs_core.dir/core/availability_profile.cpp.o"
+  "CMakeFiles/dbs_core.dir/core/availability_profile.cpp.o.d"
+  "CMakeFiles/dbs_core.dir/core/backfill.cpp.o"
+  "CMakeFiles/dbs_core.dir/core/backfill.cpp.o.d"
+  "CMakeFiles/dbs_core.dir/core/delay_measurement.cpp.o"
+  "CMakeFiles/dbs_core.dir/core/delay_measurement.cpp.o.d"
+  "CMakeFiles/dbs_core.dir/core/dfs_engine.cpp.o"
+  "CMakeFiles/dbs_core.dir/core/dfs_engine.cpp.o.d"
+  "CMakeFiles/dbs_core.dir/core/dfs_policy.cpp.o"
+  "CMakeFiles/dbs_core.dir/core/dfs_policy.cpp.o.d"
+  "CMakeFiles/dbs_core.dir/core/fairshare.cpp.o"
+  "CMakeFiles/dbs_core.dir/core/fairshare.cpp.o.d"
+  "CMakeFiles/dbs_core.dir/core/malleable.cpp.o"
+  "CMakeFiles/dbs_core.dir/core/malleable.cpp.o.d"
+  "CMakeFiles/dbs_core.dir/core/maui_scheduler.cpp.o"
+  "CMakeFiles/dbs_core.dir/core/maui_scheduler.cpp.o.d"
+  "CMakeFiles/dbs_core.dir/core/negotiation.cpp.o"
+  "CMakeFiles/dbs_core.dir/core/negotiation.cpp.o.d"
+  "CMakeFiles/dbs_core.dir/core/partition.cpp.o"
+  "CMakeFiles/dbs_core.dir/core/partition.cpp.o.d"
+  "CMakeFiles/dbs_core.dir/core/preemption.cpp.o"
+  "CMakeFiles/dbs_core.dir/core/preemption.cpp.o.d"
+  "CMakeFiles/dbs_core.dir/core/priority.cpp.o"
+  "CMakeFiles/dbs_core.dir/core/priority.cpp.o.d"
+  "CMakeFiles/dbs_core.dir/core/reservation_table.cpp.o"
+  "CMakeFiles/dbs_core.dir/core/reservation_table.cpp.o.d"
+  "CMakeFiles/dbs_core.dir/core/scheduler_config.cpp.o"
+  "CMakeFiles/dbs_core.dir/core/scheduler_config.cpp.o.d"
+  "libdbs_core.a"
+  "libdbs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/recorder.cpp" "src/CMakeFiles/dbs_metrics.dir/metrics/recorder.cpp.o" "gcc" "src/CMakeFiles/dbs_metrics.dir/metrics/recorder.cpp.o.d"
+  "/root/repo/src/metrics/report.cpp" "src/CMakeFiles/dbs_metrics.dir/metrics/report.cpp.o" "gcc" "src/CMakeFiles/dbs_metrics.dir/metrics/report.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dbs_rms.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbs_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

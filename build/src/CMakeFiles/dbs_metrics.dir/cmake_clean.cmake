@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbs_metrics.dir/metrics/recorder.cpp.o"
+  "CMakeFiles/dbs_metrics.dir/metrics/recorder.cpp.o.d"
+  "CMakeFiles/dbs_metrics.dir/metrics/report.cpp.o"
+  "CMakeFiles/dbs_metrics.dir/metrics/report.cpp.o.d"
+  "libdbs_metrics.a"
+  "libdbs_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbs_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rms/comm.cpp" "src/CMakeFiles/dbs_rms.dir/rms/comm.cpp.o" "gcc" "src/CMakeFiles/dbs_rms.dir/rms/comm.cpp.o.d"
+  "/root/repo/src/rms/job.cpp" "src/CMakeFiles/dbs_rms.dir/rms/job.cpp.o" "gcc" "src/CMakeFiles/dbs_rms.dir/rms/job.cpp.o.d"
+  "/root/repo/src/rms/job_queue.cpp" "src/CMakeFiles/dbs_rms.dir/rms/job_queue.cpp.o" "gcc" "src/CMakeFiles/dbs_rms.dir/rms/job_queue.cpp.o.d"
+  "/root/repo/src/rms/mom.cpp" "src/CMakeFiles/dbs_rms.dir/rms/mom.cpp.o" "gcc" "src/CMakeFiles/dbs_rms.dir/rms/mom.cpp.o.d"
+  "/root/repo/src/rms/server.cpp" "src/CMakeFiles/dbs_rms.dir/rms/server.cpp.o" "gcc" "src/CMakeFiles/dbs_rms.dir/rms/server.cpp.o.d"
+  "/root/repo/src/rms/status.cpp" "src/CMakeFiles/dbs_rms.dir/rms/status.cpp.o" "gcc" "src/CMakeFiles/dbs_rms.dir/rms/status.cpp.o.d"
+  "/root/repo/src/rms/tm_interface.cpp" "src/CMakeFiles/dbs_rms.dir/rms/tm_interface.cpp.o" "gcc" "src/CMakeFiles/dbs_rms.dir/rms/tm_interface.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dbs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbs_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbs_rms.dir/rms/comm.cpp.o"
+  "CMakeFiles/dbs_rms.dir/rms/comm.cpp.o.d"
+  "CMakeFiles/dbs_rms.dir/rms/job.cpp.o"
+  "CMakeFiles/dbs_rms.dir/rms/job.cpp.o.d"
+  "CMakeFiles/dbs_rms.dir/rms/job_queue.cpp.o"
+  "CMakeFiles/dbs_rms.dir/rms/job_queue.cpp.o.d"
+  "CMakeFiles/dbs_rms.dir/rms/mom.cpp.o"
+  "CMakeFiles/dbs_rms.dir/rms/mom.cpp.o.d"
+  "CMakeFiles/dbs_rms.dir/rms/server.cpp.o"
+  "CMakeFiles/dbs_rms.dir/rms/server.cpp.o.d"
+  "CMakeFiles/dbs_rms.dir/rms/status.cpp.o"
+  "CMakeFiles/dbs_rms.dir/rms/status.cpp.o.d"
+  "CMakeFiles/dbs_rms.dir/rms/tm_interface.cpp.o"
+  "CMakeFiles/dbs_rms.dir/rms/tm_interface.cpp.o.d"
+  "libdbs_rms.a"
+  "libdbs_rms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbs_rms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbs_sim.dir/sim/event_queue.cpp.o"
+  "CMakeFiles/dbs_sim.dir/sim/event_queue.cpp.o.d"
+  "CMakeFiles/dbs_sim.dir/sim/simulator.cpp.o"
+  "CMakeFiles/dbs_sim.dir/sim/simulator.cpp.o.d"
+  "libdbs_sim.a"
+  "libdbs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/esp.cpp" "src/CMakeFiles/dbs_workload.dir/workload/esp.cpp.o" "gcc" "src/CMakeFiles/dbs_workload.dir/workload/esp.cpp.o.d"
+  "/root/repo/src/workload/submission.cpp" "src/CMakeFiles/dbs_workload.dir/workload/submission.cpp.o" "gcc" "src/CMakeFiles/dbs_workload.dir/workload/submission.cpp.o.d"
+  "/root/repo/src/workload/synthetic.cpp" "src/CMakeFiles/dbs_workload.dir/workload/synthetic.cpp.o" "gcc" "src/CMakeFiles/dbs_workload.dir/workload/synthetic.cpp.o.d"
+  "/root/repo/src/workload/trace.cpp" "src/CMakeFiles/dbs_workload.dir/workload/trace.cpp.o" "gcc" "src/CMakeFiles/dbs_workload.dir/workload/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dbs_rms.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbs_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbs_workload.dir/workload/esp.cpp.o"
+  "CMakeFiles/dbs_workload.dir/workload/esp.cpp.o.d"
+  "CMakeFiles/dbs_workload.dir/workload/submission.cpp.o"
+  "CMakeFiles/dbs_workload.dir/workload/submission.cpp.o.d"
+  "CMakeFiles/dbs_workload.dir/workload/synthetic.cpp.o"
+  "CMakeFiles/dbs_workload.dir/workload/synthetic.cpp.o.d"
+  "CMakeFiles/dbs_workload.dir/workload/trace.cpp.o"
+  "CMakeFiles/dbs_workload.dir/workload/trace.cpp.o.d"
+  "libdbs_workload.a"
+  "libdbs_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbs_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_amr.dir/amr/cases_test.cpp.o"
+  "CMakeFiles/test_amr.dir/amr/cases_test.cpp.o.d"
+  "CMakeFiles/test_amr.dir/amr/quadtree_test.cpp.o"
+  "CMakeFiles/test_amr.dir/amr/quadtree_test.cpp.o.d"
+  "CMakeFiles/test_amr.dir/amr/refinement_test.cpp.o"
+  "CMakeFiles/test_amr.dir/amr/refinement_test.cpp.o.d"
+  "CMakeFiles/test_amr.dir/amr/sensor_test.cpp.o"
+  "CMakeFiles/test_amr.dir/amr/sensor_test.cpp.o.d"
+  "test_amr"
+  "test_amr.pdb"
+  "test_amr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_amr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

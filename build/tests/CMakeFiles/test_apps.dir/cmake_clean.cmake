@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_apps.dir/apps/evolving_test.cpp.o"
+  "CMakeFiles/test_apps.dir/apps/evolving_test.cpp.o.d"
+  "CMakeFiles/test_apps.dir/apps/quadflow_model_test.cpp.o"
+  "CMakeFiles/test_apps.dir/apps/quadflow_model_test.cpp.o.d"
+  "CMakeFiles/test_apps.dir/apps/resilient_test.cpp.o"
+  "CMakeFiles/test_apps.dir/apps/resilient_test.cpp.o.d"
+  "CMakeFiles/test_apps.dir/apps/rigid_test.cpp.o"
+  "CMakeFiles/test_apps.dir/apps/rigid_test.cpp.o.d"
+  "CMakeFiles/test_apps.dir/apps/scripted_test.cpp.o"
+  "CMakeFiles/test_apps.dir/apps/scripted_test.cpp.o.d"
+  "test_apps"
+  "test_apps.pdb"
+  "test_apps[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

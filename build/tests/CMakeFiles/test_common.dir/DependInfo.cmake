@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/log_test.cpp" "tests/CMakeFiles/test_common.dir/common/log_test.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/log_test.cpp.o.d"
+  "/root/repo/tests/common/rng_test.cpp" "tests/CMakeFiles/test_common.dir/common/rng_test.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/rng_test.cpp.o.d"
+  "/root/repo/tests/common/string_util_test.cpp" "tests/CMakeFiles/test_common.dir/common/string_util_test.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/string_util_test.cpp.o.d"
+  "/root/repo/tests/common/table_test.cpp" "tests/CMakeFiles/test_common.dir/common/table_test.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/table_test.cpp.o.d"
+  "/root/repo/tests/common/time_test.cpp" "tests/CMakeFiles/test_common.dir/common/time_test.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/time_test.cpp.o.d"
+  "/root/repo/tests/common/types_test.cpp" "tests/CMakeFiles/test_common.dir/common/types_test.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/types_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dbs_batch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbs_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbs_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbs_amr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbs_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbs_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbs_rms.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbs_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/availability_profile_test.cpp" "tests/CMakeFiles/test_core.dir/core/availability_profile_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/availability_profile_test.cpp.o.d"
+  "/root/repo/tests/core/backfill_test.cpp" "tests/CMakeFiles/test_core.dir/core/backfill_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/backfill_test.cpp.o.d"
+  "/root/repo/tests/core/delay_measurement_test.cpp" "tests/CMakeFiles/test_core.dir/core/delay_measurement_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/delay_measurement_test.cpp.o.d"
+  "/root/repo/tests/core/dfs_engine_test.cpp" "tests/CMakeFiles/test_core.dir/core/dfs_engine_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/dfs_engine_test.cpp.o.d"
+  "/root/repo/tests/core/dfs_policy_test.cpp" "tests/CMakeFiles/test_core.dir/core/dfs_policy_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/dfs_policy_test.cpp.o.d"
+  "/root/repo/tests/core/fairshare_test.cpp" "tests/CMakeFiles/test_core.dir/core/fairshare_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/fairshare_test.cpp.o.d"
+  "/root/repo/tests/core/malleable_test.cpp" "tests/CMakeFiles/test_core.dir/core/malleable_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/malleable_test.cpp.o.d"
+  "/root/repo/tests/core/maui_scheduler_test.cpp" "tests/CMakeFiles/test_core.dir/core/maui_scheduler_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/maui_scheduler_test.cpp.o.d"
+  "/root/repo/tests/core/negotiation_test.cpp" "tests/CMakeFiles/test_core.dir/core/negotiation_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/negotiation_test.cpp.o.d"
+  "/root/repo/tests/core/partition_test.cpp" "tests/CMakeFiles/test_core.dir/core/partition_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/partition_test.cpp.o.d"
+  "/root/repo/tests/core/preemption_test.cpp" "tests/CMakeFiles/test_core.dir/core/preemption_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/preemption_test.cpp.o.d"
+  "/root/repo/tests/core/priority_test.cpp" "tests/CMakeFiles/test_core.dir/core/priority_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/priority_test.cpp.o.d"
+  "/root/repo/tests/core/reservation_table_test.cpp" "tests/CMakeFiles/test_core.dir/core/reservation_table_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/reservation_table_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dbs_batch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbs_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbs_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbs_amr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbs_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbs_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbs_rms.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbs_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

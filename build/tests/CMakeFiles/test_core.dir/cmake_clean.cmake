@@ -1,0 +1,36 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/availability_profile_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/availability_profile_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/backfill_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/backfill_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/delay_measurement_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/delay_measurement_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/dfs_engine_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/dfs_engine_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/dfs_policy_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/dfs_policy_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/fairshare_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/fairshare_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/malleable_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/malleable_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/maui_scheduler_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/maui_scheduler_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/negotiation_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/negotiation_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/partition_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/partition_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/preemption_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/preemption_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/priority_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/priority_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/reservation_table_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/reservation_table_test.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

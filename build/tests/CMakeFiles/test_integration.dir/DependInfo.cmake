@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration/determinism_test.cpp" "tests/CMakeFiles/test_integration.dir/integration/determinism_test.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/determinism_test.cpp.o.d"
+  "/root/repo/tests/integration/esp_experiment_test.cpp" "tests/CMakeFiles/test_integration.dir/integration/esp_experiment_test.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/esp_experiment_test.cpp.o.d"
+  "/root/repo/tests/integration/evolving_end_to_end_test.cpp" "tests/CMakeFiles/test_integration.dir/integration/evolving_end_to_end_test.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/evolving_end_to_end_test.cpp.o.d"
+  "/root/repo/tests/integration/fairness_end_to_end_test.cpp" "tests/CMakeFiles/test_integration.dir/integration/fairness_end_to_end_test.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/fairness_end_to_end_test.cpp.o.d"
+  "/root/repo/tests/integration/fault_tolerance_test.cpp" "tests/CMakeFiles/test_integration.dir/integration/fault_tolerance_test.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/fault_tolerance_test.cpp.o.d"
+  "/root/repo/tests/integration/fig1_scenario_test.cpp" "tests/CMakeFiles/test_integration.dir/integration/fig1_scenario_test.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/fig1_scenario_test.cpp.o.d"
+  "/root/repo/tests/integration/malleable_test.cpp" "tests/CMakeFiles/test_integration.dir/integration/malleable_test.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/malleable_test.cpp.o.d"
+  "/root/repo/tests/integration/negotiation_test.cpp" "tests/CMakeFiles/test_integration.dir/integration/negotiation_test.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/negotiation_test.cpp.o.d"
+  "/root/repo/tests/integration/preemption_partition_test.cpp" "tests/CMakeFiles/test_integration.dir/integration/preemption_partition_test.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/preemption_partition_test.cpp.o.d"
+  "/root/repo/tests/integration/quadflow_experiment_test.cpp" "tests/CMakeFiles/test_integration.dir/integration/quadflow_experiment_test.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/quadflow_experiment_test.cpp.o.d"
+  "/root/repo/tests/integration/small_cluster_test.cpp" "tests/CMakeFiles/test_integration.dir/integration/small_cluster_test.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/small_cluster_test.cpp.o.d"
+  "/root/repo/tests/integration/zjob_drain_test.cpp" "tests/CMakeFiles/test_integration.dir/integration/zjob_drain_test.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/zjob_drain_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dbs_batch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbs_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbs_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbs_amr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbs_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbs_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbs_rms.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbs_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,34 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration.dir/integration/determinism_test.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/determinism_test.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/esp_experiment_test.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/esp_experiment_test.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/evolving_end_to_end_test.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/evolving_end_to_end_test.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/fairness_end_to_end_test.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/fairness_end_to_end_test.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/fault_tolerance_test.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/fault_tolerance_test.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/fig1_scenario_test.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/fig1_scenario_test.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/malleable_test.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/malleable_test.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/negotiation_test.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/negotiation_test.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/preemption_partition_test.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/preemption_partition_test.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/quadflow_experiment_test.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/quadflow_experiment_test.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/small_cluster_test.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/small_cluster_test.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/zjob_drain_test.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/zjob_drain_test.cpp.o.d"
+  "test_integration"
+  "test_integration.pdb"
+  "test_integration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

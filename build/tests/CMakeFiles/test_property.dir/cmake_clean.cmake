@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_property.dir/property/cluster_property_test.cpp.o"
+  "CMakeFiles/test_property.dir/property/cluster_property_test.cpp.o.d"
+  "CMakeFiles/test_property.dir/property/dfs_property_test.cpp.o"
+  "CMakeFiles/test_property.dir/property/dfs_property_test.cpp.o.d"
+  "CMakeFiles/test_property.dir/property/profile_property_test.cpp.o"
+  "CMakeFiles/test_property.dir/property/profile_property_test.cpp.o.d"
+  "CMakeFiles/test_property.dir/property/scheduler_invariants_test.cpp.o"
+  "CMakeFiles/test_property.dir/property/scheduler_invariants_test.cpp.o.d"
+  "CMakeFiles/test_property.dir/property/sim_property_test.cpp.o"
+  "CMakeFiles/test_property.dir/property/sim_property_test.cpp.o.d"
+  "CMakeFiles/test_property.dir/property/workload_property_test.cpp.o"
+  "CMakeFiles/test_property.dir/property/workload_property_test.cpp.o.d"
+  "test_property"
+  "test_property.pdb"
+  "test_property[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

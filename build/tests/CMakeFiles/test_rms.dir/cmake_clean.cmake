@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rms.dir/rms/dynamic_protocol_test.cpp.o"
+  "CMakeFiles/test_rms.dir/rms/dynamic_protocol_test.cpp.o.d"
+  "CMakeFiles/test_rms.dir/rms/job_queue_test.cpp.o"
+  "CMakeFiles/test_rms.dir/rms/job_queue_test.cpp.o.d"
+  "CMakeFiles/test_rms.dir/rms/job_test.cpp.o"
+  "CMakeFiles/test_rms.dir/rms/job_test.cpp.o.d"
+  "CMakeFiles/test_rms.dir/rms/mom_test.cpp.o"
+  "CMakeFiles/test_rms.dir/rms/mom_test.cpp.o.d"
+  "CMakeFiles/test_rms.dir/rms/server_test.cpp.o"
+  "CMakeFiles/test_rms.dir/rms/server_test.cpp.o.d"
+  "CMakeFiles/test_rms.dir/rms/status_test.cpp.o"
+  "CMakeFiles/test_rms.dir/rms/status_test.cpp.o.d"
+  "CMakeFiles/test_rms.dir/rms/tm_interface_test.cpp.o"
+  "CMakeFiles/test_rms.dir/rms/tm_interface_test.cpp.o.d"
+  "test_rms"
+  "test_rms.pdb"
+  "test_rms[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbsim.dir/dbsim.cpp.o"
+  "CMakeFiles/dbsim.dir/dbsim.cpp.o.d"
+  "dbsim"
+  "dbsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
