@@ -45,5 +45,6 @@ int main() {
   std::cout << interval_table.to_string()
             << "(shorter intervals refresh the 500 s budget more often -> "
                "more grants)\n";
+  bench::maybe_dump_metrics();
   return 0;
 }

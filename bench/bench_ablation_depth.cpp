@@ -26,5 +26,6 @@ int main() {
   std::cout << table.to_string()
             << "(small depths protect fewer queued jobs -> more grants, "
                "less fairness; the paper used 5)\n";
+  bench::maybe_dump_metrics();
   return 0;
 }

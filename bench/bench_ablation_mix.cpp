@@ -57,5 +57,6 @@ int main() {
   std::cout << model.to_string()
             << "(PaperDet reproduces Table I's DET exactly; ScaleRemaining "
                "scales only the remaining work)\n";
+  bench::maybe_dump_metrics();
   return 0;
 }

@@ -65,5 +65,6 @@ int main() {
   std::cout << table.to_string()
             << "(a partition boosts grant rates but idles cores for static "
                "work — the guaranteeing-approach trade-off of §II-B)\n";
+  bench::maybe_dump_metrics();
   return 0;
 }

@@ -31,5 +31,6 @@ int main() {
                " measured delays: the same 600 s budget admits fewer\n"
                " requests — configure limits moderately higher, as the\n"
                " paper advises)\n";
+  bench::maybe_dump_metrics();
   return 0;
 }

@@ -1,11 +1,13 @@
 // Shared helpers for the benchmark binaries.
 #pragma once
 
+#include <cstdlib>
 #include <iostream>
 #include <string>
 
 #include "batch/esp_experiment.hpp"
 #include "common/table.hpp"
+#include "obs/registry.hpp"
 
 namespace dbs::bench {
 
@@ -36,6 +38,18 @@ inline void print_wait_series(const std::vector<batch::RunResult>& runs,
     table.add_row(row);
   }
   std::cout << table.to_string();
+}
+
+/// Snapshot the global metrics registry to the file named by the
+/// DBS_METRICS_JSON environment variable, if set. Benchmark binaries call
+/// this on exit so instrumented runs can be harvested without new flags.
+inline void maybe_dump_metrics() {
+  const char* path = std::getenv("DBS_METRICS_JSON");
+  if (path == nullptr || *path == '\0') return;
+  if (obs::Registry::global().write_json_file(path))
+    std::cout << "wrote metrics snapshot to " << path << "\n";
+  else
+    std::cerr << "cannot open " << path << "\n";
 }
 
 }  // namespace dbs::bench

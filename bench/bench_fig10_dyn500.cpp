@@ -28,5 +28,6 @@ int main() {
             << TextTable::num(mean_abs_delta(runs[1]), 0) << " s, Dyn-500 "
             << TextTable::num(mean_abs_delta(runs[2]), 0) << " s\n"
             << "(paper: waits are more uniform w.r.t. Static under Dyn-500)\n";
+  bench::maybe_dump_metrics();
   return 0;
 }

@@ -20,5 +20,6 @@ int main() {
             << TextTable::num(runs[2].summary.utilization, 2)
             << "% (paper: 85.02 vs 83.57 — the moderate policy approaches "
                "Dyn-HP performance)\n";
+  bench::maybe_dump_metrics();
   return 0;
 }

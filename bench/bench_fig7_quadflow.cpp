@@ -50,5 +50,6 @@ int main() {
       "Quadflow static vs dynamic execution, per adaptation phase", "Fig. 7");
   print_case(amr::flat_plate_case());
   print_case(amr::cylinder_case());
+  bench::maybe_dump_metrics();
   return 0;
 }

@@ -24,5 +24,6 @@ int main() {
   std::cout << "\njobs waiting longer under Dyn-HP: " << worse
             << ", shorter: " << better << ", unchanged: " << equal << "\n"
             << "(paper: many jobs improve, but jobs ~70-125 wait longer)\n";
+  bench::maybe_dump_metrics();
   return 0;
 }

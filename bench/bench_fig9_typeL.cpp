@@ -36,5 +36,6 @@ int main() {
   }
   std::cout << "(paper: half of the L jobs suffer under Dyn-HP; the fairness "
                "configurations recover them)\n";
+  bench::maybe_dump_metrics();
   return 0;
 }

@@ -42,5 +42,6 @@ int main() {
             << "%), submission window "
             << workload.jobs[227].at.to_string() << ", Z jobs at "
             << workload.jobs[228].at.to_string() << "\n";
+  bench::maybe_dump_metrics();
   return 0;
 }

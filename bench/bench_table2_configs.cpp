@@ -33,5 +33,6 @@ int main() {
                    TextTable::num(static_cast<std::int64_t>(r.scheduler_iterations)),
                    TextTable::num(static_cast<std::int64_t>(r.events))});
   std::cout << "\n" << extra.to_string();
+  bench::maybe_dump_metrics();
   return 0;
 }

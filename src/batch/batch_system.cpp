@@ -1,8 +1,24 @@
 #include "batch/batch_system.hpp"
 
 #include "common/assert.hpp"
+#include "obs/registry.hpp"
+#include "obs/tracer.hpp"
 
 namespace dbs::batch {
+
+void BatchSystem::set_tracer(obs::Tracer* tracer) {
+  if (tracer != nullptr)
+    tracer->set_clock([this] { return sim_.now(); });
+  server_.set_tracer(tracer);
+  moms_.set_tracer(tracer);
+  scheduler_.set_tracer(tracer);
+}
+
+void BatchSystem::set_registry(obs::Registry* registry) {
+  server_.set_registry(registry);
+  moms_.set_registry(registry);
+  scheduler_.set_registry(registry);
+}
 
 BatchSystem::BatchSystem(const SystemConfig& config)
     : config_(config),

@@ -55,6 +55,13 @@ class BatchSystem {
   [[nodiscard]] const metrics::Recorder& recorder() const { return recorder_; }
   [[nodiscard]] const SystemConfig& config() const { return config_; }
 
+  /// Attaches `tracer` to every component (server, moms, scheduler, DFS)
+  /// and points its clock at the simulator. nullptr detaches everywhere.
+  void set_tracer(obs::Tracer* tracer);
+  /// Routes every component's metrics into `registry` instead of the
+  /// global one.
+  void set_registry(obs::Registry* registry);
+
  private:
   SystemConfig config_;
   sim::Simulator sim_;

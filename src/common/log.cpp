@@ -1,12 +1,17 @@
 #include "common/log.hpp"
 
 #include <atomic>
+#include <cctype>
+#include <cstdlib>
 #include <iostream>
 
 namespace dbs::logging {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::Off};
+
+const void* g_clock_owner = nullptr;
+Time (*g_clock_now)(const void*) = nullptr;
 
 const char* prefix(LogLevel level) {
   switch (level) {
@@ -18,14 +23,56 @@ const char* prefix(LogLevel level) {
   }
   return "";
 }
+
+/// Applies DBS_LOG_LEVEL once during static initialization.
+[[maybe_unused]] const bool g_env_applied = [] {
+  init_from_env();
+  return true;
+}();
+
 }  // namespace
 
 void set_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
 
 LogLevel level() { return g_level.load(std::memory_order_relaxed); }
 
+std::optional<LogLevel> parse_level(std::string_view text) {
+  std::string lower;
+  lower.reserve(text.size());
+  for (const char c : text)
+    lower.push_back(static_cast<char>(
+        std::tolower(static_cast<unsigned char>(c))));
+  if (lower == "trace") return LogLevel::Trace;
+  if (lower == "debug") return LogLevel::Debug;
+  if (lower == "info") return LogLevel::Info;
+  if (lower == "warn" || lower == "warning") return LogLevel::Warn;
+  if (lower == "off" || lower == "none") return LogLevel::Off;
+  return std::nullopt;
+}
+
+void init_from_env() {
+  const char* env = std::getenv("DBS_LOG_LEVEL");
+  if (env == nullptr) return;
+  if (const std::optional<LogLevel> parsed = parse_level(env))
+    set_level(*parsed);
+}
+
+void register_sim_clock(const void* owner, Time (*now)(const void* owner)) {
+  g_clock_owner = owner;
+  g_clock_now = now;
+}
+
+void unregister_sim_clock(const void* owner) {
+  if (g_clock_owner != owner) return;
+  g_clock_owner = nullptr;
+  g_clock_now = nullptr;
+}
+
 void emit(LogLevel lvl, const std::string& msg) {
-  std::cerr << prefix(lvl) << msg << '\n';
+  std::cerr << prefix(lvl);
+  if (g_clock_now != nullptr)
+    std::cerr << '[' << g_clock_now(g_clock_owner).to_string() << "] ";
+  std::cerr << msg << '\n';
 }
 
 }  // namespace dbs::logging

@@ -1,9 +1,15 @@
 // Minimal leveled logger. Off by default so simulations are silent; tests
-// and examples can raise the level to trace scheduler decisions.
+// and examples can raise the level to trace scheduler decisions, and the
+// DBS_LOG_LEVEL environment variable (trace|debug|info|warn|off) sets the
+// initial level without touching code.
 #pragma once
 
+#include <optional>
 #include <sstream>
 #include <string>
+#include <string_view>
+
+#include "common/time.hpp"
 
 namespace dbs {
 
@@ -13,8 +19,25 @@ namespace logging {
 /// Global threshold; messages below it are discarded.
 void set_level(LogLevel level);
 [[nodiscard]] LogLevel level();
-/// Emits one line to stderr with a level prefix.
+/// Emits one line to stderr with a level prefix (and the simulated
+/// timestamp while a simulator clock is registered).
 void emit(LogLevel level, const std::string& msg);
+
+/// Parses a level name ("trace", "debug", "info", "warn"/"warning",
+/// "off"/"none"), case-insensitively. nullopt on anything else.
+[[nodiscard]] std::optional<LogLevel> parse_level(std::string_view text);
+
+/// Re-reads DBS_LOG_LEVEL and applies it (unknown/unset values leave the
+/// level untouched). Called once automatically before main(); exposed for
+/// tests.
+void init_from_env();
+
+/// Registers a simulated-clock provider owned by `owner` (typically the
+/// running sim::Simulator); log lines gain a "[HH:MM:SS]" simulated
+/// timestamp. A later registration replaces the current one.
+void register_sim_clock(const void* owner, Time (*now)(const void* owner));
+/// Unregisters `owner`'s clock; no-op if another owner took over since.
+void unregister_sim_clock(const void* owner);
 }  // namespace logging
 
 }  // namespace dbs

@@ -1,8 +1,26 @@
 #include "core/delay_measurement.hpp"
 
+#include <sstream>
+
 #include "common/assert.hpp"
+#include "obs/json.hpp"
+#include "obs/tracer.hpp"
 
 namespace dbs::core {
+
+std::string delays_to_json(const std::vector<DelayedJob>& delays) {
+  std::ostringstream os;
+  os << '[';
+  bool first = true;
+  for (const DelayedJob& d : delays) {
+    os << (first ? "" : ", ") << "{\"job\": " << d.job->id().value()
+       << ", \"user\": " << obs::json_quote(d.job->spec().cred.user)
+       << ", \"delay_s\": " << obs::json_number(d.delay.as_seconds()) << '}';
+    first = false;
+  }
+  os << ']';
+  return os.str();
+}
 
 DynHold make_hold(const rms::Job& owner, const rms::DynRequest& request,
                   Time now) {
@@ -53,13 +71,20 @@ DelayMeasurement measure_dynamic_request(
     const std::vector<const rms::Job*>& protected_jobs,
     const ReservationTable& baseline,
     const AvailabilityProfile& planning_profile, CoreCount physical_free_now,
-    const PlanOptions& options) {
+    const PlanOptions& options, obs::Tracer* tracer) {
   DBS_REQUIRE(hold.extra_cores > 0, "hold must request cores");
   DelayMeasurement out{false, {}, ReservationTable{}, planning_profile};
 
   // Step 12/13: are there enough idle cores *right now*? Queued jobs do not
   // occupy anything yet; only physically free cores count.
-  if (hold.extra_cores > physical_free_now) return out;
+  if (hold.extra_cores > physical_free_now) {
+    DBS_TRACE_EVENT(tracer, obs::TraceEvent(options.now, "sched", "measure")
+                                .field("extra_cores", hold.extra_cores)
+                                .field("free_cores", physical_free_now)
+                                .field("feasible", false)
+                                .field("protected", protected_jobs.size()));
+    return out;
+  }
   out.feasible = true;
 
   // Every job with a baseline reservation is replanned (they all compete
@@ -82,6 +107,16 @@ DelayMeasurement measure_dynamic_request(
   for (const rms::Job* job : protected_jobs)
     if (baseline.find(job->id()) != nullptr) still_protected.push_back(job);
   out.delays = diff_plans(still_protected, baseline, out.replanned);
+  DBS_TRACE_EVENT(tracer,
+                  obs::TraceEvent(options.now, "sched", "measure")
+                      .field("extra_cores", hold.extra_cores)
+                      .field("until_us", hold.until.as_micros())
+                      .field("free_cores", physical_free_now)
+                      .field("feasible", true)
+                      .field("replanned", planned.size())
+                      .field("protected", protected_jobs.size())
+                      .field("depth", out.delays.size())
+                      .field_json("delays", delays_to_json(out.delays)));
   return out;
 }
 

@@ -7,6 +7,7 @@
 // after that hold is applied.
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "core/availability_profile.hpp"
@@ -14,6 +15,10 @@
 #include "core/dfs_engine.hpp"
 #include "core/reservation_table.hpp"
 #include "rms/job.hpp"
+
+namespace dbs::obs {
+class Tracer;
+}
 
 namespace dbs::core {
 
@@ -52,11 +57,19 @@ struct DelayMeasurement {
 ///
 /// All jobs planned in `baseline` are replanned (they all compete for
 /// space), but delays are reported only for `protected_jobs`.
+/// When `tracer` is attached, every measurement publishes a "measure"
+/// event carrying the hold, the feasibility test result and the measured
+/// per-protected-job delays (the paper's per-decision audit data).
 [[nodiscard]] DelayMeasurement measure_dynamic_request(
     const DynHold& hold, const std::vector<const rms::Job*>& candidate_jobs,
     const std::vector<const rms::Job*>& protected_jobs,
     const ReservationTable& baseline, const AvailabilityProfile& planning_profile,
-    CoreCount physical_free_now, const PlanOptions& options);
+    CoreCount physical_free_now, const PlanOptions& options,
+    obs::Tracer* tracer = nullptr);
+
+/// JSON array of measured delays — `[{"job": 4, "user": "bob",
+/// "delay_s": 30.5}, ...]` — for trace events and the decision audit.
+[[nodiscard]] std::string delays_to_json(const std::vector<DelayedJob>& delays);
 
 /// Per-job start-time differences between two plans covering the same jobs.
 [[nodiscard]] std::vector<DelayedJob> diff_plans(

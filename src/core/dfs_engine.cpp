@@ -1,9 +1,25 @@
 #include "core/dfs_engine.hpp"
 
 #include "common/assert.hpp"
+#include "obs/registry.hpp"
+#include "obs/tracer.hpp"
 #include "rms/job.hpp"
 
 namespace dbs::core {
+
+namespace {
+
+const char* verdict_counter_name(DfsVerdict v) {
+  switch (v) {
+    case DfsVerdict::Allowed: return "dfs.allowed";
+    case DfsVerdict::DeniedPermission: return "dfs.denied_permission";
+    case DfsVerdict::DeniedSingleDelay: return "dfs.denied_single_delay";
+    case DfsVerdict::DeniedTargetDelay: return "dfs.denied_target_delay";
+  }
+  return "dfs.unknown";
+}
+
+}  // namespace
 
 std::string_view to_string(DfsVerdict v) {
   switch (v) {
@@ -16,8 +32,15 @@ std::string_view to_string(DfsVerdict v) {
 }
 
 DfsEngine::DfsEngine(DfsConfig config, Time start)
-    : config_(std::move(config)), interval_start_(start) {
+    : config_(std::move(config)),
+      interval_start_(start),
+      registry_(&obs::Registry::global()) {
   config_.validate();
+}
+
+void DfsEngine::set_registry(obs::Registry* registry) {
+  DBS_REQUIRE(registry != nullptr, "registry must not be null");
+  registry_ = registry;
 }
 
 DfsEngine::EntityAcc& DfsEngine::acc_of(DfsEntityKind kind) {
@@ -39,6 +62,10 @@ const DfsEngine::EntityAcc& DfsEngine::acc_of(DfsEntityKind kind) const {
 void DfsEngine::advance_to(Time now) {
   while (now - interval_start_ >= config_.interval) {
     interval_start_ += config_.interval;
+    DBS_TRACE_EVENT(tracer_,
+                    obs::TraceEvent(now, "dfs", "interval_roll")
+                        .field("interval_start_us", interval_start_.as_micros())
+                        .field("decay", config_.decay));
     // Roll the interval: carry `decay` of each accumulated delay forward.
     for (const DfsEntityKind kind : kAllDfsEntityKinds) {
       EntityAcc& acc = acc_of(kind);
@@ -56,6 +83,22 @@ void DfsEngine::advance_to(Time now) {
 DfsVerdict DfsEngine::admit(const Credentials& requester,
                             const std::vector<DelayedJob>& delays) const {
   if (config_.policy == DfsPolicy::None) return DfsVerdict::Allowed;
+  const DfsVerdict verdict = admit_impl(requester, delays);
+  registry_->counter(verdict_counter_name(verdict)).add();
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    Duration worst = Duration::zero();
+    for (const DelayedJob& d : delays) worst = max(worst, d.delay);
+    tracer_->emit(obs::TraceEvent(tracer_->now(), "dfs", "admit")
+                      .field("requester", requester.user)
+                      .field("verdict", to_string(verdict))
+                      .field("delayed_jobs", delays.size())
+                      .field("max_delay_s", worst.as_seconds()));
+  }
+  return verdict;
+}
+
+DfsVerdict DfsEngine::admit_impl(const Credentials& requester,
+                                 const std::vector<DelayedJob>& delays) const {
 
   // Pass 1: permission. Any affected entity with DFSDYNDELAYPERM=0 vetoes.
   for (const DelayedJob& d : delays) {
@@ -117,17 +160,25 @@ DfsVerdict DfsEngine::admit(const Credentials& requester,
 void DfsEngine::commit(const Credentials& requester,
                        const std::vector<DelayedJob>& delays) {
   if (config_.policy == DfsPolicy::None) return;
+  Duration charged = Duration::zero();
+  std::size_t charged_jobs = 0;
   for (const DelayedJob& d : delays) {
     if (d.delay <= Duration::zero()) continue;
     const Credentials& cred = d.job->spec().cred;
     if (cred.user == requester.user) continue;
     job_delay_[d.job->id()] += d.delay;
+    charged += d.delay;
+    ++charged_jobs;
     for (const DfsEntityKind kind : kAllDfsEntityKinds) {
       const std::string& name = entity_name(cred, kind);
       if (name.empty()) continue;
       acc_of(kind)[name] += d.delay;
     }
   }
+  DBS_TRACE_EVENT(tracer_, obs::TraceEvent(tracer_->now(), "dfs", "commit")
+                               .field("requester", requester.user)
+                               .field("charged_jobs", charged_jobs)
+                               .field("charged_delay_s", charged.as_seconds()));
 }
 
 Duration DfsEngine::accumulated(DfsEntityKind kind,

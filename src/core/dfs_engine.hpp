@@ -22,6 +22,11 @@ namespace dbs::rms {
 class Job;
 }
 
+namespace dbs::obs {
+class Tracer;
+class Registry;
+}
+
 namespace dbs::core {
 
 /// One queued job delayed by a candidate dynamic allocation.
@@ -61,6 +66,12 @@ class DfsEngine {
   /// A queued job started: its per-job delay record is no longer needed.
   void on_job_started(JobId id) { job_delay_.erase(id); }
 
+  /// Publishes per-decision audit events ("admit" verdicts with the
+  /// violated rule, "commit" charges, interval rolls). nullptr detaches.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+  /// Verdict counters land here (defaults to the global registry).
+  void set_registry(obs::Registry* registry);
+
   // --- introspection (tests, reports) ------------------------------------
   [[nodiscard]] Duration accumulated(DfsEntityKind kind,
                                      const std::string& name) const;
@@ -69,6 +80,10 @@ class DfsEngine {
   [[nodiscard]] Time interval_start() const { return interval_start_; }
 
  private:
+  [[nodiscard]] DfsVerdict admit_impl(
+      const Credentials& requester,
+      const std::vector<DelayedJob>& delays) const;
+
   /// Accumulated delay for one entity dimension within the current interval.
   using EntityAcc = std::unordered_map<std::string, Duration>;
   EntityAcc& acc_of(DfsEntityKind kind);
@@ -78,6 +93,8 @@ class DfsEngine {
   Time interval_start_;
   EntityAcc acc_user_, acc_group_, acc_account_, acc_class_, acc_qos_;
   std::unordered_map<JobId, Duration> job_delay_;
+  obs::Tracer* tracer_ = nullptr;
+  obs::Registry* registry_;  ///< never null; defaults to the global one
 };
 
 }  // namespace dbs::core

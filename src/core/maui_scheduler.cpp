@@ -1,5 +1,7 @@
 #include "core/maui_scheduler.hpp"
 
+#include <chrono>
+#include <string>
 #include <unordered_map>
 
 #include "common/assert.hpp"
@@ -10,8 +12,51 @@
 #include "core/negotiation.hpp"
 #include "core/partition.hpp"
 #include "core/preemption.hpp"
+#include "obs/registry.hpp"
+#include "obs/tracer.hpp"
 
 namespace dbs::core {
+
+namespace {
+
+/// JSON array of the job ids in a reservation-table subset.
+std::string ids_json(const ReservationTable& table, bool start_now) {
+  std::string out = "[";
+  for (const Reservation& r : table.items()) {
+    if (r.start_now != start_now) continue;
+    if (out.size() > 1) out += ',';
+    out += std::to_string(r.job.value());
+  }
+  out += ']';
+  return out;
+}
+
+std::string ids_json(const std::vector<const rms::Job*>& jobs) {
+  std::string out = "[";
+  for (const rms::Job* job : jobs) {
+    if (out.size() > 1) out += ',';
+    out += std::to_string(job->id().value());
+  }
+  out += ']';
+  return out;
+}
+
+/// Fixed buckets for the iteration wall-clock histogram (microseconds).
+const std::vector<double>& iteration_us_bounds() {
+  static const std::vector<double> bounds{10,    25,    50,     100,   250,
+                                          500,   1000,  2500,   5000,  10000,
+                                          25000, 50000, 100000, 500000};
+  return bounds;
+}
+
+/// Fixed buckets for the delay-measurement depth (protected jobs touched
+/// per measured dynamic request).
+const std::vector<double>& measure_depth_bounds() {
+  static const std::vector<double> bounds{0, 1, 2, 4, 8, 16, 32, 64, 128};
+  return bounds;
+}
+
+}  // namespace
 
 MauiScheduler::MauiScheduler(rms::Server& server, SchedulerConfig config)
     : server_(server),
@@ -19,9 +64,21 @@ MauiScheduler::MauiScheduler(rms::Server& server, SchedulerConfig config)
       fairshare_(config_.fairshare, server.simulator().now()),
       priority_(config_.weights, config_.cred_priorities, &fairshare_),
       dfs_(config_.dfs, server.simulator().now()),
-      last_usage_update_(server.simulator().now()) {
+      last_usage_update_(server.simulator().now()),
+      registry_(&obs::Registry::global()) {
   config_.validate();
   server_.set_allocation_policy(config_.allocation_policy);
+}
+
+void MauiScheduler::set_tracer(obs::Tracer* tracer) {
+  tracer_ = tracer;
+  dfs_.set_tracer(tracer);
+}
+
+void MauiScheduler::set_registry(obs::Registry* registry) {
+  DBS_REQUIRE(registry != nullptr, "registry must not be null");
+  registry_ = registry;
+  dfs_.set_registry(registry);
 }
 
 void MauiScheduler::attach() {
@@ -74,9 +131,18 @@ AvailabilityProfile MauiScheduler::physical_profile(Time now) const {
 
 void MauiScheduler::iterate() {
   const Time now = server_.simulator().now();
+  const auto wall_begin = std::chrono::steady_clock::now();
   ++iterations_;
   IterationStats stats;
   stats.at = now;
+
+  DBS_TRACE_EVENT(tracer_,
+                  obs::TraceEvent(now, "sched", "iteration_begin")
+                      .field("iteration", iterations_)
+                      .field("queued", server_.jobs().queued().size())
+                      .field("running", server_.jobs().running().size())
+                      .field("dyn_requests", server_.jobs().dyn_requests().size())
+                      .field("free_cores", server_.cluster().free_cores()));
 
   // Steps 2-5: resource/workload info + statistics.
   update_statistics(now);
@@ -109,6 +175,16 @@ void MauiScheduler::iterate() {
   std::vector<const rms::Job*> protected_jobs = protected_subset(
       prioritized, baseline, config_.reservation_delay_depth);
 
+  // Step-10 audit record: the StartNow / StartLater split and the protected
+  // set the fairness policies will judge this iteration's requests against.
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    tracer_->emit(obs::TraceEvent(now, "sched", "classify")
+                      .field("iteration", iterations_)
+                      .field_json("start_now", ids_json(baseline, true))
+                      .field_json("start_later", ids_json(baseline, false))
+                      .field_json("protected", ids_json(protected_jobs)));
+  }
+
   // Steps 11-24: process dynamic requests in FIFO order.
   const std::vector<rms::DynRequest> requests(
       server_.jobs().dyn_requests().begin(),
@@ -126,7 +202,9 @@ void MauiScheduler::iterate() {
     DynHold hold = make_hold(owner, req, now);
     DelayMeasurement m =
         measure_dynamic_request(hold, prioritized, protected_jobs, baseline,
-                                planning, physical_free, measure_opts);
+                                planning, physical_free, measure_opts, tracer_);
+    registry_->histogram("scheduler.delay_measure_depth", measure_depth_bounds())
+        .observe(static_cast<double>(m.delays.size()));
 
     // Optional §II-B strategy (gentle): free cores by shrinking running
     // malleable jobs toward their minimum — no progress is lost.
@@ -135,6 +213,11 @@ void MauiScheduler::iterate() {
           server_.jobs().running(), req.extra_cores, physical_free, req.job);
       if (!shrinks.empty()) {
         for (const MalleableShrink& s : shrinks) {
+          DBS_TRACE_EVENT(tracer_,
+                          obs::TraceEvent(now, "sched", "malleable_steal")
+                              .field("for_job", req.job.value())
+                              .field("victim", s.job.value())
+                              .field("cores", s.cores));
           server_.shrink_job(s.job, s.cores);
           ++stats.malleable_shrinks;
         }
@@ -147,7 +230,7 @@ void MauiScheduler::iterate() {
                                           config_.reservation_delay_depth);
         m = measure_dynamic_request(hold, prioritized, protected_jobs,
                                     baseline, planning, physical_free,
-                                    measure_opts);
+                                    measure_opts, tracer_);
       }
     }
 
@@ -158,6 +241,10 @@ void MauiScheduler::iterate() {
           server_.jobs().running(), req.extra_cores, physical_free, req.job);
       if (!victims.empty()) {
         for (const JobId victim : victims) {
+          DBS_TRACE_EVENT(tracer_,
+                          obs::TraceEvent(now, "sched", "preempt_for_dyn")
+                              .field("for_job", req.job.value())
+                              .field("victim", victim.value()));
           server_.preempt(victim);
           ++stats.preempted;
         }
@@ -171,7 +258,7 @@ void MauiScheduler::iterate() {
                                           config_.reservation_delay_depth);
         m = measure_dynamic_request(hold, prioritized, protected_jobs,
                                     baseline, planning, physical_free,
-                                    measure_opts);
+                                    measure_opts, tracer_);
       }
     }
 
@@ -186,9 +273,33 @@ void MauiScheduler::iterate() {
     if (placeable)
       verdict = dfs_.admit(owner.spec().cred, m.delays);
 
-    if (placeable && verdict == DfsVerdict::Allowed &&
-        server_.grant_dyn(req.id)) {
+    const bool granted = placeable && verdict == DfsVerdict::Allowed &&
+                         server_.grant_dyn(req.id);
+    // The decision audit trail: every grant/reject/defer carries the
+    // per-protected-job measured delays, the DFS verdict (naming the
+    // violated rule) and the non-DFS reason when resources were the issue.
+    std::string_view reason = "granted";
+    if (!granted) {
+      if (!m.feasible)
+        reason = "no-idle-resources";
+      else if (!placeable)
+        reason = "node-fragmentation";
+      else if (verdict != DfsVerdict::Allowed)
+        reason = to_string(verdict);
+      else
+        reason = "allocation-failed";
+    }
+
+    if (granted) {
       dfs_.commit(owner.spec().cred, m.delays);
+      if (tracer_ != nullptr && tracer_->enabled()) {
+        tracer_->emit(obs::TraceEvent(now, "sched", "dyn_grant")
+                          .field("job", req.job.value())
+                          .field("request", req.id.value())
+                          .field("extra_cores", req.extra_cores)
+                          .field("verdict", to_string(verdict))
+                          .field_json("delays", delays_to_json(m.delays)));
+      }
       // Adopt the tentative state: the hold is now real.
       physical.subtract(hold.from, hold.until, hold.extra_cores);
       physical_free -= hold.extra_cores;
@@ -196,15 +307,25 @@ void MauiScheduler::iterate() {
       baseline = std::move(m.replanned);
       ++stats.dyn_granted;
     } else {
-      DBS_TRACE("dyn request of job " << req.job.value() << " denied: "
-                                      << (m.feasible ? to_string(verdict)
-                                                     : "no idle resources"));
+      DBS_TRACE("dyn request of job " << req.job.value()
+                                      << " denied: " << reason);
       const std::optional<Time> hint =
           estimate_availability(physical, owner, req.extra_cores, now);
       server_.reject_dyn(req.id, hint);
       // With a live negotiation deadline the server keeps the request
       // queued instead of finalizing the rejection.
-      if (server_.jobs().dyn_request_of(req.job) != nullptr)
+      const bool deferred = server_.jobs().dyn_request_of(req.job) != nullptr;
+      if (tracer_ != nullptr && tracer_->enabled()) {
+        tracer_->emit(
+            obs::TraceEvent(now, "sched", deferred ? "dyn_defer" : "dyn_reject")
+                .field("job", req.job.value())
+                .field("request", req.id.value())
+                .field("extra_cores", req.extra_cores)
+                .field("reason", reason)
+                .field("verdict", to_string(verdict))
+                .field_json("delays", delays_to_json(m.delays)));
+      }
+      if (deferred)
         ++stats.dyn_deferred;
       else
         ++stats.dyn_rejected;
@@ -231,11 +352,64 @@ void MauiScheduler::iterate() {
     }
     dfs_.on_job_started(r.job);
     ++stats.started;
-    if (r.backfilled) ++stats.backfilled;
+    if (r.backfilled) {
+      ++stats.backfilled;
+      DBS_TRACE_EVENT(tracer_, obs::TraceEvent(now, "sched", "backfill")
+                                   .field("job", r.job.value()));
+    }
   }
 
+  const auto wall_end = std::chrono::steady_clock::now();
+  stats.wall_us = std::chrono::duration<double, std::micro>(wall_end -
+                                                            wall_begin)
+                      .count();
+
+  DBS_TRACE_EVENT(tracer_,
+                  obs::TraceEvent(now, "sched", "iteration")
+                      .field("iteration", iterations_)
+                      .field("eligible_static", stats.eligible_static)
+                      .field("eligible_dynamic", stats.eligible_dynamic)
+                      .field("started", stats.started)
+                      .field("backfilled", stats.backfilled)
+                      .field("reservations", stats.reservations)
+                      .field("dyn_granted", stats.dyn_granted)
+                      .field("dyn_rejected", stats.dyn_rejected)
+                      .field("dyn_deferred", stats.dyn_deferred)
+                      .field("preempted", stats.preempted)
+                      .field("start_failed", stats.start_failed)
+                      .field("wall_us", stats.wall_us));
+
+  record_iteration(stats);
   last_ = stats;
   schedule_poll();
+}
+
+void MauiScheduler::record_iteration(const IterationStats& stats) {
+  history_.push_back(stats);
+  if (history_.size() > kHistoryCap)
+    history_.erase(history_.begin(),
+                   history_.begin() +
+                       static_cast<std::ptrdiff_t>(history_.size() -
+                                                   kHistoryCap));
+
+  registry_->counter("scheduler.iterations").add();
+  registry_->counter("scheduler.started").add(stats.started);
+  registry_->counter("scheduler.backfilled").add(stats.backfilled);
+  registry_->counter("scheduler.start_failed").add(stats.start_failed);
+  registry_->counter("scheduler.dyn_granted").add(stats.dyn_granted);
+  registry_->counter("scheduler.dyn_rejected").add(stats.dyn_rejected);
+  registry_->counter("scheduler.dyn_deferred").add(stats.dyn_deferred);
+  registry_->counter("scheduler.preemptions").add(stats.preempted);
+  registry_->counter("scheduler.malleable_shrinks")
+      .add(stats.malleable_shrinks);
+  registry_->histogram("scheduler.iteration_us", iteration_us_bounds())
+      .observe(stats.wall_us);
+  registry_->gauge("scheduler.queue_length")
+      .set(static_cast<double>(server_.jobs().queued().size()));
+  registry_->gauge("scheduler.dyn_queue_length")
+      .set(static_cast<double>(server_.jobs().dyn_requests().size()));
+  registry_->gauge("cluster.free_cores")
+      .set(static_cast<double>(server_.cluster().free_cores()));
 }
 
 void MauiScheduler::schedule_poll() {

@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "core/availability_profile.hpp"
 #include "core/dfs_engine.hpp"
@@ -42,6 +43,9 @@ struct IterationStats {
   std::size_t malleable_shrinks = 0;
   /// Planned StartNow jobs defeated by node-level fragmentation.
   std::size_t start_failed = 0;
+  /// Wall-clock cost of the iteration in microseconds (host time, not
+  /// simulated time).
+  double wall_us = 0.0;
 };
 
 class MauiScheduler {
@@ -58,10 +62,25 @@ class MauiScheduler {
   void iterate();
 
   [[nodiscard]] const IterationStats& last_stats() const { return last_; }
+  /// Retained per-iteration history (capped at `kHistoryCap` entries; the
+  /// oldest iterations are dropped first).
+  [[nodiscard]] const std::vector<IterationStats>& history() const {
+    return history_;
+  }
   [[nodiscard]] std::uint64_t iterations() const { return iterations_; }
   [[nodiscard]] const SchedulerConfig& config() const { return config_; }
   [[nodiscard]] const DfsEngine& dfs() const { return dfs_; }
   [[nodiscard]] const Fairshare& fairshare() const { return fairshare_; }
+
+  /// Publishes iteration, classification and per-request decision-audit
+  /// events; also forwarded to the DFS engine. nullptr detaches.
+  void set_tracer(obs::Tracer* tracer);
+  /// Iteration counters/histograms and queue gauges land here (defaults to
+  /// the global registry); also forwarded to the DFS engine.
+  void set_registry(obs::Registry* registry);
+
+  /// Iterations retained in history().
+  static constexpr std::size_t kHistoryCap = 4096;
 
   /// Physical availability: capacity minus running jobs (to each job's
   /// walltime end) minus down-node capacity. Public for tests/benches.
@@ -71,6 +90,7 @@ class MauiScheduler {
   void update_statistics(Time now);
   [[nodiscard]] std::vector<const rms::Job*> eligible_static_jobs() const;
   void schedule_poll();
+  void record_iteration(const IterationStats& stats);
 
   rms::Server& server_;
   SchedulerConfig config_;
@@ -78,9 +98,12 @@ class MauiScheduler {
   PriorityEngine priority_;
   DfsEngine dfs_;
   IterationStats last_;
+  std::vector<IterationStats> history_;
   Time last_usage_update_;
   std::uint64_t iterations_ = 0;
   EventId poll_event_ = EventId::invalid();
+  obs::Tracer* tracer_ = nullptr;
+  obs::Registry* registry_;  ///< never null; defaults to the global one
 };
 
 }  // namespace dbs::core

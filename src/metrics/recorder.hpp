@@ -37,9 +37,10 @@ struct JobRecord {
   [[nodiscard]] Duration wait_time() const;
   [[nodiscard]] Duration turnaround() const;
   /// All dynamic requests granted, and at least one made (Table II's
-  /// "satisfied" evolving job).
+  /// "satisfied" evolving job). A single final rejection disqualifies the
+  /// job even if other requests were granted.
   [[nodiscard]] bool dyn_satisfied() const {
-    return dyn_grants > 0;
+    return dyn_requests > 0 && dyn_rejects == 0;
   }
 };
 

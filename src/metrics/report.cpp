@@ -13,6 +13,7 @@ WorkloadSummary summarize(const Recorder& recorder) {
   for (const JobRecord& r : records) {
     if (r.evolving) ++s.evolving_jobs;
     if (r.dyn_satisfied()) ++s.satisfied_dyn_jobs;
+    s.granted_dyn_requests += static_cast<std::size_t>(r.dyn_grants);
     if (!r.completed()) continue;
     ++s.jobs_completed;
     if (r.backfilled) ++s.backfilled_jobs;

@@ -15,7 +15,11 @@ struct WorkloadSummary {
   std::size_t jobs_submitted = 0;
   std::size_t jobs_completed = 0;
   std::size_t evolving_jobs = 0;     ///< jobs that issued >= 1 dyn request
+  /// Jobs whose every dynamic request was granted (Table II "satisfied").
   std::size_t satisfied_dyn_jobs = 0;
+  /// Total granted dynamic requests across all jobs (request-level view:
+  /// a job with grants and one final rejection still contributes here).
+  std::size_t granted_dyn_requests = 0;
   std::size_t backfilled_jobs = 0;
   Duration makespan;                 ///< first submit -> last finish
   double utilization = 0.0;          ///< percent of capacity over makespan

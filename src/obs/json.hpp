@@ -1,0 +1,17 @@
+// Tiny JSON formatting helpers shared by the tracer and the metrics
+// registry. Emission only — the observability layer never parses JSON.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace dbs::obs {
+
+/// Escapes and double-quotes `s` per RFC 8259.
+[[nodiscard]] std::string json_quote(std::string_view s);
+
+/// Formats a double as a valid JSON number (integers without a trailing
+/// ".0"; non-finite values become null, which JSON cannot represent).
+[[nodiscard]] std::string json_number(double v);
+
+}  // namespace dbs::obs

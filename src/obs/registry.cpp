@@ -1,0 +1,125 @@
+#include "obs/registry.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "common/assert.hpp"
+#include "obs/json.hpp"
+
+namespace dbs::obs {
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)), buckets_(bounds_.size() + 1, 0) {
+  DBS_REQUIRE(!bounds_.empty(), "histogram needs at least one bucket bound");
+  for (std::size_t i = 1; i < bounds_.size(); ++i)
+    DBS_REQUIRE(bounds_[i - 1] < bounds_[i],
+                "histogram bounds must be strictly increasing");
+}
+
+void Histogram::observe(double v) {
+  // Lower_bound over the sorted bounds: first bucket whose `le` >= v.
+  std::size_t lo = 0, hi = bounds_.size();
+  while (lo < hi) {
+    const std::size_t mid = (lo + hi) / 2;
+    if (bounds_[mid] < v)
+      lo = mid + 1;
+    else
+      hi = mid;
+  }
+  ++buckets_[lo];
+  ++count_;
+  sum_ += v;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  return counters_[name];
+}
+
+Gauge& Registry::gauge(const std::string& name) { return gauges_[name]; }
+
+Histogram& Registry::histogram(const std::string& name,
+                               std::vector<double> upper_bounds) {
+  auto it = histograms_.find(name);
+  if (it != histograms_.end()) return it->second;
+  return histograms_.emplace(name, Histogram(std::move(upper_bounds)))
+      .first->second;
+}
+
+const Counter* Registry::find_counter(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : &it->second;
+}
+
+const Gauge* Registry::find_gauge(const std::string& name) const {
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? nullptr : &it->second;
+}
+
+const Histogram* Registry::find_histogram(const std::string& name) const {
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+void Registry::write_json(std::ostream& os) const {
+  os << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    os << (first ? "\n" : ",\n") << "    " << json_quote(name) << ": "
+       << c.value();
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    os << (first ? "\n" : ",\n") << "    " << json_quote(name) << ": "
+       << json_number(g.value());
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    os << (first ? "\n" : ",\n") << "    " << json_quote(name)
+       << ": {\"count\": " << h.count()
+       << ", \"sum\": " << json_number(h.sum()) << ", \"buckets\": [";
+    const auto& bounds = h.upper_bounds();
+    const auto& counts = h.bucket_counts();
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      if (i > 0) os << ", ";
+      os << "{\"le\": "
+         << (i < bounds.size() ? json_number(bounds[i])
+                               : std::string("\"+inf\""))
+         << ", \"count\": " << counts[i] << "}";
+    }
+    os << "]}";
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "}\n}\n";
+}
+
+std::string Registry::to_json() const {
+  std::ostringstream os;
+  write_json(os);
+  return os.str();
+}
+
+bool Registry::write_json_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_json(out);
+  return static_cast<bool>(out);
+}
+
+void Registry::reset() {
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+Registry& Registry::global() {
+  static Registry g;
+  return g;
+}
+
+}  // namespace dbs::obs

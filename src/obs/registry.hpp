@@ -1,0 +1,99 @@
+// Run-wide metrics registry: named counters, gauges and fixed-bucket
+// histograms with a JSON snapshot exporter. Instruments register lazily by
+// name; references handed out stay valid for the registry's lifetime
+// (node-based map storage). Single-threaded like the simulator itself —
+// increments are plain integer adds, so instrumentation stays cheap enough
+// for the scheduler hot path.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dbs::obs {
+
+/// Monotonically increasing count (events, decisions, protocol steps).
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { value_ += n; }
+  [[nodiscard]] std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Last-written value (queue length, free cores).
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  [[nodiscard]] double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Fixed-bucket histogram. Buckets are cumulative-style on export
+/// (Prometheus-like `le` upper bounds) but stored as disjoint counts; an
+/// implicit +inf bucket catches everything above the last bound.
+class Histogram {
+ public:
+  /// `upper_bounds` must be strictly increasing and non-empty.
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void observe(double v);
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] const std::vector<double>& upper_bounds() const {
+    return bounds_;
+  }
+  /// Disjoint per-bucket counts; size == upper_bounds().size() + 1, the
+  /// last entry being the +inf bucket.
+  [[nodiscard]] const std::vector<std::uint64_t>& bucket_counts() const {
+    return buckets_;
+  }
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+};
+
+class Registry {
+ public:
+  /// Finds or creates the named instrument. References remain valid until
+  /// reset()/destruction.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// `upper_bounds` is used only on first registration; later calls with
+  /// the same name return the existing histogram unchanged.
+  Histogram& histogram(const std::string& name,
+                       std::vector<double> upper_bounds);
+
+  [[nodiscard]] const Counter* find_counter(const std::string& name) const;
+  [[nodiscard]] const Gauge* find_gauge(const std::string& name) const;
+  [[nodiscard]] const Histogram* find_histogram(const std::string& name) const;
+
+  /// Deterministic (name-sorted) JSON snapshot of every instrument.
+  void write_json(std::ostream& os) const;
+  [[nodiscard]] std::string to_json() const;
+  /// Writes the snapshot to a file; returns false if it cannot be opened.
+  bool write_json_file(const std::string& path) const;
+
+  /// Drops every instrument (invalidates previously returned references).
+  void reset();
+
+  /// The process-wide default registry all components record into unless
+  /// explicitly given another one.
+  static Registry& global();
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace dbs::obs

@@ -1,0 +1,144 @@
+#include "obs/tracer.hpp"
+
+#include <fstream>
+#include <ostream>
+
+#include "obs/json.hpp"
+
+namespace dbs::obs {
+
+TraceEvent& TraceEvent::field(std::string key, std::int64_t v) & {
+  fields.push_back({std::move(key), TraceField::Kind::Int, v, 0.0, false, {}});
+  return *this;
+}
+
+TraceEvent& TraceEvent::field(std::string key, double v) & {
+  fields.push_back(
+      {std::move(key), TraceField::Kind::Double, 0, v, false, {}});
+  return *this;
+}
+
+TraceEvent& TraceEvent::field(std::string key, bool v) & {
+  fields.push_back({std::move(key), TraceField::Kind::Bool, 0, 0.0, v, {}});
+  return *this;
+}
+
+TraceEvent& TraceEvent::field(std::string key, std::string_view v) & {
+  fields.push_back({std::move(key), TraceField::Kind::Str, 0, 0.0, false,
+                    std::string(v)});
+  return *this;
+}
+
+TraceEvent& TraceEvent::field_json(std::string key, std::string json) & {
+  fields.push_back({std::move(key), TraceField::Kind::Json, 0, 0.0, false,
+                    std::move(json)});
+  return *this;
+}
+
+TraceEvent& TraceEvent::duration(Duration d) & {
+  dur_us = d.as_micros() < 0 ? 0 : d.as_micros();
+  return *this;
+}
+
+bool parse_trace_format(std::string_view text, TraceFormat& out) {
+  if (text == "jsonl") {
+    out = TraceFormat::Jsonl;
+    return true;
+  }
+  if (text == "chrome") {
+    out = TraceFormat::Chrome;
+    return true;
+  }
+  return false;
+}
+
+Tracer::~Tracer() { close(); }
+
+bool Tracer::open(const std::string& path, TraceFormat format) {
+  close();
+  auto file = std::make_unique<std::ofstream>(path);
+  if (!*file) return false;
+  owned_ = std::move(file);
+  out_ = owned_.get();
+  format_ = format;
+  return true;
+}
+
+void Tracer::attach_stream(std::ostream& os, TraceFormat format) {
+  close();
+  out_ = &os;
+  format_ = format;
+}
+
+void Tracer::close() {
+  if (out_ != nullptr && format_ == TraceFormat::Chrome && chrome_open_)
+    *out_ << "\n]}\n";
+  if (out_ != nullptr) out_->flush();
+  chrome_open_ = false;
+  out_ = nullptr;
+  owned_.reset();
+}
+
+namespace {
+
+void write_field_value(std::ostream& os, const TraceField& f) {
+  switch (f.kind) {
+    case TraceField::Kind::Int: os << f.i; break;
+    case TraceField::Kind::Double: os << json_number(f.d); break;
+    case TraceField::Kind::Bool: os << (f.b ? "true" : "false"); break;
+    case TraceField::Kind::Str: os << json_quote(f.s); break;
+    case TraceField::Kind::Json: os << f.s; break;
+  }
+}
+
+}  // namespace
+
+void Tracer::emit(const TraceEvent& ev) {
+  if (out_ == nullptr) return;
+  if (format_ == TraceFormat::Jsonl)
+    write_jsonl(ev);
+  else
+    write_chrome(ev);
+  ++emitted_;
+}
+
+void Tracer::write_jsonl(const TraceEvent& ev) {
+  std::ostream& os = *out_;
+  os << "{\"t_us\": " << ev.at.as_micros() << ", \"cat\": "
+     << json_quote(ev.cat) << ", \"name\": " << json_quote(ev.name);
+  if (ev.dur_us >= 0) os << ", \"dur_us\": " << ev.dur_us;
+  for (const TraceField& f : ev.fields) {
+    os << ", " << json_quote(f.key) << ": ";
+    write_field_value(os, f);
+  }
+  os << "}\n";
+}
+
+void Tracer::write_chrome(const TraceEvent& ev) {
+  std::ostream& os = *out_;
+  if (!chrome_open_) {
+    os << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+    chrome_open_ = true;
+  } else {
+    os << ",";
+  }
+  // Instant events use phase "i" (global scope), spans the complete phase
+  // "X" with a duration. One process/thread: the simulation is serial.
+  os << "\n{\"name\": " << json_quote(ev.name) << ", \"cat\": "
+     << json_quote(ev.cat) << ", \"ph\": " << (ev.dur_us >= 0 ? "\"X\"" : "\"i\"")
+     << ", \"ts\": " << ev.at.as_micros() << ", \"pid\": 1, \"tid\": 1";
+  if (ev.dur_us >= 0)
+    os << ", \"dur\": " << ev.dur_us;
+  else
+    os << ", \"s\": \"g\"";
+  os << ", \"args\": {";
+  bool first = true;
+  for (const TraceField& f : ev.fields) {
+    os << (first ? "" : ", ") << json_quote(f.key) << ": ";
+    write_field_value(os, f);
+    first = false;
+  }
+  os << "}}";
+}
+
+}  // namespace dbs::obs

@@ -91,9 +91,10 @@ class Job {
   [[nodiscard]] int dyn_grants() const { return dyn_grants_; }
   [[nodiscard]] int dyn_rejects() const { return dyn_rejects_; }
   /// A job whose every dynamic request succeeded (and made at least one)
-  /// counts as a "satisfied" evolving job in Table II.
+  /// counts as a "satisfied" evolving job in Table II. Any final rejection
+  /// disqualifies the job, even alongside grants.
   [[nodiscard]] bool dyn_satisfied() const {
-    return dyn_grants_ > 0;
+    return dyn_requests_made_ > 0 && dyn_rejects_ == 0;
   }
 
   // --- state transitions (server-internal; validated) ------------------

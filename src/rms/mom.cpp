@@ -4,6 +4,8 @@
 
 #include "common/assert.hpp"
 #include "common/log.hpp"
+#include "obs/registry.hpp"
+#include "obs/tracer.hpp"
 #include "rms/job.hpp"
 #include "rms/server.hpp"
 
@@ -11,8 +13,16 @@ namespace dbs::rms {
 
 MomManager::MomManager(sim::Simulator& simulator, Server& server,
                        LatencyModel latency)
-    : sim_(simulator), server_(server), latency_(latency) {
+    : sim_(simulator),
+      server_(server),
+      latency_(latency),
+      registry_(&obs::Registry::global()) {
   latency_.validate();
+}
+
+void MomManager::set_registry(obs::Registry* registry) {
+  DBS_REQUIRE(registry != nullptr, "registry must not be null");
+  registry_ = registry;
 }
 
 void MomManager::launch(const Job& job) {
@@ -23,11 +33,16 @@ void MomManager::launch(const Job& job) {
   running_.emplace(id, rt);
   const std::uint64_t gen = running_.at(id).generation;
 
+  const std::size_t nodes = job.placement().node_count();
   const Duration delay =
-      latency_.server_to_mom + latency_.join(job.placement().node_count());
-  sim_.schedule_after(delay, [this, id, gen] {
+      latency_.server_to_mom + latency_.join(nodes);
+  sim_.schedule_after(delay, [this, id, gen, nodes] {
     auto it = running_.find(id);
     if (it == running_.end() || it->second.generation != gen) return;
+    registry_->counter("mom.joins").add();
+    DBS_TRACE_EVENT(tracer_, obs::TraceEvent(sim_.now(), "mom", "join")
+                                 .field("job", id.value())
+                                 .field("nodes", nodes));
     const AppDecision d =
         server_.job(id).app().on_start(sim_.now(), it->second.cores);
     apply_decision(id, d);
@@ -36,12 +51,20 @@ void MomManager::launch(const Job& job) {
 
 void MomManager::deliver_grant(const Job& job, const cluster::Placement& extra) {
   const JobId id = job.id();
+  const std::size_t nodes = extra.node_count();
+  const CoreCount extra_cores = extra.total_cores();
   const Duration delay =
-      latency_.server_to_mom + latency_.dyn_join(extra.node_count());
-  sim_.schedule_after(delay, [this, id] {
+      latency_.server_to_mom + latency_.dyn_join(nodes);
+  sim_.schedule_after(delay, [this, id, nodes, extra_cores] {
     auto it = running_.find(id);
     if (it == running_.end()) return;  // job finished meanwhile
     it->second.cores = server_.job(id).allocated_cores();
+    registry_->counter("mom.dyn_joins").add();
+    DBS_TRACE_EVENT(tracer_, obs::TraceEvent(sim_.now(), "mom", "dyn_join")
+                                 .field("job", id.value())
+                                 .field("nodes", nodes)
+                                 .field("extra_cores", extra_cores)
+                                 .field("cores", it->second.cores));
     const AppDecision d =
         server_.job(id).app().on_grant(sim_.now(), it->second.cores);
     apply_decision(id, d);
@@ -140,6 +163,12 @@ void MomManager::apply_decision(JobId id, const AppDecision& decision) {
       const Duration disjoin = latency_.dyn_join(freed.node_count());
       sim_.schedule_after(disjoin + latency_.mom_to_server, [this, id, freed] {
         if (!running_.contains(id)) return;
+        registry_->counter("mom.dyn_disjoins").add();
+        DBS_TRACE_EVENT(tracer_,
+                        obs::TraceEvent(sim_.now(), "mom", "dyn_disjoin")
+                            .field("job", id.value())
+                            .field("nodes", freed.node_count())
+                            .field("freed_cores", freed.total_cores()));
         server_.mom_dyn_release(id, freed);
         sim_.schedule_after(latency_.server_to_mom, [this, id] {
           auto kt = running_.find(id);

@@ -12,6 +12,11 @@
 #include "rms/comm.hpp"
 #include "sim/simulator.hpp"
 
+namespace dbs::obs {
+class Tracer;
+class Registry;
+}
+
 namespace dbs::rms {
 
 class Server;
@@ -53,6 +58,12 @@ class MomManager {
   /// Number of jobs with live application state.
   [[nodiscard]] std::size_t active_jobs() const { return running_.size(); }
 
+  /// Publishes join / dyn_join / dyn_disjoin protocol trace events.
+  /// nullptr detaches.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+  /// Protocol-step counters land here (defaults to the global registry).
+  void set_registry(obs::Registry* registry);
+
  private:
   struct JobRuntime {
     CoreCount cores = 0;
@@ -76,6 +87,8 @@ class MomManager {
   Server& server_;
   LatencyModel latency_;
   std::unordered_map<JobId, JobRuntime> running_;
+  obs::Tracer* tracer_ = nullptr;
+  obs::Registry* registry_;  ///< never null; defaults to the global one
 };
 
 }  // namespace dbs::rms

@@ -4,14 +4,36 @@
 
 #include "common/assert.hpp"
 #include "common/log.hpp"
+#include "obs/registry.hpp"
+#include "obs/tracer.hpp"
 #include "rms/mom.hpp"
 
 namespace dbs::rms {
 
+namespace {
+/// Residency buckets: sub-second answers up to hour-long negotiations.
+std::vector<double> residency_bounds() {
+  return {0.1, 1, 5, 15, 30, 60, 120, 300, 600, 1800, 3600};
+}
+}  // namespace
+
 Server::Server(sim::Simulator& simulator, cluster::Cluster& cluster,
                LatencyModel latency)
-    : sim_(simulator), cluster_(cluster), latency_(latency) {
+    : sim_(simulator),
+      cluster_(cluster),
+      latency_(latency),
+      registry_(&obs::Registry::global()) {
   latency_.validate();
+}
+
+void Server::set_registry(obs::Registry* registry) {
+  DBS_REQUIRE(registry != nullptr, "registry must not be null");
+  registry_ = registry;
+}
+
+void Server::record_residency(const DynRequest& req) {
+  registry_->histogram("dyn.queue_residency_s", residency_bounds())
+      .observe((sim_.now() - req.submitted).as_seconds());
 }
 
 void Server::set_scheduler_trigger(std::function<void()> trigger) {
@@ -45,6 +67,14 @@ JobId Server::submit(JobSpec spec, std::unique_ptr<Application> app) {
       std::make_unique<Job>(id, std::move(spec), std::move(app), sim_.now()));
   DBS_TRACE("submit " << id.value() << " (" << job.spec().name << ") at "
                       << sim_.now());
+  registry_->counter("server.jobs_submitted").add();
+  DBS_TRACE_EVENT(tracer_, obs::TraceEvent(sim_.now(), "rms", "submit")
+                               .field("job", id.value())
+                               .field("job_name", job.spec().name)
+                               .field("user", job.spec().cred.user)
+                               .field("cores", job.spec().cores)
+                               .field("walltime_s",
+                                      job.spec().walltime.as_seconds()));
   for (auto* o : observers_) o->on_submit(job);
   notify_scheduler();
   return id;
@@ -76,6 +106,14 @@ bool Server::start_job(JobId id, bool backfilled) {
   DBS_TRACE("start " << id.value() << " (" << job.spec().name << ") on "
                      << job.placement().node_count() << " nodes at "
                      << sim_.now() << (backfilled ? " [backfill]" : ""));
+  registry_->counter("server.jobs_started").add();
+  DBS_TRACE_EVENT(tracer_, obs::TraceEvent(sim_.now(), "rms", "job_start")
+                               .field("job", id.value())
+                               .field("cores", job.allocated_cores())
+                               .field("nodes", job.placement().node_count())
+                               .field("backfilled", backfilled)
+                               .field("wait_s", (sim_.now() - job.submit_time())
+                                                    .as_seconds()));
   for (auto* o : observers_) o->on_job_start(job);
   moms_->launch(job);
   return true;
@@ -103,6 +141,16 @@ bool Server::grant_dyn(RequestId req_id) {
   job.count_dyn_grant();
   DBS_TRACE("grant +" << done.extra_cores << " cores to job "
                       << job.id().value() << " at " << sim_.now());
+  registry_->counter("dyn.grants").add();
+  record_residency(done);
+  DBS_TRACE_EVENT(tracer_, obs::TraceEvent(sim_.now(), "rms", "dyn_grant")
+                               .field("job", job.id().value())
+                               .field("request", done.id.value())
+                               .field("extra_cores", done.extra_cores)
+                               .field("attempt", done.attempt)
+                               .field("residency_s",
+                                      (sim_.now() - done.submitted)
+                                          .as_seconds()));
   for (auto* o : observers_) o->on_dyn_grant(job, done, done.extra_cores);
   moms_->deliver_grant(job, *extra);
   return true;
@@ -118,6 +166,15 @@ void Server::reject_dyn(RequestId req_id, std::optional<Time> availability_hint)
     // Negotiation extension: the request stays queued; remember when the
     // scheduler believes resources could be available.
     if (availability_hint) availability_hints_[req->job] = *availability_hint;
+    registry_->counter("dyn.defers").add();
+    DBS_TRACE_EVENT(
+        tracer_, obs::TraceEvent(sim_.now(), "rms", "dyn_defer")
+                     .field("job", req->job.value())
+                     .field("request", req->id.value())
+                     .field("deadline_us", req->deadline.as_micros())
+                     .field("hint_us", availability_hint
+                                           ? availability_hint->as_micros()
+                                           : std::int64_t{-1}));
     return;
   }
   finalize_reject(*req);
@@ -133,6 +190,16 @@ void Server::finalize_reject(const DynRequest& req) {
   job.count_dyn_reject();
   DBS_TRACE("reject +" << done.extra_cores << " cores for job "
                        << job.id().value() << " at " << sim_.now());
+  registry_->counter("dyn.rejects").add();
+  record_residency(done);
+  DBS_TRACE_EVENT(tracer_, obs::TraceEvent(sim_.now(), "rms", "dyn_reject")
+                               .field("job", job.id().value())
+                               .field("request", done.id.value())
+                               .field("extra_cores", done.extra_cores)
+                               .field("attempt", done.attempt)
+                               .field("residency_s",
+                                      (sim_.now() - done.submitted)
+                                          .as_seconds()));
   for (auto* o : observers_) o->on_dyn_reject(job, done);
   moms_->deliver_reject(job);
 }
@@ -148,6 +215,9 @@ void Server::preempt(JobId id) {
   cluster_.release_all(id);
   if (job.state() == JobState::DynQueued) job.mark_running_again();
   job.mark_requeued();
+  registry_->counter("server.preemptions").add();
+  DBS_TRACE_EVENT(tracer_, obs::TraceEvent(sim_.now(), "rms", "preempt")
+                               .field("job", id.value()));
   for (auto* o : observers_) o->on_requeue(job);
   notify_scheduler();
 }
@@ -171,6 +241,13 @@ void Server::mom_dyn_request(JobId id, CoreCount extra_cores, Duration timeout,
   queue_.push_dyn_request(req);
   DBS_TRACE("dynget +" << extra_cores << " cores from job " << id.value()
                        << " (attempt " << attempt << ") at " << sim_.now());
+  registry_->counter("dyn.requests").add();
+  DBS_TRACE_EVENT(tracer_, obs::TraceEvent(sim_.now(), "rms", "dyn_request")
+                               .field("job", id.value())
+                               .field("request", req.id.value())
+                               .field("extra_cores", extra_cores)
+                               .field("attempt", attempt)
+                               .field("timeout_s", timeout.as_seconds()));
   for (auto* o : observers_) o->on_dyn_request(job, req);
   notify_scheduler();
 }
@@ -187,6 +264,12 @@ void Server::mom_job_finished(JobId id) {
   job.mark_completed(sim_.now());
   DBS_TRACE("finish " << id.value() << " (" << job.spec().name << ") at "
                       << sim_.now());
+  registry_->counter("server.jobs_finished").add();
+  DBS_TRACE_EVENT(tracer_, obs::TraceEvent(sim_.now(), "rms", "job_finish")
+                               .field("job", id.value())
+                               .field("turnaround_s",
+                                      (sim_.now() - job.submit_time())
+                                          .as_seconds()));
   for (auto* o : observers_) o->on_job_finish(job);
   notify_scheduler();
 }
@@ -204,6 +287,12 @@ void Server::shrink_job(JobId id, CoreCount cores) {
   job.shrink(freed);
   DBS_TRACE("malleable shrink -" << cores << " cores of job " << id.value()
                                  << " at " << sim_.now());
+  registry_->counter("server.malleable_shrinks").add();
+  DBS_TRACE_EVENT(tracer_,
+                  obs::TraceEvent(sim_.now(), "rms", "malleable_shrink")
+                      .field("job", id.value())
+                      .field("cores", cores)
+                      .field("remaining", job.allocated_cores()));
   for (auto* o : observers_) o->on_malleable_shrink(job, cores);
   moms_->deliver_reshape(job);
 }
@@ -242,6 +331,10 @@ void Server::node_failure(NodeId node_id) {
   }
   DBS_TRACE("node " << node_id.value() << " failed, " << victims.size()
                     << " jobs affected");
+  registry_->counter("server.node_failures").add();
+  DBS_TRACE_EVENT(tracer_, obs::TraceEvent(sim_.now(), "rms", "node_failure")
+                               .field("node", node_id.value())
+                               .field("jobs_affected", victims.size()));
   notify_scheduler();
 }
 
@@ -270,6 +363,11 @@ void Server::mom_dyn_release(JobId id, const cluster::Placement& freed) {
   DBS_REQUIRE(job.is_running(), "release requires a running job");
   cluster_.release(id, freed);
   job.shrink(freed);
+  registry_->counter("dyn.releases").add();
+  DBS_TRACE_EVENT(tracer_, obs::TraceEvent(sim_.now(), "rms", "dyn_release")
+                               .field("job", id.value())
+                               .field("cores", freed.total_cores())
+                               .field("remaining", job.allocated_cores()));
   for (auto* o : observers_) o->on_dyn_release(job, freed.total_cores());
   notify_scheduler();
 }

@@ -14,6 +14,11 @@
 #include "rms/job_queue.hpp"
 #include "sim/simulator.hpp"
 
+namespace dbs::obs {
+class Tracer;
+class Registry;
+}
+
 namespace dbs::rms {
 
 class MomManager;
@@ -49,6 +54,13 @@ class Server {
   void set_scheduler_trigger(std::function<void()> trigger);
 
   void add_observer(ServerObserver* observer);
+
+  /// Publishes job-lifecycle and dynamic-protocol trace events. nullptr
+  /// detaches.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+  /// Protocol counters and the dyn-request queue-residency histogram land
+  /// here (defaults to the global registry).
+  void set_registry(obs::Registry* registry);
 
   // --- client commands ---------------------------------------------------
   /// qsub: enqueues the job; effective immediately (submission latency is
@@ -123,6 +135,9 @@ class Server {
  private:
   void notify_scheduler();
   void finalize_reject(const DynRequest& req);
+  /// now - submitted of a finally answered dynamic request, into the
+  /// "dyn.queue_residency_s" histogram.
+  void record_residency(const DynRequest& req);
 
   sim::Simulator& sim_;
   cluster::Cluster& cluster_;
@@ -136,6 +151,8 @@ class Server {
   std::uint64_t next_request_ = 0;
   cluster::AllocationPolicy alloc_policy_ = cluster::AllocationPolicy::Pack;
   std::unordered_map<JobId, Time> availability_hints_;
+  obs::Tracer* tracer_ = nullptr;
+  obs::Registry* registry_;  ///< never null; defaults to the global one
 };
 
 }  // namespace dbs::rms

@@ -13,7 +13,11 @@ namespace dbs::sim {
 
 class Simulator {
  public:
-  Simulator() = default;
+  /// Registers this simulator's clock with the logger so log lines carry
+  /// the simulated timestamp (the newest simulator wins when several are
+  /// alive, e.g. in tests running systems back to back).
+  Simulator();
+  ~Simulator();
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 

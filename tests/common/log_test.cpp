@@ -34,6 +34,61 @@ TEST(Log, ThresholdFiltersEvaluation) {
   EXPECT_NE(err.find("[warn ] x"), std::string::npos);
 }
 
+TEST(Log, ParseLevelNamesCaseInsensitively) {
+  EXPECT_EQ(logging::parse_level("trace"), LogLevel::Trace);
+  EXPECT_EQ(logging::parse_level("DEBUG"), LogLevel::Debug);
+  EXPECT_EQ(logging::parse_level("Info"), LogLevel::Info);
+  EXPECT_EQ(logging::parse_level("warn"), LogLevel::Warn);
+  EXPECT_EQ(logging::parse_level("warning"), LogLevel::Warn);
+  EXPECT_EQ(logging::parse_level("off"), LogLevel::Off);
+  EXPECT_EQ(logging::parse_level("none"), LogLevel::Off);
+  EXPECT_EQ(logging::parse_level("verbose"), std::nullopt);
+  EXPECT_EQ(logging::parse_level(""), std::nullopt);
+}
+
+TEST(Log, InitFromEnvAppliesDbsLogLevel) {
+  LogLevelGuard guard;
+  ::setenv("DBS_LOG_LEVEL", "debug", 1);
+  logging::init_from_env();
+  EXPECT_EQ(logging::level(), LogLevel::Debug);
+  // Unknown values leave the level untouched.
+  ::setenv("DBS_LOG_LEVEL", "shouting", 1);
+  logging::init_from_env();
+  EXPECT_EQ(logging::level(), LogLevel::Debug);
+  ::unsetenv("DBS_LOG_LEVEL");
+  logging::init_from_env();
+  EXPECT_EQ(logging::level(), LogLevel::Debug);
+}
+
+TEST(Log, RegisteredSimClockPrefixesTimestamp) {
+  LogLevelGuard guard;
+  logging::set_level(LogLevel::Info);
+  const int owner = 0;
+  logging::register_sim_clock(&owner, [](const void*) {
+    return Time::epoch() + Duration::seconds(65);
+  });
+  testing::internal::CaptureStderr();
+  DBS_INFO("tick");
+  logging::unregister_sim_clock(&owner);
+  DBS_INFO("tock");
+  const std::string err = testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("[info ] [00:01:05] tick"), std::string::npos) << err;
+  EXPECT_NE(err.find("[info ] tock"), std::string::npos) << err;
+}
+
+TEST(Log, UnregisterIgnoresForeignOwner) {
+  const int a = 0, b = 0;
+  logging::register_sim_clock(&a, [](const void*) { return Time::epoch(); });
+  logging::unregister_sim_clock(&b);  // not the current owner: no-op
+  LogLevelGuard guard;
+  logging::set_level(LogLevel::Info);
+  testing::internal::CaptureStderr();
+  DBS_INFO("still stamped");
+  logging::unregister_sim_clock(&a);
+  const std::string err = testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("[00:00:00] still stamped"), std::string::npos) << err;
+}
+
 TEST(Log, TraceLevelEmitsEverything) {
   LogLevelGuard guard;
   logging::set_level(LogLevel::Trace);

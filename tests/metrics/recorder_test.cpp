@@ -52,6 +52,23 @@ TEST(Recorder, DynEventsCounted) {
   EXPECT_EQ(r.cores_peak, 8);
 }
 
+// Table II "satisfied" = all dynamic requests granted. A record with both a
+// grant and a rejection used to count as satisfied (the old predicate only
+// looked at dyn_grants > 0); it must not.
+TEST(Recorder, DynSatisfiedRequiresNoRejects) {
+  JobRecord r;
+  EXPECT_FALSE(r.dyn_satisfied());  // never asked
+  r.dyn_requests = 1;
+  r.dyn_grants = 1;
+  EXPECT_TRUE(r.dyn_satisfied());
+  r.dyn_requests = 2;
+  r.dyn_rejects = 1;
+  EXPECT_FALSE(r.dyn_satisfied());
+  // Rejected-only evolving jobs are unsatisfied, not uncounted.
+  r.dyn_grants = 0;
+  EXPECT_FALSE(r.dyn_satisfied());
+}
+
 TEST(Recorder, UsageSeriesTracksAllocation) {
   BareSystem s;
   Recorder rec(s.sim, s.cluster);

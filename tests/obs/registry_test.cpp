@@ -1,0 +1,103 @@
+#include "obs/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "json_check.hpp"
+
+namespace dbs::obs {
+namespace {
+
+TEST(Counter, StartsAtZeroAndAccumulates) {
+  Registry reg;
+  Counter& c = reg.counter("a.b");
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  // Same name returns the same instrument.
+  EXPECT_EQ(&reg.counter("a.b"), &c);
+  EXPECT_EQ(reg.counter("a.b").value(), 42u);
+}
+
+TEST(Gauge, KeepsLastValue) {
+  Registry reg;
+  reg.gauge("queue").set(3.0);
+  reg.gauge("queue").set(7.5);
+  EXPECT_DOUBLE_EQ(reg.gauge("queue").value(), 7.5);
+}
+
+TEST(Histogram, BucketsDisjointWithInfOverflow) {
+  Registry reg;
+  Histogram& h = reg.histogram("lat", {1.0, 10.0, 100.0});
+  h.observe(0.5);    // bucket 0 (le 1)
+  h.observe(1.0);    // bucket 0 (le is inclusive)
+  h.observe(5.0);    // bucket 1
+  h.observe(1000.0); // +inf bucket
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 1006.5);
+  ASSERT_EQ(h.bucket_counts().size(), 4u);
+  EXPECT_EQ(h.bucket_counts()[0], 2u);
+  EXPECT_EQ(h.bucket_counts()[1], 1u);
+  EXPECT_EQ(h.bucket_counts()[2], 0u);
+  EXPECT_EQ(h.bucket_counts()[3], 1u);
+}
+
+TEST(Histogram, BoundsFixedByFirstRegistration) {
+  Registry reg;
+  Histogram& h = reg.histogram("h", {1.0, 2.0});
+  // A second registration with different bounds returns the original.
+  Histogram& again = reg.histogram("h", {99.0});
+  EXPECT_EQ(&again, &h);
+  EXPECT_EQ(again.upper_bounds().size(), 2u);
+}
+
+TEST(Registry, FindDoesNotCreate) {
+  Registry reg;
+  EXPECT_EQ(reg.find_counter("nope"), nullptr);
+  EXPECT_EQ(reg.find_gauge("nope"), nullptr);
+  EXPECT_EQ(reg.find_histogram("nope"), nullptr);
+  reg.counter("yes").add();
+  ASSERT_NE(reg.find_counter("yes"), nullptr);
+  EXPECT_EQ(reg.find_counter("yes")->value(), 1u);
+}
+
+TEST(Registry, JsonSnapshotIsValidAndComplete) {
+  Registry reg;
+  reg.counter("sched.iterations").add(3);
+  reg.gauge("free_cores").set(12);
+  reg.histogram("wait_s", {1.0, 60.0}).observe(30.0);
+  const std::string json = reg.to_json();
+  EXPECT_TRUE(test::json::is_valid(json)) << json;
+  EXPECT_NE(json.find("\"sched.iterations\": 3"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"free_cores\": 12"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"wait_s\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"+inf\""), std::string::npos) << json;
+  // write_json streams the identical snapshot.
+  std::ostringstream os;
+  reg.write_json(os);
+  EXPECT_EQ(os.str(), json);
+}
+
+TEST(Registry, EmptySnapshotIsValidJson) {
+  Registry reg;
+  EXPECT_TRUE(test::json::is_valid(reg.to_json())) << reg.to_json();
+}
+
+TEST(Registry, ResetDropsEverything) {
+  Registry reg;
+  reg.counter("c").add(5);
+  reg.reset();
+  EXPECT_EQ(reg.find_counter("c"), nullptr);
+  EXPECT_EQ(reg.counter("c").value(), 0u);
+}
+
+TEST(Registry, GlobalIsAStableSingleton) {
+  Registry& g1 = Registry::global();
+  Registry& g2 = Registry::global();
+  EXPECT_EQ(&g1, &g2);
+}
+
+}  // namespace
+}  // namespace dbs::obs

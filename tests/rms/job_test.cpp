@@ -102,13 +102,15 @@ TEST(Job, RequeueResetsProgress) {
 
 TEST(Job, DynCountersAndSatisfied) {
   auto job = make_job();
-  EXPECT_FALSE(job->dyn_satisfied());
-  job->count_dyn_request();
-  job->count_dyn_reject();
-  EXPECT_FALSE(job->dyn_satisfied());
+  EXPECT_FALSE(job->dyn_satisfied());  // never asked
   job->count_dyn_request();
   job->count_dyn_grant();
-  EXPECT_TRUE(job->dyn_satisfied());
+  EXPECT_TRUE(job->dyn_satisfied());  // every request granted
+  job->count_dyn_request();
+  job->count_dyn_reject();
+  // One final rejection disqualifies the job even alongside grants
+  // (Table II "satisfied" = all dynamic requests granted).
+  EXPECT_FALSE(job->dyn_satisfied());
   EXPECT_EQ(job->dyn_requests_made(), 2);
   EXPECT_EQ(job->dyn_grants(), 1);
   EXPECT_EQ(job->dyn_rejects(), 1);

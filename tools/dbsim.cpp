@@ -2,10 +2,15 @@
 //
 //   dbsim --trace workload.trace [--config maui.cfg] [--nodes 16]
 //           [--cores-per-node 8] [--qstat] [--csv waits.csv]
+//           [--trace-out events.jsonl] [--trace-format jsonl|chrome]
+//           [--metrics-json metrics.json]
 //
 // The trace format is documented in src/workload/trace.hpp (write one with
 // `esp_campaign --trace`). The config file uses the Maui-style syntax of
-// the paper's Fig. 6 (see src/config/maui_config.hpp).
+// the paper's Fig. 6 (see src/config/maui_config.hpp). --trace-out captures
+// a structured scheduler event trace (--trace-format chrome emits Chrome
+// trace-event JSON loadable in Perfetto / chrome://tracing); --metrics-json
+// snapshots the run's metrics registry on exit.
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -13,6 +18,8 @@
 
 #include "batch/experiment.hpp"
 #include "config/maui_config.hpp"
+#include "obs/registry.hpp"
+#include "obs/tracer.hpp"
 #include "rms/status.hpp"
 #include "workload/trace.hpp"
 
@@ -23,7 +30,9 @@ namespace {
 int usage(const char* argv0, int code) {
   std::cerr << "usage: " << argv0
             << " --trace FILE [--config FILE] [--nodes N]\n"
-               "       [--cores-per-node N] [--qstat] [--csv FILE]\n";
+               "       [--cores-per-node N] [--qstat] [--csv FILE]\n"
+               "       [--trace-out FILE] [--trace-format jsonl|chrome]\n"
+               "       [--metrics-json FILE]\n";
   return code;
 }
 
@@ -44,6 +53,9 @@ int main(int argc, char** argv) {
   std::string trace_path;
   std::string config_path;
   std::string csv_path;
+  std::string trace_out_path;
+  std::string metrics_json_path;
+  obs::TraceFormat trace_format = obs::TraceFormat::Jsonl;
   std::size_t nodes = 0;
   CoreCount cores_per_node = 8;
   bool qstat = false;
@@ -60,6 +72,16 @@ int main(int argc, char** argv) {
     else if (arg == "--cores-per-node") cores_per_node = std::stoi(next());
     else if (arg == "--qstat") qstat = true;
     else if (arg == "--csv") csv_path = next();
+    else if (arg == "--trace-out") trace_out_path = next();
+    else if (arg == "--trace-format") {
+      const std::string fmt = next();
+      if (!obs::parse_trace_format(fmt, trace_format)) {
+        std::cerr << "unknown trace format '" << fmt
+                  << "' (expected jsonl or chrome)\n";
+        return 2;
+      }
+    }
+    else if (arg == "--metrics-json") metrics_json_path = next();
     else if (arg == "--help" || arg == "-h") return usage(argv[0], 0);
     else return usage(argv[0], 2);
   }
@@ -90,6 +112,18 @@ int main(int argc, char** argv) {
   system_config.cluster.cores_per_node = cores_per_node;
 
   batch::BatchSystem system(system_config);
+
+  obs::Registry registry;
+  system.set_registry(&registry);
+  obs::Tracer tracer;
+  if (!trace_out_path.empty()) {
+    if (!tracer.open(trace_out_path, trace_format)) {
+      std::cerr << "cannot open " << trace_out_path << "\n";
+      return 1;
+    }
+    system.set_tracer(&tracer);
+  }
+
   system.submit_workload(workload);
   if (qstat) {
     // Print a status snapshot mid-run (after the first quarter of the
@@ -123,6 +157,19 @@ int main(int argc, char** argv) {
     std::ofstream out(csv_path);
     out << csv.to_csv();
     std::cout << "wrote per-job waits to " << csv_path << "\n";
+  }
+
+  if (!trace_out_path.empty()) {
+    tracer.close();
+    std::cout << "wrote " << tracer.events_emitted() << " trace events to "
+              << trace_out_path << "\n";
+  }
+  if (!metrics_json_path.empty()) {
+    if (!registry.write_json_file(metrics_json_path)) {
+      std::cerr << "cannot open " << metrics_json_path << "\n";
+      return 1;
+    }
+    std::cout << "wrote metrics snapshot to " << metrics_json_path << "\n";
   }
   return 0;
 }
