@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build2/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build2/tests/test_common[1]_include.cmake")
+include("/root/repo/build2/tests/test_sim[1]_include.cmake")
+include("/root/repo/build2/tests/test_cluster[1]_include.cmake")
+include("/root/repo/build2/tests/test_rms[1]_include.cmake")
+include("/root/repo/build2/tests/test_core[1]_include.cmake")
+include("/root/repo/build2/tests/test_config[1]_include.cmake")
+include("/root/repo/build2/tests/test_workload[1]_include.cmake")
+include("/root/repo/build2/tests/test_apps[1]_include.cmake")
+include("/root/repo/build2/tests/test_amr[1]_include.cmake")
+include("/root/repo/build2/tests/test_metrics[1]_include.cmake")
+include("/root/repo/build2/tests/test_obs[1]_include.cmake")
+include("/root/repo/build2/tests/test_integration[1]_include.cmake")
+include("/root/repo/build2/tests/test_property[1]_include.cmake")
