@@ -1,5 +1,7 @@
 #include "cluster/cluster.hpp"
 
+#include <utility>
+
 #include "common/assert.hpp"
 
 namespace dbs::cluster {
@@ -11,18 +13,49 @@ Cluster::Cluster(const ClusterSpec& spec) : cores_per_node_(spec.cores_per_node)
   for (std::size_t i = 0; i < spec.node_count; ++i)
     nodes_.emplace_back(NodeId{i}, spec.cores_per_node);
   total_cores_ = static_cast<CoreCount>(spec.node_count) * spec.cores_per_node;
+  bind_nodes();
 }
 
-CoreCount Cluster::used_cores() const {
-  CoreCount used = 0;
-  for (const auto& n : nodes_) used += n.used_cores();
-  return used;
+void Cluster::bind_nodes() {
+  for (Node& n : nodes_) n.bind_ledger(&ledger_);
 }
 
-CoreCount Cluster::free_cores() const {
-  CoreCount free = 0;
-  for (const auto& n : nodes_) free += n.free_cores();
-  return free;
+Cluster::Cluster(const Cluster& other)
+    : nodes_(other.nodes_),
+      cores_per_node_(other.cores_per_node_),
+      total_cores_(other.total_cores_),
+      ledger_(other.ledger_) {
+  bind_nodes();
+}
+
+Cluster::Cluster(Cluster&& other) noexcept
+    : nodes_(std::move(other.nodes_)),
+      cores_per_node_(other.cores_per_node_),
+      total_cores_(other.total_cores_),
+      ledger_(other.ledger_) {
+  bind_nodes();
+}
+
+Cluster& Cluster::operator=(const Cluster& other) {
+  if (this != &other) {
+    nodes_ = other.nodes_;
+    cores_per_node_ = other.cores_per_node_;
+    total_cores_ = other.total_cores_;
+    ledger_ = other.ledger_;
+    bind_nodes();
+  }
+  return *this;
+}
+
+Cluster& Cluster::operator=(Cluster&& other) noexcept {
+  if (this != &other) {
+    nodes_ = std::move(other.nodes_);
+    cores_per_node_ = other.cores_per_node_;
+    total_cores_ = other.total_cores_;
+    ledger_ = other.ledger_;
+    bind_nodes();
+  }
+  return *this;
 }
 
 const Node& Cluster::node(NodeId id) const {
@@ -146,11 +179,23 @@ void Cluster::set_node_state(NodeId id, NodeState s) {
 }
 
 void Cluster::check_invariants() const {
+  CoreCount used_scan = 0;
+  CoreCount free_scan = 0;
+  CoreCount unavailable_free_scan = 0;
   for (const auto& n : nodes_) {
     DBS_ASSERT(n.used_cores() >= 0, "negative node usage");
     DBS_ASSERT(n.used_cores() <= n.total_cores(), "node oversubscribed");
+    used_scan += n.used_cores();
+    free_scan += n.free_cores();
+    if (!n.available()) unavailable_free_scan += n.total_cores() - n.used_cores();
   }
-  DBS_ASSERT(used_cores() + free_cores() <= total_cores_,
+  DBS_ASSERT(used_scan == ledger_.used,
+             "incremental used-core aggregate diverged from node scan");
+  DBS_ASSERT(unavailable_free_scan == ledger_.unavailable_free,
+             "incremental unavailable-free aggregate diverged from node scan");
+  DBS_ASSERT(free_scan == free_cores(),
+             "incremental free-core aggregate diverged from node scan");
+  DBS_ASSERT(used_scan + free_scan <= total_cores_,
              "cluster accounting mismatch");
 }
 

@@ -20,10 +20,20 @@ class Cluster {
  public:
   explicit Cluster(const ClusterSpec& spec);
 
+  // Nodes hold a pointer into ledger_; copies/moves must rebind it.
+  Cluster(const Cluster& other);
+  Cluster(Cluster&& other) noexcept;
+  Cluster& operator=(const Cluster& other);
+  Cluster& operator=(Cluster&& other) noexcept;
+
   [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
   [[nodiscard]] CoreCount total_cores() const { return total_cores_; }
-  [[nodiscard]] CoreCount used_cores() const;
-  [[nodiscard]] CoreCount free_cores() const;
+  /// O(1): maintained incrementally by every node mutation.
+  [[nodiscard]] CoreCount used_cores() const { return ledger_.used; }
+  /// O(1): total minus used minus idle capacity on non-Up nodes.
+  [[nodiscard]] CoreCount free_cores() const {
+    return total_cores_ - ledger_.used - ledger_.unavailable_free;
+  }
   [[nodiscard]] CoreCount cores_per_node() const { return cores_per_node_; }
 
   [[nodiscard]] const Node& node(NodeId id) const;
@@ -61,13 +71,17 @@ class Cluster {
   /// it remain accounted until released by the caller.
   void set_node_state(NodeId id, NodeState s);
 
-  /// Verifies per-node accounting (throws invariant_error on corruption).
+  /// Verifies per-node accounting and that the O(1) aggregates agree with a
+  /// full node scan (throws invariant_error on corruption).
   void check_invariants() const;
 
  private:
+  void bind_nodes();
+
   std::vector<Node> nodes_;
   CoreCount cores_per_node_;
   CoreCount total_cores_ = 0;
+  CoreLedger ledger_;
 };
 
 }  // namespace dbs::cluster

@@ -12,12 +12,26 @@ CoreCount Node::free_cores() const {
   return available() ? total_ - used_ : 0;
 }
 
+void Node::set_state(NodeState s) {
+  if (s == state_) return;
+  if (ledger_ != nullptr) {
+    // Free cores on a non-Up node are unavailable; moving in or out of Up
+    // shifts this node's idle capacity between the two pools.
+    if (state_ == NodeState::Up && s != NodeState::Up)
+      ledger_->unavailable_free += total_ - used_;
+    else if (state_ != NodeState::Up && s == NodeState::Up)
+      ledger_->unavailable_free -= total_ - used_;
+  }
+  state_ = s;
+}
+
 void Node::allocate(JobId job, CoreCount cores) {
   DBS_REQUIRE(cores > 0, "allocation must be positive");
   DBS_REQUIRE(available(), "cannot allocate on an unavailable node");
   DBS_REQUIRE(cores <= free_cores(), "node oversubscription");
   held_[job] += cores;
   used_ += cores;
+  if (ledger_ != nullptr) ledger_->used += cores;
 }
 
 void Node::release(JobId job, CoreCount cores) {
@@ -27,6 +41,12 @@ void Node::release(JobId job, CoreCount cores) {
               "releasing cores the job does not hold");
   it->second -= cores;
   used_ -= cores;
+  if (ledger_ != nullptr) {
+    ledger_->used -= cores;
+    // Cores released on a down node become unavailable-free, not free
+    // (the server releases lost allocations after failing the node).
+    if (!available()) ledger_->unavailable_free += cores;
+  }
   if (it->second == 0) held_.erase(it);
 }
 
@@ -35,6 +55,10 @@ CoreCount Node::release_all(JobId job) {
   if (it == held_.end()) return 0;
   const CoreCount cores = it->second;
   used_ -= cores;
+  if (ledger_ != nullptr) {
+    ledger_->used -= cores;
+    if (!available()) ledger_->unavailable_free += cores;
+  }
   held_.erase(it);
   return cores;
 }

@@ -9,6 +9,17 @@ namespace dbs::cluster {
 
 enum class NodeState { Up, Down, Offline };
 
+/// Cluster-wide core aggregates, maintained incrementally by every node
+/// mutation so Cluster::free_cores()/used_cores() are O(1) instead of a
+/// full node scan on the scheduler's hot path.
+struct CoreLedger {
+  /// Sum of used cores across all nodes, whatever their state.
+  CoreCount used = 0;
+  /// Sum of (total - used) over nodes that are not Up: capacity that is
+  /// neither used nor allocatable.
+  CoreCount unavailable_free = 0;
+};
+
 class Node {
  public:
   Node(NodeId id, CoreCount total_cores);
@@ -20,7 +31,7 @@ class Node {
   [[nodiscard]] NodeState state() const { return state_; }
   [[nodiscard]] bool available() const { return state_ == NodeState::Up; }
 
-  void set_state(NodeState s) { state_ = s; }
+  void set_state(NodeState s);
 
   /// Gives `cores` of this node to `job` (additive if the job already holds
   /// cores here). Precondition: node is up and has enough free cores.
@@ -39,12 +50,18 @@ class Node {
   /// Number of distinct jobs with cores on this node.
   [[nodiscard]] std::size_t job_count() const { return held_.size(); }
 
+  /// Attaches the cluster's aggregate ledger; every subsequent mutation
+  /// (including direct ones, e.g. the server failing a node) keeps it
+  /// consistent. The node's current contribution must already be counted.
+  void bind_ledger(CoreLedger* ledger) { ledger_ = ledger; }
+
  private:
   NodeId id_;
   CoreCount total_;
   CoreCount used_ = 0;
   NodeState state_ = NodeState::Up;
   std::unordered_map<JobId, CoreCount> held_;
+  CoreLedger* ledger_ = nullptr;  ///< owned by the enclosing Cluster
 };
 
 }  // namespace dbs::cluster

@@ -9,26 +9,41 @@ namespace dbs::core {
 AvailabilityProfile::AvailabilityProfile(Time origin, CoreCount capacity)
     : origin_(origin), capacity_(capacity) {
   DBS_REQUIRE(capacity >= 0, "capacity must be non-negative");
-  steps_[origin] = capacity;
+  steps_.reserve(16);
+  steps_.push_back({origin, capacity});
+}
+
+void AvailabilityProfile::reset(Time origin, CoreCount capacity) {
+  DBS_REQUIRE(capacity >= 0, "capacity must be non-negative");
+  origin_ = origin;
+  capacity_ = capacity;
+  steps_.clear();
+  steps_.push_back({origin, capacity});
+}
+
+std::size_t AvailabilityProfile::segment_index(Time t) const {
+  DBS_REQUIRE(t >= origin_, "query before profile origin");
+  // Planning queries overwhelmingly probe at the origin ("now") or past the
+  // final breakpoint; both skip the binary search.
+  if (steps_.size() == 1 || t < steps_[1].at) return 0;
+  if (t >= steps_.back().at) return steps_.size() - 1;
+  // Last breakpoint with at <= t.
+  const auto it = std::upper_bound(
+      steps_.begin() + 1, steps_.end(), t,
+      [](Time v, const Step& s) { return v < s.at; });
+  return static_cast<std::size_t>(it - steps_.begin()) - 1;
 }
 
 CoreCount AvailabilityProfile::free_at(Time t) const {
-  DBS_REQUIRE(t >= origin_, "query before profile origin");
-  auto it = steps_.upper_bound(t);
-  DBS_ASSERT(it != steps_.begin(), "profile missing origin breakpoint");
-  --it;
-  return it->second;
+  return steps_[segment_index(t)].free;
 }
 
 CoreCount AvailabilityProfile::min_free(Time from, Time to) const {
   DBS_REQUIRE(from < to, "empty interval");
-  DBS_REQUIRE(from >= origin_, "query before profile origin");
-  auto it = steps_.upper_bound(from);
-  DBS_ASSERT(it != steps_.begin(), "profile missing origin breakpoint");
-  --it;
-  CoreCount lo = it->second;
-  for (++it; it != steps_.end() && it->first < to; ++it)
-    lo = std::min(lo, it->second);
+  std::size_t i = segment_index(from);
+  CoreCount lo = steps_[i].free;
+  for (++i; i < steps_.size() && steps_[i].at < to; ++i)
+    lo = std::min(lo, steps_[i].free);
   return lo;
 }
 
@@ -37,13 +52,16 @@ bool AvailabilityProfile::can_fit(Time at, Duration dur, CoreCount cores) const 
   return min_free(at, at + dur) >= cores;
 }
 
-void AvailabilityProfile::ensure_breakpoint(Time t) {
-  if (t <= origin_) return;
-  auto it = steps_.lower_bound(t);
-  if (it != steps_.end() && it->first == t) return;
-  DBS_ASSERT(it != steps_.begin(), "profile missing origin breakpoint");
-  --it;
-  steps_.emplace(t, it->second);
+std::size_t AvailabilityProfile::ensure_breakpoint(Time t) {
+  if (t <= origin_) return 0;
+  const auto it = std::lower_bound(
+      steps_.begin(), steps_.end(), t,
+      [](const Step& s, Time v) { return s.at < v; });
+  const auto idx = static_cast<std::size_t>(it - steps_.begin());
+  if (it != steps_.end() && it->at == t) return idx;
+  DBS_ASSERT(idx > 0, "profile missing origin breakpoint");
+  steps_.insert(it, Step{t, steps_[idx - 1].free});
+  return idx;
 }
 
 void AvailabilityProfile::subtract(Time from, Time to, CoreCount cores) {
@@ -51,12 +69,11 @@ void AvailabilityProfile::subtract(Time from, Time to, CoreCount cores) {
   if (cores == 0) return;
   from = max(from, origin_);
   if (from >= to) return;
-  ensure_breakpoint(from);
-  ensure_breakpoint(to);
-  for (auto it = steps_.lower_bound(from); it != steps_.end() && it->first < to;
-       ++it) {
-    it->second -= cores;
-    DBS_ASSERT(it->second >= 0, "profile oversubscribed");
+  const std::size_t first = ensure_breakpoint(from);
+  const std::size_t last = ensure_breakpoint(to);  // to > from: `first` stable
+  for (std::size_t i = first; i < last; ++i) {
+    steps_[i].free -= cores;
+    DBS_ASSERT(steps_[i].free >= 0, "profile oversubscribed");
   }
 }
 
@@ -65,12 +82,11 @@ void AvailabilityProfile::add(Time from, Time to, CoreCount cores) {
   if (cores == 0) return;
   from = max(from, origin_);
   if (from >= to) return;
-  ensure_breakpoint(from);
-  ensure_breakpoint(to);
-  for (auto it = steps_.lower_bound(from); it != steps_.end() && it->first < to;
-       ++it) {
-    it->second += cores;
-    DBS_ASSERT(it->second <= capacity_, "profile exceeds capacity");
+  const std::size_t first = ensure_breakpoint(from);
+  const std::size_t last = ensure_breakpoint(to);
+  for (std::size_t i = first; i < last; ++i) {
+    steps_[i].free += cores;
+    DBS_ASSERT(steps_[i].free <= capacity_, "profile exceeds capacity");
   }
 }
 
@@ -80,11 +96,10 @@ void AvailabilityProfile::subtract_clamped(Time from, Time to,
   if (cores == 0) return;
   from = max(from, origin_);
   if (from >= to) return;
-  ensure_breakpoint(from);
-  ensure_breakpoint(to);
-  for (auto it = steps_.lower_bound(from); it != steps_.end() && it->first < to;
-       ++it)
-    it->second = std::max<CoreCount>(0, it->second - cores);
+  const std::size_t first = ensure_breakpoint(from);
+  const std::size_t last = ensure_breakpoint(to);
+  for (std::size_t i = first; i < last; ++i)
+    steps_[i].free = std::max<CoreCount>(0, steps_[i].free - cores);
 }
 
 Time AvailabilityProfile::earliest_fit(CoreCount cores, Duration dur,
@@ -92,34 +107,28 @@ Time AvailabilityProfile::earliest_fit(CoreCount cores, Duration dur,
   DBS_REQUIRE(cores > 0, "fit query needs cores");
   DBS_REQUIRE(dur > Duration::zero(), "fit query needs a duration");
   if (cores > capacity_) return Time::far_future();
+  // One forward sweep: `candidate` is the start of the current run of
+  // segments with >= cores free. A too-low segment pushes the candidate to
+  // the segment's end; a run long enough to cover `dur` wins.
   Time candidate = max(not_before, origin_);
-  for (;;) {
-    // Scan forward from `candidate`; if a segment within [candidate,
-    // candidate + dur) dips below `cores`, restart after that segment.
-    const Time horizon = candidate + dur;
-    auto it = steps_.upper_bound(candidate);
-    DBS_ASSERT(it != steps_.begin(), "profile missing origin breakpoint");
-    --it;
-    bool ok = true;
-    for (; it != steps_.end() && it->first < horizon; ++it) {
-      if (it->second < cores) {
-        auto next = std::next(it);
-        // The last segment extends to infinity; if it cannot fit, nothing
-        // ever will (capacity check above guarantees it can, since the
-        // final segment equals capacity only when all holds end — if not,
-        // keep advancing past bounded holds).
-        if (next == steps_.end()) return Time::far_future();
-        candidate = next->first;
-        ok = false;
-        break;
-      }
+  for (std::size_t i = segment_index(candidate); i < steps_.size(); ++i) {
+    if (steps_[i].free < cores) {
+      if (i + 1 == steps_.size()) return Time::far_future();
+      candidate = steps_[i + 1].at;
+      continue;
     }
-    if (ok) return candidate;
+    const bool is_last = i + 1 == steps_.size();
+    if (is_last || steps_[i + 1].at >= candidate + dur) return candidate;
   }
+  DBS_ASSERT(false, "unreachable: last segment always terminates the sweep");
+  return Time::far_future();
 }
 
 std::vector<std::pair<Time, CoreCount>> AvailabilityProfile::breakpoints() const {
-  return {steps_.begin(), steps_.end()};
+  std::vector<std::pair<Time, CoreCount>> out;
+  out.reserve(steps_.size());
+  for (const Step& s : steps_) out.emplace_back(s.at, s.free);
+  return out;
 }
 
 }  // namespace dbs::core

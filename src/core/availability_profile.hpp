@@ -1,9 +1,15 @@
 // A step function of free cores over future time. The scheduler plans
 // against it: running jobs and reservations subtract capacity over their
 // intervals; earliest_fit answers "when could `cores` run for `dur`?".
+//
+// Stored as a flat sorted vector of breakpoints rather than a std::map:
+// every query is a cache-friendly binary search and every mutation a
+// contiguous segment sweep, so copying a profile (which planning does once
+// per pass) is a single memcpy and copy-assignment reuses the destination's
+// capacity without allocating.
 #pragma once
 
-#include <map>
+#include <cstddef>
 #include <utility>
 #include <vector>
 
@@ -14,11 +20,26 @@ namespace dbs::core {
 
 class AvailabilityProfile {
  public:
+  /// A breakpoint: `free` cores from `at` until the next breakpoint; the
+  /// last breakpoint extends to +inf.
+  struct Step {
+    Time at;
+    CoreCount free;
+  };
+
+  /// Empty profile (zero capacity at epoch); a placeholder for scratch
+  /// storage that is copy-assigned before use.
+  AvailabilityProfile() : AvailabilityProfile(Time::epoch(), 0) {}
+
   /// Constant `capacity` free cores from `origin` to infinity.
   AvailabilityProfile(Time origin, CoreCount capacity);
 
   [[nodiscard]] Time origin() const { return origin_; }
   [[nodiscard]] CoreCount capacity() const { return capacity_; }
+
+  /// Re-initializes to a constant `capacity` from `origin`, keeping the
+  /// already-allocated breakpoint storage (the per-iteration rebuild path).
+  void reset(Time origin, CoreCount capacity);
 
   /// Free cores at time `t` (t >= origin).
   [[nodiscard]] CoreCount free_at(Time t) const;
@@ -43,21 +64,28 @@ class AvailabilityProfile {
   void subtract_clamped(Time from, Time to, CoreCount cores);
 
   /// Earliest t >= not_before such that `cores` fit over [t, t + dur).
-  /// Returns Time::far_future() if cores > capacity.
+  /// Returns Time::far_future() if cores > capacity. Single forward sweep:
+  /// O(breakpoints), not O(breakpoints^2).
   [[nodiscard]] Time earliest_fit(CoreCount cores, Duration dur,
                                   Time not_before) const;
 
   /// The (time, free) breakpoints, for tests and debugging.
   [[nodiscard]] std::vector<std::pair<Time, CoreCount>> breakpoints() const;
 
+  /// Number of stored breakpoints (profile size diagnostics).
+  [[nodiscard]] std::size_t step_count() const { return steps_.size(); }
+
  private:
-  /// Ensures a breakpoint exists at `t` (splitting the covering segment).
-  void ensure_breakpoint(Time t);
+  /// Index of the segment covering `t` (t >= origin).
+  [[nodiscard]] std::size_t segment_index(Time t) const;
+  /// Ensures a breakpoint exists at `t` (splitting the covering segment);
+  /// returns its index. For t <= origin returns 0.
+  std::size_t ensure_breakpoint(Time t);
 
   Time origin_;
   CoreCount capacity_;
-  /// key -> free cores from key until the next key; last extends to +inf.
-  std::map<Time, CoreCount> steps_;
+  /// Sorted by `at`; steps_[0].at == origin always.
+  std::vector<Step> steps_;
 };
 
 }  // namespace dbs::core

@@ -8,12 +8,11 @@ namespace dbs::core {
 
 namespace {
 
-/// Shared planning walk. `force_all` plans every job regardless of depth
-/// and backfill rules (used for delay measurement).
-Plan plan_impl(const std::vector<const rms::Job*>& prioritized,
-               AvailabilityProfile base, const PlanOptions& options,
-               bool force_all) {
-  Plan plan{ReservationTable{}, std::move(base)};
+/// Shared planning walk over `out` (profile already primed with the base,
+/// table empty). `force_all` plans every job regardless of depth and
+/// backfill rules (used for delay measurement).
+void plan_into(const std::vector<const rms::Job*>& prioritized,
+               const PlanOptions& options, bool force_all, Plan& out) {
   std::size_t start_later = 0;
   bool someone_waits = false;
   Time exclusive_latest_start = options.now;
@@ -29,7 +28,7 @@ Plan plan_impl(const std::vector<const rms::Job*>& prioritized,
       not_before = exclusive_latest_start;
 
     const Time start =
-        plan.profile.earliest_fit(cores, walltime, not_before);
+        out.profile.earliest_fit(cores, walltime, not_before);
     if (start == Time::far_future()) {
       // Larger than the whole machine: unsatisfiable, never planned.
       someone_waits = true;
@@ -52,29 +51,51 @@ Plan plan_impl(const std::vector<const rms::Job*>& prioritized,
       }
     }
 
-    plan.profile.subtract(start, start + walltime, cores);
-    plan.table.add(Reservation{job->id(), start, start + walltime, cores,
-                               is_start_now, is_backfill});
+    out.profile.subtract(start, start + walltime, cores);
+    out.table.add(Reservation{job->id(), start, start + walltime, cores,
+                              is_start_now, is_backfill});
     if (exclusive) exclusive_latest_start = max(exclusive_latest_start, start);
     if (!is_start_now) someone_waits = true;
   }
-  return plan;
 }
 
 }  // namespace
 
 Plan plan_jobs(const std::vector<const rms::Job*>& prioritized,
                AvailabilityProfile base, const PlanOptions& options) {
-  return plan_impl(prioritized, std::move(base), options, /*force_all=*/false);
+  Plan plan{ReservationTable{}, std::move(base)};
+  plan.table.reserve(prioritized.size());
+  plan_into(prioritized, options, /*force_all=*/false, plan);
+  return plan;
+}
+
+void plan_jobs_into(const std::vector<const rms::Job*>& prioritized,
+                    const AvailabilityProfile& base, const PlanOptions& options,
+                    Plan& out) {
+  out.profile = base;
+  out.table.clear();
+  out.table.reserve(prioritized.size());
+  plan_into(prioritized, options, /*force_all=*/false, out);
 }
 
 ReservationTable replan_all(const std::vector<const rms::Job*>& jobs,
                             AvailabilityProfile base,
                             const PlanOptions& options) {
+  Plan plan{ReservationTable{}, std::move(base)};
+  replan_all_into(jobs, plan.profile, options, plan);
+  return std::move(plan.table);
+}
+
+void replan_all_into(const std::vector<const rms::Job*>& jobs,
+                     const AvailabilityProfile& base, const PlanOptions& options,
+                     Plan& out) {
   PlanOptions all = options;
   all.reservation_limit = std::numeric_limits<std::size_t>::max();
   all.allow_backfill = true;
-  return plan_impl(jobs, std::move(base), all, /*force_all=*/true).table;
+  if (&out.profile != &base) out.profile = base;
+  out.table.clear();
+  out.table.reserve(jobs.size());
+  plan_into(jobs, all, /*force_all=*/true, out);
 }
 
 }  // namespace dbs::core

@@ -43,11 +43,23 @@ struct Plan {
                              AvailabilityProfile base,
                              const PlanOptions& options);
 
+/// Allocation-free variant for the per-iteration hot path: `out` keeps its
+/// storage across calls (the profile is copy-assigned from `base`, reusing
+/// capacity; the table is cleared, not reallocated).
+void plan_jobs_into(const std::vector<const rms::Job*>& prioritized,
+                    const AvailabilityProfile& base, const PlanOptions& options,
+                    Plan& out);
+
 /// Re-plans exactly the given jobs (no depth cutoff, nothing skipped) onto a
 /// different base profile; used to measure the delays a tentative dynamic
 /// allocation would cause. Jobs must be in priority order.
 [[nodiscard]] ReservationTable replan_all(
     const std::vector<const rms::Job*>& jobs, AvailabilityProfile base,
     const PlanOptions& options);
+
+/// Scratch-reusing replan (see plan_jobs_into); the result is `out.table`.
+void replan_all_into(const std::vector<const rms::Job*>& jobs,
+                     const AvailabilityProfile& base, const PlanOptions& options,
+                     Plan& out);
 
 }  // namespace dbs::core

@@ -1,6 +1,6 @@
 #include "core/delay_measurement.hpp"
 
-#include <sstream>
+#include <utility>
 
 #include "common/assert.hpp"
 #include "obs/json.hpp"
@@ -8,18 +8,27 @@
 
 namespace dbs::core {
 
-std::string delays_to_json(const std::vector<DelayedJob>& delays) {
-  std::ostringstream os;
-  os << '[';
+void delays_to_json(const std::vector<DelayedJob>& delays, std::string& out) {
+  out += '[';
   bool first = true;
   for (const DelayedJob& d : delays) {
-    os << (first ? "" : ", ") << "{\"job\": " << d.job->id().value()
-       << ", \"user\": " << obs::json_quote(d.job->spec().cred.user)
-       << ", \"delay_s\": " << obs::json_number(d.delay.as_seconds()) << '}';
+    if (!first) out += ", ";
+    out += "{\"job\": ";
+    out += std::to_string(d.job->id().value());
+    out += ", \"user\": ";
+    out += obs::json_quote(d.job->spec().cred.user);
+    out += ", \"delay_s\": ";
+    out += obs::json_number(d.delay.as_seconds());
+    out += '}';
     first = false;
   }
-  os << ']';
-  return os.str();
+  out += ']';
+}
+
+std::string delays_to_json(const std::vector<DelayedJob>& delays) {
+  std::string out;
+  delays_to_json(delays, out);
+  return out;
 }
 
 DynHold make_hold(const rms::Job& owner, const rms::DynRequest& request,
@@ -31,11 +40,12 @@ DynHold make_hold(const rms::Job& owner, const rms::DynRequest& request,
   return DynHold{request.extra_cores, now, until};
 }
 
-std::vector<DelayedJob> diff_plans(const std::vector<const rms::Job*>& jobs,
-                                   const ReservationTable& before,
-                                   const ReservationTable& after) {
-  std::vector<DelayedJob> delays;
-  delays.reserve(jobs.size());
+void diff_plans_into(const std::vector<const rms::Job*>& jobs,
+                     const ReservationTable& before,
+                     const ReservationTable& after,
+                     std::vector<DelayedJob>& out) {
+  out.clear();
+  out.reserve(jobs.size());
   for (const rms::Job* job : jobs) {
     const Reservation* old_r = before.find(job->id());
     const Reservation* new_r = after.find(job->id());
@@ -45,15 +55,23 @@ std::vector<DelayedJob> diff_plans(const std::vector<const rms::Job*>& jobs,
     // one slip in earlier. Only positive delays matter for fairness; the
     // DFS engine ignores the rest.
     const Duration delay = new_r->start - old_r->start;
-    delays.push_back(DelayedJob{job, delay});
+    out.push_back(DelayedJob{job, delay});
   }
+}
+
+std::vector<DelayedJob> diff_plans(const std::vector<const rms::Job*>& jobs,
+                                   const ReservationTable& before,
+                                   const ReservationTable& after) {
+  std::vector<DelayedJob> delays;
+  diff_plans_into(jobs, before, after, delays);
   return delays;
 }
 
-std::vector<const rms::Job*> protected_subset(
-    const std::vector<const rms::Job*>& prioritized,
-    const ReservationTable& baseline, std::size_t delay_depth) {
-  std::vector<const rms::Job*> out;
+void protected_subset_into(const std::vector<const rms::Job*>& prioritized,
+                           const ReservationTable& baseline,
+                           std::size_t delay_depth,
+                           std::vector<const rms::Job*>& out) {
+  out.clear();
   std::size_t later_seen = 0;
   for (const rms::Job* job : prioritized) {
     const Reservation* r = baseline.find(job->id());
@@ -63,7 +81,76 @@ std::vector<const rms::Job*> protected_subset(
     else if (later_seen++ < delay_depth)
       out.push_back(job);
   }
+}
+
+std::vector<const rms::Job*> protected_subset(
+    const std::vector<const rms::Job*>& prioritized,
+    const ReservationTable& baseline, std::size_t delay_depth) {
+  std::vector<const rms::Job*> out;
+  protected_subset_into(prioritized, baseline, delay_depth, out);
   return out;
+}
+
+void measure_dynamic_request_into(
+    const DynHold& hold, const std::vector<const rms::Job*>& candidate_jobs,
+    const std::vector<const rms::Job*>& protected_jobs,
+    const ReservationTable& baseline,
+    const AvailabilityProfile& planning_profile, CoreCount physical_free_now,
+    const PlanOptions& options, obs::Tracer* tracer, MeasureScratch& scratch,
+    DelayMeasurement& out) {
+  DBS_REQUIRE(hold.extra_cores > 0, "hold must request cores");
+  out.feasible = false;
+  out.delays.clear();
+
+  // Step 12/13: are there enough idle cores *right now*? Queued jobs do not
+  // occupy anything yet; only physically free cores count. Infeasible
+  // requests never touch the profile — no copy, no replan.
+  if (hold.extra_cores > physical_free_now) {
+    DBS_TRACE_EVENT(tracer, obs::TraceEvent(options.now, "sched", "measure")
+                                .field("extra_cores", hold.extra_cores)
+                                .field("free_cores", physical_free_now)
+                                .field("feasible", false)
+                                .field("protected", protected_jobs.size()));
+    return;
+  }
+  out.feasible = true;
+
+  // Every job with a baseline reservation is replanned (they all compete
+  // for the space the hold removes) — but only the protected jobs have
+  // their delays reported to the fairness engine.
+  scratch.planned.clear();
+  scratch.planned.reserve(candidate_jobs.size());
+  for (const rms::Job* job : candidate_jobs)
+    if (baseline.find(job->id()) != nullptr) scratch.planned.push_back(job);
+
+  // Clamped: with a reserved dynamic partition the planning profile may
+  // already sit at zero while the physical cores for the hold come out of
+  // the partition. max(0, phys - partition) - hold clamped at zero equals
+  // max(0, phys - hold - partition) wherever the unclamped value was
+  // positive, so planning stays exact for static jobs.
+  out.profile_after = planning_profile;
+  out.profile_after.subtract_clamped(hold.from, hold.until, hold.extra_cores);
+  replan_all_into(scratch.planned, out.profile_after, options, scratch.replan);
+  std::swap(out.replanned, scratch.replan.table);
+  scratch.still_protected.clear();
+  scratch.still_protected.reserve(protected_jobs.size());
+  for (const rms::Job* job : protected_jobs)
+    if (baseline.find(job->id()) != nullptr)
+      scratch.still_protected.push_back(job);
+  diff_plans_into(scratch.still_protected, baseline, out.replanned, out.delays);
+  if (tracer != nullptr && tracer->enabled()) {
+    scratch.json.clear();
+    delays_to_json(out.delays, scratch.json);
+    tracer->emit(obs::TraceEvent(options.now, "sched", "measure")
+                     .field("extra_cores", hold.extra_cores)
+                     .field("until_us", hold.until.as_micros())
+                     .field("free_cores", physical_free_now)
+                     .field("feasible", true)
+                     .field("replanned", scratch.planned.size())
+                     .field("protected", protected_jobs.size())
+                     .field("depth", out.delays.size())
+                     .field_json("delays", scratch.json));
+  }
 }
 
 DelayMeasurement measure_dynamic_request(
@@ -72,51 +159,14 @@ DelayMeasurement measure_dynamic_request(
     const ReservationTable& baseline,
     const AvailabilityProfile& planning_profile, CoreCount physical_free_now,
     const PlanOptions& options, obs::Tracer* tracer) {
-  DBS_REQUIRE(hold.extra_cores > 0, "hold must request cores");
-  DelayMeasurement out{false, {}, ReservationTable{}, planning_profile};
-
-  // Step 12/13: are there enough idle cores *right now*? Queued jobs do not
-  // occupy anything yet; only physically free cores count.
-  if (hold.extra_cores > physical_free_now) {
-    DBS_TRACE_EVENT(tracer, obs::TraceEvent(options.now, "sched", "measure")
-                                .field("extra_cores", hold.extra_cores)
-                                .field("free_cores", physical_free_now)
-                                .field("feasible", false)
-                                .field("protected", protected_jobs.size()));
-    return out;
-  }
-  out.feasible = true;
-
-  // Every job with a baseline reservation is replanned (they all compete
-  // for the space the hold removes) — but only the protected jobs have
-  // their delays reported to the fairness engine.
-  std::vector<const rms::Job*> planned;
-  planned.reserve(candidate_jobs.size());
-  for (const rms::Job* job : candidate_jobs)
-    if (baseline.find(job->id()) != nullptr) planned.push_back(job);
-
-  // Clamped: with a reserved dynamic partition the planning profile may
-  // already sit at zero while the physical cores for the hold come out of
-  // the partition. max(0, phys - partition) - hold clamped at zero equals
-  // max(0, phys - hold - partition) wherever the unclamped value was
-  // positive, so planning stays exact for static jobs.
-  out.profile_after.subtract_clamped(hold.from, hold.until, hold.extra_cores);
-  out.replanned = replan_all(planned, out.profile_after, options);
-  std::vector<const rms::Job*> still_protected;
-  still_protected.reserve(protected_jobs.size());
-  for (const rms::Job* job : protected_jobs)
-    if (baseline.find(job->id()) != nullptr) still_protected.push_back(job);
-  out.delays = diff_plans(still_protected, baseline, out.replanned);
-  DBS_TRACE_EVENT(tracer,
-                  obs::TraceEvent(options.now, "sched", "measure")
-                      .field("extra_cores", hold.extra_cores)
-                      .field("until_us", hold.until.as_micros())
-                      .field("free_cores", physical_free_now)
-                      .field("feasible", true)
-                      .field("replanned", planned.size())
-                      .field("protected", protected_jobs.size())
-                      .field("depth", out.delays.size())
-                      .field_json("delays", delays_to_json(out.delays)));
+  MeasureScratch scratch;
+  DelayMeasurement out;
+  measure_dynamic_request_into(hold, candidate_jobs, protected_jobs, baseline,
+                               planning_profile, physical_free_now, options,
+                               tracer, scratch, out);
+  // Preserve the documented value-returning contract: the profile always
+  // reflects the planning input (plus the hold when feasible).
+  if (!out.feasible) out.profile_after = planning_profile;
   return out;
 }
 

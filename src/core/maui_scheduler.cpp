@@ -3,6 +3,7 @@
 #include <chrono>
 #include <string>
 #include <unordered_map>
+#include <utility>
 
 #include "common/assert.hpp"
 #include "common/log.hpp"
@@ -19,26 +20,26 @@ namespace dbs::core {
 
 namespace {
 
-/// JSON array of the job ids in a reservation-table subset.
-std::string ids_json(const ReservationTable& table, bool start_now) {
-  std::string out = "[";
+/// Appends a JSON array of the job ids in a reservation-table subset.
+void ids_json(const ReservationTable& table, bool start_now, std::string& out) {
+  const std::size_t begin = out.size();
+  out += '[';
   for (const Reservation& r : table.items()) {
     if (r.start_now != start_now) continue;
-    if (out.size() > 1) out += ',';
+    if (out.size() > begin + 1) out += ',';
     out += std::to_string(r.job.value());
   }
   out += ']';
-  return out;
 }
 
-std::string ids_json(const std::vector<const rms::Job*>& jobs) {
-  std::string out = "[";
+void ids_json(const std::vector<const rms::Job*>& jobs, std::string& out) {
+  const std::size_t begin = out.size();
+  out += '[';
   for (const rms::Job* job : jobs) {
-    if (out.size() > 1) out += ',';
+    if (out.size() > begin + 1) out += ',';
     out += std::to_string(job->id().value());
   }
   out += ']';
-  return out;
 }
 
 /// Fixed buckets for the iteration wall-clock histogram (microseconds).
@@ -101,16 +102,20 @@ void MauiScheduler::update_statistics(Time now) {
 }
 
 std::vector<const rms::Job*> MauiScheduler::eligible_static_jobs() const {
-  std::vector<const rms::Job*> eligible;
+  std::vector<const rms::Job*> eligible = server_.jobs().queued();
+  // Common path: no per-user cap means every queued job is eligible; the
+  // per-user counting map is only built when a cap is configured.
+  if (!config_.max_eligible_per_user) return eligible;
   std::unordered_map<std::string, std::size_t> per_user;
-  for (const rms::Job* job : server_.jobs().queued()) {
-    if (config_.max_eligible_per_user) {
-      std::size_t& count = per_user[job->spec().cred.user];
-      if (count >= *config_.max_eligible_per_user) continue;
-      ++count;
-    }
-    eligible.push_back(job);
+  per_user.reserve(eligible.size());
+  std::size_t kept = 0;
+  for (const rms::Job* job : eligible) {
+    std::size_t& count = per_user[job->spec().cred.user];
+    if (count >= *config_.max_eligible_per_user) continue;
+    ++count;
+    eligible[kept++] = job;
   }
+  eligible.resize(kept);
   return eligible;
 }
 
@@ -127,6 +132,24 @@ AvailabilityProfile MauiScheduler::physical_profile(Time now) const {
       profile.subtract(now, Time::far_future(),
                        node.total_cores() - node.used_cores());
   return profile;
+}
+
+void MauiScheduler::rebuild_physical_profile(Time now) {
+  const cluster::Cluster& cl = server_.cluster();
+  physical_.reset(now, cl.total_cores());
+  for (const rms::Job* job : server_.jobs().running()) {
+    const Time hold_end = max(job->walltime_end(), now + Duration::micros(1));
+    physical_.subtract(now, hold_end, job->allocated_cores());
+  }
+  for (const cluster::Node& node : cl.nodes())
+    if (!node.available())
+      physical_.subtract(now, Time::far_future(),
+                         node.total_cores() - node.used_cores());
+}
+
+void MauiScheduler::rebuild_planning_profile() {
+  planning_ = physical_;
+  reserve_dynamic_partition(planning_, config_.dynamic_partition_cores);
 }
 
 void MauiScheduler::iterate() {
@@ -157,41 +180,49 @@ void MauiScheduler::iterate() {
   for (const rms::Job* job : prioritized)
     drain = drain || job->spec().exclusive_priority;
 
-  AvailabilityProfile physical = physical_profile(now);
+  // Built once; afterwards patched in place on every state change (grant,
+  // malleable shrink, preemption) instead of being rebuilt from the whole
+  // running set.
+  rebuild_physical_profile(now);
   CoreCount physical_free = server_.cluster().free_cores();
-  AvailabilityProfile planning = physical;
-  reserve_dynamic_partition(planning, config_.dynamic_partition_cores);
+  rebuild_planning_profile();
 
   // Step 10: plan static jobs without starting them (StartNow/StartLater),
   // creating delay-measurement reservations up to
   // max(ReservationDepth, ReservationDelayDepth).
   const PlanOptions measure_opts{now, config_.delay_plan_depth(),
                                  config_.enable_backfill && !drain, drain};
-  ReservationTable baseline =
-      plan_jobs(prioritized, planning, measure_opts).table;
+  plan_jobs_into(prioritized, planning_, measure_opts, baseline_plan_);
+  ReservationTable& baseline = baseline_plan_.table;
   // The protected set (StartNow + first ReservationDelayDepth StartLater,
   // Fig. 5) is fixed by this step-10 classification for the whole
   // iteration, even as grants shift later plans.
-  std::vector<const rms::Job*> protected_jobs = protected_subset(
-      prioritized, baseline, config_.reservation_delay_depth);
+  protected_subset_into(prioritized, baseline, config_.reservation_delay_depth,
+                        protected_jobs_);
 
   // Step-10 audit record: the StartNow / StartLater split and the protected
   // set the fairness policies will judge this iteration's requests against.
   if (tracer_ != nullptr && tracer_->enabled()) {
-    tracer_->emit(obs::TraceEvent(now, "sched", "classify")
-                      .field("iteration", iterations_)
-                      .field_json("start_now", ids_json(baseline, true))
-                      .field_json("start_later", ids_json(baseline, false))
-                      .field_json("protected", ids_json(protected_jobs)));
+    obs::TraceEvent ev(now, "sched", "classify");
+    ev.field("iteration", iterations_);
+    json_scratch_.clear();
+    ids_json(baseline, true, json_scratch_);
+    ev.field_json("start_now", json_scratch_);
+    json_scratch_.clear();
+    ids_json(baseline, false, json_scratch_);
+    ev.field_json("start_later", json_scratch_);
+    json_scratch_.clear();
+    ids_json(protected_jobs_, json_scratch_);
+    ev.field_json("protected", json_scratch_);
+    tracer_->emit(ev);
   }
 
   // Steps 11-24: process dynamic requests in FIFO order.
-  const std::vector<rms::DynRequest> requests(
-      server_.jobs().dyn_requests().begin(),
-      server_.jobs().dyn_requests().end());
-  stats.eligible_dynamic = requests.size();
+  requests_.assign(server_.jobs().dyn_requests().begin(),
+                   server_.jobs().dyn_requests().end());
+  stats.eligible_dynamic = requests_.size();
 
-  for (const rms::DynRequest& req : requests) {
+  for (const rms::DynRequest& req : requests_) {
     // A preemption earlier in this loop may have requeued the owner and
     // removed its request from the FIFO; skip such stale entries.
     const rms::DynRequest* live = server_.jobs().dyn_request_of(req.job);
@@ -200,15 +231,15 @@ void MauiScheduler::iterate() {
     DBS_ASSERT(owner.state() == rms::JobState::DynQueued,
                "FIFO entry for a job that is not dynqueued");
     DynHold hold = make_hold(owner, req, now);
-    DelayMeasurement m =
-        measure_dynamic_request(hold, prioritized, protected_jobs, baseline,
-                                planning, physical_free, measure_opts, tracer_);
+    measure_dynamic_request_into(hold, prioritized, protected_jobs_, baseline,
+                                 planning_, physical_free, measure_opts,
+                                 tracer_, measure_scratch_, measure_);
     registry_->histogram("scheduler.delay_measure_depth", measure_depth_bounds())
-        .observe(static_cast<double>(m.delays.size()));
+        .observe(static_cast<double>(measure_.delays.size()));
 
     // Optional §II-B strategy (gentle): free cores by shrinking running
     // malleable jobs toward their minimum — no progress is lost.
-    if (!m.feasible && config_.allow_malleable_steal) {
+    if (!measure_.feasible && config_.allow_malleable_steal) {
       const std::vector<MalleableShrink> shrinks = plan_malleable_steal(
           server_.jobs().running(), req.extra_cores, physical_free, req.job);
       if (!shrinks.empty()) {
@@ -218,25 +249,30 @@ void MauiScheduler::iterate() {
                               .field("for_job", req.job.value())
                               .field("victim", s.job.value())
                               .field("cores", s.cores));
+          // Patch the cached physical profile: the victim's hold loses
+          // s.cores over its remaining walltime interval.
+          const rms::Job& victim = server_.job(s.job);
+          const Time victim_end =
+              max(victim.walltime_end(), now + Duration::micros(1));
           server_.shrink_job(s.job, s.cores);
+          physical_.add(now, victim_end, s.cores);
           ++stats.malleable_shrinks;
         }
-        physical = physical_profile(now);
         physical_free = server_.cluster().free_cores();
-        planning = physical;
-        reserve_dynamic_partition(planning, config_.dynamic_partition_cores);
-        baseline = plan_jobs(prioritized, planning, measure_opts).table;
-        protected_jobs = protected_subset(prioritized, baseline,
-                                          config_.reservation_delay_depth);
-        m = measure_dynamic_request(hold, prioritized, protected_jobs,
-                                    baseline, planning, physical_free,
-                                    measure_opts, tracer_);
+        rebuild_planning_profile();
+        plan_jobs_into(prioritized, planning_, measure_opts, baseline_plan_);
+        protected_subset_into(prioritized, baseline,
+                              config_.reservation_delay_depth, protected_jobs_);
+        measure_dynamic_request_into(hold, prioritized, protected_jobs_,
+                                     baseline, planning_, physical_free,
+                                     measure_opts, tracer_, measure_scratch_,
+                                     measure_);
       }
     }
 
     // Optional §II-B strategy: free cores by preempting backfilled
-    // preemptible jobs, then re-measure against the rebuilt state.
-    if (!m.feasible && config_.allow_preemption) {
+    // preemptible jobs, then re-measure against the patched state.
+    if (!measure_.feasible && config_.allow_preemption) {
       const std::vector<JobId> victims = select_preemption_victims(
           server_.jobs().running(), req.extra_cores, physical_free, req.job);
       if (!victims.empty()) {
@@ -245,20 +281,26 @@ void MauiScheduler::iterate() {
                           obs::TraceEvent(now, "sched", "preempt_for_dyn")
                               .field("for_job", req.job.value())
                               .field("victim", victim.value()));
+          // Patch: the victim's entire hold (same interval the profile
+          // rebuild would have subtracted) is returned to the pool.
+          const rms::Job& victim_job = server_.job(victim);
+          const CoreCount victim_cores = victim_job.allocated_cores();
+          const Time victim_end =
+              max(victim_job.walltime_end(), now + Duration::micros(1));
           server_.preempt(victim);
+          physical_.add(now, victim_end, victim_cores);
           ++stats.preempted;
         }
-        physical = physical_profile(now);
         physical_free = server_.cluster().free_cores();
-        planning = physical;
-        reserve_dynamic_partition(planning, config_.dynamic_partition_cores);
+        rebuild_planning_profile();
         prioritized = priority_.prioritize(eligible_static_jobs(), now);
-        baseline = plan_jobs(prioritized, planning, measure_opts).table;
-        protected_jobs = protected_subset(prioritized, baseline,
-                                          config_.reservation_delay_depth);
-        m = measure_dynamic_request(hold, prioritized, protected_jobs,
-                                    baseline, planning, physical_free,
-                                    measure_opts, tracer_);
+        plan_jobs_into(prioritized, planning_, measure_opts, baseline_plan_);
+        protected_subset_into(prioritized, baseline,
+                              config_.reservation_delay_depth, protected_jobs_);
+        measure_dynamic_request_into(hold, prioritized, protected_jobs_,
+                                     baseline, planning_, physical_free,
+                                     measure_opts, tracer_, measure_scratch_,
+                                     measure_);
       }
     }
 
@@ -266,12 +308,12 @@ void MauiScheduler::iterate() {
     // placements, not sufficient: the extra cores must also fit the
     // node-level free map.
     const bool placeable =
-        m.feasible && server_.cluster().can_allocate_chunked(
-                          req.extra_cores, server_.effective_ppn(owner));
+        measure_.feasible && server_.cluster().can_allocate_chunked(
+                                 req.extra_cores, server_.effective_ppn(owner));
 
     DfsVerdict verdict = DfsVerdict::Allowed;
     if (placeable)
-      verdict = dfs_.admit(owner.spec().cred, m.delays);
+      verdict = dfs_.admit(owner.spec().cred, measure_.delays);
 
     const bool granted = placeable && verdict == DfsVerdict::Allowed &&
                          server_.grant_dyn(req.id);
@@ -280,7 +322,7 @@ void MauiScheduler::iterate() {
     // violated rule) and the non-DFS reason when resources were the issue.
     std::string_view reason = "granted";
     if (!granted) {
-      if (!m.feasible)
+      if (!measure_.feasible)
         reason = "no-idle-resources";
       else if (!placeable)
         reason = "node-fragmentation";
@@ -291,31 +333,36 @@ void MauiScheduler::iterate() {
     }
 
     if (granted) {
-      dfs_.commit(owner.spec().cred, m.delays);
+      dfs_.commit(owner.spec().cred, measure_.delays);
       if (tracer_ != nullptr && tracer_->enabled()) {
+        json_scratch_.clear();
+        delays_to_json(measure_.delays, json_scratch_);
         tracer_->emit(obs::TraceEvent(now, "sched", "dyn_grant")
                           .field("job", req.job.value())
                           .field("request", req.id.value())
                           .field("extra_cores", req.extra_cores)
                           .field("verdict", to_string(verdict))
-                          .field_json("delays", delays_to_json(m.delays)));
+                          .field_json("delays", json_scratch_));
       }
-      // Adopt the tentative state: the hold is now real.
-      physical.subtract(hold.from, hold.until, hold.extra_cores);
+      // Adopt the tentative state: the hold is now real. Swaps keep the
+      // measurement scratch's storage alive for the next request.
+      physical_.subtract(hold.from, hold.until, hold.extra_cores);
       physical_free -= hold.extra_cores;
-      planning = std::move(m.profile_after);
-      baseline = std::move(m.replanned);
+      std::swap(planning_, measure_.profile_after);
+      std::swap(baseline, measure_.replanned);
       ++stats.dyn_granted;
     } else {
       DBS_TRACE("dyn request of job " << req.job.value()
                                       << " denied: " << reason);
       const std::optional<Time> hint =
-          estimate_availability(physical, owner, req.extra_cores, now);
+          estimate_availability(physical_, owner, req.extra_cores, now);
       server_.reject_dyn(req.id, hint);
       // With a live negotiation deadline the server keeps the request
       // queued instead of finalizing the rejection.
       const bool deferred = server_.jobs().dyn_request_of(req.job) != nullptr;
       if (tracer_ != nullptr && tracer_->enabled()) {
+        json_scratch_.clear();
+        delays_to_json(measure_.delays, json_scratch_);
         tracer_->emit(
             obs::TraceEvent(now, "sched", deferred ? "dyn_defer" : "dyn_reject")
                 .field("job", req.job.value())
@@ -323,7 +370,7 @@ void MauiScheduler::iterate() {
                 .field("extra_cores", req.extra_cores)
                 .field("reason", reason)
                 .field("verdict", to_string(verdict))
-                .field_json("delays", delays_to_json(m.delays)));
+                .field_json("delays", json_scratch_));
       }
       if (deferred)
         ++stats.dyn_deferred;
@@ -336,8 +383,8 @@ void MauiScheduler::iterate() {
   // ReservationDepth now; backfill the remainder.
   const PlanOptions start_opts{now, config_.reservation_depth,
                                config_.enable_backfill && !drain, drain};
-  const Plan final_plan = plan_jobs(prioritized, planning, start_opts);
-  for (const Reservation& r : final_plan.table.items()) {
+  plan_jobs_into(prioritized, planning_, start_opts, final_plan_);
+  for (const Reservation& r : final_plan_.table.items()) {
     if (!r.start_now) {
       ++stats.reservations;
       continue;

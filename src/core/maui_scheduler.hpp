@@ -17,9 +17,12 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "core/availability_profile.hpp"
+#include "core/backfill.hpp"
+#include "core/delay_measurement.hpp"
 #include "core/dfs_engine.hpp"
 #include "core/fairshare.hpp"
 #include "core/priority.hpp"
@@ -89,6 +92,10 @@ class MauiScheduler {
  private:
   void update_statistics(Time now);
   [[nodiscard]] std::vector<const rms::Job*> eligible_static_jobs() const;
+  /// Rebuilds `physical_` in place (storage reused across iterations).
+  void rebuild_physical_profile(Time now);
+  /// Re-derives `planning_` from `physical_` (partition clamp applied).
+  void rebuild_planning_profile();
   void schedule_poll();
   void record_iteration(const IterationStats& stats);
 
@@ -104,6 +111,20 @@ class MauiScheduler {
   EventId poll_event_ = EventId::invalid();
   obs::Tracer* tracer_ = nullptr;
   obs::Registry* registry_;  ///< never null; defaults to the global one
+
+  // Per-iteration working state, kept as members so the hot path reuses
+  // already-allocated storage instead of allocating per event. `physical_`
+  // is patched incrementally on grant/shrink/preempt during the
+  // dynamic-request loop instead of being rebuilt from the job list.
+  AvailabilityProfile physical_;
+  AvailabilityProfile planning_;
+  Plan baseline_plan_;
+  Plan final_plan_;
+  std::vector<const rms::Job*> protected_jobs_;
+  std::vector<rms::DynRequest> requests_;
+  DelayMeasurement measure_;
+  MeasureScratch measure_scratch_;
+  std::string json_scratch_;
 };
 
 }  // namespace dbs::core

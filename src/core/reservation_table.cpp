@@ -9,14 +9,14 @@ namespace dbs::core {
 void ReservationTable::add(Reservation r) {
   DBS_REQUIRE(r.start < r.end, "reservation interval must be non-empty");
   DBS_REQUIRE(r.cores > 0, "reservation must hold cores");
-  DBS_REQUIRE(find(r.job) == nullptr, "job already reserved");
+  const bool inserted = index_.try_emplace(r.job, items_.size()).second;
+  DBS_REQUIRE(inserted, "job already reserved");
   items_.push_back(r);
 }
 
 const Reservation* ReservationTable::find(JobId job) const {
-  auto it = std::find_if(items_.begin(), items_.end(),
-                         [&](const Reservation& r) { return r.job == job; });
-  return it == items_.end() ? nullptr : &*it;
+  const auto it = index_.find(job);
+  return it == index_.end() ? nullptr : &items_[it->second];
 }
 
 std::size_t ReservationTable::start_now_count() const {

@@ -1,0 +1,234 @@
+// The O(1) used/free aggregates (CoreLedger) must stay consistent with a
+// full node scan through every mutation path: allocate/release, chunked
+// placement, release on a Down node (the server's fail-node path), offline
+// transitions and restores, and dynamic grow/shrink sequences.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "common/rng.hpp"
+
+namespace dbs::cluster {
+namespace {
+
+CoreCount scan_used(const Cluster& c) {
+  CoreCount used = 0;
+  for (const Node& n : c.nodes()) used += n.used_cores();
+  return used;
+}
+
+CoreCount scan_free(const Cluster& c) {
+  CoreCount free = 0;
+  for (const Node& n : c.nodes())
+    if (n.available()) free += n.free_cores();
+  return free;
+}
+
+void expect_consistent(const Cluster& c) {
+  EXPECT_EQ(c.used_cores(), scan_used(c));
+  EXPECT_EQ(c.free_cores(), scan_free(c));
+  c.check_invariants();
+}
+
+TEST(ClusterAggregates, AllocateReleaseSequence) {
+  Cluster c(ClusterSpec{4, 8});
+  expect_consistent(c);
+
+  const auto p1 = c.allocate(JobId{1}, 5);
+  ASSERT_TRUE(p1.has_value());
+  expect_consistent(c);
+  EXPECT_EQ(c.used_cores(), 5);
+
+  const auto p2 = c.allocate(JobId{2}, 20);
+  ASSERT_TRUE(p2.has_value());
+  expect_consistent(c);
+  EXPECT_EQ(c.used_cores(), 25);
+  EXPECT_EQ(c.free_cores(), 7);
+
+  c.release(JobId{1}, *p1);
+  expect_consistent(c);
+  EXPECT_EQ(c.used_cores(), 20);
+
+  c.release_all(JobId{2});
+  expect_consistent(c);
+  EXPECT_EQ(c.used_cores(), 0);
+  EXPECT_EQ(c.free_cores(), 32);
+}
+
+TEST(ClusterAggregates, FailedAllocationLeavesAggregatesUntouched) {
+  Cluster c(ClusterSpec{2, 8});
+  ASSERT_TRUE(c.allocate(JobId{1}, 10).has_value());
+  EXPECT_FALSE(c.allocate(JobId{2}, 7).has_value());
+  expect_consistent(c);
+  EXPECT_EQ(c.used_cores(), 10);
+  EXPECT_EQ(c.free_cores(), 6);
+}
+
+TEST(ClusterAggregates, ChunkedPlacement) {
+  Cluster c(ClusterSpec{4, 8});
+  // nodes=3:ppn=4 plus a remainder chunk of 2.
+  const auto p = c.allocate_chunked(JobId{1}, 14, 4);
+  ASSERT_TRUE(p.has_value());
+  expect_consistent(c);
+  EXPECT_EQ(c.used_cores(), 14);
+
+  // Fragmentation failure must allocate nothing.
+  EXPECT_FALSE(c.allocate_chunked(JobId{2}, 16, 8).has_value());
+  expect_consistent(c);
+  EXPECT_EQ(c.used_cores(), 14);
+
+  c.release(JobId{1}, *p);
+  expect_consistent(c);
+  EXPECT_EQ(c.used_cores(), 0);
+}
+
+TEST(ClusterAggregates, DownNodeExcludedFromFree) {
+  Cluster c(ClusterSpec{3, 8});
+  ASSERT_TRUE(c.allocate(JobId{1}, 6).has_value());
+  expect_consistent(c);
+
+  const NodeId down = c.nodes()[0].id();
+  ASSERT_EQ(c.node(down).used_cores(), 6);
+  c.set_node_state(down, NodeState::Down);
+  expect_consistent(c);
+  // The down node's 2 idle cores left the free pool; its 6 used cores are
+  // still accounted as used until released.
+  EXPECT_EQ(c.used_cores(), 6);
+  EXPECT_EQ(c.free_cores(), 16);
+}
+
+TEST(ClusterAggregates, ReleaseOnDownNodeCreditsUnavailablePool) {
+  // The server's fail-node path: mark the node Down, then release the lost
+  // job's cores while the node is still Down. Those cores must not reappear
+  // as free.
+  Cluster c(ClusterSpec{3, 8});
+  ASSERT_TRUE(c.allocate(JobId{1}, 6).has_value());
+  const NodeId down = c.nodes()[0].id();
+  c.set_node_state(down, NodeState::Down);
+
+  c.node(down).release_all(JobId{1});
+  expect_consistent(c);
+  EXPECT_EQ(c.used_cores(), 0);
+  EXPECT_EQ(c.free_cores(), 16);
+
+  // Node repaired: its capacity rejoins the free pool.
+  c.set_node_state(down, NodeState::Up);
+  expect_consistent(c);
+  EXPECT_EQ(c.free_cores(), 24);
+}
+
+TEST(ClusterAggregates, OfflineAndRestore) {
+  Cluster c(ClusterSpec{4, 8});
+  ASSERT_TRUE(c.allocate(JobId{1}, 3).has_value());
+  const NodeId id = c.nodes()[1].id();
+
+  c.set_node_state(id, NodeState::Offline);
+  expect_consistent(c);
+  EXPECT_EQ(c.free_cores(), 21);
+
+  // Offline -> Down -> Up: each transition re-derives the pools correctly.
+  c.set_node_state(id, NodeState::Down);
+  expect_consistent(c);
+  EXPECT_EQ(c.free_cores(), 21);
+
+  c.set_node_state(id, NodeState::Up);
+  expect_consistent(c);
+  EXPECT_EQ(c.free_cores(), 29);
+}
+
+TEST(ClusterAggregates, GrowShrinkSequence) {
+  // dyn_join / dyn_disjoin shape: a job grows by extra allocations and
+  // shrinks by partial releases of what it holds.
+  Cluster c(ClusterSpec{4, 8});
+  const auto base = c.allocate(JobId{9}, 8);
+  ASSERT_TRUE(base.has_value());
+  expect_consistent(c);
+
+  const auto grow = c.allocate(JobId{9}, 6);  // dyn_join grant
+  ASSERT_TRUE(grow.has_value());
+  expect_consistent(c);
+  EXPECT_EQ(c.held_by(JobId{9}), 14);
+  EXPECT_EQ(c.used_cores(), 14);
+
+  c.release(JobId{9}, *grow);  // dyn_disjoin
+  expect_consistent(c);
+  EXPECT_EQ(c.held_by(JobId{9}), 8);
+
+  c.release(JobId{9}, *base);
+  expect_consistent(c);
+  EXPECT_EQ(c.used_cores(), 0);
+}
+
+TEST(ClusterAggregates, CopyAndMoveRebindLedger) {
+  Cluster a(ClusterSpec{3, 8});
+  ASSERT_TRUE(a.allocate(JobId{1}, 5).has_value());
+
+  Cluster b = a;  // copy: nodes must point at b's ledger, not a's
+  ASSERT_TRUE(b.allocate(JobId{2}, 4).has_value());
+  expect_consistent(a);
+  expect_consistent(b);
+  EXPECT_EQ(a.used_cores(), 5);
+  EXPECT_EQ(b.used_cores(), 9);
+
+  Cluster m = std::move(b);
+  ASSERT_TRUE(m.allocate(JobId{3}, 2).has_value());
+  expect_consistent(m);
+  EXPECT_EQ(m.used_cores(), 11);
+
+  a = m;  // copy-assign
+  a.release_all(JobId{3});
+  expect_consistent(a);
+  expect_consistent(m);
+  EXPECT_EQ(a.used_cores(), 9);
+  EXPECT_EQ(m.used_cores(), 11);
+}
+
+TEST(ClusterAggregates, RandomizedMutationStorm) {
+  Rng rng(20260806);
+  Cluster c(ClusterSpec{8, 8});
+  std::vector<JobId> live;
+  for (int step = 0; step < 500; ++step) {
+    switch (rng.next_int(0, 4)) {
+      case 0:
+      case 1: {  // allocate a new job
+        const JobId j{static_cast<std::uint64_t>(step) + 1};
+        const auto cores = static_cast<CoreCount>(rng.next_int(1, 12));
+        if (c.allocate(j, cores).has_value()) live.push_back(j);
+        break;
+      }
+      case 2: {  // release a random live job entirely
+        if (live.empty()) break;
+        const auto pick =
+            static_cast<std::size_t>(rng.next_below(live.size()));
+        c.release_all(live[pick]);
+        live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+        break;
+      }
+      case 3: {  // chunked allocation
+        const JobId j{static_cast<std::uint64_t>(step) + 1};
+        if (c.allocate_chunked(j, 10, 4).has_value()) live.push_back(j);
+        break;
+      }
+      case 4: {  // bounce a random node's state
+        const auto idx =
+            static_cast<std::size_t>(rng.next_below(c.node_count()));
+        const NodeId id = c.nodes()[idx].id();
+        const NodeState s = c.nodes()[idx].available()
+                                ? (rng.next_int(0, 1) ? NodeState::Down
+                                                      : NodeState::Offline)
+                                : NodeState::Up;
+        c.set_node_state(id, s);
+        break;
+      }
+    }
+    ASSERT_EQ(c.used_cores(), scan_used(c)) << "step " << step;
+    ASSERT_EQ(c.free_cores(), scan_free(c)) << "step " << step;
+    c.check_invariants();
+  }
+}
+
+}  // namespace
+}  // namespace dbs::cluster

@@ -1,0 +1,141 @@
+// Differential tests: the flat-vector AvailabilityProfile must behave
+// identically — breakpoint for breakpoint, answer for answer — to the
+// original std::map reference implementation under random operation
+// sequences mixing subtract / add / subtract_clamped with interleaved
+// free_at / min_free / earliest_fit probes.
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/availability_profile.hpp"
+#include "reference_profile.hpp"
+
+namespace dbs::core {
+namespace {
+
+using testing::ReferenceProfile;
+
+constexpr CoreCount kCapacity = 128;
+
+void expect_identical(const AvailabilityProfile& flat,
+                      const ReferenceProfile& ref, int step) {
+  const auto a = flat.breakpoints();
+  const auto b = ref.breakpoints();
+  ASSERT_EQ(a.size(), b.size()) << "breakpoint count diverged at op " << step;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].first, b[i].first) << "breakpoint time, op " << step;
+    EXPECT_EQ(a[i].second, b[i].second)
+        << "free cores at " << a[i].first << ", op " << step;
+  }
+}
+
+class ProfileDifferential : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ProfileDifferential, RandomOpSequencesAgree) {
+  Rng rng(GetParam());
+  AvailabilityProfile flat(Time::epoch(), kCapacity);
+  ReferenceProfile ref(Time::epoch(), kCapacity);
+  // Track feasibly-subtracted holds so add() can reverse one of them and
+  // subtract() never oversubscribes.
+  struct Hold {
+    Time from, to;
+    CoreCount cores;
+  };
+  std::vector<Hold> reversible;
+
+  for (int op = 0; op < 300; ++op) {
+    const auto a = rng.next_int(0, 20'000);
+    const auto b = rng.next_int(0, 20'000);
+    const Time from = Time::from_seconds(std::min(a, b));
+    const Time to = Time::from_seconds(std::max(a, b) + 1);
+    const auto cores = static_cast<CoreCount>(rng.next_int(1, kCapacity / 4));
+
+    switch (rng.next_int(0, 3)) {
+      case 0:  // feasible subtract (the scheduler's can_fit-guarded path)
+        if (ref.min_free(from, to) >= cores) {
+          flat.subtract(from, to, cores);
+          ref.subtract(from, to, cores);
+          reversible.push_back({from, to, cores});
+        }
+        break;
+      case 1:  // add back a previous hold (grant release / replanning)
+        if (!reversible.empty()) {
+          const std::size_t pick = static_cast<std::size_t>(rng.next_int(
+              0, static_cast<int>(reversible.size()) - 1));
+          const Hold h = reversible[pick];
+          reversible.erase(reversible.begin() +
+                           static_cast<std::ptrdiff_t>(pick));
+          flat.add(h.from, h.to, h.cores);
+          ref.add(h.from, h.to, h.cores);
+        }
+        break;
+      case 2:  // clamped subtract (dynamic partition path) — irreversible
+        flat.subtract_clamped(from, to, cores);
+        ref.subtract_clamped(from, to, cores);
+        reversible.clear();
+        break;
+      case 3: {  // occasional permanent hold, like a down node
+        if (op % 29 == 0) {
+          flat.subtract_clamped(from, Time::far_future(), cores);
+          ref.subtract_clamped(from, Time::far_future(), cores);
+          reversible.clear();
+        }
+        break;
+      }
+    }
+
+    // Probe: point, interval and fit queries must agree exactly.
+    const Time p = Time::from_seconds(rng.next_int(0, 21'000));
+    ASSERT_EQ(flat.free_at(p), ref.free_at(p)) << "free_at, op " << op;
+    const Time q0 = Time::from_seconds(rng.next_int(0, 20'000));
+    const Time q1 = q0 + Duration::seconds(rng.next_int(1, 2'000));
+    ASSERT_EQ(flat.min_free(q0, q1), ref.min_free(q0, q1))
+        << "min_free, op " << op;
+    const auto fit_cores = static_cast<CoreCount>(rng.next_int(1, kCapacity));
+    const Duration dur = Duration::seconds(rng.next_int(1, 3'000));
+    const Time nb = Time::from_seconds(rng.next_int(0, 15'000));
+    ASSERT_EQ(flat.earliest_fit(fit_cores, dur, nb),
+              ref.earliest_fit(fit_cores, dur, nb))
+        << "earliest_fit(" << fit_cores << ", " << dur << ", " << nb
+        << "), op " << op;
+  }
+  expect_identical(flat, ref, 300);
+}
+
+TEST_P(ProfileDifferential, EdgeIntervalsAgree) {
+  Rng rng(GetParam() + 7777);
+  AvailabilityProfile flat(Time::from_seconds(100), kCapacity);
+  ReferenceProfile ref(Time::from_seconds(100), kCapacity);
+
+  // Origin-clipped, zero-core, empty and far-future intervals.
+  flat.subtract(Time::epoch(), Time::from_seconds(150), 10);
+  ref.subtract(Time::epoch(), Time::from_seconds(150), 10);
+  flat.subtract(Time::from_seconds(200), Time::from_seconds(200), 5);
+  ref.subtract(Time::from_seconds(200), Time::from_seconds(200), 5);
+  flat.subtract(Time::from_seconds(300), Time::from_seconds(400), 0);
+  ref.subtract(Time::from_seconds(300), Time::from_seconds(400), 0);
+  flat.subtract(Time::from_seconds(500), Time::far_future(), 7);
+  ref.subtract(Time::from_seconds(500), Time::far_future(), 7);
+  // Re-subtracting on exact existing breakpoints must not duplicate them.
+  flat.subtract(Time::from_seconds(150), Time::from_seconds(500), 3);
+  ref.subtract(Time::from_seconds(150), Time::from_seconds(500), 3);
+  expect_identical(flat, ref, -1);
+
+  for (int probe = 0; probe < 100; ++probe) {
+    const Time t = Time::from_seconds(rng.next_int(100, 1'000));
+    ASSERT_EQ(flat.free_at(t), ref.free_at(t)) << t;
+    const auto cores = static_cast<CoreCount>(rng.next_int(1, kCapacity));
+    const Duration dur = Duration::seconds(rng.next_int(1, 600));
+    ASSERT_EQ(flat.earliest_fit(cores, dur, t),
+              ref.earliest_fit(cores, dur, t));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProfileDifferential,
+                         ::testing::Values(1u, 7u, 13u, 42u, 101u, 555u,
+                                           4242u, 31337u, 90210u, 123456u));
+
+}  // namespace
+}  // namespace dbs::core

@@ -1,0 +1,142 @@
+// The original std::map-based availability profile, kept verbatim as a
+// reference implementation for differential testing of the flat-vector
+// AvailabilityProfile. Slow but simple: correctness here is easy to audit,
+// so agreement (identical breakpoints, identical query answers) transfers
+// that confidence to the optimized production class.
+#pragma once
+
+#include <algorithm>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/time.hpp"
+#include "common/types.hpp"
+
+namespace dbs::core::testing {
+
+class ReferenceProfile {
+ public:
+  ReferenceProfile(Time origin, CoreCount capacity)
+      : origin_(origin), capacity_(capacity) {
+    DBS_REQUIRE(capacity >= 0, "capacity must be non-negative");
+    steps_[origin] = capacity;
+  }
+
+  [[nodiscard]] Time origin() const { return origin_; }
+  [[nodiscard]] CoreCount capacity() const { return capacity_; }
+
+  [[nodiscard]] CoreCount free_at(Time t) const {
+    DBS_REQUIRE(t >= origin_, "query before profile origin");
+    auto it = steps_.upper_bound(t);
+    DBS_ASSERT(it != steps_.begin(), "profile missing origin breakpoint");
+    --it;
+    return it->second;
+  }
+
+  [[nodiscard]] CoreCount min_free(Time from, Time to) const {
+    DBS_REQUIRE(from < to, "empty interval");
+    DBS_REQUIRE(from >= origin_, "query before profile origin");
+    auto it = steps_.upper_bound(from);
+    DBS_ASSERT(it != steps_.begin(), "profile missing origin breakpoint");
+    --it;
+    CoreCount lo = it->second;
+    for (++it; it != steps_.end() && it->first < to; ++it)
+      lo = std::min(lo, it->second);
+    return lo;
+  }
+
+  [[nodiscard]] bool can_fit(Time at, Duration dur, CoreCount cores) const {
+    if (dur <= Duration::zero()) return cores <= free_at(at);
+    return min_free(at, at + dur) >= cores;
+  }
+
+  void subtract(Time from, Time to, CoreCount cores) {
+    DBS_REQUIRE(cores >= 0, "negative subtraction");
+    if (cores == 0) return;
+    from = max(from, origin_);
+    if (from >= to) return;
+    ensure_breakpoint(from);
+    ensure_breakpoint(to);
+    for (auto it = steps_.lower_bound(from);
+         it != steps_.end() && it->first < to; ++it) {
+      it->second -= cores;
+      DBS_ASSERT(it->second >= 0, "profile oversubscribed");
+    }
+  }
+
+  void add(Time from, Time to, CoreCount cores) {
+    DBS_REQUIRE(cores >= 0, "negative addition");
+    if (cores == 0) return;
+    from = max(from, origin_);
+    if (from >= to) return;
+    ensure_breakpoint(from);
+    ensure_breakpoint(to);
+    for (auto it = steps_.lower_bound(from);
+         it != steps_.end() && it->first < to; ++it) {
+      it->second += cores;
+      DBS_ASSERT(it->second <= capacity_, "profile exceeds capacity");
+    }
+  }
+
+  void subtract_clamped(Time from, Time to, CoreCount cores) {
+    DBS_REQUIRE(cores >= 0, "negative subtraction");
+    if (cores == 0) return;
+    from = max(from, origin_);
+    if (from >= to) return;
+    ensure_breakpoint(from);
+    ensure_breakpoint(to);
+    for (auto it = steps_.lower_bound(from);
+         it != steps_.end() && it->first < to; ++it)
+      it->second = std::max<CoreCount>(0, it->second - cores);
+  }
+
+  [[nodiscard]] Time earliest_fit(CoreCount cores, Duration dur,
+                                  Time not_before) const {
+    DBS_REQUIRE(cores > 0, "fit query needs cores");
+    DBS_REQUIRE(dur > Duration::zero(), "fit query needs a duration");
+    if (cores > capacity_) return Time::far_future();
+    Time candidate = max(not_before, origin_);
+    for (;;) {
+      // Scan forward from `candidate`; if a segment within [candidate,
+      // candidate + dur) dips below `cores`, restart after that segment.
+      const Time horizon = candidate + dur;
+      auto it = steps_.upper_bound(candidate);
+      DBS_ASSERT(it != steps_.begin(), "profile missing origin breakpoint");
+      --it;
+      bool ok = true;
+      for (; it != steps_.end() && it->first < horizon; ++it) {
+        if (it->second < cores) {
+          auto next = std::next(it);
+          if (next == steps_.end()) return Time::far_future();
+          candidate = next->first;
+          ok = false;
+          break;
+        }
+      }
+      if (ok) return candidate;
+    }
+  }
+
+  [[nodiscard]] std::vector<std::pair<Time, CoreCount>> breakpoints() const {
+    return {steps_.begin(), steps_.end()};
+  }
+
+ private:
+  void ensure_breakpoint(Time t) {
+    if (t <= origin_) return;
+    auto it = steps_.lower_bound(t);
+    if (it != steps_.end() && it->first == t) return;
+    DBS_ASSERT(it != steps_.begin(), "profile missing origin breakpoint");
+    --it;
+    steps_.emplace(t, it->second);
+  }
+
+  Time origin_;
+  CoreCount capacity_;
+  /// key -> free cores from key until the next key; last extends to +inf.
+  std::map<Time, CoreCount> steps_;
+};
+
+}  // namespace dbs::core::testing

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Compare a google-benchmark JSON result file against a committed baseline.
+
+Usage:
+    check_bench_regression.py BASELINE.json CURRENT.json [--tolerance 0.20]
+
+For every benchmark name present in both files, the current real_time may
+exceed the baseline by at most `tolerance` (fractional, default 0.20 = 20%,
+overridable via --tolerance or the DBS_BENCH_TOLERANCE env var). Benchmarks
+only present on one side are reported but do not fail the check, so adding
+or retiring benchmarks does not require touching the gate. Exit status is
+non-zero iff at least one shared benchmark regressed beyond tolerance.
+
+CI runners are noisy; the tolerance is deliberately loose. It is meant to
+catch order-of-magnitude mistakes (an accidental O(n^2) loop, a debug build
+slipping into the bench job), not single-digit-percent drift.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load_benchmarks(path):
+    with open(path, encoding="utf-8") as fh:
+        doc = json.load(fh)
+    out = {}
+    for bench in doc.get("benchmarks", []):
+        # Skip aggregate rows (mean/median/stddev) if repetitions were used.
+        if bench.get("run_type") == "aggregate":
+            continue
+        out[bench["name"]] = float(bench["real_time"])
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=float(os.environ.get("DBS_BENCH_TOLERANCE", "0.20")),
+        help="allowed fractional slowdown per benchmark (default 0.20)",
+    )
+    args = parser.parse_args()
+
+    base = load_benchmarks(args.baseline)
+    curr = load_benchmarks(args.current)
+
+    shared = sorted(set(base) & set(curr))
+    if not shared:
+        print("error: no benchmark names in common", file=sys.stderr)
+        return 2
+
+    for name in sorted(set(base) - set(curr)):
+        print(f"note: '{name}' only in baseline (skipped)")
+    for name in sorted(set(curr) - set(base)):
+        print(f"note: '{name}' only in current (skipped)")
+
+    regressed = []
+    width = max(len(n) for n in shared)
+    print(f"{'benchmark':<{width}}  {'base ns':>12}  {'curr ns':>12}  ratio")
+    for name in shared:
+        ratio = curr[name] / base[name] if base[name] > 0 else float("inf")
+        flag = ""
+        if ratio > 1.0 + args.tolerance:
+            regressed.append((name, ratio))
+            flag = "  << REGRESSION"
+        print(
+            f"{name:<{width}}  {base[name]:>12.1f}  {curr[name]:>12.1f}"
+            f"  {ratio:5.2f}x{flag}"
+        )
+
+    if regressed:
+        print(
+            f"\nFAIL: {len(regressed)}/{len(shared)} benchmark(s) slower than "
+            f"baseline by more than {args.tolerance:.0%}:",
+            file=sys.stderr,
+        )
+        for name, ratio in regressed:
+            print(f"  {name}: {ratio:.2f}x", file=sys.stderr)
+        return 1
+
+    print(f"\nOK: {len(shared)} benchmark(s) within {args.tolerance:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
