@@ -14,8 +14,9 @@ std::vector<metrics::WaitPoint> RunResult::waits_of_type(
 }
 
 RunResult run_workload(const SystemConfig& config, const wl::Workload& workload,
-                       std::string label) {
+                       std::string label, obs::Registry* registry) {
   BatchSystem system(config);
+  if (registry != nullptr) system.set_registry(registry);
   system.submit_workload(workload);
   system.run();
 

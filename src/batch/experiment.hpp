@@ -9,6 +9,10 @@
 #include "metrics/report.hpp"
 #include "workload/esp.hpp"
 
+namespace dbs::obs {
+class Registry;
+}
+
 namespace dbs::batch {
 
 struct RunResult {
@@ -24,9 +28,13 @@ struct RunResult {
       const std::string& tag) const;
 };
 
-/// Builds the system, injects the workload, runs to completion.
+/// Builds the system, injects the workload, runs to completion. When
+/// `registry` is non-null the system's metrics land there instead of the
+/// global registry — required when runs execute concurrently (see
+/// batch/parallel_runner.hpp).
 [[nodiscard]] RunResult run_workload(const SystemConfig& config,
                                      const wl::Workload& workload,
-                                     std::string label);
+                                     std::string label,
+                                     obs::Registry* registry = nullptr);
 
 }  // namespace dbs::batch

@@ -1,0 +1,17 @@
+#include "batch/parallel_runner.hpp"
+
+#include <cstdlib>
+#include <string>
+
+namespace dbs::batch {
+
+std::size_t jobs_from_env(std::size_t fallback) {
+  const char* raw = std::getenv("DBS_BENCH_JOBS");
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const long value = std::strtol(raw, &end, 10);
+  if (end == raw || *end != '\0' || value < 1) return fallback;
+  return static_cast<std::size_t>(value);
+}
+
+}  // namespace dbs::batch

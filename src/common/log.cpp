@@ -4,14 +4,19 @@
 #include <cctype>
 #include <cstdlib>
 #include <iostream>
+#include <mutex>
 
 namespace dbs::logging {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::Off};
 
-const void* g_clock_owner = nullptr;
-Time (*g_clock_now)(const void*) = nullptr;
+// Simulators register/unregister concurrently when replications run on a
+// ParallelRunner; the mutex also pins the owner alive for the duration of
+// an emit() (unregister_sim_clock blocks until the callback returns).
+std::mutex g_clock_mutex;
+const void* g_clock_owner = nullptr;       // guarded by g_clock_mutex
+Time (*g_clock_now)(const void*) = nullptr;  // guarded by g_clock_mutex
 
 const char* prefix(LogLevel level) {
   switch (level) {
@@ -58,17 +63,20 @@ void init_from_env() {
 }
 
 void register_sim_clock(const void* owner, Time (*now)(const void* owner)) {
+  const std::lock_guard<std::mutex> lock(g_clock_mutex);
   g_clock_owner = owner;
   g_clock_now = now;
 }
 
 void unregister_sim_clock(const void* owner) {
+  const std::lock_guard<std::mutex> lock(g_clock_mutex);
   if (g_clock_owner != owner) return;
   g_clock_owner = nullptr;
   g_clock_now = nullptr;
 }
 
 void emit(LogLevel lvl, const std::string& msg) {
+  const std::lock_guard<std::mutex> lock(g_clock_mutex);
   std::cerr << prefix(lvl);
   if (g_clock_now != nullptr)
     std::cerr << '[' << g_clock_now(g_clock_owner).to_string() << "] ";

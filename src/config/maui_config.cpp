@@ -200,6 +200,15 @@ struct Parser {
       if (const auto v = one())
         if (const auto n = parse_int(*v); expect(line, n, key))
           config.max_eligible_per_user = static_cast<std::size_t>(*n);
+    } else if (key == "MEASURETHREADS") {
+      if (const auto v = one()) {
+        const auto n = parse_int(*v);
+        if (!expect(line, n, key)) return;
+        if (*n < 1)
+          issue(line, "MEASURETHREADS must be >= 1");
+        else
+          config.measure_threads = static_cast<std::size_t>(*n);
+      }
     } else if (key == "ALLOCATIONPOLICY") {
       if (const auto v = one()) {
         if (iequals(*v, "PACK"))

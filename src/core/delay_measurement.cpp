@@ -91,6 +91,33 @@ std::vector<const rms::Job*> protected_subset(
   return out;
 }
 
+void emit_measure_trace(const DynHold& hold, std::size_t protected_count,
+                        CoreCount physical_free_now,
+                        const DelayMeasurement& measurement,
+                        const PlanOptions& options, obs::Tracer* tracer,
+                        std::string& json_scratch) {
+  if (tracer == nullptr || !tracer->enabled()) return;
+  if (!measurement.feasible) {
+    tracer->emit(obs::TraceEvent(options.now, "sched", "measure")
+                     .field("extra_cores", hold.extra_cores)
+                     .field("free_cores", physical_free_now)
+                     .field("feasible", false)
+                     .field("protected", protected_count));
+    return;
+  }
+  json_scratch.clear();
+  delays_to_json(measurement.delays, json_scratch);
+  tracer->emit(obs::TraceEvent(options.now, "sched", "measure")
+                   .field("extra_cores", hold.extra_cores)
+                   .field("until_us", hold.until.as_micros())
+                   .field("free_cores", physical_free_now)
+                   .field("feasible", true)
+                   .field("replanned", measurement.replanned_count)
+                   .field("protected", protected_count)
+                   .field("depth", measurement.delays.size())
+                   .field_json("delays", json_scratch));
+}
+
 void measure_dynamic_request_into(
     const DynHold& hold, const std::vector<const rms::Job*>& candidate_jobs,
     const std::vector<const rms::Job*>& protected_jobs,
@@ -101,16 +128,14 @@ void measure_dynamic_request_into(
   DBS_REQUIRE(hold.extra_cores > 0, "hold must request cores");
   out.feasible = false;
   out.delays.clear();
+  out.replanned_count = 0;
 
   // Step 12/13: are there enough idle cores *right now*? Queued jobs do not
   // occupy anything yet; only physically free cores count. Infeasible
   // requests never touch the profile — no copy, no replan.
   if (hold.extra_cores > physical_free_now) {
-    DBS_TRACE_EVENT(tracer, obs::TraceEvent(options.now, "sched", "measure")
-                                .field("extra_cores", hold.extra_cores)
-                                .field("free_cores", physical_free_now)
-                                .field("feasible", false)
-                                .field("protected", protected_jobs.size()));
+    emit_measure_trace(hold, protected_jobs.size(), physical_free_now, out,
+                       options, tracer, scratch.json);
     return;
   }
   out.feasible = true;
@@ -122,6 +147,7 @@ void measure_dynamic_request_into(
   scratch.planned.reserve(candidate_jobs.size());
   for (const rms::Job* job : candidate_jobs)
     if (baseline.find(job->id()) != nullptr) scratch.planned.push_back(job);
+  out.replanned_count = scratch.planned.size();
 
   // Clamped: with a reserved dynamic partition the planning profile may
   // already sit at zero while the physical cores for the hold come out of
@@ -138,19 +164,8 @@ void measure_dynamic_request_into(
     if (baseline.find(job->id()) != nullptr)
       scratch.still_protected.push_back(job);
   diff_plans_into(scratch.still_protected, baseline, out.replanned, out.delays);
-  if (tracer != nullptr && tracer->enabled()) {
-    scratch.json.clear();
-    delays_to_json(out.delays, scratch.json);
-    tracer->emit(obs::TraceEvent(options.now, "sched", "measure")
-                     .field("extra_cores", hold.extra_cores)
-                     .field("until_us", hold.until.as_micros())
-                     .field("free_cores", physical_free_now)
-                     .field("feasible", true)
-                     .field("replanned", scratch.planned.size())
-                     .field("protected", protected_jobs.size())
-                     .field("depth", out.delays.size())
-                     .field_json("delays", scratch.json));
-  }
+  emit_measure_trace(hold, protected_jobs.size(), physical_free_now, out,
+                     options, tracer, scratch.json);
 }
 
 DelayMeasurement measure_dynamic_request(

@@ -13,6 +13,7 @@
 #include "core/negotiation.hpp"
 #include "core/partition.hpp"
 #include "core/preemption.hpp"
+#include "exec/thread_pool.hpp"
 #include "obs/registry.hpp"
 #include "obs/tracer.hpp"
 
@@ -70,6 +71,9 @@ MauiScheduler::MauiScheduler(rms::Server& server, SchedulerConfig config)
   config_.validate();
   server_.set_allocation_policy(config_.allocation_policy);
 }
+
+// Out of line for the unique_ptr<exec::ThreadPool> member.
+MauiScheduler::~MauiScheduler() = default;
 
 void MauiScheduler::set_tracer(obs::Tracer* tracer) {
   tracer_ = tracer;
@@ -152,6 +156,51 @@ void MauiScheduler::rebuild_planning_profile() {
   reserve_dynamic_partition(planning_, config_.dynamic_partition_cores);
 }
 
+std::size_t MauiScheduler::speculate_measurements(
+    std::size_t begin, const std::vector<const rms::Job*>& prioritized,
+    const ReservationTable& baseline, CoreCount physical_free,
+    const PlanOptions& opts) {
+  if (!measure_pool_)
+    measure_pool_ = std::make_unique<exec::ThreadPool>(config_.measure_threads);
+  if (worker_scratch_.size() < measure_pool_->worker_count())
+    worker_scratch_.resize(measure_pool_->worker_count());
+  if (measure_slots_.size() < requests_.size())
+    measure_slots_.resize(requests_.size());
+
+  // Cap the batch: an early grant/steal/preemption invalidates everything
+  // measured after it, so bounding the fan-out bounds the wasted work when
+  // the grant rate is high.
+  const std::size_t cap = config_.measure_threads * 4;
+  batch_indices_.clear();
+  std::size_t end = begin;
+  for (; end < requests_.size() && batch_indices_.size() < cap; ++end) {
+    MeasureSlot& slot = measure_slots_[end];
+    slot.live = false;
+    const rms::DynRequest& req = requests_[end];
+    // Same staleness test the serial loop applies; stale entries get no
+    // slot and the consume step skips them the same way.
+    const rms::DynRequest* live = server_.jobs().dyn_request_of(req.job);
+    if (live == nullptr || live->id != req.id) continue;
+    slot.hold = make_hold(server_.job(req.job), req, opts.now);
+    slot.live = true;
+    batch_indices_.push_back(end);
+  }
+
+  // Workers only read the shared planning state (baseline / planning_ /
+  // protected_jobs_) and write their own slot + per-worker scratch. The
+  // tracer stays detached here; "measure" events are replayed in FIFO
+  // order by the consume step so the trace is bit-identical to serial.
+  measure_pool_->parallel_for(
+      batch_indices_.size(), [&](std::size_t task, std::size_t worker) {
+        MeasureSlot& slot = measure_slots_[batch_indices_[task]];
+        measure_dynamic_request_into(slot.hold, prioritized, protected_jobs_,
+                                     baseline, planning_, physical_free, opts,
+                                     /*tracer=*/nullptr,
+                                     worker_scratch_[worker], slot.result);
+      });
+  return end;
+}
+
 void MauiScheduler::iterate() {
   const Time now = server_.simulator().now();
   const auto wall_begin = std::chrono::steady_clock::now();
@@ -222,7 +271,30 @@ void MauiScheduler::iterate() {
                    server_.jobs().dyn_requests().end());
   stats.eligible_dynamic = requests_.size();
 
-  for (const rms::DynRequest& req : requests_) {
+  // With measure_threads > 1 the expensive what-if measurements of a batch
+  // of upcoming requests are fanned across the thread pool against the
+  // *current* planning state; consumption stays strictly FIFO. Any state
+  // change while consuming (grant, malleable steal, preemption) truncates
+  // the batch — the not-yet-consumed speculative results were measured
+  // against a state that no longer exists and are discarded, then
+  // re-measured. A rejection/deferral mutates only the request's own
+  // job/queue entry, never the planning state, so it keeps the batch
+  // valid. Consumed results are therefore exactly the measurements the
+  // serial loop would have produced: decisions, trace events and DFS
+  // verdicts are bit-identical at every thread count.
+  const bool parallel_measure =
+      config_.measure_threads > 1 && requests_.size() > 1;
+  std::size_t next = 0;
+  std::size_t spec_end = 0;
+  while (next < requests_.size()) {
+    if (parallel_measure && next >= spec_end)
+      spec_end = speculate_measurements(next, prioritized, baseline,
+                                        physical_free, measure_opts);
+    bool state_changed = false;
+    while (next < requests_.size() && !state_changed &&
+           (!parallel_measure || next < spec_end)) {
+    const std::size_t index = next++;
+    const rms::DynRequest& req = requests_[index];
     // A preemption earlier in this loop may have requeued the owner and
     // removed its request from the FIFO; skip such stale entries.
     const rms::DynRequest* live = server_.jobs().dyn_request_of(req.job);
@@ -230,16 +302,35 @@ void MauiScheduler::iterate() {
     const rms::Job& owner = server_.job(req.job);
     DBS_ASSERT(owner.state() == rms::JobState::DynQueued,
                "FIFO entry for a job that is not dynqueued");
-    DynHold hold = make_hold(owner, req, now);
-    measure_dynamic_request_into(hold, prioritized, protected_jobs_, baseline,
-                                 planning_, physical_free, measure_opts,
-                                 tracer_, measure_scratch_, measure_);
+    // `m` points at the decision-relevant measurement: the speculated slot
+    // when one is valid, the serial scratch otherwise (and always after a
+    // steal/preemption re-measure).
+    DelayMeasurement* m = &measure_;
+    DynHold hold;
+    if (parallel_measure) {
+      MeasureSlot& slot = measure_slots_[index];
+      // Liveness cannot change between speculation and consumption without
+      // a state change, and a state change truncates the batch.
+      DBS_ASSERT(slot.live, "live request missing its speculated slot");
+      hold = slot.hold;
+      m = &slot.result;
+      // Workers measured without the tracer; replay the byte-identical
+      // "measure" event in FIFO position.
+      emit_measure_trace(hold, protected_jobs_.size(), physical_free, *m,
+                         measure_opts, tracer_, json_scratch_);
+    } else {
+      hold = make_hold(owner, req, now);
+      measure_dynamic_request_into(hold, prioritized, protected_jobs_,
+                                   baseline, planning_, physical_free,
+                                   measure_opts, tracer_, measure_scratch_,
+                                   measure_);
+    }
     registry_->histogram("scheduler.delay_measure_depth", measure_depth_bounds())
-        .observe(static_cast<double>(measure_.delays.size()));
+        .observe(static_cast<double>(m->delays.size()));
 
     // Optional §II-B strategy (gentle): free cores by shrinking running
     // malleable jobs toward their minimum — no progress is lost.
-    if (!measure_.feasible && config_.allow_malleable_steal) {
+    if (!m->feasible && config_.allow_malleable_steal) {
       const std::vector<MalleableShrink> shrinks = plan_malleable_steal(
           server_.jobs().running(), req.extra_cores, physical_free, req.job);
       if (!shrinks.empty()) {
@@ -258,6 +349,7 @@ void MauiScheduler::iterate() {
           physical_.add(now, victim_end, s.cores);
           ++stats.malleable_shrinks;
         }
+        state_changed = true;
         physical_free = server_.cluster().free_cores();
         rebuild_planning_profile();
         plan_jobs_into(prioritized, planning_, measure_opts, baseline_plan_);
@@ -267,12 +359,13 @@ void MauiScheduler::iterate() {
                                      baseline, planning_, physical_free,
                                      measure_opts, tracer_, measure_scratch_,
                                      measure_);
+        m = &measure_;
       }
     }
 
     // Optional §II-B strategy: free cores by preempting backfilled
     // preemptible jobs, then re-measure against the patched state.
-    if (!measure_.feasible && config_.allow_preemption) {
+    if (!m->feasible && config_.allow_preemption) {
       const std::vector<JobId> victims = select_preemption_victims(
           server_.jobs().running(), req.extra_cores, physical_free, req.job);
       if (!victims.empty()) {
@@ -291,6 +384,7 @@ void MauiScheduler::iterate() {
           physical_.add(now, victim_end, victim_cores);
           ++stats.preempted;
         }
+        state_changed = true;
         physical_free = server_.cluster().free_cores();
         rebuild_planning_profile();
         prioritized = priority_.prioritize(eligible_static_jobs(), now);
@@ -301,6 +395,7 @@ void MauiScheduler::iterate() {
                                      baseline, planning_, physical_free,
                                      measure_opts, tracer_, measure_scratch_,
                                      measure_);
+        m = &measure_;
       }
     }
 
@@ -308,12 +403,12 @@ void MauiScheduler::iterate() {
     // placements, not sufficient: the extra cores must also fit the
     // node-level free map.
     const bool placeable =
-        measure_.feasible && server_.cluster().can_allocate_chunked(
-                                 req.extra_cores, server_.effective_ppn(owner));
+        m->feasible && server_.cluster().can_allocate_chunked(
+                           req.extra_cores, server_.effective_ppn(owner));
 
     DfsVerdict verdict = DfsVerdict::Allowed;
     if (placeable)
-      verdict = dfs_.admit(owner.spec().cred, measure_.delays);
+      verdict = dfs_.admit(owner.spec().cred, m->delays);
 
     const bool granted = placeable && verdict == DfsVerdict::Allowed &&
                          server_.grant_dyn(req.id);
@@ -322,7 +417,7 @@ void MauiScheduler::iterate() {
     // violated rule) and the non-DFS reason when resources were the issue.
     std::string_view reason = "granted";
     if (!granted) {
-      if (!measure_.feasible)
+      if (!m->feasible)
         reason = "no-idle-resources";
       else if (!placeable)
         reason = "node-fragmentation";
@@ -333,10 +428,10 @@ void MauiScheduler::iterate() {
     }
 
     if (granted) {
-      dfs_.commit(owner.spec().cred, measure_.delays);
+      dfs_.commit(owner.spec().cred, m->delays);
       if (tracer_ != nullptr && tracer_->enabled()) {
         json_scratch_.clear();
-        delays_to_json(measure_.delays, json_scratch_);
+        delays_to_json(m->delays, json_scratch_);
         tracer_->emit(obs::TraceEvent(now, "sched", "dyn_grant")
                           .field("job", req.job.value())
                           .field("request", req.id.value())
@@ -345,11 +440,13 @@ void MauiScheduler::iterate() {
                           .field_json("delays", json_scratch_));
       }
       // Adopt the tentative state: the hold is now real. Swaps keep the
-      // measurement scratch's storage alive for the next request.
+      // measurement's storage alive for the next request (the slot or the
+      // serial scratch — whichever produced this decision).
       physical_.subtract(hold.from, hold.until, hold.extra_cores);
       physical_free -= hold.extra_cores;
-      std::swap(planning_, measure_.profile_after);
-      std::swap(baseline, measure_.replanned);
+      std::swap(planning_, m->profile_after);
+      std::swap(baseline, m->replanned);
+      state_changed = true;
       ++stats.dyn_granted;
     } else {
       DBS_TRACE("dyn request of job " << req.job.value()
@@ -362,7 +459,7 @@ void MauiScheduler::iterate() {
       const bool deferred = server_.jobs().dyn_request_of(req.job) != nullptr;
       if (tracer_ != nullptr && tracer_->enabled()) {
         json_scratch_.clear();
-        delays_to_json(measure_.delays, json_scratch_);
+        delays_to_json(m->delays, json_scratch_);
         tracer_->emit(
             obs::TraceEvent(now, "sched", deferred ? "dyn_defer" : "dyn_reject")
                 .field("job", req.job.value())
@@ -377,6 +474,10 @@ void MauiScheduler::iterate() {
       else
         ++stats.dyn_rejected;
     }
+    }
+    // Discard speculation measured against a state that no longer exists;
+    // the outer loop re-fans-out from the next unconsumed request.
+    if (state_changed) spec_end = next;
   }
 
   // Steps 25-26: schedule + start static jobs; reservations only up to

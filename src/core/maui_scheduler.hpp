@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -28,6 +29,10 @@
 #include "core/priority.hpp"
 #include "core/scheduler_config.hpp"
 #include "rms/server.hpp"
+
+namespace dbs::exec {
+class ThreadPool;
+}
 
 namespace dbs::core {
 
@@ -89,9 +94,22 @@ class MauiScheduler {
   /// walltime end) minus down-node capacity. Public for tests/benches.
   [[nodiscard]] AvailabilityProfile physical_profile(Time now) const;
 
+  ~MauiScheduler();
+
  private:
   void update_statistics(Time now);
   [[nodiscard]] std::vector<const rms::Job*> eligible_static_jobs() const;
+  /// Speculatively measures a batch of upcoming live dynamic requests
+  /// (starting at `begin`) in parallel against the *current* planning
+  /// state, filling `measure_slots_`. Returns the exclusive end of the
+  /// batch. Only called with measure_threads > 1; results are only
+  /// consumed while the planning state they were measured against is
+  /// still current, which keeps decisions bit-identical to the serial
+  /// path (see iterate()).
+  std::size_t speculate_measurements(
+      std::size_t begin, const std::vector<const rms::Job*>& prioritized,
+      const ReservationTable& baseline, CoreCount physical_free,
+      const PlanOptions& opts);
   /// Rebuilds `physical_` in place (storage reused across iterations).
   void rebuild_physical_profile(Time now);
   /// Re-derives `planning_` from `physical_` (partition clamp applied).
@@ -125,6 +143,22 @@ class MauiScheduler {
   DelayMeasurement measure_;
   MeasureScratch measure_scratch_;
   std::string json_scratch_;
+
+  /// One per-request speculation slot: the hold plus the measurement taken
+  /// against the planning state of the current batch. Storage is reused
+  /// across batches and iterations, so after warm-up the parallel fan-out
+  /// allocates nothing (the _into kernels refill in place).
+  struct MeasureSlot {
+    bool live = false;  ///< request was live and measured this batch
+    DynHold hold;
+    DelayMeasurement result;
+  };
+  // Lazily created pool (measure_threads > 1 only) + per-worker planning
+  // scratches; per-request slots indexed like requests_.
+  std::unique_ptr<exec::ThreadPool> measure_pool_;
+  std::vector<MeasureScratch> worker_scratch_;
+  std::vector<MeasureSlot> measure_slots_;
+  std::vector<std::size_t> batch_indices_;
 };
 
 }  // namespace dbs::core

@@ -28,41 +28,84 @@ void Histogram::observe(double v) {
     else
       hi = mid;
   }
+  std::lock_guard<std::mutex> lock(mutex_);
   ++buckets_[lo];
   ++count_;
   sum_ += v;
 }
 
+std::uint64_t Histogram::count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return count_;
+}
+
+double Histogram::sum() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return sum_;
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return buckets_;
+}
+
+void Histogram::merge_from(const Histogram& other) {
+  DBS_REQUIRE(other.bounds_ == bounds_,
+              "histogram merge requires identical bucket bounds");
+  std::uint64_t other_count;
+  double other_sum;
+  std::vector<std::uint64_t> other_buckets;
+  {
+    std::lock_guard<std::mutex> lock(other.mutex_);
+    other_count = other.count_;
+    other_sum = other.sum_;
+    other_buckets = other.buckets_;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (std::size_t i = 0; i < buckets_.size(); ++i)
+    buckets_[i] += other_buckets[i];
+  count_ += other_count;
+  sum_ += other_sum;
+}
+
 Counter& Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
   return counters_[name];
 }
 
-Gauge& Registry::gauge(const std::string& name) { return gauges_[name]; }
+Gauge& Registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return gauges_[name];
+}
 
 Histogram& Registry::histogram(const std::string& name,
                                std::vector<double> upper_bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
   auto it = histograms_.find(name);
   if (it != histograms_.end()) return it->second;
-  return histograms_.emplace(name, Histogram(std::move(upper_bounds)))
-      .first->second;
+  return histograms_.try_emplace(name, std::move(upper_bounds)).first->second;
 }
 
 const Counter* Registry::find_counter(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   auto it = counters_.find(name);
   return it == counters_.end() ? nullptr : &it->second;
 }
 
 const Gauge* Registry::find_gauge(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   auto it = gauges_.find(name);
   return it == gauges_.end() ? nullptr : &it->second;
 }
 
 const Histogram* Registry::find_histogram(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   auto it = histograms_.find(name);
   return it == histograms_.end() ? nullptr : &it->second;
 }
 
 void Registry::write_json(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   os << "{\n  \"counters\": {";
   bool first = true;
   for (const auto& [name, c] : counters_) {
@@ -84,7 +127,7 @@ void Registry::write_json(std::ostream& os) const {
        << ": {\"count\": " << h.count()
        << ", \"sum\": " << json_number(h.sum()) << ", \"buckets\": [";
     const auto& bounds = h.upper_bounds();
-    const auto& counts = h.bucket_counts();
+    const std::vector<std::uint64_t> counts = h.bucket_counts();
     for (std::size_t i = 0; i < counts.size(); ++i) {
       if (i > 0) os << ", ";
       os << "{\"le\": "
@@ -111,7 +154,22 @@ bool Registry::write_json_file(const std::string& path) const {
   return static_cast<bool>(out);
 }
 
+void Registry::merge_from(const Registry& other) {
+  DBS_REQUIRE(&other != this, "cannot merge a registry into itself");
+  std::scoped_lock lock(mutex_, other.mutex_);
+  for (const auto& [name, c] : other.counters_)
+    counters_[name].add(c.value());
+  for (const auto& [name, g] : other.gauges_) gauges_[name].set(g.value());
+  for (const auto& [name, h] : other.histograms_) {
+    auto it = histograms_.find(name);
+    if (it == histograms_.end())
+      it = histograms_.try_emplace(name, h.upper_bounds()).first;
+    it->second.merge_from(h);
+  }
+}
+
 void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
   counters_.clear();
   gauges_.clear();
   histograms_.clear();

@@ -1,14 +1,25 @@
 // Run-wide metrics registry: named counters, gauges and fixed-bucket
 // histograms with a JSON snapshot exporter. Instruments register lazily by
 // name; references handed out stay valid for the registry's lifetime
-// (node-based map storage). Single-threaded like the simulator itself —
-// increments are plain integer adds, so instrumentation stays cheap enough
-// for the scheduler hot path.
+// (node-based map storage).
+//
+// Concurrency: instruments are safe for concurrent writers — counters and
+// gauges are relaxed atomics, histograms take a per-histogram mutex, and
+// the name→instrument maps are guarded by a registry mutex — so isolated
+// per-replication systems may share the global registry, and the parallel
+// experiment runner can merge per-replication registries without torn
+// state. Counter/gauge updates stay a single atomic add/store, cheap
+// enough for the scheduler hot path. Snapshots taken while writers are
+// active are internally consistent per instrument, not across instruments;
+// deterministic output requires quiescence (which the batch layer's
+// index-ordered merge provides).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <iosfwd>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -17,21 +28,27 @@ namespace dbs::obs {
 /// Monotonically increasing count (events, decisions, protocol steps).
 class Counter {
  public:
-  void add(std::uint64_t n = 1) { value_ += n; }
-  [[nodiscard]] std::uint64_t value() const { return value_; }
+  void add(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
 
  private:
-  std::uint64_t value_ = 0;
+  std::atomic<std::uint64_t> value_{0};
 };
 
 /// Last-written value (queue length, free cores).
 class Gauge {
  public:
-  void set(double v) { value_ = v; }
-  [[nodiscard]] double value() const { return value_; }
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  [[nodiscard]] double value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
 
  private:
-  double value_ = 0.0;
+  std::atomic<double> value_{0.0};
 };
 
 /// Fixed-bucket histogram. Buckets are cumulative-style on export
@@ -44,22 +61,26 @@ class Histogram {
 
   void observe(double v);
 
-  [[nodiscard]] std::uint64_t count() const { return count_; }
-  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] std::uint64_t count() const;
+  [[nodiscard]] double sum() const;
   [[nodiscard]] const std::vector<double>& upper_bounds() const {
     return bounds_;
   }
   /// Disjoint per-bucket counts; size == upper_bounds().size() + 1, the
-  /// last entry being the +inf bucket.
-  [[nodiscard]] const std::vector<std::uint64_t>& bucket_counts() const {
-    return buckets_;
-  }
+  /// last entry being the +inf bucket. Copied under the histogram lock.
+  [[nodiscard]] std::vector<std::uint64_t> bucket_counts() const;
+
+  /// Folds another histogram (same bounds) into this one: bucket counts
+  /// and totals add. The sum accumulates `other.sum()` as one addition, so
+  /// merging per-replication histograms in a fixed order is deterministic.
+  void merge_from(const Histogram& other);
 
  private:
   std::vector<double> bounds_;
   std::vector<std::uint64_t> buckets_;
   std::uint64_t count_ = 0;
   double sum_ = 0.0;
+  mutable std::mutex mutex_;
 };
 
 class Registry {
@@ -83,6 +104,13 @@ class Registry {
   /// Writes the snapshot to a file; returns false if it cannot be opened.
   bool write_json_file(const std::string& path) const;
 
+  /// Folds `other` into this registry: counters add, histograms merge
+  /// bucket-wise, gauges take `other`'s value (last-merge-wins, mirroring
+  /// the last-writer-wins of sequential runs). Merging the isolated
+  /// per-replication registries of a parallel campaign in replication
+  /// order yields the same result for every worker count.
+  void merge_from(const Registry& other);
+
   /// Drops every instrument (invalidates previously returned references).
   void reset();
 
@@ -91,6 +119,7 @@ class Registry {
   static Registry& global();
 
  private:
+  mutable std::mutex mutex_;  ///< guards the maps, not instrument updates
   std::map<std::string, Counter> counters_;
   std::map<std::string, Gauge> gauges_;
   std::map<std::string, Histogram> histograms_;

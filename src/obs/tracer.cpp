@@ -55,7 +55,8 @@ bool parse_trace_format(std::string_view text, TraceFormat& out) {
 Tracer::~Tracer() { close(); }
 
 bool Tracer::open(const std::string& path, TraceFormat format) {
-  close();
+  std::lock_guard<std::mutex> lock(emit_mutex_);
+  close_locked();
   auto file = std::make_unique<std::ofstream>(path);
   if (!*file) return false;
   owned_ = std::move(file);
@@ -65,12 +66,18 @@ bool Tracer::open(const std::string& path, TraceFormat format) {
 }
 
 void Tracer::attach_stream(std::ostream& os, TraceFormat format) {
-  close();
+  std::lock_guard<std::mutex> lock(emit_mutex_);
+  close_locked();
   out_ = &os;
   format_ = format;
 }
 
 void Tracer::close() {
+  std::lock_guard<std::mutex> lock(emit_mutex_);
+  close_locked();
+}
+
+void Tracer::close_locked() {
   if (out_ != nullptr && format_ == TraceFormat::Chrome && chrome_open_)
     *out_ << "\n]}\n";
   if (out_ != nullptr) out_->flush();
@@ -94,6 +101,12 @@ void write_field_value(std::ostream& os, const TraceField& f) {
 }  // namespace
 
 void Tracer::emit(const TraceEvent& ev) {
+  // Serializes concurrent emitters (parallel replications sharing one
+  // sink): each event is written as one atomic line, never interleaved.
+  // Cross-thread event *order* is whatever the interleaving produced —
+  // deterministic traces additionally require the callers' ordered
+  // reduction (see MauiScheduler's speculative measurement).
+  std::lock_guard<std::mutex> lock(emit_mutex_);
   if (out_ == nullptr) return;
   if (format_ == TraceFormat::Jsonl)
     write_jsonl(ev);

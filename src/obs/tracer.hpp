@@ -19,6 +19,7 @@
 #include <functional>
 #include <iosfwd>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <type_traits>
@@ -128,7 +129,13 @@ class Tracer {
  private:
   void write_jsonl(const TraceEvent& ev);
   void write_chrome(const TraceEvent& ev);
+  void close_locked();
 
+  /// Serializes emit()/close() across threads: concurrent emitters write
+  /// whole events, never interleaved fragments. enabled() stays a plain
+  /// read — sinks are attached before, and detached after, any parallel
+  /// region.
+  std::mutex emit_mutex_;
   std::ostream* out_ = nullptr;       ///< active sink (owned_ or external)
   std::unique_ptr<std::ostream> owned_;
   TraceFormat format_ = TraceFormat::Jsonl;

@@ -10,19 +10,17 @@ EventId EventQueue::push(Time at, EventFn fn) {
   DBS_REQUIRE(fn != nullptr, "event must have an action");
   const EventId id{next_seq_};
   heap_.push(Entry{at, next_seq_, id, std::move(fn)});
+  pending_.insert(id);
   ++next_seq_;
   return id;
 }
 
 bool EventQueue::cancel(EventId id) {
-  if (!id.valid() || id.value() >= next_seq_) return false;
-  // A tombstone for an already-fired event is harmless but reports failure:
-  // fired events are not in the heap, and ids are never reused.
-  if (cancelled_.contains(id)) return false;
-  // We cannot cheaply check heap membership; remember the tombstone and let
-  // skip_tombstones() drop it. Report success only if it was plausibly
-  // pending — callers track liveness themselves via the returned bool of
-  // their own bookkeeping; here pending-ness is approximated by id range.
+  // Only a genuinely pending event can be cancelled. Fired, already
+  // cancelled or never-existing ids fail without leaving a tombstone —
+  // otherwise a caller retrying cancels of fired ids would grow
+  // `cancelled_` without bound.
+  if (pending_.erase(id) == 0) return false;
   cancelled_.insert(id);
   return true;
 }
@@ -34,15 +32,9 @@ void EventQueue::skip_tombstones() const {
   }
 }
 
-bool EventQueue::empty() const {
-  skip_tombstones();
-  return heap_.empty();
-}
+bool EventQueue::empty() const { return pending_.empty(); }
 
-std::size_t EventQueue::size() const {
-  skip_tombstones();
-  return heap_.size();  // upper bound: may still contain interior tombstones
-}
+std::size_t EventQueue::size() const { return pending_.size(); }
 
 Time EventQueue::next_time() const {
   skip_tombstones();
@@ -55,6 +47,7 @@ std::pair<Time, EventFn> EventQueue::pop() {
   DBS_REQUIRE(!heap_.empty(), "pop() on empty queue");
   const Entry& top = heap_.top();
   std::pair<Time, EventFn> out{top.at, std::move(top.fn)};
+  pending_.erase(top.id);
   heap_.pop();
   return out;
 }

@@ -23,10 +23,13 @@ class EventQueue {
   EventId push(Time at, EventFn fn);
 
   /// Cancels a pending event. Returns false if it already fired, was
-  /// already cancelled, or never existed.
+  /// already cancelled, or never existed — and records a tombstone only
+  /// for genuinely pending events, so repeated cancels of fired ids do not
+  /// accumulate state.
   bool cancel(EventId id);
 
   [[nodiscard]] bool empty() const;
+  /// Exact number of pending (non-cancelled) events, O(1).
   [[nodiscard]] std::size_t size() const;
 
   /// Time of the earliest pending (non-cancelled) event.
@@ -55,8 +58,12 @@ class EventQueue {
   /// Drops cancelled entries from the front.
   void skip_tombstones() const;
 
+  // Invariant: the heap holds exactly pending_ ∪ cancelled_ (cancelled
+  // entries linger as interior tombstones until they surface at the top),
+  // so pending_.size() is the exact live count.
   mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
   mutable std::unordered_set<EventId> cancelled_;
+  std::unordered_set<EventId> pending_;
   std::uint64_t next_seq_ = 0;
 };
 

@@ -81,5 +81,46 @@ TEST(EventQueue, NullEventRejected) {
   EXPECT_THROW(q.push(Time::epoch(), nullptr), precondition_error);
 }
 
+TEST(EventQueue, SizeIsExactWithInteriorTombstones) {
+  EventQueue q;
+  q.push(Time::from_seconds(1), [] {});
+  const EventId mid = q.push(Time::from_seconds(2), [] {});
+  q.push(Time::from_seconds(3), [] {});
+  EXPECT_EQ(q.size(), 3u);
+  // Cancelling an interior event leaves a tombstone in the heap, but
+  // size() counts live entries only.
+  EXPECT_TRUE(q.cancel(mid));
+  EXPECT_EQ(q.size(), 2u);
+  (void)q.pop();
+  EXPECT_EQ(q.size(), 1u);
+  (void)q.pop();
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, CancelFiredEventFails) {
+  EventQueue q;
+  const EventId id = q.push(Time::from_seconds(1), [] {});
+  (void)q.pop();
+  // A fired id is no longer cancellable — and retrying must not grow the
+  // internal tombstone set (it would leak if fired ids were recorded).
+  EXPECT_FALSE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueue, EmptyTrueWithOnlyTombstonesLeft) {
+  EventQueue q;
+  const EventId a = q.push(Time::from_seconds(1), [] {});
+  const EventId b = q.push(Time::from_seconds(2), [] {});
+  EXPECT_TRUE(q.cancel(a));
+  EXPECT_TRUE(q.cancel(b));
+  // The heap still physically holds both entries, but the queue is
+  // logically empty — without draining pops.
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+}
+
 }  // namespace
 }  // namespace dbs::sim

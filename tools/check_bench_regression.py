@@ -7,9 +7,13 @@ Usage:
 For every benchmark name present in both files, the current real_time may
 exceed the baseline by at most `tolerance` (fractional, default 0.20 = 20%,
 overridable via --tolerance or the DBS_BENCH_TOLERANCE env var). Benchmarks
-only present on one side are reported but do not fail the check, so adding
-or retiring benchmarks does not require touching the gate. Exit status is
-non-zero iff at least one shared benchmark regressed beyond tolerance.
+only present on one side are reported as "new" (current only) or "removed"
+(baseline only) and do not fail the check, so adding or retiring benchmarks
+never requires touching the gate — a current file containing only new
+benchmarks passes with exit 0. Malformed entries (missing name/real_time)
+are skipped with a warning. Exit status is non-zero iff at least one shared
+benchmark regressed beyond tolerance, or the current file has no usable
+benchmarks at all.
 
 CI runners are noisy; the tolerance is deliberately loose. It is meant to
 catch order-of-magnitude mistakes (an accidental O(n^2) loop, a debug build
@@ -30,7 +34,15 @@ def load_benchmarks(path):
         # Skip aggregate rows (mean/median/stddev) if repetitions were used.
         if bench.get("run_type") == "aggregate":
             continue
-        out[bench["name"]] = float(bench["real_time"])
+        name = bench.get("name")
+        real_time = bench.get("real_time")
+        if name is None or real_time is None:
+            print(f"warning: {path}: skipping entry without name/real_time")
+            continue
+        try:
+            out[name] = float(real_time)
+        except (TypeError, ValueError):
+            print(f"warning: {path}: non-numeric real_time for '{name}'")
     return out
 
 
@@ -49,15 +61,19 @@ def main():
     base = load_benchmarks(args.baseline)
     curr = load_benchmarks(args.current)
 
-    shared = sorted(set(base) & set(curr))
-    if not shared:
-        print("error: no benchmark names in common", file=sys.stderr)
+    if not curr:
+        print("error: current file has no usable benchmarks", file=sys.stderr)
         return 2
 
+    shared = sorted(set(base) & set(curr))
     for name in sorted(set(base) - set(curr)):
-        print(f"note: '{name}' only in baseline (skipped)")
+        print(f"note: removed benchmark '{name}' (baseline only, skipped)")
     for name in sorted(set(curr) - set(base)):
-        print(f"note: '{name}' only in current (skipped)")
+        print(f"note: new benchmark '{name}' (no baseline yet, skipped)")
+    if not shared:
+        # Every current benchmark is new — nothing to gate against yet.
+        print(f"OK: {len(curr)} new benchmark(s), no shared baseline entries")
+        return 0
 
     regressed = []
     width = max(len(n) for n in shared)

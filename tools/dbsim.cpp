@@ -3,7 +3,8 @@
 //   dbsim --trace workload.trace [--config maui.cfg] [--nodes 16]
 //           [--cores-per-node 8] [--qstat] [--csv waits.csv]
 //           [--trace-out events.jsonl] [--trace-format jsonl|chrome]
-//           [--metrics-json metrics.json]
+//           [--metrics-json metrics.json] [--replications R] [--jobs N]
+//           [--measure-threads M]
 //
 // The trace format is documented in src/workload/trace.hpp (write one with
 // `esp_campaign --trace`). The config file uses the Maui-style syntax of
@@ -11,12 +12,21 @@
 // a structured scheduler event trace (--trace-format chrome emits Chrome
 // trace-event JSON loadable in Perfetto / chrome://tracing); --metrics-json
 // snapshots the run's metrics registry on exit.
+//
+// Parallel execution: --replications R re-runs the trace R times as
+// independent replications (isolated simulator + registry each) and
+// --jobs N executes them on N threads; the merged metrics snapshot is
+// byte-identical for every N (the trace goes to replication 0 only).
+// --measure-threads M sets the scheduler's internal what-if measurement
+// parallelism (MEASURETHREADS), overriding the config file; decisions are
+// bit-identical at every M.
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
 
 #include "batch/experiment.hpp"
+#include "batch/parallel_runner.hpp"
 #include "config/maui_config.hpp"
 #include "obs/registry.hpp"
 #include "obs/tracer.hpp"
@@ -32,7 +42,8 @@ int usage(const char* argv0, int code) {
             << " --trace FILE [--config FILE] [--nodes N]\n"
                "       [--cores-per-node N] [--qstat] [--csv FILE]\n"
                "       [--trace-out FILE] [--trace-format jsonl|chrome]\n"
-               "       [--metrics-json FILE]\n";
+               "       [--metrics-json FILE] [--replications R] [--jobs N]\n"
+               "       [--measure-threads M]\n";
   return code;
 }
 
@@ -59,6 +70,9 @@ int main(int argc, char** argv) {
   std::size_t nodes = 0;
   CoreCount cores_per_node = 8;
   bool qstat = false;
+  std::size_t replications = 1;
+  std::size_t run_jobs = 1;
+  std::size_t measure_threads = 0;  // 0: keep the config-file value
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -82,10 +96,24 @@ int main(int argc, char** argv) {
       }
     }
     else if (arg == "--metrics-json") metrics_json_path = next();
+    else if (arg == "--replications")
+      replications = static_cast<std::size_t>(std::stoul(next()));
+    else if (arg == "--jobs")
+      run_jobs = static_cast<std::size_t>(std::stoul(next()));
+    else if (arg == "--measure-threads")
+      measure_threads = static_cast<std::size_t>(std::stoul(next()));
     else if (arg == "--help" || arg == "-h") return usage(argv[0], 0);
     else return usage(argv[0], 2);
   }
   if (trace_path.empty()) return usage(argv[0], 2);
+  if (replications < 1 || run_jobs < 1) {
+    std::cerr << "--replications and --jobs must be >= 1\n";
+    return 2;
+  }
+  if (qstat && replications > 1) {
+    std::cerr << "--qstat is only supported with --replications 1\n";
+    return 2;
+  }
 
   const wl::Workload workload = wl::trace_from_string(slurp(trace_path));
   if (workload.jobs.empty()) {
@@ -108,24 +136,32 @@ int main(int argc, char** argv) {
     nodes = static_cast<std::size_t>((total + cores_per_node - 1) /
                                      cores_per_node);
   }
+  if (measure_threads > 0)
+    system_config.scheduler.measure_threads = measure_threads;
   system_config.cluster.node_count = nodes;
   system_config.cluster.cores_per_node = cores_per_node;
 
-  batch::BatchSystem system(system_config);
-
   obs::Registry registry;
-  system.set_registry(&registry);
   obs::Tracer tracer;
   if (!trace_out_path.empty()) {
     if (!tracer.open(trace_out_path, trace_format)) {
       std::cerr << "cannot open " << trace_out_path << "\n";
       return 1;
     }
-    system.set_tracer(&tracer);
   }
 
-  system.submit_workload(workload);
+  // Every replication (even a single one) owns an isolated system +
+  // registry; registries merge into `registry` in replication order, so
+  // the metrics snapshot is byte-identical for every --jobs value. The
+  // event trace is attached to replication 0 only: other replications are
+  // identical re-runs and concurrent writers would interleave events.
+  metrics::WorkloadSummary summary;
+  std::vector<metrics::WaitPoint> waits;
   if (qstat) {
+    batch::BatchSystem system(system_config);
+    system.set_registry(&registry);
+    if (!trace_out_path.empty()) system.set_tracer(&tracer);
+    system.submit_workload(workload);
     // Print a status snapshot mid-run (after the first quarter of the
     // submission window) before finishing the simulation.
     const Time snapshot =
@@ -136,10 +172,32 @@ int main(int argc, char** argv) {
               << rms::format_qstat(system.server()) << "\n"
               << rms::format_pbsnodes(system.server()) << "\n"
               << rms::format_load_summary(system.server()) << "\n\n";
+    system.run();
+    summary = metrics::summarize(system.recorder());
+    waits = metrics::wait_series(system.recorder());
+  } else {
+    batch::ParallelRunner runner(run_jobs);
+    std::vector<batch::RunResult> results = runner.map<batch::RunResult>(
+        replications,
+        [&](std::size_t index, obs::Registry& replication_registry) {
+          batch::BatchSystem system(system_config);
+          system.set_registry(&replication_registry);
+          if (index == 0 && !trace_out_path.empty()) system.set_tracer(&tracer);
+          system.submit_workload(workload);
+          system.run();
+          batch::RunResult result;
+          result.label = trace_path;
+          result.summary = metrics::summarize(system.recorder());
+          result.waits = metrics::wait_series(system.recorder());
+          result.scheduler_iterations = system.scheduler().iterations();
+          result.events = system.simulator().events_fired();
+          return result;
+        },
+        &registry);
+    summary = results.front().summary;
+    waits = std::move(results.front().waits);
   }
-  system.run();
 
-  const metrics::WorkloadSummary summary = metrics::summarize(system.recorder());
   TextTable table(metrics::performance_header());
   table.add_row(metrics::performance_row(trace_path, summary, 0.0));
   std::cout << table.to_string();
@@ -148,10 +206,13 @@ int main(int argc, char** argv) {
             << summary.backfilled_jobs << ", evolving "
             << summary.evolving_jobs << " (satisfied "
             << summary.satisfied_dyn_jobs << ")\n";
+  if (replications > 1)
+    std::cout << replications << " replications on " << run_jobs
+              << " thread(s); metrics merged across replications\n";
 
   if (!csv_path.empty()) {
     TextTable csv({"submit_index", "name", "wait_seconds"});
-    for (const auto& w : metrics::wait_series(system.recorder()))
+    for (const auto& w : waits)
       csv.add_row({std::to_string(w.submit_index), w.name,
                    TextTable::num(w.wait.as_seconds(), 3)});
     std::ofstream out(csv_path);
