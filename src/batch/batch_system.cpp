@@ -6,18 +6,12 @@
 
 namespace dbs::batch {
 
-void BatchSystem::set_tracer(obs::Tracer* tracer) {
-  if (tracer != nullptr)
-    tracer->set_clock([this] { return sim_.now(); });
-  server_.set_tracer(tracer);
-  moms_.set_tracer(tracer);
-  scheduler_.set_tracer(tracer);
-}
-
-void BatchSystem::set_registry(obs::Registry* registry) {
-  server_.set_registry(registry);
-  moms_.set_registry(registry);
-  scheduler_.set_registry(registry);
+void BatchSystem::set_sinks(const obs::Sinks& sinks) {
+  if (sinks.tracer != nullptr)
+    sinks.tracer->set_clock([this] { return sim_.now(); });
+  server_.set_sinks(sinks);
+  moms_.set_sinks(sinks);
+  scheduler_.set_sinks(sinks);
 }
 
 BatchSystem::BatchSystem(const SystemConfig& config)

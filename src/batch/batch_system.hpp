@@ -55,12 +55,11 @@ class BatchSystem {
   [[nodiscard]] const metrics::Recorder& recorder() const { return recorder_; }
   [[nodiscard]] const SystemConfig& config() const { return config_; }
 
-  /// Attaches `tracer` to every component (server, moms, scheduler, DFS)
-  /// and points its clock at the simulator. nullptr detaches everywhere.
-  void set_tracer(obs::Tracer* tracer);
-  /// Routes every component's metrics into `registry` instead of the
-  /// global one.
-  void set_registry(obs::Registry* registry);
+  /// Attaches the observability sinks to every component (server, moms,
+  /// scheduler, DFS): the tracer (nullable; its clock is pointed at the
+  /// simulator) receives every trace event, the registry (null selects the
+  /// global one) every metric.
+  void set_sinks(const obs::Sinks& sinks);
 
  private:
   SystemConfig config_;

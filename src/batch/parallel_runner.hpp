@@ -34,7 +34,7 @@ class ParallelRunner {
 
   /// Runs `fn(index, registry)` for each replication index in [0, count),
   /// where `registry` is that replication's private metrics registry. Wire
-  /// it into the replication's BatchSystem (set_registry) so no two
+  /// it into the replication's BatchSystem (set_sinks) so no two
   /// replications ever touch the same registry. Returns the per-replication
   /// results in index order; afterwards the private registries are merged
   /// into `merge_into` (when non-null) in index order.

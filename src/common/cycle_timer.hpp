@@ -1,0 +1,54 @@
+// Sub-microsecond span timing for hot paths.
+//
+// std::chrono::steady_clock::now() costs ~20-25 ns per call (vDSO
+// clock_gettime); timing the six pipeline stages of a scheduler iteration
+// with it would cost more than many iterations take. On x86-64 we read the
+// invariant TSC instead (~6 ns) and convert accumulated tick deltas to
+// microseconds once, outside the timed window, using a ratio calibrated
+// against steady_clock on first use. Other architectures fall back to
+// steady_clock transparently.
+//
+// Tick values are only meaningful within one process and must only be
+// differenced, never interpreted as absolute time.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <x86intrin.h>
+#define DBS_CYCLE_TIMER_TSC 1
+#endif
+
+namespace dbs {
+
+class CycleTimer {
+ public:
+  /// A monotonic tick stamp. On x86-64: the TSC; elsewhere: steady_clock
+  /// nanoseconds.
+  static std::uint64_t now() {
+#ifdef DBS_CYCLE_TIMER_TSC
+    return __rdtsc();
+#else
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+#endif
+  }
+
+  /// Converts a tick delta to microseconds. The first call calibrates the
+  /// tick rate (~200 us, once per process); keep it off latency-critical
+  /// first iterations if that matters, or call warm_up() at startup.
+  static double to_micros(std::uint64_t ticks) {
+    return static_cast<double>(ticks) * micros_per_tick();
+  }
+
+  /// Forces calibration now.
+  static void warm_up() { (void)micros_per_tick(); }
+
+ private:
+  static double micros_per_tick();
+};
+
+}  // namespace dbs

@@ -200,6 +200,10 @@ struct Parser {
       if (const auto v = one())
         if (const auto n = parse_int(*v); expect(line, n, key))
           config.max_eligible_per_user = static_cast<std::size_t>(*n);
+    } else if (key == "STAGETIMING") {
+      if (const auto v = one())
+        if (const auto b = parse_bool(*v); expect(line, b, key))
+          config.stage_timing = *b;
     } else if (key == "MEASURETHREADS") {
       if (const auto v = one()) {
         const auto n = parse_int(*v);

@@ -2,6 +2,7 @@
 
 #include "common/assert.hpp"
 #include "obs/registry.hpp"
+#include "obs/sinks.hpp"
 #include "obs/tracer.hpp"
 #include "rms/job.hpp"
 
@@ -38,9 +39,9 @@ DfsEngine::DfsEngine(DfsConfig config, Time start)
   config_.validate();
 }
 
-void DfsEngine::set_registry(obs::Registry* registry) {
-  DBS_REQUIRE(registry != nullptr, "registry must not be null");
-  registry_ = registry;
+void DfsEngine::set_sinks(const obs::Sinks& sinks) {
+  tracer_ = sinks.tracer;
+  registry_ = &sinks.registry_or_global();
 }
 
 DfsEngine::EntityAcc& DfsEngine::acc_of(DfsEntityKind kind) {

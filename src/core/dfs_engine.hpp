@@ -25,6 +25,7 @@ class Job;
 namespace dbs::obs {
 class Tracer;
 class Registry;
+struct Sinks;
 }
 
 namespace dbs::core {
@@ -66,11 +67,11 @@ class DfsEngine {
   /// A queued job started: its per-job delay record is no longer needed.
   void on_job_started(JobId id) { job_delay_.erase(id); }
 
-  /// Publishes per-decision audit events ("admit" verdicts with the
-  /// violated rule, "commit" charges, interval rolls). nullptr detaches.
-  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
-  /// Verdict counters land here (defaults to the global registry).
-  void set_registry(obs::Registry* registry);
+  /// Observability sinks: the tracer (nullable) receives per-decision audit
+  /// events ("admit" verdicts with the violated rule, "commit" charges,
+  /// interval rolls); verdict counters land in the registry (null selects
+  /// the global one).
+  void set_sinks(const obs::Sinks& sinks);
 
   // --- introspection (tests, reports) ------------------------------------
   [[nodiscard]] Duration accumulated(DfsEntityKind kind,

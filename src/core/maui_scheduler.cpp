@@ -2,18 +2,10 @@
 
 #include <chrono>
 #include <string>
-#include <unordered_map>
 #include <utility>
+#include <vector>
 
-#include "common/assert.hpp"
-#include "common/log.hpp"
-#include "core/backfill.hpp"
-#include "core/delay_measurement.hpp"
-#include "core/malleable.hpp"
-#include "core/negotiation.hpp"
-#include "core/partition.hpp"
-#include "core/preemption.hpp"
-#include "exec/thread_pool.hpp"
+#include "common/cycle_timer.hpp"
 #include "obs/registry.hpp"
 #include "obs/tracer.hpp"
 
@@ -21,40 +13,12 @@ namespace dbs::core {
 
 namespace {
 
-/// Appends a JSON array of the job ids in a reservation-table subset.
-void ids_json(const ReservationTable& table, bool start_now, std::string& out) {
-  const std::size_t begin = out.size();
-  out += '[';
-  for (const Reservation& r : table.items()) {
-    if (r.start_now != start_now) continue;
-    if (out.size() > begin + 1) out += ',';
-    out += std::to_string(r.job.value());
-  }
-  out += ']';
-}
-
-void ids_json(const std::vector<const rms::Job*>& jobs, std::string& out) {
-  const std::size_t begin = out.size();
-  out += '[';
-  for (const rms::Job* job : jobs) {
-    if (out.size() > begin + 1) out += ',';
-    out += std::to_string(job->id().value());
-  }
-  out += ']';
-}
-
-/// Fixed buckets for the iteration wall-clock histogram (microseconds).
+/// Fixed buckets for the iteration wall-clock histograms (microseconds);
+/// shared by the whole-iteration and per-stage distributions.
 const std::vector<double>& iteration_us_bounds() {
   static const std::vector<double> bounds{10,    25,    50,     100,   250,
                                           500,   1000,  2500,   5000,  10000,
                                           25000, 50000, 100000, 500000};
-  return bounds;
-}
-
-/// Fixed buckets for the delay-measurement depth (protected jobs touched
-/// per measured dynamic request).
-const std::vector<double>& measure_depth_bounds() {
-  static const std::vector<double> bounds{0, 1, 2, 4, 8, 16, 32, 64, 128};
   return bounds;
 }
 
@@ -66,61 +30,31 @@ MauiScheduler::MauiScheduler(rms::Server& server, SchedulerConfig config)
       fairshare_(config_.fairshare, server.simulator().now()),
       priority_(config_.weights, config_.cred_priorities, &fairshare_),
       dfs_(config_.dfs, server.simulator().now()),
-      last_usage_update_(server.simulator().now()),
-      registry_(&obs::Registry::global()) {
+      ctx_(server),
+      env_{server, config_, fairshare_, priority_, dfs_},
+      statistics_(server.simulator().now()),
+      stages_{&gather_, &statistics_, &prioritize_,
+              &classify_, &admission_, &start_backfill_} {
   config_.validate();
   server_.set_allocation_policy(config_.allocation_policy);
+  ctx_.sinks.registry = &obs::Registry::global();
+  // Calibrate the stage timer outside the first iteration's timed window.
+  CycleTimer::warm_up();
+  tick_to_us_ = CycleTimer::to_micros(1);
 }
 
-// Out of line for the unique_ptr<exec::ThreadPool> member.
+// Out of line for the pool member inside IterationContext.
 MauiScheduler::~MauiScheduler() = default;
 
-void MauiScheduler::set_tracer(obs::Tracer* tracer) {
-  tracer_ = tracer;
-  dfs_.set_tracer(tracer);
-}
-
-void MauiScheduler::set_registry(obs::Registry* registry) {
-  DBS_REQUIRE(registry != nullptr, "registry must not be null");
-  registry_ = registry;
-  dfs_.set_registry(registry);
+void MauiScheduler::set_sinks(const obs::Sinks& sinks) {
+  ctx_.sinks.tracer = sinks.tracer;
+  ctx_.sinks.registry = &sinks.registry_or_global();
+  dfs_.set_sinks(sinks);
+  instruments_ = Instruments{};
 }
 
 void MauiScheduler::attach() {
   server_.set_scheduler_trigger([this] { iterate(); });
-}
-
-void MauiScheduler::update_statistics(Time now) {
-  // Charge running jobs' usage since the last update into fairshare.
-  const Duration elapsed = now - last_usage_update_;
-  if (config_.fairshare.enabled && elapsed > Duration::zero()) {
-    for (const rms::Job* job : server_.jobs().running())
-      fairshare_.record_usage(
-          job->spec().cred,
-          static_cast<double>(job->allocated_cores()) * elapsed.as_seconds(),
-          now);
-  }
-  last_usage_update_ = now;
-  fairshare_.advance_to(now);
-  dfs_.advance_to(now);
-}
-
-std::vector<const rms::Job*> MauiScheduler::eligible_static_jobs() const {
-  std::vector<const rms::Job*> eligible = server_.jobs().queued();
-  // Common path: no per-user cap means every queued job is eligible; the
-  // per-user counting map is only built when a cap is configured.
-  if (!config_.max_eligible_per_user) return eligible;
-  std::unordered_map<std::string, std::size_t> per_user;
-  per_user.reserve(eligible.size());
-  std::size_t kept = 0;
-  for (const rms::Job* job : eligible) {
-    std::size_t& count = per_user[job->spec().cred.user];
-    if (count >= *config_.max_eligible_per_user) continue;
-    ++count;
-    eligible[kept++] = job;
-  }
-  eligible.resize(kept);
-  return eligible;
 }
 
 AvailabilityProfile MauiScheduler::physical_profile(Time now) const {
@@ -138,77 +72,35 @@ AvailabilityProfile MauiScheduler::physical_profile(Time now) const {
   return profile;
 }
 
-void MauiScheduler::rebuild_physical_profile(Time now) {
-  const cluster::Cluster& cl = server_.cluster();
-  physical_.reset(now, cl.total_cores());
-  for (const rms::Job* job : server_.jobs().running()) {
-    const Time hold_end = max(job->walltime_end(), now + Duration::micros(1));
-    physical_.subtract(now, hold_end, job->allocated_cores());
+void MauiScheduler::run_pipeline() {
+  if (!config_.stage_timing) {
+    for (Stage* stage : stages_) stage->run(env_, ctx_);
+    return;
   }
-  for (const cluster::Node& node : cl.nodes())
-    if (!node.available())
-      physical_.subtract(now, Time::far_future(),
-                         node.total_cores() - node.used_cores());
-}
-
-void MauiScheduler::rebuild_planning_profile() {
-  planning_ = physical_;
-  reserve_dynamic_partition(planning_, config_.dynamic_partition_cores);
-}
-
-std::size_t MauiScheduler::speculate_measurements(
-    std::size_t begin, const std::vector<const rms::Job*>& prioritized,
-    const ReservationTable& baseline, CoreCount physical_free,
-    const PlanOptions& opts) {
-  if (!measure_pool_)
-    measure_pool_ = std::make_unique<exec::ThreadPool>(config_.measure_threads);
-  if (worker_scratch_.size() < measure_pool_->worker_count())
-    worker_scratch_.resize(measure_pool_->worker_count());
-  if (measure_slots_.size() < requests_.size())
-    measure_slots_.resize(requests_.size());
-
-  // Cap the batch: an early grant/steal/preemption invalidates everything
-  // measured after it, so bounding the fan-out bounds the wasted work when
-  // the grant rate is high.
-  const std::size_t cap = config_.measure_threads * 4;
-  batch_indices_.clear();
-  std::size_t end = begin;
-  for (; end < requests_.size() && batch_indices_.size() < cap; ++end) {
-    MeasureSlot& slot = measure_slots_[end];
-    slot.live = false;
-    const rms::DynRequest& req = requests_[end];
-    // Same staleness test the serial loop applies; stale entries get no
-    // slot and the consume step skips them the same way.
-    const rms::DynRequest* live = server_.jobs().dyn_request_of(req.job);
-    if (live == nullptr || live->id != req.id) continue;
-    slot.hold = make_hold(server_.job(req.job), req, opts.now);
-    slot.live = true;
-    batch_indices_.push_back(end);
+  // TSC spans, not steady_clock: even so, seven clock reads per iteration
+  // are measurable next to sub-microsecond iterations, which is why the
+  // whole breakdown sits behind config_.stage_timing. Raw tick deltas are
+  // recorded in the loop; the µs conversion (a bare multiply with the
+  // ratio calibrated at construction) happens after the last span.
+  std::array<std::uint64_t, kStageCount> ticks;
+  std::uint64_t span_begin = CycleTimer::now();
+  for (std::size_t i = 0; i < stages_.size(); ++i) {
+    stages_[i]->run(env_, ctx_);
+    const std::uint64_t span_end = CycleTimer::now();
+    ticks[i] = span_end - span_begin;
+    span_begin = span_end;
   }
-
-  // Workers only read the shared planning state (baseline / planning_ /
-  // protected_jobs_) and write their own slot + per-worker scratch. The
-  // tracer stays detached here; "measure" events are replayed in FIFO
-  // order by the consume step so the trace is bit-identical to serial.
-  measure_pool_->parallel_for(
-      batch_indices_.size(), [&](std::size_t task, std::size_t worker) {
-        MeasureSlot& slot = measure_slots_[batch_indices_[task]];
-        measure_dynamic_request_into(slot.hold, prioritized, protected_jobs_,
-                                     baseline, planning_, physical_free, opts,
-                                     /*tracer=*/nullptr,
-                                     worker_scratch_[worker], slot.result);
-      });
-  return end;
+  for (std::size_t i = 0; i < kStageCount; ++i)
+    ctx_.stats.stage_wall_us[i] = static_cast<double>(ticks[i]) * tick_to_us_;
 }
 
 void MauiScheduler::iterate() {
   const Time now = server_.simulator().now();
   const auto wall_begin = std::chrono::steady_clock::now();
   ++iterations_;
-  IterationStats stats;
-  stats.at = now;
+  ctx_.begin_iteration(now, iterations_, /*dry_run=*/false);
 
-  DBS_TRACE_EVENT(tracer_,
+  DBS_TRACE_EVENT(ctx_.sinks.tracer,
                   obs::TraceEvent(now, "sched", "iteration_begin")
                       .field("iteration", iterations_)
                       .field("queued", server_.jobs().queued().size())
@@ -216,348 +108,106 @@ void MauiScheduler::iterate() {
                       .field("dyn_requests", server_.jobs().dyn_requests().size())
                       .field("free_cores", server_.cluster().free_cores()));
 
-  // Steps 2-5: resource/workload info + statistics.
-  update_statistics(now);
-
-  // Steps 6-9: eligibility and prioritization. Dynamic requests are served
-  // in FIFO order (the server's queue order).
-  std::vector<const rms::Job*> prioritized =
-      priority_.prioritize(eligible_static_jobs(), now);
-  stats.eligible_static = prioritized.size();
-
-  bool drain = false;
-  for (const rms::Job* job : prioritized)
-    drain = drain || job->spec().exclusive_priority;
-
-  // Built once; afterwards patched in place on every state change (grant,
-  // malleable shrink, preemption) instead of being rebuilt from the whole
-  // running set.
-  rebuild_physical_profile(now);
-  CoreCount physical_free = server_.cluster().free_cores();
-  rebuild_planning_profile();
-
-  // Step 10: plan static jobs without starting them (StartNow/StartLater),
-  // creating delay-measurement reservations up to
-  // max(ReservationDepth, ReservationDelayDepth).
-  const PlanOptions measure_opts{now, config_.delay_plan_depth(),
-                                 config_.enable_backfill && !drain, drain};
-  plan_jobs_into(prioritized, planning_, measure_opts, baseline_plan_);
-  ReservationTable& baseline = baseline_plan_.table;
-  // The protected set (StartNow + first ReservationDelayDepth StartLater,
-  // Fig. 5) is fixed by this step-10 classification for the whole
-  // iteration, even as grants shift later plans.
-  protected_subset_into(prioritized, baseline, config_.reservation_delay_depth,
-                        protected_jobs_);
-
-  // Step-10 audit record: the StartNow / StartLater split and the protected
-  // set the fairness policies will judge this iteration's requests against.
-  if (tracer_ != nullptr && tracer_->enabled()) {
-    obs::TraceEvent ev(now, "sched", "classify");
-    ev.field("iteration", iterations_);
-    json_scratch_.clear();
-    ids_json(baseline, true, json_scratch_);
-    ev.field_json("start_now", json_scratch_);
-    json_scratch_.clear();
-    ids_json(baseline, false, json_scratch_);
-    ev.field_json("start_later", json_scratch_);
-    json_scratch_.clear();
-    ids_json(protected_jobs_, json_scratch_);
-    ev.field_json("protected", json_scratch_);
-    tracer_->emit(ev);
-  }
-
-  // Steps 11-24: process dynamic requests in FIFO order.
-  requests_.assign(server_.jobs().dyn_requests().begin(),
-                   server_.jobs().dyn_requests().end());
-  stats.eligible_dynamic = requests_.size();
-
-  // With measure_threads > 1 the expensive what-if measurements of a batch
-  // of upcoming requests are fanned across the thread pool against the
-  // *current* planning state; consumption stays strictly FIFO. Any state
-  // change while consuming (grant, malleable steal, preemption) truncates
-  // the batch — the not-yet-consumed speculative results were measured
-  // against a state that no longer exists and are discarded, then
-  // re-measured. A rejection/deferral mutates only the request's own
-  // job/queue entry, never the planning state, so it keeps the batch
-  // valid. Consumed results are therefore exactly the measurements the
-  // serial loop would have produced: decisions, trace events and DFS
-  // verdicts are bit-identical at every thread count.
-  const bool parallel_measure =
-      config_.measure_threads > 1 && requests_.size() > 1;
-  std::size_t next = 0;
-  std::size_t spec_end = 0;
-  while (next < requests_.size()) {
-    if (parallel_measure && next >= spec_end)
-      spec_end = speculate_measurements(next, prioritized, baseline,
-                                        physical_free, measure_opts);
-    bool state_changed = false;
-    while (next < requests_.size() && !state_changed &&
-           (!parallel_measure || next < spec_end)) {
-    const std::size_t index = next++;
-    const rms::DynRequest& req = requests_[index];
-    // A preemption earlier in this loop may have requeued the owner and
-    // removed its request from the FIFO; skip such stale entries.
-    const rms::DynRequest* live = server_.jobs().dyn_request_of(req.job);
-    if (live == nullptr || live->id != req.id) continue;
-    const rms::Job& owner = server_.job(req.job);
-    DBS_ASSERT(owner.state() == rms::JobState::DynQueued,
-               "FIFO entry for a job that is not dynqueued");
-    // `m` points at the decision-relevant measurement: the speculated slot
-    // when one is valid, the serial scratch otherwise (and always after a
-    // steal/preemption re-measure).
-    DelayMeasurement* m = &measure_;
-    DynHold hold;
-    if (parallel_measure) {
-      MeasureSlot& slot = measure_slots_[index];
-      // Liveness cannot change between speculation and consumption without
-      // a state change, and a state change truncates the batch.
-      DBS_ASSERT(slot.live, "live request missing its speculated slot");
-      hold = slot.hold;
-      m = &slot.result;
-      // Workers measured without the tracer; replay the byte-identical
-      // "measure" event in FIFO position.
-      emit_measure_trace(hold, protected_jobs_.size(), physical_free, *m,
-                         measure_opts, tracer_, json_scratch_);
-    } else {
-      hold = make_hold(owner, req, now);
-      measure_dynamic_request_into(hold, prioritized, protected_jobs_,
-                                   baseline, planning_, physical_free,
-                                   measure_opts, tracer_, measure_scratch_,
-                                   measure_);
-    }
-    registry_->histogram("scheduler.delay_measure_depth", measure_depth_bounds())
-        .observe(static_cast<double>(m->delays.size()));
-
-    // Optional §II-B strategy (gentle): free cores by shrinking running
-    // malleable jobs toward their minimum — no progress is lost.
-    if (!m->feasible && config_.allow_malleable_steal) {
-      const std::vector<MalleableShrink> shrinks = plan_malleable_steal(
-          server_.jobs().running(), req.extra_cores, physical_free, req.job);
-      if (!shrinks.empty()) {
-        for (const MalleableShrink& s : shrinks) {
-          DBS_TRACE_EVENT(tracer_,
-                          obs::TraceEvent(now, "sched", "malleable_steal")
-                              .field("for_job", req.job.value())
-                              .field("victim", s.job.value())
-                              .field("cores", s.cores));
-          // Patch the cached physical profile: the victim's hold loses
-          // s.cores over its remaining walltime interval.
-          const rms::Job& victim = server_.job(s.job);
-          const Time victim_end =
-              max(victim.walltime_end(), now + Duration::micros(1));
-          server_.shrink_job(s.job, s.cores);
-          physical_.add(now, victim_end, s.cores);
-          ++stats.malleable_shrinks;
-        }
-        state_changed = true;
-        physical_free = server_.cluster().free_cores();
-        rebuild_planning_profile();
-        plan_jobs_into(prioritized, planning_, measure_opts, baseline_plan_);
-        protected_subset_into(prioritized, baseline,
-                              config_.reservation_delay_depth, protected_jobs_);
-        measure_dynamic_request_into(hold, prioritized, protected_jobs_,
-                                     baseline, planning_, physical_free,
-                                     measure_opts, tracer_, measure_scratch_,
-                                     measure_);
-        m = &measure_;
-      }
-    }
-
-    // Optional §II-B strategy: free cores by preempting backfilled
-    // preemptible jobs, then re-measure against the patched state.
-    if (!m->feasible && config_.allow_preemption) {
-      const std::vector<JobId> victims = select_preemption_victims(
-          server_.jobs().running(), req.extra_cores, physical_free, req.job);
-      if (!victims.empty()) {
-        for (const JobId victim : victims) {
-          DBS_TRACE_EVENT(tracer_,
-                          obs::TraceEvent(now, "sched", "preempt_for_dyn")
-                              .field("for_job", req.job.value())
-                              .field("victim", victim.value()));
-          // Patch: the victim's entire hold (same interval the profile
-          // rebuild would have subtracted) is returned to the pool.
-          const rms::Job& victim_job = server_.job(victim);
-          const CoreCount victim_cores = victim_job.allocated_cores();
-          const Time victim_end =
-              max(victim_job.walltime_end(), now + Duration::micros(1));
-          server_.preempt(victim);
-          physical_.add(now, victim_end, victim_cores);
-          ++stats.preempted;
-        }
-        state_changed = true;
-        physical_free = server_.cluster().free_cores();
-        rebuild_planning_profile();
-        prioritized = priority_.prioritize(eligible_static_jobs(), now);
-        plan_jobs_into(prioritized, planning_, measure_opts, baseline_plan_);
-        protected_subset_into(prioritized, baseline,
-                              config_.reservation_delay_depth, protected_jobs_);
-        measure_dynamic_request_into(hold, prioritized, protected_jobs_,
-                                     baseline, planning_, physical_free,
-                                     measure_opts, tracer_, measure_scratch_,
-                                     measure_);
-        m = &measure_;
-      }
-    }
-
-    // Aggregate feasibility is necessary but, with Torque-style chunked
-    // placements, not sufficient: the extra cores must also fit the
-    // node-level free map.
-    const bool placeable =
-        m->feasible && server_.cluster().can_allocate_chunked(
-                           req.extra_cores, server_.effective_ppn(owner));
-
-    DfsVerdict verdict = DfsVerdict::Allowed;
-    if (placeable)
-      verdict = dfs_.admit(owner.spec().cred, m->delays);
-
-    const bool granted = placeable && verdict == DfsVerdict::Allowed &&
-                         server_.grant_dyn(req.id);
-    // The decision audit trail: every grant/reject/defer carries the
-    // per-protected-job measured delays, the DFS verdict (naming the
-    // violated rule) and the non-DFS reason when resources were the issue.
-    std::string_view reason = "granted";
-    if (!granted) {
-      if (!m->feasible)
-        reason = "no-idle-resources";
-      else if (!placeable)
-        reason = "node-fragmentation";
-      else if (verdict != DfsVerdict::Allowed)
-        reason = to_string(verdict);
-      else
-        reason = "allocation-failed";
-    }
-
-    if (granted) {
-      dfs_.commit(owner.spec().cred, m->delays);
-      if (tracer_ != nullptr && tracer_->enabled()) {
-        json_scratch_.clear();
-        delays_to_json(m->delays, json_scratch_);
-        tracer_->emit(obs::TraceEvent(now, "sched", "dyn_grant")
-                          .field("job", req.job.value())
-                          .field("request", req.id.value())
-                          .field("extra_cores", req.extra_cores)
-                          .field("verdict", to_string(verdict))
-                          .field_json("delays", json_scratch_));
-      }
-      // Adopt the tentative state: the hold is now real. Swaps keep the
-      // measurement's storage alive for the next request (the slot or the
-      // serial scratch — whichever produced this decision).
-      physical_.subtract(hold.from, hold.until, hold.extra_cores);
-      physical_free -= hold.extra_cores;
-      std::swap(planning_, m->profile_after);
-      std::swap(baseline, m->replanned);
-      state_changed = true;
-      ++stats.dyn_granted;
-    } else {
-      DBS_TRACE("dyn request of job " << req.job.value()
-                                      << " denied: " << reason);
-      const std::optional<Time> hint =
-          estimate_availability(physical_, owner, req.extra_cores, now);
-      server_.reject_dyn(req.id, hint);
-      // With a live negotiation deadline the server keeps the request
-      // queued instead of finalizing the rejection.
-      const bool deferred = server_.jobs().dyn_request_of(req.job) != nullptr;
-      if (tracer_ != nullptr && tracer_->enabled()) {
-        json_scratch_.clear();
-        delays_to_json(m->delays, json_scratch_);
-        tracer_->emit(
-            obs::TraceEvent(now, "sched", deferred ? "dyn_defer" : "dyn_reject")
-                .field("job", req.job.value())
-                .field("request", req.id.value())
-                .field("extra_cores", req.extra_cores)
-                .field("reason", reason)
-                .field("verdict", to_string(verdict))
-                .field_json("delays", json_scratch_));
-      }
-      if (deferred)
-        ++stats.dyn_deferred;
-      else
-        ++stats.dyn_rejected;
-    }
-    }
-    // Discard speculation measured against a state that no longer exists;
-    // the outer loop re-fans-out from the next unconsumed request.
-    if (state_changed) spec_end = next;
-  }
-
-  // Steps 25-26: schedule + start static jobs; reservations only up to
-  // ReservationDepth now; backfill the remainder.
-  const PlanOptions start_opts{now, config_.reservation_depth,
-                               config_.enable_backfill && !drain, drain};
-  plan_jobs_into(prioritized, planning_, start_opts, final_plan_);
-  for (const Reservation& r : final_plan_.table.items()) {
-    if (!r.start_now) {
-      ++stats.reservations;
-      continue;
-    }
-    // The aggregate plan can be defeated by node-level fragmentation
-    // (chunked placement); the job then simply stays queued and is
-    // re-planned next iteration — exactly what a real Maui does when the
-    // node allocation it asked Torque for cannot be built.
-    if (!server_.start_job(r.job, r.backfilled)) {
-      ++stats.start_failed;
-      continue;
-    }
-    dfs_.on_job_started(r.job);
-    ++stats.started;
-    if (r.backfilled) {
-      ++stats.backfilled;
-      DBS_TRACE_EVENT(tracer_, obs::TraceEvent(now, "sched", "backfill")
-                                   .field("job", r.job.value()));
-    }
-  }
+  run_pipeline();
 
   const auto wall_end = std::chrono::steady_clock::now();
-  stats.wall_us = std::chrono::duration<double, std::micro>(wall_end -
-                                                            wall_begin)
-                      .count();
+  IterationStats& stats = ctx_.stats;
+  stats.wall_us =
+      std::chrono::duration<double, std::micro>(wall_end - wall_begin).count();
 
-  DBS_TRACE_EVENT(tracer_,
-                  obs::TraceEvent(now, "sched", "iteration")
-                      .field("iteration", iterations_)
-                      .field("eligible_static", stats.eligible_static)
-                      .field("eligible_dynamic", stats.eligible_dynamic)
-                      .field("started", stats.started)
-                      .field("backfilled", stats.backfilled)
-                      .field("reservations", stats.reservations)
-                      .field("dyn_granted", stats.dyn_granted)
-                      .field("dyn_rejected", stats.dyn_rejected)
-                      .field("dyn_deferred", stats.dyn_deferred)
-                      .field("preempted", stats.preempted)
-                      .field("start_failed", stats.start_failed)
-                      .field("wall_us", stats.wall_us));
+  if (obs::Tracer* tracer = ctx_.sinks.tracer;
+      tracer != nullptr && tracer->enabled()) {
+    obs::TraceEvent ev(now, "sched", "iteration");
+    ev.field("iteration", iterations_)
+        .field("eligible_static", stats.eligible_static)
+        .field("eligible_dynamic", stats.eligible_dynamic)
+        .field("started", stats.started)
+        .field("backfilled", stats.backfilled)
+        .field("reservations", stats.reservations)
+        .field("dyn_granted", stats.dyn_granted)
+        .field("dyn_rejected", stats.dyn_rejected)
+        .field("dyn_deferred", stats.dyn_deferred)
+        .field("preempted", stats.preempted)
+        .field("start_failed", stats.start_failed)
+        .field("wall_us", stats.wall_us);
+    if (config_.stage_timing) {
+      for (std::size_t i = 0; i < kStageCount; ++i)
+        ev.field(std::string("wall_us_") + std::string(stage_names()[i]),
+                 stats.stage_wall_us[i]);
+    }
+    tracer->emit(ev);
+  }
 
   record_iteration(stats);
   last_ = stats;
   schedule_poll();
 }
 
-void MauiScheduler::record_iteration(const IterationStats& stats) {
-  history_.push_back(stats);
-  if (history_.size() > kHistoryCap)
-    history_.erase(history_.begin(),
-                   history_.begin() +
-                       static_cast<std::ptrdiff_t>(history_.size() -
-                                                   kHistoryCap));
+std::vector<rms::Decision> MauiScheduler::dry_run_iteration() {
+  // Same pipeline, applier in dry-run: nothing is applied, no DFS budget is
+  // consumed, no iteration is recorded and the poll timer is untouched.
+  // Within the pass, decisions still build on each other (a dry grant
+  // shifts what later requests are measured against), so the stream is a
+  // coherent what-if of the next live iteration.
+  ctx_.begin_iteration(server_.simulator().now(), iterations_ + 1,
+                       /*dry_run=*/true);
+  run_pipeline();
+  return ctx_.applier.decisions();
+}
 
-  registry_->counter("scheduler.iterations").add();
-  registry_->counter("scheduler.started").add(stats.started);
-  registry_->counter("scheduler.backfilled").add(stats.backfilled);
-  registry_->counter("scheduler.start_failed").add(stats.start_failed);
-  registry_->counter("scheduler.dyn_granted").add(stats.dyn_granted);
-  registry_->counter("scheduler.dyn_rejected").add(stats.dyn_rejected);
-  registry_->counter("scheduler.dyn_deferred").add(stats.dyn_deferred);
-  registry_->counter("scheduler.preemptions").add(stats.preempted);
-  registry_->counter("scheduler.malleable_shrinks")
-      .add(stats.malleable_shrinks);
-  registry_->histogram("scheduler.iteration_us", iteration_us_bounds())
-      .observe(stats.wall_us);
-  registry_->gauge("scheduler.queue_length")
-      .set(static_cast<double>(server_.jobs().queued().size()));
-  registry_->gauge("scheduler.dyn_queue_length")
-      .set(static_cast<double>(server_.jobs().dyn_requests().size()));
-  registry_->gauge("cluster.free_cores")
-      .set(static_cast<double>(server_.cluster().free_cores()));
+void MauiScheduler::record_iteration(const IterationStats& stats) {
+  history_.push(stats);
+
+  // Resolve instrument handles once per sink change; every iteration after
+  // that is bare pointer updates. The per-stage histogram names
+  // deliberately contain "iteration_us": like the whole-iteration
+  // histogram they record host time, and every determinism filter that
+  // strips host-dependent metrics by that needle covers them too.
+  if (instruments_.iterations == nullptr) {
+    obs::Registry& registry = *ctx_.sinks.registry;
+    instruments_.iterations = &registry.counter("scheduler.iterations");
+    instruments_.started = &registry.counter("scheduler.started");
+    instruments_.backfilled = &registry.counter("scheduler.backfilled");
+    instruments_.start_failed = &registry.counter("scheduler.start_failed");
+    instruments_.dyn_granted = &registry.counter("scheduler.dyn_granted");
+    instruments_.dyn_rejected = &registry.counter("scheduler.dyn_rejected");
+    instruments_.dyn_deferred = &registry.counter("scheduler.dyn_deferred");
+    instruments_.preemptions = &registry.counter("scheduler.preemptions");
+    instruments_.malleable_shrinks =
+        &registry.counter("scheduler.malleable_shrinks");
+    instruments_.iteration_us =
+        &registry.histogram("scheduler.iteration_us", iteration_us_bounds());
+    if (config_.stage_timing)
+      for (std::size_t i = 0; i < kStageCount; ++i)
+        instruments_.stage_us[i] = &registry.histogram(
+            std::string("scheduler.stage_iteration_us.") +
+                std::string(stage_names()[i]),
+            iteration_us_bounds());
+    instruments_.queue_length = &registry.gauge("scheduler.queue_length");
+    instruments_.dyn_queue_length =
+        &registry.gauge("scheduler.dyn_queue_length");
+    instruments_.free_cores = &registry.gauge("cluster.free_cores");
+  }
+
+  instruments_.iterations->add();
+  instruments_.started->add(stats.started);
+  instruments_.backfilled->add(stats.backfilled);
+  instruments_.start_failed->add(stats.start_failed);
+  instruments_.dyn_granted->add(stats.dyn_granted);
+  instruments_.dyn_rejected->add(stats.dyn_rejected);
+  instruments_.dyn_deferred->add(stats.dyn_deferred);
+  instruments_.preemptions->add(stats.preempted);
+  instruments_.malleable_shrinks->add(stats.malleable_shrinks);
+  instruments_.iteration_us->observe(stats.wall_us);
+  if (config_.stage_timing)
+    for (std::size_t i = 0; i < kStageCount; ++i)
+      instruments_.stage_us[i]->observe(stats.stage_wall_us[i]);
+  instruments_.queue_length->set(
+      static_cast<double>(server_.jobs().queued().size()));
+  instruments_.dyn_queue_length->set(
+      static_cast<double>(server_.jobs().dyn_requests().size()));
+  instruments_.free_cores->set(
+      static_cast<double>(server_.cluster().free_cores()));
 }
 
 void MauiScheduler::schedule_poll() {

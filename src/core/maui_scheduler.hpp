@@ -1,59 +1,81 @@
-// The extended Maui scheduler (paper Algorithm 2). Each iteration:
+// The extended Maui scheduler (paper Algorithm 2), organized as an
+// explicit stage pipeline. Each iteration runs six stages in order over a
+// shared IterationContext:
 //
-//   1.  obtain resource / workload information from the server
-//   2.  update statistics (fairshare usage, DFS interval roll)
-//   3.  select + prioritize eligible static jobs (priority factors) and
-//       dynamic requests (FIFO)
-//   4.  schedule static jobs WITHOUT starting them, classifying StartNow /
-//       StartLater up to max(ReservationDepth, ReservationDelayDepth)
-//   5.  for every dynamic request: try idle resources (optionally preempt),
-//       measure delays to the protected jobs, consult the DFS policies,
-//       then grant or reject
-//   6.  schedule + start static jobs in priority order (reservations up to
-//       ReservationDepth) and backfill the rest
+//   gather          obtain resource / workload information from the server
+//   statistics      update statistics (fairshare usage, DFS interval roll)
+//   prioritize      select + prioritize eligible static jobs (priority
+//                   factors); dynamic requests stay FIFO
+//   classify        schedule static jobs WITHOUT starting them, classifying
+//                   StartNow / StartLater up to
+//                   max(ReservationDepth, ReservationDelayDepth)
+//   admission       for every dynamic request: try idle resources
+//                   (optionally shrink/preempt), measure delays to the
+//                   protected jobs, consult the DFS policies, then grant or
+//                   reject
+//   start_backfill  schedule + start static jobs in priority order
+//                   (reservations up to ReservationDepth), backfill the rest
 //
-// With no dynamic requests pending this degenerates exactly into the
-// classic Maui iteration (Algorithm 1).
+// Stages emit typed decisions through the context's DecisionApplier rather
+// than calling the server directly; dry_run_iteration() runs the same
+// pipeline with the applier in dry-run mode to answer "what would the next
+// iteration do" without changing any state. With no dynamic requests
+// pending the pipeline degenerates exactly into the classic Maui iteration
+// (Algorithm 1).
 #pragma once
 
+#include <array>
 #include <cstdint>
-#include <memory>
-#include <string>
 #include <vector>
 
 #include "core/availability_profile.hpp"
-#include "core/backfill.hpp"
-#include "core/delay_measurement.hpp"
 #include "core/dfs_engine.hpp"
 #include "core/fairshare.hpp"
+#include "core/pipeline/classify_stage.hpp"
+#include "core/pipeline/dynamic_admission_stage.hpp"
+#include "core/pipeline/gather_stage.hpp"
+#include "core/pipeline/prioritize_stage.hpp"
+#include "core/pipeline/stage.hpp"
+#include "core/pipeline/start_backfill_stage.hpp"
+#include "core/pipeline/statistics_stage.hpp"
 #include "core/priority.hpp"
 #include "core/scheduler_config.hpp"
+#include "obs/sinks.hpp"
 #include "rms/server.hpp"
-
-namespace dbs::exec {
-class ThreadPool;
-}
 
 namespace dbs::core {
 
-/// Counters describing one scheduling iteration (for tests and metrics).
-struct IterationStats {
-  Time at;
-  std::size_t eligible_static = 0;
-  std::size_t eligible_dynamic = 0;
-  std::size_t started = 0;
-  std::size_t backfilled = 0;
-  std::size_t reservations = 0;
-  std::size_t dyn_granted = 0;
-  std::size_t dyn_rejected = 0;
-  std::size_t dyn_deferred = 0;  ///< negotiation: request kept queued
-  std::size_t preempted = 0;
-  std::size_t malleable_shrinks = 0;
-  /// Planned StartNow jobs defeated by node-level fragmentation.
-  std::size_t start_failed = 0;
-  /// Wall-clock cost of the iteration in microseconds (host time, not
-  /// simulated time).
-  double wall_us = 0.0;
+/// Fixed-capacity ring of the most recent IterationStats. Appending is O(1)
+/// with zero steady-state allocation — unlike a vector front-erase (shifts
+/// the whole window) or a deque (allocates a chunk every couple of pushes
+/// of this ~200-byte struct). Entries are indexed oldest first.
+class IterationHistory {
+ public:
+  explicit IterationHistory(std::size_t capacity) : capacity_(capacity) {}
+
+  void push(const IterationStats& stats) {
+    if (items_.size() < capacity_) {
+      items_.push_back(stats);
+      return;
+    }
+    items_[head_] = stats;
+    head_ = (head_ + 1) % capacity_;
+  }
+
+  [[nodiscard]] std::size_t size() const { return items_.size(); }
+  [[nodiscard]] bool empty() const { return items_.empty(); }
+  /// The i-th oldest retained entry.
+  [[nodiscard]] const IterationStats& operator[](std::size_t i) const {
+    return items_[(head_ + i) % items_.size()];
+  }
+  [[nodiscard]] const IterationStats& back() const {
+    return (*this)[items_.size() - 1];
+  }
+
+ private:
+  std::size_t capacity_;
+  std::size_t head_ = 0;  ///< index of the oldest entry once full
+  std::vector<IterationStats> items_;
 };
 
 class MauiScheduler {
@@ -69,23 +91,28 @@ class MauiScheduler {
   /// Runs one scheduling iteration now.
   void iterate();
 
+  /// Runs the full pipeline in dry-run mode: decisions are recorded but
+  /// not applied, so no job starts, no request is granted or rejected, no
+  /// DFS budget is consumed, and no trace/metrics iteration is recorded.
+  /// Returns the decision stream the next live iteration would open with.
+  [[nodiscard]] std::vector<rms::Decision> dry_run_iteration();
+
   [[nodiscard]] const IterationStats& last_stats() const { return last_; }
   /// Retained per-iteration history (capped at `kHistoryCap` entries; the
   /// oldest iterations are dropped first).
-  [[nodiscard]] const std::vector<IterationStats>& history() const {
-    return history_;
-  }
+  [[nodiscard]] const IterationHistory& history() const { return history_; }
   [[nodiscard]] std::uint64_t iterations() const { return iterations_; }
   [[nodiscard]] const SchedulerConfig& config() const { return config_; }
   [[nodiscard]] const DfsEngine& dfs() const { return dfs_; }
   [[nodiscard]] const Fairshare& fairshare() const { return fairshare_; }
 
-  /// Publishes iteration, classification and per-request decision-audit
-  /// events; also forwarded to the DFS engine. nullptr detaches.
-  void set_tracer(obs::Tracer* tracer);
-  /// Iteration counters/histograms and queue gauges land here (defaults to
-  /// the global registry); also forwarded to the DFS engine.
-  void set_registry(obs::Registry* registry);
+  /// Observability sinks: the tracer (nullable — null disables tracing)
+  /// receives iteration, classification and per-request decision-audit
+  /// events; the registry (null selects the global one) receives iteration
+  /// counters/histograms, per-stage timings and queue gauges. Forwarded to
+  /// the DFS engine.
+  void set_sinks(const obs::Sinks& sinks);
+  [[nodiscard]] const obs::Sinks& sinks() const { return ctx_.sinks; }
 
   /// Iterations retained in history().
   static constexpr std::size_t kHistoryCap = 4096;
@@ -97,23 +124,9 @@ class MauiScheduler {
   ~MauiScheduler();
 
  private:
-  void update_statistics(Time now);
-  [[nodiscard]] std::vector<const rms::Job*> eligible_static_jobs() const;
-  /// Speculatively measures a batch of upcoming live dynamic requests
-  /// (starting at `begin`) in parallel against the *current* planning
-  /// state, filling `measure_slots_`. Returns the exclusive end of the
-  /// batch. Only called with measure_threads > 1; results are only
-  /// consumed while the planning state they were measured against is
-  /// still current, which keeps decisions bit-identical to the serial
-  /// path (see iterate()).
-  std::size_t speculate_measurements(
-      std::size_t begin, const std::vector<const rms::Job*>& prioritized,
-      const ReservationTable& baseline, CoreCount physical_free,
-      const PlanOptions& opts);
-  /// Rebuilds `physical_` in place (storage reused across iterations).
-  void rebuild_physical_profile(Time now);
-  /// Re-derives `planning_` from `physical_` (partition clamp applied).
-  void rebuild_planning_profile();
+  /// Runs the six stages in order, accumulating per-stage tick deltas into
+  /// ctx_.stats.stage_wall_us.
+  void run_pipeline();
   void schedule_poll();
   void record_iteration(const IterationStats& stats);
 
@@ -123,42 +136,43 @@ class MauiScheduler {
   PriorityEngine priority_;
   DfsEngine dfs_;
   IterationStats last_;
-  std::vector<IterationStats> history_;
-  Time last_usage_update_;
+  IterationHistory history_{kHistoryCap};
   std::uint64_t iterations_ = 0;
   EventId poll_event_ = EventId::invalid();
-  obs::Tracer* tracer_ = nullptr;
-  obs::Registry* registry_;  ///< never null; defaults to the global one
 
-  // Per-iteration working state, kept as members so the hot path reuses
-  // already-allocated storage instead of allocating per event. `physical_`
-  // is patched incrementally on grant/shrink/preempt during the
-  // dynamic-request loop instead of being rebuilt from the job list.
-  AvailabilityProfile physical_;
-  AvailabilityProfile planning_;
-  Plan baseline_plan_;
-  Plan final_plan_;
-  std::vector<const rms::Job*> protected_jobs_;
-  std::vector<rms::DynRequest> requests_;
-  DelayMeasurement measure_;
-  MeasureScratch measure_scratch_;
-  std::string json_scratch_;
-
-  /// One per-request speculation slot: the hold plus the measurement taken
-  /// against the planning state of the current batch. Storage is reused
-  /// across batches and iterations, so after warm-up the parallel fan-out
-  /// allocates nothing (the _into kernels refill in place).
-  struct MeasureSlot {
-    bool live = false;  ///< request was live and measured this batch
-    DynHold hold;
-    DelayMeasurement result;
+  IterationContext ctx_;
+  PipelineEnv env_;
+  GatherStage gather_;
+  StatisticsStage statistics_;
+  PrioritizeStage prioritize_;
+  ClassifyStage classify_;
+  DynamicAdmissionStage admission_;
+  StartBackfillStage start_backfill_;
+  /// The pipeline, in Algorithm-2 order; indexes match stage_names().
+  std::array<Stage*, kStageCount> stages_;
+  /// Registry instrument handles resolved once per sink change instead of
+  /// by name (mutex + string hash) every iteration — instrument references
+  /// are stable for a registry's lifetime. Invalidated by set_sinks.
+  struct Instruments {
+    obs::Counter* iterations = nullptr;  ///< null == not yet resolved
+    obs::Counter* started = nullptr;
+    obs::Counter* backfilled = nullptr;
+    obs::Counter* start_failed = nullptr;
+    obs::Counter* dyn_granted = nullptr;
+    obs::Counter* dyn_rejected = nullptr;
+    obs::Counter* dyn_deferred = nullptr;
+    obs::Counter* preemptions = nullptr;
+    obs::Counter* malleable_shrinks = nullptr;
+    obs::Histogram* iteration_us = nullptr;
+    std::array<obs::Histogram*, kStageCount> stage_us{};
+    obs::Gauge* queue_length = nullptr;
+    obs::Gauge* dyn_queue_length = nullptr;
+    obs::Gauge* free_cores = nullptr;
   };
-  // Lazily created pool (measure_threads > 1 only) + per-worker planning
-  // scratches; per-request slots indexed like requests_.
-  std::unique_ptr<exec::ThreadPool> measure_pool_;
-  std::vector<MeasureScratch> worker_scratch_;
-  std::vector<MeasureSlot> measure_slots_;
-  std::vector<std::size_t> batch_indices_;
+  Instruments instruments_;
+  /// Microseconds per CycleTimer tick, resolved at construction so span
+  /// conversion in run_pipeline is a bare multiply.
+  double tick_to_us_ = 0.0;
 };
 
 }  // namespace dbs::core

@@ -1,0 +1,17 @@
+#pragma once
+
+#include "core/pipeline/stage.hpp"
+
+namespace dbs::core {
+
+/// Step 10: plan static jobs without starting them, classifying StartNow /
+/// StartLater up to max(ReservationDepth, ReservationDelayDepth), and fix
+/// the protected set (Fig. 5) the fairness policies will judge this
+/// iteration's dynamic requests against.
+class ClassifyStage final : public Stage {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "classify"; }
+  void run(PipelineEnv& env, IterationContext& ctx) override;
+};
+
+}  // namespace dbs::core

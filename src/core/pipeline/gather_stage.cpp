@@ -1,0 +1,23 @@
+#include "core/pipeline/gather_stage.hpp"
+
+#include "core/scheduler_config.hpp"
+
+namespace dbs::core {
+
+void GatherStage::run(PipelineEnv& env, IterationContext& ctx) {
+  // Dynamic requests are served in FIFO order (the server's queue order);
+  // the snapshot fixes this iteration's serving order even as grants and
+  // rejections mutate the live queue.
+  ctx.requests.assign(env.server.jobs().dyn_requests().begin(),
+                      env.server.jobs().dyn_requests().end());
+  ctx.stats.eligible_dynamic = ctx.requests.size();
+
+  // Built once per iteration; the admission stage patches the profiles in
+  // place on every state change (grant, malleable shrink, preemption)
+  // instead of rebuilding them from the whole running set.
+  ctx.rebuild_physical_profile();
+  ctx.physical_free = env.server.cluster().free_cores();
+  ctx.rebuild_planning_profile(env.config.dynamic_partition_cores);
+}
+
+}  // namespace dbs::core

@@ -1,0 +1,17 @@
+#pragma once
+
+#include "core/pipeline/stage.hpp"
+
+namespace dbs::core {
+
+/// Steps 2-3: obtain resource/workload information from the server — the
+/// FIFO snapshot of pending dynamic requests and the availability profiles
+/// (physical and partition-clamped planning) every later stage plans
+/// against.
+class GatherStage final : public Stage {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "gather"; }
+  void run(PipelineEnv& env, IterationContext& ctx) override;
+};
+
+}  // namespace dbs::core

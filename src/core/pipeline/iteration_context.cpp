@@ -1,0 +1,53 @@
+#include "core/pipeline/iteration_context.hpp"
+
+#include "core/partition.hpp"
+#include "exec/thread_pool.hpp"
+
+namespace dbs::core {
+
+const std::array<std::string_view, kStageCount>& stage_names() {
+  static const std::array<std::string_view, kStageCount> names{
+      "gather",   "statistics", "prioritize",
+      "classify", "admission",  "start_backfill"};
+  return names;
+}
+
+IterationContext::IterationContext(rms::Server& server_ref)
+    : server(server_ref), applier(server_ref) {}
+
+// Out of line for the unique_ptr<exec::ThreadPool> member.
+IterationContext::~IterationContext() = default;
+
+void IterationContext::begin_iteration(Time at, std::uint64_t iteration_number,
+                                       bool dry_run) {
+  now = at;
+  iteration = iteration_number;
+  stats = IterationStats{};
+  stats.at = at;
+  drain = false;
+  physical_free = 0;
+  prioritized.clear();
+  applier.begin_iteration(dry_run);
+}
+
+void IterationContext::rebuild_physical_profile() {
+  const cluster::Cluster& cl = server.cluster();
+  physical.reset(now, cl.total_cores());
+  for (const rms::Job* job : server.jobs().running()) {
+    const Time hold_end = max(job->walltime_end(), now + Duration::micros(1));
+    physical.subtract(now, hold_end, job->allocated_cores());
+  }
+  // Down/offline nodes: their unused cores are unavailable indefinitely.
+  for (const cluster::Node& node : cl.nodes())
+    if (!node.available())
+      physical.subtract(now, Time::far_future(),
+                        node.total_cores() - node.used_cores());
+}
+
+void IterationContext::rebuild_planning_profile(
+    CoreCount dynamic_partition_cores) {
+  planning = physical;
+  reserve_dynamic_partition(planning, dynamic_partition_cores);
+}
+
+}  // namespace dbs::core

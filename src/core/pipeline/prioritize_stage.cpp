@@ -1,0 +1,40 @@
+#include "core/pipeline/prioritize_stage.hpp"
+
+#include <string>
+#include <unordered_map>
+
+#include "core/priority.hpp"
+#include "core/scheduler_config.hpp"
+
+namespace dbs::core {
+
+std::vector<const rms::Job*> eligible_static_jobs(
+    const rms::Server& server, const SchedulerConfig& config) {
+  std::vector<const rms::Job*> eligible = server.jobs().queued();
+  // Common path: no per-user cap means every queued job is eligible; the
+  // per-user counting map is only built when a cap is configured.
+  if (!config.max_eligible_per_user) return eligible;
+  std::unordered_map<std::string, std::size_t> per_user;
+  per_user.reserve(eligible.size());
+  std::size_t kept = 0;
+  for (const rms::Job* job : eligible) {
+    std::size_t& count = per_user[job->spec().cred.user];
+    if (count >= *config.max_eligible_per_user) continue;
+    ++count;
+    eligible[kept++] = job;
+  }
+  eligible.resize(kept);
+  return eligible;
+}
+
+void PrioritizeStage::run(PipelineEnv& env, IterationContext& ctx) {
+  ctx.prioritized = env.priority.prioritize(
+      eligible_static_jobs(env.server, env.config), ctx.now);
+  ctx.stats.eligible_static = ctx.prioritized.size();
+
+  ctx.drain = false;
+  for (const rms::Job* job : ctx.prioritized)
+    ctx.drain = ctx.drain || job->spec().exclusive_priority;
+}
+
+}  // namespace dbs::core

@@ -1,0 +1,18 @@
+#pragma once
+
+#include "core/pipeline/stage.hpp"
+
+namespace dbs::core {
+
+/// Steps 25-26: plan static jobs against the post-admission profile, start
+/// the StartNow set in priority order (reservations only up to
+/// ReservationDepth) and backfill the remainder.
+class StartBackfillStage final : public Stage {
+ public:
+  [[nodiscard]] std::string_view name() const override {
+    return "start_backfill";
+  }
+  void run(PipelineEnv& env, IterationContext& ctx) override;
+};
+
+}  // namespace dbs::core

@@ -1,0 +1,21 @@
+#pragma once
+
+#include "core/pipeline/stage.hpp"
+
+namespace dbs::core {
+
+/// Steps 4-5: charge running jobs' usage since the previous pass into
+/// fairshare, then roll the fairshare decay windows and the DFS
+/// delay-budget intervals forward to now.
+class StatisticsStage final : public Stage {
+ public:
+  explicit StatisticsStage(Time start) : last_usage_update_(start) {}
+
+  [[nodiscard]] std::string_view name() const override { return "statistics"; }
+  void run(PipelineEnv& env, IterationContext& ctx) override;
+
+ private:
+  Time last_usage_update_;
+};
+
+}  // namespace dbs::core

@@ -48,6 +48,15 @@ struct SchedulerConfig {
   /// bit-identical to the serial path at every thread count.
   std::size_t measure_threads = 1;
 
+  /// Per-stage pipeline timing (STAGETIMING): fills
+  /// IterationStats::stage_wall_us, the scheduler.stage_iteration_us.*
+  /// histograms and the iteration trace event's wall_us_<stage> fields.
+  /// Off by default: the seven TSC reads cost ~125 ns on virtualized
+  /// hosts — real money next to a sub-microsecond iteration. dbsim always
+  /// turns it on (operator tooling; iterations there are not the
+  /// bottleneck).
+  bool stage_timing = false;
+
   /// Periodic iteration when no state change occurs (Maui's timer).
   Duration poll_interval = Duration::seconds(30);
 

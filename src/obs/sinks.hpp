@@ -1,0 +1,29 @@
+// The one observability wiring point. Every component that publishes trace
+// events or metrics accepts a single `Sinks` bundle instead of separate
+// set_tracer/set_registry pairs, so attaching observability to a system is
+// one call threaded top-down (BatchSystem -> Server/Moms/Scheduler ->
+// DfsEngine) rather than five parallel setter chains.
+#pragma once
+
+#include "obs/registry.hpp"
+#include "obs/tracer.hpp"
+
+namespace dbs::obs {
+
+/// Where a component's observability output lands. Copyable by design: the
+/// bundle is two pointers, handed down by value.
+struct Sinks {
+  /// Structured event stream; nullptr disables tracing (the emission guard
+  /// makes a detached tracer cost one pointer test).
+  Tracer* tracer = nullptr;
+  /// Metrics destination; nullptr selects the process-wide global registry.
+  Registry* registry = nullptr;
+
+  /// The registry components should actually record into — components never
+  /// store a null registry pointer.
+  [[nodiscard]] Registry& registry_or_global() const {
+    return registry != nullptr ? *registry : Registry::global();
+  }
+};
+
+}  // namespace dbs::obs

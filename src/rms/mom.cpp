@@ -5,6 +5,7 @@
 #include "common/assert.hpp"
 #include "common/log.hpp"
 #include "obs/registry.hpp"
+#include "obs/sinks.hpp"
 #include "obs/tracer.hpp"
 #include "rms/job.hpp"
 #include "rms/server.hpp"
@@ -20,9 +21,9 @@ MomManager::MomManager(sim::Simulator& simulator, Server& server,
   latency_.validate();
 }
 
-void MomManager::set_registry(obs::Registry* registry) {
-  DBS_REQUIRE(registry != nullptr, "registry must not be null");
-  registry_ = registry;
+void MomManager::set_sinks(const obs::Sinks& sinks) {
+  tracer_ = sinks.tracer;
+  registry_ = &sinks.registry_or_global();
 }
 
 void MomManager::launch(const Job& job) {

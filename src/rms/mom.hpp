@@ -15,6 +15,7 @@
 namespace dbs::obs {
 class Tracer;
 class Registry;
+struct Sinks;
 }
 
 namespace dbs::rms {
@@ -58,11 +59,10 @@ class MomManager {
   /// Number of jobs with live application state.
   [[nodiscard]] std::size_t active_jobs() const { return running_.size(); }
 
-  /// Publishes join / dyn_join / dyn_disjoin protocol trace events.
-  /// nullptr detaches.
-  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
-  /// Protocol-step counters land here (defaults to the global registry).
-  void set_registry(obs::Registry* registry);
+  /// Observability sinks: the tracer (nullable) receives join / dyn_join /
+  /// dyn_disjoin protocol trace events; protocol-step counters land in the
+  /// registry (null selects the global one).
+  void set_sinks(const obs::Sinks& sinks);
 
  private:
   struct JobRuntime {

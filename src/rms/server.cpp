@@ -5,6 +5,7 @@
 #include "common/assert.hpp"
 #include "common/log.hpp"
 #include "obs/registry.hpp"
+#include "obs/sinks.hpp"
 #include "obs/tracer.hpp"
 #include "rms/mom.hpp"
 
@@ -26,9 +27,9 @@ Server::Server(sim::Simulator& simulator, cluster::Cluster& cluster,
   latency_.validate();
 }
 
-void Server::set_registry(obs::Registry* registry) {
-  DBS_REQUIRE(registry != nullptr, "registry must not be null");
-  registry_ = registry;
+void Server::set_sinks(const obs::Sinks& sinks) {
+  tracer_ = sinks.tracer;
+  registry_ = &sinks.registry_or_global();
 }
 
 void Server::record_residency(const DynRequest& req) {

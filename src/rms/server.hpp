@@ -17,6 +17,7 @@
 namespace dbs::obs {
 class Tracer;
 class Registry;
+struct Sinks;
 }
 
 namespace dbs::rms {
@@ -55,12 +56,11 @@ class Server {
 
   void add_observer(ServerObserver* observer);
 
-  /// Publishes job-lifecycle and dynamic-protocol trace events. nullptr
-  /// detaches.
-  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
-  /// Protocol counters and the dyn-request queue-residency histogram land
-  /// here (defaults to the global registry).
-  void set_registry(obs::Registry* registry);
+  /// Observability sinks: the tracer (nullable) receives job-lifecycle and
+  /// dynamic-protocol trace events; protocol counters and the dyn-request
+  /// queue-residency histogram land in the registry (null selects the
+  /// global one).
+  void set_sinks(const obs::Sinks& sinks);
 
   // --- client commands ---------------------------------------------------
   /// qsub: enqueues the job; effective immediately (submission latency is

@@ -59,6 +59,7 @@ MALLEABLESTEAL        ON
 DYNPARTITION          8
 MAXJOBSPERUSER        4
 MEASURETHREADS        4
+STAGETIMING           ON
 ALLOCATIONPOLICY      SPREAD
 )");
   EXPECT_EQ(config.reservation_depth, 5u);
@@ -73,6 +74,7 @@ ALLOCATIONPOLICY      SPREAD
   EXPECT_EQ(config.dynamic_partition_cores, 8);
   EXPECT_EQ(config.max_eligible_per_user, 4u);
   EXPECT_EQ(config.measure_threads, 4u);
+  EXPECT_TRUE(config.stage_timing);
   EXPECT_EQ(config.allocation_policy, cluster::AllocationPolicy::Spread);
 }
 

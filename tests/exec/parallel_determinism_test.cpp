@@ -142,11 +142,10 @@ MeasureRun run_with_measure_threads(std::size_t measure_threads) {
 
   BatchSystem system(cfg);
   obs::Registry registry;
-  system.set_registry(&registry);
   std::ostringstream trace_stream;
   obs::Tracer tracer;
   tracer.attach_stream(trace_stream, obs::TraceFormat::Jsonl);
-  system.set_tracer(&tracer);
+  system.set_sinks({&tracer, &registry});
   system.submit_workload(wl::generate_synthetic(wp));
   system.run();
   tracer.close();

@@ -84,8 +84,7 @@ TEST(Observability, DynRejectAuditNamesViolatedRuleAndDelays) {
   obs::Tracer tracer;
   tracer.attach_stream(trace, obs::TraceFormat::Jsonl);
   obs::Registry registry;
-  s.sys->set_tracer(&tracer);
-  s.sys->set_registry(&registry);
+  s.sys->set_sinks({&tracer, &registry});
   s.sys->run();
   tracer.close();
 
@@ -169,8 +168,7 @@ TEST(Observability, GrantAuditCarriesDelaysAndProtocolEvents) {
   obs::Tracer tracer;
   tracer.attach_stream(trace, obs::TraceFormat::Jsonl);
   obs::Registry registry;
-  s.sys->set_tracer(&tracer);
-  s.sys->set_registry(&registry);
+  s.sys->set_sinks({&tracer, &registry});
   s.sys->run();
   tracer.close();
 
@@ -210,8 +208,7 @@ TEST(Observability, DetachedTracerChangesNothing) {
   obs::Tracer tracer;
   tracer.attach_stream(trace, obs::TraceFormat::Jsonl);
   obs::Registry registry;
-  traced.sys->set_tracer(&tracer);
-  traced.sys->set_registry(&registry);
+  traced.sys->set_sinks({&tracer, &registry});
   traced.sys->run();
 
   EXPECT_EQ(bare.sys->recorder().record(bare.evolver).dyn_grants,

@@ -1,10 +1,11 @@
 // dbsim — run a workload trace through the dynamic batch system.
 //
 //   dbsim --trace workload.trace [--config maui.cfg] [--nodes 16]
-//           [--cores-per-node 8] [--qstat] [--csv waits.csv]
+//           [--cores-per-node 8] [--qstat] [--dry-run-iteration]
+//           [--csv waits.csv]
 //           [--trace-out events.jsonl] [--trace-format jsonl|chrome]
 //           [--metrics-json metrics.json] [--replications R] [--jobs N]
-//           [--measure-threads M]
+//           [--measure-threads M] [--stage-breakdown]
 //
 // The trace format is documented in src/workload/trace.hpp (write one with
 // `esp_campaign --trace`). The config file uses the Maui-style syntax of
@@ -20,6 +21,12 @@
 // --measure-threads M sets the scheduler's internal what-if measurement
 // parallelism (MEASURETHREADS), overriding the config file; decisions are
 // bit-identical at every M.
+//
+// --dry-run-iteration pauses mid-run (same snapshot point as --qstat),
+// runs the scheduler pipeline once in dry-run mode and prints the decision
+// stream it would execute (one JSON object per line) without applying any
+// of it, then resumes the simulation. --stage-breakdown prints the mean
+// per-stage wall time of a scheduler iteration after the run.
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -28,8 +35,10 @@
 #include "batch/experiment.hpp"
 #include "batch/parallel_runner.hpp"
 #include "config/maui_config.hpp"
+#include "core/pipeline/iteration_context.hpp"
 #include "obs/registry.hpp"
 #include "obs/tracer.hpp"
+#include "rms/decision.hpp"
 #include "rms/status.hpp"
 #include "workload/trace.hpp"
 
@@ -40,11 +49,28 @@ namespace {
 int usage(const char* argv0, int code) {
   std::cerr << "usage: " << argv0
             << " --trace FILE [--config FILE] [--nodes N]\n"
-               "       [--cores-per-node N] [--qstat] [--csv FILE]\n"
+               "       [--cores-per-node N] [--qstat] [--dry-run-iteration]\n"
+               "       [--csv FILE]\n"
                "       [--trace-out FILE] [--trace-format jsonl|chrome]\n"
                "       [--metrics-json FILE] [--replications R] [--jobs N]\n"
-               "       [--measure-threads M]\n";
+               "       [--measure-threads M] [--stage-breakdown]\n";
   return code;
+}
+
+/// Mean per-stage wall time from the run's merged registry, one line.
+void print_stage_breakdown(const obs::Registry& registry) {
+  std::cout << "stage breakdown (mean us/iteration):";
+  for (const std::string_view name : core::stage_names()) {
+    const obs::Histogram* h = registry.find_histogram(
+        std::string("scheduler.stage_iteration_us.") + std::string(name));
+    std::cout << " " << name << "=";
+    if (h == nullptr || h->count() == 0)
+      std::cout << "n/a";
+    else
+      std::cout << TextTable::num(h->sum() / static_cast<double>(h->count()),
+                                  3);
+  }
+  std::cout << "\n";
 }
 
 std::string slurp(const std::string& path) {
@@ -70,6 +96,8 @@ int main(int argc, char** argv) {
   std::size_t nodes = 0;
   CoreCount cores_per_node = 8;
   bool qstat = false;
+  bool dry_run_iteration = false;
+  bool stage_breakdown = false;
   std::size_t replications = 1;
   std::size_t run_jobs = 1;
   std::size_t measure_threads = 0;  // 0: keep the config-file value
@@ -85,6 +113,8 @@ int main(int argc, char** argv) {
     else if (arg == "--nodes") nodes = static_cast<std::size_t>(std::stoul(next()));
     else if (arg == "--cores-per-node") cores_per_node = std::stoi(next());
     else if (arg == "--qstat") qstat = true;
+    else if (arg == "--dry-run-iteration") dry_run_iteration = true;
+    else if (arg == "--stage-breakdown") stage_breakdown = true;
     else if (arg == "--csv") csv_path = next();
     else if (arg == "--trace-out") trace_out_path = next();
     else if (arg == "--trace-format") {
@@ -110,8 +140,9 @@ int main(int argc, char** argv) {
     std::cerr << "--replications and --jobs must be >= 1\n";
     return 2;
   }
-  if (qstat && replications > 1) {
-    std::cerr << "--qstat is only supported with --replications 1\n";
+  if ((qstat || dry_run_iteration) && replications > 1) {
+    std::cerr << "--qstat and --dry-run-iteration are only supported with "
+                 "--replications 1\n";
     return 2;
   }
 
@@ -138,6 +169,9 @@ int main(int argc, char** argv) {
   }
   if (measure_threads > 0)
     system_config.scheduler.measure_threads = measure_threads;
+  // Operator tooling always records the per-stage breakdown; the span
+  // overhead only matters in benchmark hot loops.
+  system_config.scheduler.stage_timing = true;
   system_config.cluster.node_count = nodes;
   system_config.cluster.cores_per_node = cores_per_node;
 
@@ -157,21 +191,35 @@ int main(int argc, char** argv) {
   // identical re-runs and concurrent writers would interleave events.
   metrics::WorkloadSummary summary;
   std::vector<metrics::WaitPoint> waits;
-  if (qstat) {
+  if (qstat || dry_run_iteration) {
     batch::BatchSystem system(system_config);
-    system.set_registry(&registry);
-    if (!trace_out_path.empty()) system.set_tracer(&tracer);
+    system.set_sinks(
+        {trace_out_path.empty() ? nullptr : &tracer, &registry});
     system.submit_workload(workload);
-    // Print a status snapshot mid-run (after the first quarter of the
-    // submission window) before finishing the simulation.
+    // Pause mid-run (after the first quarter of the submission window) for
+    // the status snapshot / what-if pass before finishing the simulation.
     const Time snapshot =
         workload.jobs.back().at - (workload.jobs.back().at -
                                    workload.jobs.front().at) / 4 * 3;
     system.run_until(snapshot);
-    std::cout << "--- qstat @ " << snapshot.to_string() << " ---\n"
-              << rms::format_qstat(system.server()) << "\n"
-              << rms::format_pbsnodes(system.server()) << "\n"
-              << rms::format_load_summary(system.server()) << "\n\n";
+    if (qstat)
+      std::cout << "--- qstat @ " << snapshot.to_string() << " ---\n"
+                << rms::format_qstat(system.server()) << "\n"
+                << rms::format_pbsnodes(system.server()) << "\n"
+                << rms::format_load_summary(system.server()) << "\n\n";
+    if (dry_run_iteration) {
+      const std::vector<rms::Decision> decisions =
+          system.scheduler().dry_run_iteration();
+      std::cout << "--- dry-run iteration @ " << snapshot.to_string() << " ("
+                << decisions.size() << " decisions, not applied) ---\n";
+      std::string line;
+      for (const rms::Decision& d : decisions) {
+        line.clear();
+        rms::decision_to_json(d, line);
+        std::cout << line << "\n";
+      }
+      std::cout << "\n";
+    }
     system.run();
     summary = metrics::summarize(system.recorder());
     waits = metrics::wait_series(system.recorder());
@@ -181,8 +229,9 @@ int main(int argc, char** argv) {
         replications,
         [&](std::size_t index, obs::Registry& replication_registry) {
           batch::BatchSystem system(system_config);
-          system.set_registry(&replication_registry);
-          if (index == 0 && !trace_out_path.empty()) system.set_tracer(&tracer);
+          system.set_sinks({index == 0 && !trace_out_path.empty() ? &tracer
+                                                                  : nullptr,
+                            &replication_registry});
           system.submit_workload(workload);
           system.run();
           batch::RunResult result;
@@ -209,6 +258,7 @@ int main(int argc, char** argv) {
   if (replications > 1)
     std::cout << replications << " replications on " << run_jobs
               << " thread(s); metrics merged across replications\n";
+  if (stage_breakdown) print_stage_breakdown(registry);
 
   if (!csv_path.empty()) {
     TextTable csv({"submit_index", "name", "wait_seconds"});
