@@ -1,0 +1,205 @@
+// Node-count scaling sweep for the allocation core: 16 / 1k / 16k / 64k
+// nodes over the placement kernels the scheduler hits every iteration —
+// chunked allocate+release, release_all, held_by and the admission stage's
+// can_allocate_chunked what-if probe — plus a full dbsim-style scheduler
+// iteration at each size.
+//
+// Every kernel runs twice: against the production index-based Cluster
+// (`/indexed`) and against the old scan-based allocator kept verbatim in
+// tests/property/reference_allocator.hpp (`/scan`). The scan rows ARE the
+// pre-index baseline, recorded in the same results file, so the speedup is
+// reproducible from one binary:
+//
+//   ./build/bench/bench_scale --benchmark_out=scale.json
+//       --benchmark_out_format=json
+//   python3 tools/check_bench_regression.py
+//       bench/results/BENCH_2026-08-06_scale.json scale.json
+//       --scaling-report
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "../tests/property/reference_allocator.hpp"
+#include "apps/rigid.hpp"
+#include "batch/batch_system.hpp"
+#include "bench_common.hpp"
+#include "cluster/cluster.hpp"
+
+namespace {
+
+using namespace dbs;
+
+constexpr CoreCount kCoresPerNode = 8;
+constexpr std::int64_t kNodeCounts[] = {16, 1024, 16384, 65536};
+
+template <class C>
+C make_cluster(std::size_t nodes);
+
+template <>
+cluster::Cluster make_cluster(std::size_t nodes) {
+  return cluster::Cluster(cluster::ClusterSpec{nodes, kCoresPerNode});
+}
+
+template <>
+cluster::testing::ReferenceCluster make_cluster(std::size_t nodes) {
+  return {nodes, kCoresPerNode};
+}
+
+/// Loads the cluster to a steady ~50% occupancy with structure: fill ~75%
+/// with FirstFit jobs of a non-node-multiple size (partial nodes at every
+/// job boundary populate the mid buckets), then release every third job to
+/// scatter free nodes through the id range. Identical placements on both
+/// implementations (guaranteed by the differential fuzz suite), so both
+/// sides of each kernel pair run against the same occupancy pattern.
+/// Returns the surviving (job, placement) pairs.
+template <class C>
+std::vector<std::pair<JobId, cluster::Placement>> preload(C& c) {
+  const auto total = static_cast<std::int64_t>(c.total_cores());
+  const auto jobs = static_cast<std::size_t>(
+      std::clamp<std::int64_t>(total / 64, 8, 1024));
+  auto size = static_cast<CoreCount>(total * 3 / 4 / static_cast<std::int64_t>(jobs));
+  if (size > 1 && size % kCoresPerNode == 0) --size;
+  size = std::max<CoreCount>(size, 1);
+
+  std::vector<std::pair<JobId, cluster::Placement>> live;
+  live.reserve(jobs);
+  for (std::size_t j = 0; j < jobs; ++j) {
+    auto p = c.allocate(JobId{j}, size, cluster::AllocationPolicy::FirstFit);
+    if (!p) break;
+    live.emplace_back(JobId{j}, std::move(*p));
+  }
+  std::vector<std::pair<JobId, cluster::Placement>> kept;
+  kept.reserve(live.size());
+  for (std::size_t j = 0; j < live.size(); ++j) {
+    if (j % 3 == 1)
+      c.release(live[j].first, live[j].second);
+    else
+      kept.push_back(std::move(live[j]));
+  }
+  return kept;
+}
+
+constexpr JobId kProbeJob{1u << 20};
+
+/// Pack-chunked allocation of 8 nodes x 8 ppn plus the symmetric release —
+/// the static-job start path.
+template <class C>
+void bm_alloc_release(benchmark::State& state) {
+  C c = make_cluster<C>(static_cast<std::size_t>(state.range(0)));
+  (void)preload(c);
+  for (auto _ : state) {
+    auto p = c.allocate_chunked(kProbeJob, 64, kCoresPerNode,
+                                cluster::AllocationPolicy::Pack);
+    benchmark::DoNotOptimize(p);
+    if (p) c.release(kProbeJob, *p);
+  }
+}
+
+/// Spread allocation (descending bucket walk) plus release_all through the
+/// per-job placement index — the dynamic-grant + job-exit path.
+template <class C>
+void bm_spread_release_all(benchmark::State& state) {
+  C c = make_cluster<C>(static_cast<std::size_t>(state.range(0)));
+  (void)preload(c);
+  for (auto _ : state) {
+    auto p = c.allocate(kProbeJob, 64, cluster::AllocationPolicy::Spread);
+    benchmark::DoNotOptimize(p);
+    const cluster::Placement freed = c.release_all(kProbeJob);
+    benchmark::DoNotOptimize(freed.total_cores());
+  }
+}
+
+/// held_by on a standing mid-range job — qstat/pbsnodes rendering and the
+/// server's accounting queries.
+template <class C>
+void bm_held_by(benchmark::State& state) {
+  C c = make_cluster<C>(static_cast<std::size_t>(state.range(0)));
+  const auto live = preload(c);
+  const JobId probe = live[live.size() / 2].first;
+  for (auto _ : state) benchmark::DoNotOptimize(c.held_by(probe));
+}
+
+/// can_allocate_chunked — the what-if probe the dynamic-admission stage
+/// issues per request (and PR 3's parallel measurement fan-out multiplies).
+template <class C>
+void bm_measure_request(benchmark::State& state) {
+  C c = make_cluster<C>(static_cast<std::size_t>(state.range(0)));
+  (void)preload(c);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(c.can_allocate_chunked(64, kCoresPerNode));
+}
+
+rms::JobSpec sized_spec(const char* prefix, int i, CoreCount cores,
+                        Duration walltime) {
+  rms::JobSpec s;
+  s.name = prefix;
+  s.name += std::to_string(i);
+  s.cred = {"alice", "grp", "", "batch", ""};
+  s.cores = cores;
+  s.walltime = walltime;
+  return s;
+}
+
+/// One full dbsim-style scheduler iteration (gather, statistics,
+/// prioritize, classify, admission, start/backfill) in dry-run mode at each
+/// node count: a running base load plus a queue the planner must reserve
+/// around. Workload size is fixed so the sweep isolates the node-count
+/// dependence of one iteration.
+void bm_sched_iteration(benchmark::State& state) {
+  batch::SystemConfig cfg;
+  cfg.cluster.node_count = static_cast<std::size_t>(state.range(0));
+  cfg.cluster.cores_per_node = kCoresPerNode;
+  cfg.scheduler.reservation_depth = 5;
+  cfg.scheduler.reservation_delay_depth = 5;
+  batch::BatchSystem sys(cfg);
+  const CoreCount total = sys.cluster().total_cores();
+  for (int i = 0; i < 8; ++i)
+    sys.submit_now(
+        sized_spec("run", i, std::max<CoreCount>(total / 16, 1),
+                   Duration::minutes(90)),
+        std::make_unique<apps::RigidApp>(Duration::minutes(60)));
+  for (int i = 0; i < 32; ++i)
+    sys.submit_now(
+        sized_spec("q", i, std::max<CoreCount>(total / 4, 1),
+                   Duration::minutes(30)),
+        std::make_unique<apps::RigidApp>(Duration::minutes(20)));
+  sys.run_until(Time::from_seconds(2));  // base load starts, the rest queues
+  for (auto _ : state) {
+    const auto decisions = sys.scheduler().dry_run_iteration();
+    benchmark::DoNotOptimize(decisions.size());
+  }
+}
+
+template <class C>
+void register_kernels(const char* impl) {
+  const auto reg = [&](const char* kernel, void (*fn)(benchmark::State&)) {
+    auto* b = benchmark::RegisterBenchmark(
+        ("bm_scale_" + std::string(kernel) + "/" + impl).c_str(), fn);
+    for (const std::int64_t n : kNodeCounts) b->Arg(n);
+    b->Unit(benchmark::kMicrosecond);
+  };
+  reg("alloc_release", bm_alloc_release<C>);
+  reg("spread_release_all", bm_spread_release_all<C>);
+  reg("held_by", bm_held_by<C>);
+  reg("measure_request", bm_measure_request<C>);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_kernels<dbs::cluster::Cluster>("indexed");
+  register_kernels<dbs::cluster::testing::ReferenceCluster>("scan");
+  auto* iter = benchmark::RegisterBenchmark("bm_scale_sched_iteration/indexed",
+                                            bm_sched_iteration);
+  for (const std::int64_t n : kNodeCounts) iter->Arg(n);
+  iter->Unit(benchmark::kMillisecond);
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  dbs::bench::maybe_dump_metrics();
+  return 0;
+}

@@ -1,9 +1,7 @@
 #include "cluster/allocation_policy.hpp"
 
 #include <algorithm>
-#include <numeric>
 
-#include "cluster/node.hpp"
 #include "common/assert.hpp"
 
 namespace dbs::cluster {
@@ -23,26 +21,65 @@ CoreCount Placement::total_cores() const {
   return total;
 }
 
+namespace {
+bool sorted_by_node(const std::vector<NodeShare>& shares) {
+  return std::is_sorted(shares.begin(), shares.end(),
+                        [](const NodeShare& a, const NodeShare& b) {
+                          return a.node < b.node;
+                        });
+}
+}  // namespace
+
 void Placement::merge(const Placement& other) {
-  for (const auto& add : other.shares) {
-    auto it = std::find_if(shares.begin(), shares.end(),
-                           [&](const NodeShare& s) { return s.node == add.node; });
-    if (it != shares.end())
-      it->cores += add.cores;
-    else
-      shares.push_back(add);
+  if (other.shares.empty()) {
+    if (!sorted_by_node(shares)) {
+      std::sort(shares.begin(), shares.end(),
+                [](const NodeShare& a, const NodeShare& b) {
+                  return a.node < b.node;
+                });
+    }
+    return;
   }
+  std::vector<NodeShare> lhs = std::move(shares);
+  std::vector<NodeShare> rhs = other.shares;
+  const auto by_node = [](const NodeShare& a, const NodeShare& b) {
+    return a.node < b.node;
+  };
+  if (!sorted_by_node(lhs)) std::sort(lhs.begin(), lhs.end(), by_node);
+  if (!sorted_by_node(rhs)) std::sort(rhs.begin(), rhs.end(), by_node);
+  shares.clear();
+  shares.reserve(lhs.size() + rhs.size());
+  auto l = lhs.begin();
+  auto r = rhs.begin();
+  while (l != lhs.end() && r != rhs.end()) {
+    if (l->node < r->node)
+      shares.push_back(*l++);
+    else if (r->node < l->node)
+      shares.push_back(*r++);
+    else {
+      shares.push_back({l->node, l->cores + r->cores});
+      ++l;
+      ++r;
+    }
+  }
+  shares.insert(shares.end(), l, lhs.end());
+  shares.insert(shares.end(), r, rhs.end());
 }
 
 Placement Placement::select_release(CoreCount cores) const {
   DBS_REQUIRE(cores > 0 && cores < total_cores(),
               "release must keep at least one core");
+  const auto smaller = [](const NodeShare& a, const NodeShare& b) {
+    if (a.cores != b.cores) return a.cores < b.cores;
+    return a.node < b.node;
+  };
+  // Fast path: the smallest share alone covers the request — the sorted
+  // walk below would stop after it, so skip the full copy + sort.
+  const auto min_it = std::min_element(shares.begin(), shares.end(), smaller);
+  if (min_it != shares.end() && min_it->cores >= cores)
+    return Placement{{{min_it->node, cores}}};
   std::vector<NodeShare> sorted = shares;
-  std::sort(sorted.begin(), sorted.end(),
-            [](const NodeShare& a, const NodeShare& b) {
-              if (a.cores != b.cores) return a.cores < b.cores;
-              return a.node < b.node;
-            });
+  std::sort(sorted.begin(), sorted.end(), smaller);
   Placement freed;
   CoreCount remaining = cores;
   for (const NodeShare& s : sorted) {
@@ -53,36 +90,6 @@ Placement Placement::select_release(CoreCount cores) const {
   }
   DBS_ASSERT(remaining == 0, "placement smaller than total_cores()");
   return freed;
-}
-
-std::vector<std::size_t> order_candidates(const std::vector<Node>& nodes,
-                                          AllocationPolicy policy) {
-  std::vector<std::size_t> idx;
-  idx.reserve(nodes.size());
-  for (std::size_t i = 0; i < nodes.size(); ++i)
-    if (nodes[i].free_cores() > 0) idx.push_back(i);
-
-  const auto by_free = [&](bool ascending) {
-    std::stable_sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
-      const CoreCount fa = nodes[a].free_cores();
-      const CoreCount fb = nodes[b].free_cores();
-      if (fa != fb) return ascending ? fa < fb : fa > fb;
-      return nodes[a].id() < nodes[b].id();
-    });
-  };
-
-  switch (policy) {
-    case AllocationPolicy::Pack:
-      by_free(/*ascending=*/true);
-      break;
-    case AllocationPolicy::Spread:
-      by_free(/*ascending=*/false);
-      break;
-    case AllocationPolicy::FirstFit:
-      // idx is already in node-id order.
-      break;
-  }
-  return idx;
 }
 
 }  // namespace dbs::cluster

@@ -8,8 +8,6 @@
 
 namespace dbs::cluster {
 
-class Node;
-
 /// How to pick nodes when several could satisfy a request.
 enum class AllocationPolicy {
   /// Fill the busiest (fewest free cores) eligible nodes first, minimizing
@@ -41,6 +39,10 @@ struct Placement {
   [[nodiscard]] bool empty() const { return shares.empty(); }
 
   /// Merges another placement into this one (summing per-node shares).
+  /// The result is sorted by node id; a single linear merge when both
+  /// sides already are (the common case — release_all and the per-job
+  /// index produce sorted placements), otherwise the inputs are sorted
+  /// first. O(n + m) instead of the old O(n * m) find-per-share.
   void merge(const Placement& other);
 
   /// Selects a sub-placement of `cores` cores to give back, vacating the
@@ -48,11 +50,5 @@ struct Placement {
   /// Precondition: 0 < cores < total_cores().
   [[nodiscard]] Placement select_release(CoreCount cores) const;
 };
-
-/// Orders candidate node indices for allocation according to `policy`.
-/// `nodes` is the full node list; only `Up` nodes with free cores appear in
-/// the result.
-[[nodiscard]] std::vector<std::size_t> order_candidates(
-    const std::vector<Node>& nodes, AllocationPolicy policy);
 
 }  // namespace dbs::cluster

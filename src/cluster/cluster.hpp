@@ -5,6 +5,8 @@
 #include <vector>
 
 #include "cluster/allocation_policy.hpp"
+#include "cluster/free_core_index.hpp"
+#include "cluster/job_placement_index.hpp"
 #include "cluster/node.hpp"
 #include "common/types.hpp"
 
@@ -35,6 +37,11 @@ class Cluster {
     return total_cores_ - ledger_.used - ledger_.unavailable_free;
   }
   [[nodiscard]] CoreCount cores_per_node() const { return cores_per_node_; }
+  /// O(1): idle capacity stranded on non-Up nodes (unallocatable until the
+  /// node recovers). total == used + free + unavailable_free.
+  [[nodiscard]] CoreCount unavailable_free_cores() const {
+    return ledger_.unavailable_free;
+  }
 
   [[nodiscard]] const Node& node(NodeId id) const;
   [[nodiscard]] Node& node(NodeId id);
@@ -61,27 +68,45 @@ class Cluster {
   /// Returns the exact cores of `placement` held by `job`.
   void release(JobId job, const Placement& placement);
 
-  /// Releases everything `job` holds anywhere. Returns the freed placement.
+  /// Releases everything `job` holds anywhere. Returns the freed placement
+  /// (shares in node-id order). O(shares held) via the per-job index.
   Placement release_all(JobId job);
 
-  /// Total cores `job` currently holds across nodes.
+  /// Total cores `job` currently holds across nodes. O(1) via the per-job
+  /// index.
   [[nodiscard]] CoreCount held_by(JobId job) const;
+
+  /// The job's current shares sorted by node id, or nullptr if it holds
+  /// nothing. O(1) lookup via the per-job index.
+  [[nodiscard]] const std::vector<NodeShare>* shares_of(JobId job) const {
+    return job_index_.find(job);
+  }
 
   /// Marks a node down (its free cores become unavailable). Jobs' cores on
   /// it remain accounted until released by the caller.
   void set_node_state(NodeId id, NodeState s);
 
-  /// Verifies per-node accounting and that the O(1) aggregates agree with a
-  /// full node scan (throws invariant_error on corruption).
+  /// Verifies per-node accounting and that the O(1) aggregates, the
+  /// free-core bucket index and the per-job placement index all agree with
+  /// a full node scan (throws invariant_error on corruption).
   void check_invariants() const;
 
  private:
   void bind_nodes();
 
+  /// Best-fit chunk assignment onto distinct nodes via the free-core
+  /// index: for each chunk (largest first), the first candidate in policy
+  /// order whose bucket is >= the chunk size. Returns node indices per
+  /// chunk, or nullopt when placement is impossible. Does not mutate.
+  [[nodiscard]] std::optional<std::vector<std::size_t>> fit_chunks(
+      const std::vector<CoreCount>& chunks, AllocationPolicy policy) const;
+
   std::vector<Node> nodes_;
   CoreCount cores_per_node_;
   CoreCount total_cores_ = 0;
   CoreLedger ledger_;
+  FreeCoreIndex free_index_;
+  JobPlacementIndex job_index_;
 };
 
 }  // namespace dbs::cluster

@@ -1,5 +1,7 @@
 #include "cluster/node.hpp"
 
+#include "cluster/free_core_index.hpp"
+#include "cluster/job_placement_index.hpp"
 #include "common/assert.hpp"
 
 namespace dbs::cluster {
@@ -12,8 +14,14 @@ CoreCount Node::free_cores() const {
   return available() ? total_ - used_ : 0;
 }
 
+void Node::reindex(CoreCount old_free) {
+  if (free_index_ != nullptr)
+    free_index_->move(id_.value(), old_free, free_cores());
+}
+
 void Node::set_state(NodeState s) {
   if (s == state_) return;
+  const CoreCount old_free = free_cores();
   if (ledger_ != nullptr) {
     // Free cores on a non-Up node are unavailable; moving in or out of Up
     // shifts this node's idle capacity between the two pools.
@@ -23,15 +31,19 @@ void Node::set_state(NodeState s) {
       ledger_->unavailable_free -= total_ - used_;
   }
   state_ = s;
+  reindex(old_free);
 }
 
 void Node::allocate(JobId job, CoreCount cores) {
   DBS_REQUIRE(cores > 0, "allocation must be positive");
   DBS_REQUIRE(available(), "cannot allocate on an unavailable node");
   DBS_REQUIRE(cores <= free_cores(), "node oversubscription");
+  const CoreCount old_free = free_cores();
   held_[job] += cores;
   used_ += cores;
   if (ledger_ != nullptr) ledger_->used += cores;
+  if (job_index_ != nullptr) job_index_->apply(job, id_, cores);
+  reindex(old_free);
 }
 
 void Node::release(JobId job, CoreCount cores) {
@@ -39,6 +51,7 @@ void Node::release(JobId job, CoreCount cores) {
   auto it = held_.find(job);
   DBS_REQUIRE(it != held_.end() && it->second >= cores,
               "releasing cores the job does not hold");
+  const CoreCount old_free = free_cores();
   it->second -= cores;
   used_ -= cores;
   if (ledger_ != nullptr) {
@@ -47,19 +60,24 @@ void Node::release(JobId job, CoreCount cores) {
     // (the server releases lost allocations after failing the node).
     if (!available()) ledger_->unavailable_free += cores;
   }
+  if (job_index_ != nullptr) job_index_->apply(job, id_, -cores);
   if (it->second == 0) held_.erase(it);
+  reindex(old_free);
 }
 
 CoreCount Node::release_all(JobId job) {
   auto it = held_.find(job);
   if (it == held_.end()) return 0;
   const CoreCount cores = it->second;
+  const CoreCount old_free = free_cores();
   used_ -= cores;
   if (ledger_ != nullptr) {
     ledger_->used -= cores;
     if (!available()) ledger_->unavailable_free += cores;
   }
+  if (job_index_ != nullptr) job_index_->apply(job, id_, -cores);
   held_.erase(it);
+  reindex(old_free);
   return cores;
 }
 

@@ -7,6 +7,9 @@
 
 namespace dbs::cluster {
 
+class FreeCoreIndex;
+class JobPlacementIndex;
+
 enum class NodeState { Up, Down, Offline };
 
 /// Cluster-wide core aggregates, maintained incrementally by every node
@@ -50,18 +53,37 @@ class Node {
   /// Number of distinct jobs with cores on this node.
   [[nodiscard]] std::size_t job_count() const { return held_.size(); }
 
-  /// Attaches the cluster's aggregate ledger; every subsequent mutation
-  /// (including direct ones, e.g. the server failing a node) keeps it
-  /// consistent. The node's current contribution must already be counted.
-  void bind_ledger(CoreLedger* ledger) { ledger_ = ledger; }
+  /// The jobs holding cores here (iteration order is unspecified; callers
+  /// needing determinism must sort, e.g. by job id).
+  [[nodiscard]] const std::unordered_map<JobId, CoreCount>& held() const {
+    return held_;
+  }
+
+  /// Attaches the cluster's incremental structures: the aggregate ledger,
+  /// the free-core bucket index and the per-job placement index. Every
+  /// subsequent mutation (including direct ones, e.g. the server failing a
+  /// node) keeps all three consistent. The node's current contribution
+  /// must already be counted. Any pointer may be null (standalone nodes in
+  /// unit tests bind nothing).
+  void bind_indexes(CoreLedger* ledger, FreeCoreIndex* free_index,
+                    JobPlacementIndex* job_index) {
+    ledger_ = ledger;
+    free_index_ = free_index;
+    job_index_ = job_index;
+  }
 
  private:
+  /// Re-buckets this node after a free-core change.
+  void reindex(CoreCount old_free);
+
   NodeId id_;
   CoreCount total_;
   CoreCount used_ = 0;
   NodeState state_ = NodeState::Up;
   std::unordered_map<JobId, CoreCount> held_;
-  CoreLedger* ledger_ = nullptr;  ///< owned by the enclosing Cluster
+  CoreLedger* ledger_ = nullptr;          ///< owned by the enclosing Cluster
+  FreeCoreIndex* free_index_ = nullptr;   ///< owned by the enclosing Cluster
+  JobPlacementIndex* job_index_ = nullptr;  ///< owned by the enclosing Cluster
 };
 
 }  // namespace dbs::cluster

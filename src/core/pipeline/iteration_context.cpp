@@ -38,10 +38,10 @@ void IterationContext::rebuild_physical_profile() {
     physical.subtract(now, hold_end, job->allocated_cores());
   }
   // Down/offline nodes: their unused cores are unavailable indefinitely.
-  for (const cluster::Node& node : cl.nodes())
-    if (!node.available())
-      physical.subtract(now, Time::far_future(),
-                        node.total_cores() - node.used_cores());
+  // One aggregate subtract over the same interval equals the per-node
+  // subtracts, and the ledger keeps the sum in O(1) — no node scan.
+  if (const CoreCount down = cl.unavailable_free_cores(); down > 0)
+    physical.subtract(now, Time::far_future(), down);
 }
 
 void IterationContext::rebuild_planning_profile(

@@ -1,5 +1,6 @@
 #include "rms/server.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/assert.hpp"
@@ -303,12 +304,13 @@ void Server::node_failure(NodeId node_id) {
   cluster::Node& node = cluster_.node(node_id);
   DBS_REQUIRE(node.state() == cluster::NodeState::Up, "node already down");
 
-  // Collect the victims before mutating anything.
-  std::vector<std::pair<JobId, CoreCount>> victims;
-  for (const Job* job : queue_.running()) {
-    const CoreCount held = node.held_by(job->id());
-    if (held > 0) victims.emplace_back(job->id(), held);
-  }
+  // Collect the victims before mutating anything. The node's own hold map
+  // has exactly the affected jobs, so this no longer scans every running
+  // job; sorting by id restores the deterministic submission order the
+  // running-jobs scan used to provide.
+  std::vector<std::pair<JobId, CoreCount>> victims(node.held().begin(),
+                                                   node.held().end());
+  std::sort(victims.begin(), victims.end());
 
   node.set_state(cluster::NodeState::Down);
   for (const auto& [id, lost] : victims) {

@@ -1,5 +1,6 @@
 #include "rms/status.hpp"
 
+#include <algorithm>
 #include <sstream>
 
 #include "common/table.hpp"
@@ -33,12 +34,18 @@ std::string format_qstat(const Server& server, bool include_finished) {
 
 std::string format_pbsnodes(const Server& server) {
   TextTable table({"Node", "State", "Used/Total", "Jobs"});
+  std::vector<JobId> holders;
   for (const cluster::Node& node : server.cluster().nodes()) {
+    // The node's own hold map lists its occupants directly — no scan over
+    // all running jobs per node. Sorted by id to match the submission
+    // order the job-queue scan used to produce.
+    holders.clear();
+    for (const auto& [id, cores] : node.held()) holders.push_back(id);
+    std::sort(holders.begin(), holders.end());
     std::string jobs;
-    for (const Job* job : server.jobs().running()) {
-      if (node.held_by(job->id()) == 0) continue;
+    for (const JobId id : holders) {
       if (!jobs.empty()) jobs += ",";
-      jobs += std::to_string(job->id().value());
+      jobs += std::to_string(id.value());
     }
     const char* state = node.state() == cluster::NodeState::Up ? "up"
                         : node.state() == cluster::NodeState::Down ? "down"

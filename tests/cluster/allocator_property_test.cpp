@@ -1,0 +1,168 @@
+// Differential fuzz of the index-based Cluster against the old scan-based
+// allocator (tests/property/reference_allocator.hpp): random sequences of
+// allocate / allocate_chunked / release / release_all / node-down/up across
+// Pack, Spread and FirstFit. Every placement must be byte-identical to the
+// reference (same shares, same order), every query must agree, and the
+// incremental indexes must survive check_invariants() after every step.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "../property/reference_allocator.hpp"
+#include "cluster/cluster.hpp"
+#include "common/rng.hpp"
+
+namespace dbs::cluster {
+namespace {
+
+using testing::ReferenceCluster;
+
+AllocationPolicy pick_policy(Rng& rng) {
+  switch (rng.next_int(0, 2)) {
+    case 0: return AllocationPolicy::Pack;
+    case 1: return AllocationPolicy::Spread;
+    default: return AllocationPolicy::FirstFit;
+  }
+}
+
+void expect_same_placement(const std::optional<Placement>& got,
+                           const std::optional<Placement>& want,
+                           const char* what, int step) {
+  ASSERT_EQ(got.has_value(), want.has_value()) << what << " at step " << step;
+  if (!got) return;
+  ASSERT_EQ(got->shares.size(), want->shares.size())
+      << what << " share count at step " << step;
+  for (std::size_t i = 0; i < got->shares.size(); ++i) {
+    EXPECT_EQ(got->shares[i].node, want->shares[i].node)
+        << what << " share " << i << " node at step " << step;
+    EXPECT_EQ(got->shares[i].cores, want->shares[i].cores)
+        << what << " share " << i << " cores at step " << step;
+  }
+}
+
+class AllocatorDifferential : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AllocatorDifferential, IndexedPlacementsMatchScanAllocator) {
+  Rng rng(GetParam());
+  const std::size_t node_count = static_cast<std::size_t>(
+      rng.next_int(2, 24));
+  const auto cores_per_node = static_cast<CoreCount>(rng.next_int(1, 12));
+  Cluster cluster(ClusterSpec{node_count, cores_per_node});
+  ReferenceCluster reference(node_count, cores_per_node);
+
+  std::map<JobId, Placement> live;      // job -> canonical merged placement
+  std::vector<NodeId> down_nodes;
+  std::uint64_t next_job = 0;
+
+  for (int step = 0; step < 1500; ++step) {
+    const int op = static_cast<int>(rng.next_int(0, 99));
+    if (op < 30) {
+      // Plain allocation.
+      const JobId id{next_job++};
+      const auto cores = static_cast<CoreCount>(
+          rng.next_int(1, static_cast<int>(cluster.total_cores()) + 4));
+      const AllocationPolicy policy = pick_policy(rng);
+      const auto got = cluster.allocate(id, cores, policy);
+      const auto want = reference.allocate(id, cores, policy);
+      expect_same_placement(got, want, "allocate", step);
+      if (got) {
+        Placement merged = live.count(id) ? live[id] : Placement{};
+        merged.merge(*got);
+        live[id] = merged;
+      }
+    } else if (op < 55) {
+      // Torque-style chunked allocation.
+      const JobId id{next_job++};
+      const auto ppn = static_cast<CoreCount>(rng.next_int(1, cores_per_node));
+      const auto cores = static_cast<CoreCount>(
+          rng.next_int(1, 3 * ppn * static_cast<int>(node_count) / 2 + 1));
+      const AllocationPolicy policy = pick_policy(rng);
+      const bool predicted = policy == AllocationPolicy::Pack
+                                 ? cluster.can_allocate_chunked(cores, ppn)
+                                 : false;
+      const auto got = cluster.allocate_chunked(id, cores, ppn, policy);
+      const auto want = reference.allocate_chunked(id, cores, ppn, policy);
+      expect_same_placement(got, want, "allocate_chunked", step);
+      if (policy == AllocationPolicy::Pack) {
+        EXPECT_EQ(predicted, got.has_value())
+            << "can_allocate_chunked disagreed at step " << step;
+      }
+      if (got) {
+        Placement merged = live.count(id) ? live[id] : Placement{};
+        merged.merge(*got);
+        live[id] = merged;
+      }
+    } else if (op < 70 && !live.empty()) {
+      // Partial release of a random live job.
+      auto it = live.begin();
+      std::advance(it, static_cast<long>(rng.next_below(live.size())));
+      if (it->second.total_cores() > 1) {
+        const auto part = static_cast<CoreCount>(
+            rng.next_int(1, it->second.total_cores() - 1));
+        const Placement freed = it->second.select_release(part);
+        cluster.release(it->first, freed);
+        reference.release(it->first, freed);
+        Placement remaining;
+        for (const NodeShare& s : it->second.shares) {
+          CoreCount kept = s.cores;
+          for (const NodeShare& f : freed.shares)
+            if (f.node == s.node) kept -= f.cores;
+          if (kept > 0) remaining.shares.push_back({s.node, kept});
+        }
+        it->second = remaining;
+      }
+    } else if (op < 85 && !live.empty()) {
+      // Full release.
+      auto it = live.begin();
+      std::advance(it, static_cast<long>(rng.next_below(live.size())));
+      const Placement got = cluster.release_all(it->first);
+      const Placement want = reference.release_all(it->first);
+      expect_same_placement(got, want, "release_all", step);
+      EXPECT_EQ(got.total_cores(), it->second.total_cores());
+      live.erase(it);
+    } else if (op < 92) {
+      // Node failure / recovery.
+      if (!down_nodes.empty() && rng.next_double() < 0.5) {
+        const NodeId id = down_nodes.back();
+        down_nodes.pop_back();
+        cluster.set_node_state(id, NodeState::Up);
+        reference.set_node_state(id, true);
+      } else {
+        const NodeId id{rng.next_below(node_count)};
+        if (cluster.node(id).state() == NodeState::Up) {
+          cluster.set_node_state(id, NodeState::Down);
+          reference.set_node_state(id, false);
+          down_nodes.push_back(id);
+        }
+      }
+    } else {
+      // Pure queries.
+      const auto ppn = static_cast<CoreCount>(rng.next_int(1, cores_per_node));
+      const auto cores = static_cast<CoreCount>(
+          rng.next_int(1, ppn * static_cast<int>(node_count) + 2));
+      EXPECT_EQ(cluster.can_allocate_chunked(cores, ppn),
+                reference.can_allocate_chunked(cores, ppn))
+          << "can_allocate_chunked " << cores << ":" << ppn << " at step "
+          << step;
+    }
+
+    // Global agreement + index integrity after every step.
+    EXPECT_EQ(cluster.used_cores(), reference.used_cores()) << "step " << step;
+    EXPECT_EQ(cluster.free_cores(), reference.free_cores()) << "step " << step;
+    ASSERT_NO_THROW(cluster.check_invariants()) << "step " << step;
+    if (step % 50 == 0) {
+      for (const auto& [id, placement] : live) {
+        EXPECT_EQ(cluster.held_by(id), reference.held_by(id));
+        EXPECT_EQ(cluster.held_by(id), placement.total_cores());
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AllocatorDifferential,
+                         ::testing::Values(1u, 2u, 3u, 5u, 7u, 11u, 13u, 42u,
+                                           99u, 1234u, 31337u, 987654u));
+
+}  // namespace
+}  // namespace dbs::cluster

@@ -104,6 +104,59 @@ TEST(Cluster, PlacementMerge) {
   EXPECT_EQ(a.shares[1].cores, 10);
 }
 
+TEST(Cluster, PlacementMergeCanonicalizesUnsortedInputs) {
+  // Placements from the allocator arrive in policy order, not id order;
+  // merge must still combine per-node shares and emit a sorted result.
+  Placement a{{{NodeId{3}, 2}, {NodeId{0}, 4}}};
+  const Placement b{{{NodeId{2}, 1}, {NodeId{3}, 5}}};
+  a.merge(b);
+  ASSERT_EQ(a.shares.size(), 3u);
+  EXPECT_EQ(a.shares[0], (NodeShare{NodeId{0}, 4}));
+  EXPECT_EQ(a.shares[1], (NodeShare{NodeId{2}, 1}));
+  EXPECT_EQ(a.shares[2], (NodeShare{NodeId{3}, 7}));
+}
+
+TEST(Cluster, SelectReleaseSmallestShareFastPath) {
+  // The smallest share covers the request: released from that node alone,
+  // exactly as the full sorted walk would.
+  const Placement p{{{NodeId{0}, 8}, {NodeId{1}, 3}, {NodeId{2}, 5}}};
+  const Placement freed = p.select_release(2);
+  ASSERT_EQ(freed.shares.size(), 1u);
+  EXPECT_EQ(freed.shares[0], (NodeShare{NodeId{1}, 2}));
+  const Placement spill = p.select_release(7);
+  ASSERT_EQ(spill.shares.size(), 2u);
+  EXPECT_EQ(spill.shares[0], (NodeShare{NodeId{1}, 3}));
+  EXPECT_EQ(spill.shares[1], (NodeShare{NodeId{2}, 4}));
+}
+
+TEST(Cluster, ReleaseAllReturnsSharesInNodeIdOrder) {
+  Cluster c = make(4, 8);
+  // Spread scatters the job across nodes 3, 2, 1 (emptiest-first ties
+  // break ascending, all equal => 0,1,2); use two jobs to force a
+  // non-trivial order.
+  ASSERT_TRUE(c.allocate(JobId{9}, 4).has_value());
+  ASSERT_TRUE(c.allocate(JobId{1}, 18, AllocationPolicy::Spread).has_value());
+  const Placement freed = c.release_all(JobId{1});
+  EXPECT_EQ(freed.total_cores(), 18);
+  for (std::size_t i = 1; i < freed.shares.size(); ++i)
+    EXPECT_LT(freed.shares[i - 1].node, freed.shares[i].node);
+  EXPECT_EQ(c.held_by(JobId{1}), 0);
+  EXPECT_EQ(c.held_by(JobId{9}), 4);
+}
+
+TEST(Cluster, SharesOfExposesPerJobIndex) {
+  Cluster c = make(4, 8);
+  EXPECT_EQ(c.shares_of(JobId{1}), nullptr);
+  ASSERT_TRUE(c.allocate(JobId{1}, 12).has_value());
+  const auto* shares = c.shares_of(JobId{1});
+  ASSERT_NE(shares, nullptr);
+  CoreCount total = 0;
+  for (const NodeShare& s : *shares) total += s.cores;
+  EXPECT_EQ(total, 12);
+  c.release_all(JobId{1});
+  EXPECT_EQ(c.shares_of(JobId{1}), nullptr);
+}
+
 TEST(Cluster, UnknownNodeRejected) {
   Cluster c = make(2, 8);
   EXPECT_THROW((void)c.node(NodeId{5}), precondition_error);

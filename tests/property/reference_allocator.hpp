@@ -1,0 +1,216 @@
+// The original scan-based cluster allocator, kept verbatim as a reference
+// implementation for differential testing of the index-based Cluster
+// (mirroring reference_profile.hpp for the availability profile). Slow but
+// simple: every placement scans all nodes and stable-sorts candidates by
+// (free cores, node id), release_all/held_by scan every node per job.
+// Agreement — byte-identical placements, identical accounting — transfers
+// the old allocator's auditability to the optimized production class.
+#pragma once
+
+#include <algorithm>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/allocation_policy.hpp"
+#include "common/assert.hpp"
+#include "common/types.hpp"
+
+namespace dbs::cluster::testing {
+
+class ReferenceCluster {
+ public:
+  ReferenceCluster(std::size_t node_count, CoreCount cores_per_node)
+      : cores_per_node_(cores_per_node) {
+    DBS_REQUIRE(node_count > 0, "cluster needs at least one node");
+    DBS_REQUIRE(cores_per_node > 0, "nodes need at least one core");
+    nodes_.resize(node_count);
+    total_cores_ = static_cast<CoreCount>(node_count) * cores_per_node;
+  }
+
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] CoreCount total_cores() const { return total_cores_; }
+  [[nodiscard]] CoreCount cores_per_node() const { return cores_per_node_; }
+
+  [[nodiscard]] CoreCount used_cores() const {
+    CoreCount used = 0;
+    for (const auto& n : nodes_) used += n.used;
+    return used;
+  }
+
+  [[nodiscard]] CoreCount free_cores() const {
+    CoreCount free = 0;
+    for (const auto& n : nodes_) free += free_of(n);
+    return free;
+  }
+
+  [[nodiscard]] CoreCount held_by(JobId job) const {
+    CoreCount total = 0;
+    for (const auto& n : nodes_) {
+      auto it = n.held.find(job);
+      if (it != n.held.end()) total += it->second;
+    }
+    return total;
+  }
+
+  std::optional<Placement> allocate(JobId job, CoreCount cores,
+                                    AllocationPolicy policy) {
+    DBS_REQUIRE(cores > 0, "allocation must be positive");
+    if (cores > free_cores()) return std::nullopt;
+    Placement placement;
+    CoreCount remaining = cores;
+    for (const std::size_t i : order_candidates(policy)) {
+      if (remaining == 0) break;
+      RefNode& n = nodes_[i];
+      const CoreCount take = std::min(remaining, free_of(n));
+      if (take == 0) continue;
+      node_allocate(n, job, take);
+      placement.shares.push_back({NodeId{i}, take});
+      remaining -= take;
+    }
+    DBS_ASSERT(remaining == 0, "free_cores() promised capacity not found");
+    return placement;
+  }
+
+  std::optional<Placement> allocate_chunked(JobId job, CoreCount cores,
+                                            CoreCount ppn,
+                                            AllocationPolicy policy) {
+    DBS_REQUIRE(cores > 0, "allocation must be positive");
+    DBS_REQUIRE(ppn > 0 && ppn <= cores_per_node_, "invalid ppn");
+    const std::vector<CoreCount> chunks = chunk_sizes(cores, ppn);
+    std::vector<CoreCount> free(nodes_.size(), 0);
+    for (std::size_t i = 0; i < nodes_.size(); ++i) free[i] = free_of(nodes_[i]);
+    const auto picks = fit_chunks(chunks, free, order_candidates(policy));
+    if (!picks) return std::nullopt;
+    Placement placement;
+    for (std::size_t c = 0; c < chunks.size(); ++c) {
+      const std::size_t i = (*picks)[c];
+      node_allocate(nodes_[i], job, chunks[c]);
+      placement.shares.push_back({NodeId{i}, chunks[c]});
+    }
+    return placement;
+  }
+
+  [[nodiscard]] bool can_allocate_chunked(CoreCount cores, CoreCount ppn) const {
+    DBS_REQUIRE(cores > 0, "query must be positive");
+    DBS_REQUIRE(ppn > 0 && ppn <= cores_per_node_, "invalid ppn");
+    const std::vector<CoreCount> chunks = chunk_sizes(cores, ppn);
+    std::vector<CoreCount> free(nodes_.size(), 0);
+    for (std::size_t i = 0; i < nodes_.size(); ++i) free[i] = free_of(nodes_[i]);
+    return fit_chunks(chunks, free,
+                      order_candidates(AllocationPolicy::Pack))
+        .has_value();
+  }
+
+  void release(JobId job, const Placement& placement) {
+    for (const auto& share : placement.shares) {
+      RefNode& n = nodes_[share.node.value()];
+      auto it = n.held.find(job);
+      DBS_REQUIRE(it != n.held.end() && it->second >= share.cores,
+                  "releasing cores the job does not hold");
+      it->second -= share.cores;
+      n.used -= share.cores;
+      if (it->second == 0) n.held.erase(it);
+    }
+  }
+
+  Placement release_all(JobId job) {
+    Placement freed;
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      RefNode& n = nodes_[i];
+      auto it = n.held.find(job);
+      if (it == n.held.end()) continue;
+      freed.shares.push_back({NodeId{i}, it->second});
+      n.used -= it->second;
+      n.held.erase(it);
+    }
+    return freed;
+  }
+
+  void set_node_state(NodeId id, bool up) { nodes_[id.value()].up = up; }
+
+ private:
+  struct RefNode {
+    CoreCount used = 0;
+    bool up = true;
+    std::unordered_map<JobId, CoreCount> held;
+  };
+
+  [[nodiscard]] CoreCount free_of(const RefNode& n) const {
+    return n.up ? cores_per_node_ - n.used : 0;
+  }
+
+  void node_allocate(RefNode& n, JobId job, CoreCount cores) {
+    DBS_REQUIRE(n.up && cores <= free_of(n), "node oversubscription");
+    n.held[job] += cores;
+    n.used += cores;
+  }
+
+  /// The old order_candidates: all nodes with free cores, stable-sorted by
+  /// free-core count (ascending for Pack, descending for Spread) with node
+  /// id as the tie-break; FirstFit keeps plain node-id order.
+  [[nodiscard]] std::vector<std::size_t> order_candidates(
+      AllocationPolicy policy) const {
+    std::vector<std::size_t> idx;
+    idx.reserve(nodes_.size());
+    for (std::size_t i = 0; i < nodes_.size(); ++i)
+      if (free_of(nodes_[i]) > 0) idx.push_back(i);
+
+    const auto by_free = [&](bool ascending) {
+      std::stable_sort(idx.begin(), idx.end(),
+                       [&](std::size_t a, std::size_t b) {
+                         const CoreCount fa = free_of(nodes_[a]);
+                         const CoreCount fb = free_of(nodes_[b]);
+                         if (fa != fb) return ascending ? fa < fb : fa > fb;
+                         return a < b;
+                       });
+    };
+
+    switch (policy) {
+      case AllocationPolicy::Pack:
+        by_free(/*ascending=*/true);
+        break;
+      case AllocationPolicy::Spread:
+        by_free(/*ascending=*/false);
+        break;
+      case AllocationPolicy::FirstFit:
+        // idx is already in node-id order.
+        break;
+    }
+    return idx;
+  }
+
+  static std::vector<CoreCount> chunk_sizes(CoreCount cores, CoreCount ppn) {
+    std::vector<CoreCount> chunks(static_cast<std::size_t>(cores / ppn), ppn);
+    if (cores % ppn != 0) chunks.push_back(cores % ppn);
+    return chunks;
+  }
+
+  /// The old best-fit chunk assignment: for each chunk (largest first),
+  /// the first not-yet-taken node in candidate order that fits it.
+  static std::optional<std::vector<std::size_t>> fit_chunks(
+      const std::vector<CoreCount>& chunks, std::vector<CoreCount> free,
+      const std::vector<std::size_t>& candidate_order) {
+    std::vector<std::size_t> picks;
+    picks.reserve(chunks.size());
+    std::vector<bool> taken(free.size(), false);
+    for (const CoreCount chunk : chunks) {
+      bool placed = false;
+      for (const std::size_t i : candidate_order) {
+        if (taken[i] || free[i] < chunk) continue;
+        picks.push_back(i);
+        taken[i] = true;
+        placed = true;
+        break;
+      }
+      if (!placed) return std::nullopt;
+    }
+    return picks;
+  }
+
+  std::vector<RefNode> nodes_;
+  CoreCount cores_per_node_;
+  CoreCount total_cores_ = 0;
+};
+
+}  // namespace dbs::cluster::testing

@@ -18,11 +18,22 @@ benchmarks at all.
 CI runners are noisy; the tolerance is deliberately loose. It is meant to
 catch order-of-magnitude mistakes (an accidental O(n^2) loop, a debug build
 slipping into the bench job), not single-digit-percent drift.
+
+Sweep benchmarks whose names end in a numeric size label (e.g.
+`bm_scale_alloc_release/indexed/65536`) can additionally be compared ACROSS
+labels of the current file with --scaling-report: benchmarks are grouped by
+the name without the trailing label and the growth from the smallest to the
+largest label is printed per group. With --max-scaling F the check fails if
+any group matching --scaling-filter (a substring, default: every group)
+grows by more than F× from its smallest to its largest label — this is how
+CI catches an accidentally reintroduced O(nodes) term in the indexed
+allocation kernels, independent of absolute machine speed.
 """
 
 import argparse
 import json
 import os
+import re
 import sys
 
 
@@ -46,8 +57,55 @@ def load_benchmarks(path):
     return out
 
 
+def scaling_groups(benchmarks):
+    """Groups `name/LABEL` entries by name; labels must be integers.
+
+    Returns {base_name: [(label, time), ...]} sorted by label, for groups
+    with at least two labels (a single size has no scaling to measure).
+    """
+    groups = {}
+    for name, time in benchmarks.items():
+        match = re.fullmatch(r"(.+)/(\d+)", name)
+        if not match:
+            continue
+        groups.setdefault(match.group(1), []).append((int(match.group(2)), time))
+    return {
+        base: sorted(points)
+        for base, points in groups.items()
+        if len(points) >= 2
+    }
+
+
+def check_scaling(benchmarks, max_scaling, scaling_filter):
+    """Prints the per-group scaling table; returns names growing too much."""
+    groups = scaling_groups(benchmarks)
+    if not groups:
+        print("note: no benchmarks with numeric size labels; nothing to scale")
+        return []
+    violations = []
+    width = max(len(n) for n in groups)
+    print(f"\nscaling across size labels (growth = largest / smallest label):")
+    print(f"{'group':<{width}}  {'range':>16}  {'time ns':>24}  growth")
+    for base in sorted(groups):
+        points = groups[base]
+        (lo, t_lo), (hi, t_hi) = points[0], points[-1]
+        growth = t_hi / t_lo if t_lo > 0 else float("inf")
+        gated = max_scaling is not None and scaling_filter in base
+        flag = ""
+        if gated and growth > max_scaling:
+            violations.append((base, growth))
+            flag = "  << SCALING"
+        print(
+            f"{base:<{width}}  {lo:>7}..{hi:<7}  {t_lo:>11.1f}..{t_hi:<11.1f}"
+            f"  {growth:6.1f}x{flag}"
+        )
+    return violations
+
+
 def main():
-    parser = argparse.ArgumentParser(description=__doc__)
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
+    )
     parser.add_argument("baseline")
     parser.add_argument("current")
     parser.add_argument(
@@ -55,6 +113,26 @@ def main():
         type=float,
         default=float(os.environ.get("DBS_BENCH_TOLERANCE", "0.20")),
         help="allowed fractional slowdown per benchmark (default 0.20)",
+    )
+    parser.add_argument(
+        "--scaling-report",
+        action="store_true",
+        help="also print how each benchmark group in CURRENT grows across "
+        "its numeric size labels",
+    )
+    parser.add_argument(
+        "--max-scaling",
+        type=float,
+        default=None,
+        help="fail if a group's largest-label time exceeds its "
+        "smallest-label time by more than this factor (implies "
+        "--scaling-report)",
+    )
+    parser.add_argument(
+        "--scaling-filter",
+        default="",
+        help="only gate --max-scaling on groups whose name contains this "
+        "substring (default: all groups)",
     )
     args = parser.parse_args()
 
@@ -70,24 +148,28 @@ def main():
         print(f"note: removed benchmark '{name}' (baseline only, skipped)")
     for name in sorted(set(curr) - set(base)):
         print(f"note: new benchmark '{name}' (no baseline yet, skipped)")
+
+    regressed = []
     if not shared:
         # Every current benchmark is new — nothing to gate against yet.
         print(f"OK: {len(curr)} new benchmark(s), no shared baseline entries")
-        return 0
+    else:
+        width = max(len(n) for n in shared)
+        print(f"{'benchmark':<{width}}  {'base ns':>12}  {'curr ns':>12}  ratio")
+        for name in shared:
+            ratio = curr[name] / base[name] if base[name] > 0 else float("inf")
+            flag = ""
+            if ratio > 1.0 + args.tolerance:
+                regressed.append((name, ratio))
+                flag = "  << REGRESSION"
+            print(
+                f"{name:<{width}}  {base[name]:>12.1f}  {curr[name]:>12.1f}"
+                f"  {ratio:5.2f}x{flag}"
+            )
 
-    regressed = []
-    width = max(len(n) for n in shared)
-    print(f"{'benchmark':<{width}}  {'base ns':>12}  {'curr ns':>12}  ratio")
-    for name in shared:
-        ratio = curr[name] / base[name] if base[name] > 0 else float("inf")
-        flag = ""
-        if ratio > 1.0 + args.tolerance:
-            regressed.append((name, ratio))
-            flag = "  << REGRESSION"
-        print(
-            f"{name:<{width}}  {base[name]:>12.1f}  {curr[name]:>12.1f}"
-            f"  {ratio:5.2f}x{flag}"
-        )
+    violations = []
+    if args.scaling_report or args.max_scaling is not None:
+        violations = check_scaling(curr, args.max_scaling, args.scaling_filter)
 
     if regressed:
         print(
@@ -97,9 +179,22 @@ def main():
         )
         for name, ratio in regressed:
             print(f"  {name}: {ratio:.2f}x", file=sys.stderr)
+    if violations:
+        print(
+            f"\nFAIL: {len(violations)} group(s) grow by more than "
+            f"{args.max_scaling:.1f}x across size labels:",
+            file=sys.stderr,
+        )
+        for name, growth in violations:
+            print(f"  {name}: {growth:.1f}x", file=sys.stderr)
+    if regressed or violations:
         return 1
 
-    print(f"\nOK: {len(shared)} benchmark(s) within {args.tolerance:.0%} of baseline")
+    if shared:
+        print(
+            f"\nOK: {len(shared)} benchmark(s) within "
+            f"{args.tolerance:.0%} of baseline"
+        )
     return 0
 
 
