@@ -1,0 +1,122 @@
+// Flight-recorder overhead: the fig. 12 evaluation machine (128 cores,
+// both depths 5) running the ESP evolving workload with the recorder
+// attached vs detached. The record-on/record-off pair is the bench-smoke
+// regression gate for the capture path — recording every decision and
+// lifecycle event must stay in the noise next to the scheduler itself.
+// A writer microbenchmark isolates the per-record append cost.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+#include "batch/batch_system.hpp"
+#include "batch/esp_experiment.hpp"
+#include "bench_common.hpp"
+#include "obs/recorder/reader.hpp"
+#include "obs/recorder/recorder.hpp"
+#include "obs/recorder/writer.hpp"
+#include "obs/registry.hpp"
+#include "workload/esp.hpp"
+
+namespace {
+
+using namespace dbs;
+
+const char* kRecordPath = "bench_recorder.tmp.dbsr";
+
+/// One Dyn-HP ESP run (the workload every Table II/fig. 12 row shares),
+/// optionally recorded. state.range(0): 0 = record off, 1 = record on.
+void bm_esp_run(benchmark::State& state) {
+  const bool record = state.range(0) != 0;
+  const batch::EspExperimentParams params = bench::paper_esp_params();
+  wl::EspParams wl_params = params.workload;
+  wl_params.evolving_enabled = true;
+  const wl::Workload workload = wl::generate_esp(wl_params);
+  const batch::SystemConfig config =
+      batch::esp_system_config(params, batch::EspConfig::DynHP);
+
+  std::uint64_t records = 0;
+  for (auto _ : state) {
+    obs::Registry registry;
+    obs::rec::FlightRecorder recorder;
+    if (record)
+      recorder.open(kRecordPath, params.workload.total_cores);
+    batch::BatchSystem system(config);
+    system.set_sinks({nullptr, &registry, record ? &recorder : nullptr});
+    system.submit_workload(workload);
+    system.run();
+    if (record) {
+      records = recorder.records_written();
+      recorder.finalize();
+    }
+    benchmark::DoNotOptimize(system.scheduler().iterations());
+  }
+  state.SetLabel(record ? std::to_string(records) + " records/run"
+                        : "recorder detached");
+  std::remove(kRecordPath);
+}
+BENCHMARK(bm_esp_run)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+/// Raw append cost: pack + index + buffer one record.
+void bm_writer_append(benchmark::State& state) {
+  obs::rec::RecordWriter writer;
+  writer.open(kRecordPath, 128);
+  obs::rec::PackedRecord r;
+  r.type = obs::rec::RecordType::DecStartJob;
+  r.cores = 8;
+  r.flags = obs::rec::kFlagApplied;
+  std::int64_t t = 0;
+  std::uint32_t job = 0;
+  for (auto _ : state) {
+    r.t_us = t += 1000;
+    r.job = job = (job + 1) & 1023;  // bounded job set, like a real run
+    writer.append(r);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  writer.finalize();
+  std::remove(kRecordPath);
+}
+BENCHMARK(bm_writer_append);
+
+/// Full-file fold: sequential scan speed of the reader (records/s), on a
+/// file shaped like a recorded ESP run.
+void bm_reader_scan(benchmark::State& state) {
+  {
+    obs::rec::RecordWriter writer;
+    writer.open(kRecordPath, 128);
+    obs::rec::PackedRecord r;
+    r.type = obs::rec::RecordType::Start;
+    r.cores = 8;
+    for (std::int64_t i = 0; i < 100'000; ++i) {
+      r.t_us = i * 1000;
+      r.job = static_cast<std::uint32_t>(i & 1023);
+      writer.append(r);
+    }
+    writer.finalize();
+  }
+  obs::rec::RecordReader reader;
+  if (!reader.open(kRecordPath)) {
+    state.SkipWithError(reader.error().c_str());
+    return;
+  }
+  for (auto _ : state) {
+    std::uint64_t cores = 0;
+    reader.scan_all(
+        [&](const obs::rec::PackedRecord& r) { cores +=
+            static_cast<std::uint64_t>(r.cores); });
+    benchmark::DoNotOptimize(cores);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          100'000);
+  std::remove(kRecordPath);
+}
+BENCHMARK(bm_reader_scan);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  dbs::bench::maybe_dump_metrics();
+  return 0;
+}

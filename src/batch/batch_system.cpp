@@ -1,6 +1,7 @@
 #include "batch/batch_system.hpp"
 
 #include "common/assert.hpp"
+#include "obs/recorder/recorder.hpp"
 #include "obs/registry.hpp"
 #include "obs/tracer.hpp"
 
@@ -9,6 +10,9 @@ namespace dbs::batch {
 void BatchSystem::set_sinks(const obs::Sinks& sinks) {
   if (sinks.tracer != nullptr)
     sinks.tracer->set_clock([this] { return sim_.now(); });
+  if (sinks.recorder != nullptr)
+    sinks.recorder->set_clock([this] { return sim_.now(); });
+  tracer_ = sinks.tracer;
   server_.set_sinks(sinks);
   moms_.set_sinks(sinks);
   scheduler_.set_sinks(sinks);
@@ -53,6 +57,10 @@ void BatchSystem::submit_workload(const wl::Workload& workload) {
 void BatchSystem::run() {
   sim_.run();
   cluster_.check_invariants();
+  // End of simulation: push buffered trace events to disk so a crash in
+  // post-run analysis can't lose the tail of the trace. The tracer stays
+  // open — the owner may run further simulations before close().
+  if (tracer_ != nullptr) tracer_->flush();
 }
 
 void BatchSystem::run_until(Time until) {

@@ -58,7 +58,8 @@ class BatchSystem {
   /// Attaches the observability sinks to every component (server, moms,
   /// scheduler, DFS): the tracer (nullable; its clock is pointed at the
   /// simulator) receives every trace event, the registry (null selects the
-  /// global one) every metric.
+  /// global one) every metric, and the flight recorder (nullable; clock
+  /// wired like the tracer's) every lifecycle event and applied decision.
   void set_sinks(const obs::Sinks& sinks);
 
  private:
@@ -69,6 +70,7 @@ class BatchSystem {
   rms::MomManager moms_;
   metrics::Recorder recorder_;
   core::MauiScheduler scheduler_;
+  obs::Tracer* tracer_ = nullptr;  ///< last sinks' tracer; flushed after run()
 };
 
 }  // namespace dbs::batch

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/cycle_timer.hpp"
+#include "obs/recorder/recorder.hpp"
 #include "obs/registry.hpp"
 #include "obs/tracer.hpp"
 
@@ -49,6 +50,7 @@ MauiScheduler::~MauiScheduler() = default;
 void MauiScheduler::set_sinks(const obs::Sinks& sinks) {
   ctx_.sinks.tracer = sinks.tracer;
   ctx_.sinks.registry = &sinks.registry_or_global();
+  ctx_.sinks.recorder = sinks.recorder;
   dfs_.set_sinks(sinks);
   instruments_ = Instruments{};
 }
@@ -109,6 +111,12 @@ void MauiScheduler::iterate() {
                       .field("free_cores", server_.cluster().free_cores()));
 
   run_pipeline();
+
+  // Applied iterations feed the flight recorder; dry runs never do (they
+  // would duplicate the stream the next live iteration records).
+  if (ctx_.sinks.recorder != nullptr && !ctx_.applier.decisions().empty())
+    ctx_.sinks.recorder->record_decisions(now, iterations_,
+                                          ctx_.applier.decisions());
 
   const auto wall_end = std::chrono::steady_clock::now();
   IterationStats& stats = ctx_.stats;

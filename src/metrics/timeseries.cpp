@@ -1,0 +1,236 @@
+#include "metrics/timeseries.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <set>
+#include <unordered_map>
+
+#include "common/assert.hpp"
+#include "obs/json.hpp"
+#include "obs/recorder/reader.hpp"
+
+namespace dbs::metrics {
+namespace {
+
+using obs::rec::PackedRecord;
+using obs::rec::RecordType;
+
+/// Folding state: an event sweep integrating step functions (used cores,
+/// queued jobs, their per-user splits) into time buckets.
+class Fold {
+ public:
+  Fold(std::int64_t bucket_us, std::int64_t capacity)
+      : bucket_us_(bucket_us), capacity_(capacity) {}
+
+  void on_record(const PackedRecord& r, const std::string& user) {
+    if (obs::rec::is_decision(r.type)) return;  // resource-neutral here
+    advance_to(r.t_us);
+    JobState& job = jobs_[r.job];
+    switch (r.type) {
+      case RecordType::Submit:
+        job.user = user;
+        set_queued(job, true);
+        users_.insert(user);
+        break;
+      case RecordType::Start:
+        set_queued(job, false);
+        add_alloc(job, r.cores);
+        break;
+      case RecordType::Finish:
+        add_alloc(job, -job.alloc);
+        break;
+      case RecordType::DynGrant:
+        add_alloc(job, r.cores);
+        break;
+      case RecordType::DynRelease:
+      case RecordType::MalleableShrink:
+      case RecordType::NodesLost:
+        add_alloc(job, -r.cores);
+        break;
+      case RecordType::Requeue:
+        add_alloc(job, -job.alloc);
+        set_queued(job, true);
+        break;
+      case RecordType::Cancel:
+        add_alloc(job, -job.alloc);
+        set_queued(job, false);
+        break;
+      case RecordType::DynRequest:
+      case RecordType::DynReject:
+        break;  // no resource or queue change
+      default:
+        break;
+    }
+  }
+
+  Timeseries finish(std::int64_t bucket_s) {
+    Timeseries ts;
+    ts.bucket_s = bucket_s;
+    ts.capacity = capacity_;
+    ts.users.assign(users_.begin(), users_.end());
+    const double width_s = static_cast<double>(bucket_us_) / 1e6;
+    std::map<std::string, double> cum_delay;
+    for (Bucket& b : buckets_) {
+      TimeseriesBucket out;
+      out.start_us = b.start_us;
+      out.used_core_s = b.used_core_us / 1e6;
+      out.avg_queue_depth = b.queued_us / 1e6 / width_s;
+      if (capacity_ > 0)
+        out.utilization =
+            out.used_core_s / (static_cast<double>(capacity_) * width_s);
+      for (auto& [user, core_us] : b.user_used_core_us)
+        out.user_usage_core_s[user] = core_us / 1e6;
+      for (auto& [user, queued_us] : b.user_queued_us)
+        cum_delay[user] += queued_us / 1e6;
+      out.user_cum_delay_s = cum_delay;
+      ts.buckets.push_back(std::move(out));
+    }
+    return ts;
+  }
+
+ private:
+  struct JobState {
+    std::string user;
+    std::int64_t alloc = 0;
+    bool queued = false;
+  };
+  struct Bucket {
+    std::int64_t start_us = 0;
+    double used_core_us = 0.0;
+    double queued_us = 0.0;
+    std::map<std::string, double> user_used_core_us;
+    std::map<std::string, double> user_queued_us;
+  };
+
+  /// Integrates the current step values from now_us_ to `t`, splitting
+  /// across bucket boundaries.
+  void advance_to(std::int64_t t) {
+    if (!started_) {
+      started_ = true;
+      now_us_ = t;
+      new_bucket((t / bucket_us_) * bucket_us_);
+      return;
+    }
+    while (now_us_ < t) {
+      Bucket& b = buckets_.back();
+      const std::int64_t bucket_end = b.start_us + bucket_us_;
+      if (now_us_ == bucket_end) {
+        new_bucket(bucket_end);
+        continue;
+      }
+      const std::int64_t seg_end = std::min(t, bucket_end);
+      const auto dt = static_cast<double>(seg_end - now_us_);
+      b.used_core_us += static_cast<double>(used_) * dt;
+      b.queued_us += static_cast<double>(queued_) * dt;
+      for (const auto& [user, cores] : user_used_)
+        if (cores > 0)
+          b.user_used_core_us[user] += static_cast<double>(cores) * dt;
+      for (const auto& [user, count] : user_queued_)
+        if (count > 0)
+          b.user_queued_us[user] += static_cast<double>(count) * dt;
+      now_us_ = seg_end;
+    }
+  }
+
+  void new_bucket(std::int64_t start_us) {
+    Bucket b;
+    b.start_us = start_us;
+    buckets_.push_back(std::move(b));
+  }
+
+  void set_queued(JobState& job, bool queued) {
+    if (job.queued == queued) return;
+    job.queued = queued;
+    queued_ += queued ? 1 : -1;
+    user_queued_[job.user] += queued ? 1 : -1;
+  }
+
+  void add_alloc(JobState& job, std::int64_t delta) {
+    if (delta == 0) return;
+    job.alloc += delta;
+    used_ += delta;
+    user_used_[job.user] += delta;
+  }
+
+  std::int64_t bucket_us_;
+  std::int64_t capacity_;
+  bool started_ = false;
+  std::int64_t now_us_ = 0;
+  std::int64_t used_ = 0;
+  std::int64_t queued_ = 0;
+  std::map<std::string, std::int64_t> user_used_;
+  std::map<std::string, std::int64_t> user_queued_;
+  std::unordered_map<std::uint32_t, JobState> jobs_;
+  std::set<std::string> users_;
+  std::vector<Bucket> buckets_;
+};
+
+}  // namespace
+
+Timeseries fold_timeseries(obs::rec::RecordReader& reader,
+                           const TimeseriesOptions& options) {
+  DBS_REQUIRE(options.bucket_s > 0, "bucket width must be positive");
+  const std::int64_t capacity =
+      options.capacity > 0 ? options.capacity : reader.capacity();
+  Fold fold(options.bucket_s * 1'000'000, capacity);
+  reader.scan_all([&](const PackedRecord& r) {
+    fold.on_record(r, reader.string_at(r.user));
+  });
+  return fold.finish(options.bucket_s);
+}
+
+void write_timeseries_json(const Timeseries& ts, std::ostream& os) {
+  os << "{\n  \"bucket_s\": " << ts.bucket_s
+     << ",\n  \"capacity\": " << ts.capacity << ",\n  \"users\": [";
+  for (std::size_t i = 0; i < ts.users.size(); ++i)
+    os << (i == 0 ? "" : ", ") << obs::json_quote(ts.users[i]);
+  os << "],\n  \"buckets\": [";
+  for (std::size_t i = 0; i < ts.buckets.size(); ++i) {
+    const TimeseriesBucket& b = ts.buckets[i];
+    os << (i == 0 ? "\n" : ",\n") << "    {\"start_us\": " << b.start_us
+       << ", \"utilization\": " << obs::json_number(b.utilization)
+       << ", \"used_core_s\": " << obs::json_number(b.used_core_s)
+       << ", \"avg_queue_depth\": " << obs::json_number(b.avg_queue_depth)
+       << ", \"user_usage_core_s\": {";
+    bool first = true;
+    for (const auto& [user, v] : b.user_usage_core_s) {
+      os << (first ? "" : ", ") << obs::json_quote(user) << ": "
+         << obs::json_number(v);
+      first = false;
+    }
+    os << "}, \"user_cum_delay_s\": {";
+    first = true;
+    for (const auto& [user, v] : b.user_cum_delay_s) {
+      os << (first ? "" : ", ") << obs::json_quote(user) << ": "
+         << obs::json_number(v);
+      first = false;
+    }
+    os << "}}";
+  }
+  os << (ts.buckets.empty() ? "]" : "\n  ]") << "\n}\n";
+}
+
+void write_timeseries_csv(const Timeseries& ts, std::ostream& os) {
+  os << "start_us,utilization,used_core_s,avg_queue_depth";
+  for (const std::string& user : ts.users)
+    os << ",usage_core_s:" << user << ",cum_delay_s:" << user;
+  os << "\n";
+  for (const TimeseriesBucket& b : ts.buckets) {
+    os << b.start_us << "," << obs::json_number(b.utilization) << ","
+       << obs::json_number(b.used_core_s) << ","
+       << obs::json_number(b.avg_queue_depth);
+    for (const std::string& user : ts.users) {
+      const auto usage = b.user_usage_core_s.find(user);
+      const auto delay = b.user_cum_delay_s.find(user);
+      os << ","
+         << obs::json_number(
+                usage == b.user_usage_core_s.end() ? 0.0 : usage->second)
+         << ","
+         << obs::json_number(
+                delay == b.user_cum_delay_s.end() ? 0.0 : delay->second);
+    }
+    os << "\n";
+  }
+}
+
+}  // namespace dbs::metrics

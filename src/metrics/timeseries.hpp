@@ -1,0 +1,67 @@
+// Time-series analytics over a recorded run.
+//
+// fold_timeseries() streams a flight-recorder file once (constant memory
+// in the record count) and folds the lifecycle events into per-interval
+// curves: cluster utilization, queue depth, per-user fairshare usage and
+// per-user cumulative waiting — fairness evaluated as trajectories over
+// time rather than end-of-run snapshots, which is what the
+// finish-time-fairness comparisons need.
+//
+// Semantics: each bucket reports the time integral over its interval
+// (used core-seconds, the time-averaged queue depth), so curves are exact
+// under the event-step model, not sampled. Per-user waiting accumulates
+// queued-job-seconds and is exported as a cumulative (monotone) curve.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dbs::obs::rec {
+class RecordReader;
+}
+
+namespace dbs::metrics {
+
+struct TimeseriesOptions {
+  /// Bucket width in seconds.
+  std::int64_t bucket_s = 60;
+  /// Override the capacity stored in the file (0 = use the header's).
+  std::int64_t capacity = 0;
+};
+
+struct TimeseriesBucket {
+  std::int64_t start_us = 0;
+  double utilization = 0.0;        ///< used core-time / (capacity * width)
+  double used_core_s = 0.0;        ///< integral of used cores, core-seconds
+  double avg_queue_depth = 0.0;    ///< time-averaged queued job count
+  /// Per-user used core-seconds within this bucket.
+  std::map<std::string, double> user_usage_core_s;
+  /// Per-user cumulative queued-job-seconds up to the END of this bucket
+  /// (prefix-summed: the Shockwave-style cumulative-delay curve).
+  std::map<std::string, double> user_cum_delay_s;
+};
+
+struct Timeseries {
+  std::int64_t bucket_s = 0;
+  std::int64_t capacity = 0;
+  std::vector<TimeseriesBucket> buckets;
+  /// Every user seen, sorted (the column set for CSV export).
+  std::vector<std::string> users;
+};
+
+/// Folds the record stream into per-interval curves. The reader must be
+/// open; the scan is sequential and does not disturb later index lookups.
+[[nodiscard]] Timeseries fold_timeseries(obs::rec::RecordReader& reader,
+                                         const TimeseriesOptions& options);
+
+/// JSON document: options + one object per bucket (stable key order).
+void write_timeseries_json(const Timeseries& ts, std::ostream& os);
+
+/// CSV with fixed leading columns and two columns per user
+/// (usage_core_s:<user>, cum_delay_s:<user>).
+void write_timeseries_csv(const Timeseries& ts, std::ostream& os);
+
+}  // namespace dbs::metrics

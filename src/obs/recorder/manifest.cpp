@@ -1,0 +1,45 @@
+#include "obs/recorder/manifest.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "obs/json.hpp"
+
+namespace dbs::obs::rec {
+
+std::uint64_t Manifest::total_records() const {
+  std::uint64_t total = 0;
+  for (const ManifestShard& shard : shards) total += shard.records;
+  return total;
+}
+
+std::string Manifest::to_json() const {
+  std::ostringstream os;
+  os << "{\n  \"shards\": [";
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    const ManifestShard& s = shards[i];
+    os << (i == 0 ? "\n" : ",\n")
+       << "    {\"path\": " << json_quote(s.path)
+       << ", \"replication\": " << s.replication
+       << ", \"records\": " << s.records
+       << ", \"first_t_us\": " << s.first_t_us
+       << ", \"last_t_us\": " << s.last_t_us << "}";
+  }
+  os << (shards.empty() ? "]" : "\n  ]") << ",\n  \"total_records\": "
+     << total_records() << "\n}\n";
+  return os.str();
+}
+
+bool Manifest::write(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out.is_open()) return false;
+  out << to_json();
+  return out.good();
+}
+
+std::string shard_path(const std::string& base, std::size_t index) {
+  if (index == 0) return base;
+  return base + ".rep" + std::to_string(index);
+}
+
+}  // namespace dbs::obs::rec

@@ -1,0 +1,68 @@
+// Query operations over flight-recorder files — the engine behind the
+// dbsq CLI and the round-trip tests.
+//
+// Lives with the recorder but needs the rms decision vocabulary (records
+// reconstruct to rms::Decision and render through decision_to_json, the
+// byte-identity contract with the dry-run printer and the JSONL trace).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/recorder/reader.hpp"
+
+namespace dbs::obs::rec {
+
+/// Whole-file totals from one sequential scan.
+struct Summary {
+  std::uint64_t record_count = 0;
+  std::uint64_t lifecycle_records = 0;
+  std::uint64_t decision_records = 0;
+  std::uint64_t jobs = 0;           ///< distinct jobs in the index
+  std::int64_t capacity = 0;        ///< cluster cores from the header
+  std::int64_t first_t_us = 0;
+  std::int64_t last_t_us = 0;
+  /// Count per RecordType, indexed by the on-disk type id.
+  std::array<std::uint64_t, 32> by_type{};
+
+  [[nodiscard]] std::uint64_t count(RecordType t) const {
+    return by_type[static_cast<std::size_t>(t)];
+  }
+};
+
+[[nodiscard]] Summary summarize(RecordReader& reader);
+void write_summary_json(const Summary& s, std::ostream& os);
+
+/// One JSON line per record touching `job`, in append order: decisions
+/// render exactly as rms::decision_to_json (plus a trailing t_us/iteration
+/// envelope line is NOT added — the decision object is byte-identical);
+/// lifecycle events render as {"event": ..., "t_us": ..., ...}.
+struct JobHistoryLine {
+  bool is_decision = false;
+  std::int64_t t_us = 0;
+  std::string json;  ///< the decision object or the lifecycle object
+};
+[[nodiscard]] std::vector<JobHistoryLine> job_history(RecordReader& reader,
+                                                      std::uint64_t job);
+
+/// Renders a lifecycle record as a stable-key-order JSON object.
+[[nodiscard]] std::string lifecycle_to_json(const PackedRecord& r,
+                                            const RecordReader& reader);
+
+/// Cross-checks the recorded decision stream against a JSONL trace of the
+/// same run: every applied decision must line up with its rms lifecycle
+/// trace event (start<->job_start, grant<->dyn_grant, final
+/// reject<->dyn_reject, deferral<->dyn_defer, preempt<->preempt,
+/// shrink<->malleable_shrink) on time, job, request and core fields.
+struct VerifyResult {
+  std::uint64_t compared = 0;
+  std::vector<std::string> mismatches;  ///< first few, human-readable
+  [[nodiscard]] bool ok() const { return mismatches.empty(); }
+};
+[[nodiscard]] VerifyResult verify_against_trace(RecordReader& reader,
+                                                const std::string& trace_path);
+
+}  // namespace dbs::obs::rec

@@ -1,0 +1,151 @@
+#include "obs/recorder/reader.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace dbs::obs::rec {
+
+bool RecordReader::fail(std::string message) {
+  error_ = std::move(message);
+  if (in_.is_open()) in_.close();
+  return false;
+}
+
+template <class T>
+T RecordReader::get() {
+  unsigned char tmp[sizeof(T)] = {};
+  in_.read(reinterpret_cast<char*>(tmp), sizeof(T));
+  return load_le<T>(tmp);
+}
+
+bool RecordReader::open(const std::string& path) {
+  in_.open(path, std::ios::binary);
+  if (!in_.is_open()) return fail("cannot open " + path);
+  in_.seekg(0, std::ios::end);
+  const auto file_size = static_cast<std::uint64_t>(in_.tellg());
+  if (file_size < kHeaderSize + kFooterSize)
+    return fail(path + ": truncated (no room for header + footer)");
+
+  in_.seekg(0);
+  if (get<std::uint32_t>() != kMagic)
+    return fail(path + ": not a flight-recorder file (bad magic)");
+  const auto version = get<std::uint32_t>();
+  if (version != kFormatVersion)
+    return fail(path + ": unsupported format version " +
+                std::to_string(version) + " (reader supports " +
+                std::to_string(kFormatVersion) + ")");
+  if (get<std::uint32_t>() != kRecordSize)
+    return fail(path + ": unexpected record size");
+  static_cast<void>(get<std::uint32_t>());  // reserved
+  capacity_ = get<std::int64_t>();
+  bucket_us_ = get<std::int64_t>();
+  if (bucket_us_ <= 0) return fail(path + ": invalid time bucket");
+
+  in_.seekg(static_cast<std::streamoff>(file_size - kFooterSize));
+  record_count_ = get<std::uint64_t>();
+  const auto strings_off = get<std::uint64_t>();
+  const auto job_index_off = get<std::uint64_t>();
+  postings_off_ = get<std::uint64_t>();
+  const auto time_index_off = get<std::uint64_t>();
+  const auto job_count = get<std::uint64_t>();
+  static_cast<void>(get<std::uint64_t>());  // total postings
+  if (get<std::uint32_t>() != kFormatVersion ||
+      get<std::uint32_t>() != kMagic)
+    return fail(path + ": corrupt footer (run not finalized?)");
+  if (strings_off != kHeaderSize + record_count_ * kRecordSize ||
+      job_index_off >= file_size || time_index_off >= file_size)
+    return fail(path + ": footer offsets out of range");
+
+  in_.seekg(static_cast<std::streamoff>(strings_off));
+  const auto string_count = get<std::uint32_t>();
+  strings_.clear();
+  strings_.reserve(string_count);
+  for (std::uint32_t i = 0; i < string_count; ++i) {
+    const auto len = get<std::uint16_t>();
+    std::string s(len, '\0');
+    in_.read(s.data(), len);
+    strings_.push_back(std::move(s));
+  }
+  if (strings_.empty()) strings_.emplace_back();
+
+  in_.seekg(static_cast<std::streamoff>(job_index_off));
+  if (get<std::uint32_t>() != job_count)
+    return fail(path + ": job index count mismatch");
+  job_index_.reserve(job_count);
+  for (std::uint64_t i = 0; i < job_count; ++i) {
+    const auto job = get<std::uint64_t>();
+    JobEntry entry;
+    entry.postings_start = get<std::uint64_t>();
+    entry.count = get<std::uint32_t>();
+    static_cast<void>(get<std::uint32_t>());  // pad
+    job_index_.emplace(job, entry);
+  }
+
+  in_.seekg(static_cast<std::streamoff>(time_index_off));
+  first_bucket_ = get<std::int64_t>();
+  const auto bucket_count = get<std::uint32_t>();
+  bucket_first_.resize(bucket_count);
+  for (std::uint32_t i = 0; i < bucket_count; ++i)
+    bucket_first_[i] = get<std::uint64_t>();
+
+  if (!in_.good()) return fail(path + ": read error while loading indexes");
+  in_.clear();
+  return true;
+}
+
+PackedRecord RecordReader::at(std::uint64_t ordinal) {
+  unsigned char raw[kRecordSize] = {};
+  if (ordinal < record_count_) {
+    in_.seekg(static_cast<std::streamoff>(kHeaderSize + ordinal * kRecordSize));
+    in_.read(reinterpret_cast<char*>(raw), kRecordSize);
+  }
+  return decode_record(raw);
+}
+
+std::vector<PackedRecord> RecordReader::for_job(std::uint64_t job) {
+  std::vector<PackedRecord> records;
+  const auto it = job_index_.find(job);
+  if (it == job_index_.end()) return records;
+  std::vector<std::uint64_t> ordinals(it->second.count);
+  in_.seekg(static_cast<std::streamoff>(postings_off_ +
+                                        it->second.postings_start * 8));
+  for (std::uint64_t& ordinal : ordinals) ordinal = get<std::uint64_t>();
+  records.reserve(ordinals.size());
+  for (const std::uint64_t ordinal : ordinals) records.push_back(at(ordinal));
+  return records;
+}
+
+std::vector<std::uint64_t> RecordReader::jobs() const {
+  std::vector<std::uint64_t> out;
+  out.reserve(job_index_.size());
+  for (const auto& [job, entry] : job_index_) out.push_back(job);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::uint64_t RecordReader::scan_range(
+    std::int64_t from_us, std::int64_t to_us,
+    const std::function<void(const PackedRecord&)>& fn) {
+  if (record_count_ == 0 || from_us >= to_us) return 0;
+  std::uint64_t start = 0;
+  if (!bucket_first_.empty() && from_us > std::numeric_limits<std::int64_t>::min()) {
+    const std::int64_t bucket = from_us / bucket_us_ - first_bucket_;
+    if (bucket >= static_cast<std::int64_t>(bucket_first_.size())) return 0;
+    if (bucket > 0) start = bucket_first_[static_cast<std::size_t>(bucket)];
+  }
+  std::uint64_t visited = 0;
+  in_.seekg(static_cast<std::streamoff>(kHeaderSize + start * kRecordSize));
+  unsigned char raw[kRecordSize];
+  for (std::uint64_t ordinal = start; ordinal < record_count_; ++ordinal) {
+    in_.read(reinterpret_cast<char*>(raw), kRecordSize);
+    const PackedRecord r = decode_record(raw);
+    if (r.t_us >= to_us) break;  // timestamps are nondecreasing
+    if (r.t_us >= from_us) {
+      fn(r);
+      ++visited;
+    }
+  }
+  return visited;
+}
+
+}  // namespace dbs::obs::rec

@@ -1,0 +1,146 @@
+// The flight recorder's on-disk vocabulary: one fixed-size packed record
+// per scheduler decision or job-lifecycle event.
+//
+// A record file is an append-only stream of kRecordSize-byte records
+// followed by (at finalize time) a string table, a per-job posting index,
+// a time-bucket index and a fixed-size footer locating them — the
+// packed-header + indexed-storage idiom. Fixed-size records mean a record
+// ordinal converts to a file offset with one multiply, so the job index
+// stores bare ordinals and a per-job lookup is "hash the job id, seek the
+// postings, seek each record" — never a full-file scan.
+//
+// All integers are stored little-endian via the explicit store/load
+// helpers below, so files are portable across hosts. Strings (user names,
+// reject reasons) are interned into the string table and referenced by
+// 16-bit id; id 0 is always the empty string.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+namespace dbs::obs::rec {
+
+/// File format version; bump on any layout change. Readers reject files
+/// whose major version they do not understand (see DESIGN.md §10).
+inline constexpr std::uint32_t kFormatVersion = 1;
+/// "DBSR" little-endian.
+inline constexpr std::uint32_t kMagic = 0x52534244;
+/// Bytes per packed record.
+inline constexpr std::size_t kRecordSize = 48;
+/// Bytes of the fixed header at offset 0.
+inline constexpr std::size_t kHeaderSize = 32;
+/// Bytes of the fixed footer at end-of-file.
+inline constexpr std::size_t kFooterSize = 64;
+
+/// What one record describes. Values are stable on-disk ids: lifecycle
+/// events (from the server's observer paths) live below 16, scheduler
+/// decisions (the rms::Decision stream) at 16+kind.
+enum class RecordType : std::uint8_t {
+  Submit = 0,           ///< qsub accepted; user/cores/walltime in the record
+  Start = 1,            ///< job started (aux = wait in us)
+  Finish = 2,           ///< job completed (cores = released allocation)
+  DynRequest = 3,       ///< tm_dynget arrived (cores = extra asked)
+  DynGrant = 4,         ///< request granted by the server (cores = extra)
+  DynReject = 5,        ///< request finally rejected
+  DynRelease = 6,       ///< application released cores voluntarily
+  MalleableShrink = 7,  ///< scheduler-initiated shrink committed
+  Requeue = 8,          ///< preemption / failure sent the job back to queued
+  NodesLost = 9,        ///< partial allocation lost to a node failure
+  Cancel = 10,          ///< qdel (cores = allocation released, 0 if queued)
+  DecStartJob = 16,         ///< decision: start a queued job
+  DecGrantDyn = 17,         ///< decision: grant a dynamic request
+  DecRejectDyn = 18,        ///< decision: reject/defer a dynamic request
+  DecPreempt = 19,          ///< decision: preempt a running job
+  DecShrinkMalleable = 20,  ///< decision: shrink a malleable job
+  DecReserve = 21,          ///< decision: keep a StartLater reservation
+};
+
+[[nodiscard]] constexpr bool is_decision(RecordType t) {
+  return static_cast<std::uint8_t>(t) >= 16;
+}
+
+[[nodiscard]] std::string_view to_string(RecordType t);
+
+/// Record flag bits.
+inline constexpr std::uint8_t kFlagBackfilled = 1;  ///< Start/DecStartJob
+inline constexpr std::uint8_t kFlagApplied = 2;     ///< decisions
+inline constexpr std::uint8_t kFlagDeferred = 4;    ///< DecRejectDyn
+inline constexpr std::uint8_t kFlagHasHint = 8;     ///< DecRejectDyn: aux valid
+
+/// Sentinel for "no id" in the 32-bit job/other/request fields.
+inline constexpr std::uint32_t kNoId = 0xffffffffu;
+
+/// One decoded record. The meaning of `aux_us` depends on `type`:
+/// Start → wait (submit→start) in us; Submit → requested walltime in us;
+/// DecReserve → planned start (absolute us); DecRejectDyn → availability
+/// hint (absolute us, valid only with kFlagHasHint).
+struct PackedRecord {
+  std::int64_t t_us = 0;   ///< simulated time of the record
+  std::int64_t aux_us = 0;
+  std::uint32_t job = kNoId;      ///< the job acted on
+  std::uint32_t other = kNoId;    ///< for_job (decisions)
+  std::uint32_t request = kNoId;  ///< dynamic request id, if any
+  std::int32_t cores = 0;
+  std::uint32_t iteration = 0;    ///< scheduler iteration (decisions only)
+  std::uint16_t user = 0;         ///< string-table id (Submit)
+  std::uint16_t reason = 0;       ///< string-table id (DecRejectDyn)
+  RecordType type = RecordType::Submit;
+  std::uint8_t flags = 0;
+
+  [[nodiscard]] bool has(std::uint8_t flag) const {
+    return (flags & flag) != 0;
+  }
+};
+
+// --- little-endian scalar helpers -----------------------------------------
+
+template <class T>
+inline void store_le(unsigned char* p, T v) {
+  static_assert(std::is_integral_v<T> || std::is_enum_v<T>);
+  auto u = static_cast<std::uint64_t>(v);
+  for (std::size_t i = 0; i < sizeof(T); ++i)
+    p[i] = static_cast<unsigned char>((u >> (8 * i)) & 0xff);
+}
+
+template <class T>
+inline T load_le(const unsigned char* p) {
+  std::uint64_t u = 0;
+  for (std::size_t i = 0; i < sizeof(T); ++i)
+    u |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return static_cast<T>(u);
+}
+
+/// Serializes a record into exactly kRecordSize bytes.
+inline void encode_record(const PackedRecord& r, unsigned char out[kRecordSize]) {
+  store_le<std::int64_t>(out + 0, r.t_us);
+  store_le<std::int64_t>(out + 8, r.aux_us);
+  store_le<std::uint32_t>(out + 16, r.job);
+  store_le<std::uint32_t>(out + 20, r.other);
+  store_le<std::uint32_t>(out + 24, r.request);
+  store_le<std::int32_t>(out + 28, r.cores);
+  store_le<std::uint32_t>(out + 32, r.iteration);
+  store_le<std::uint16_t>(out + 36, r.user);
+  store_le<std::uint16_t>(out + 38, r.reason);
+  out[40] = static_cast<unsigned char>(r.type);
+  out[41] = r.flags;
+  std::memset(out + 42, 0, kRecordSize - 42);
+}
+
+inline PackedRecord decode_record(const unsigned char in[kRecordSize]) {
+  PackedRecord r;
+  r.t_us = load_le<std::int64_t>(in + 0);
+  r.aux_us = load_le<std::int64_t>(in + 8);
+  r.job = load_le<std::uint32_t>(in + 16);
+  r.other = load_le<std::uint32_t>(in + 20);
+  r.request = load_le<std::uint32_t>(in + 24);
+  r.cores = load_le<std::int32_t>(in + 28);
+  r.iteration = load_le<std::uint32_t>(in + 32);
+  r.user = load_le<std::uint16_t>(in + 36);
+  r.reason = load_le<std::uint16_t>(in + 38);
+  r.type = static_cast<RecordType>(in[40]);
+  r.flags = in[41];
+  return r;
+}
+
+}  // namespace dbs::obs::rec

@@ -1,5 +1,6 @@
 #include "obs/registry.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <fstream>
 #include <ostream>
@@ -68,6 +69,32 @@ void Histogram::merge_from(const Histogram& other) {
   sum_ += other_sum;
 }
 
+double histogram_quantile(const std::vector<double>& upper_bounds,
+                          const std::vector<std::uint64_t>& bucket_counts,
+                          double q) {
+  DBS_REQUIRE(q >= 0.0 && q <= 1.0, "quantile must be in [0, 1]");
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : bucket_counts) total += c;
+  if (total == 0 || upper_bounds.empty()) return 0.0;
+  // The q-th observation by rank (1-based); q=0 maps to the first.
+  const double rank = std::max(1.0, q * static_cast<double>(total));
+  std::uint64_t below = 0;
+  for (std::size_t i = 0; i < bucket_counts.size(); ++i) {
+    if (bucket_counts[i] == 0) continue;
+    const std::uint64_t upto = below + bucket_counts[i];
+    if (static_cast<double>(upto) >= rank) {
+      if (i >= upper_bounds.size()) return upper_bounds.back();  // +inf
+      const double lower =
+          i == 0 ? std::min(0.0, upper_bounds[0]) : upper_bounds[i - 1];
+      const double fraction = (rank - static_cast<double>(below)) /
+                              static_cast<double>(bucket_counts[i]);
+      return lower + (upper_bounds[i] - lower) * fraction;
+    }
+    below = upto;
+  }
+  return upper_bounds.back();
+}
+
 Counter& Registry::counter(const std::string& name) {
   std::lock_guard<std::mutex> lock(mutex_);
   return counters_[name];
@@ -123,11 +150,15 @@ void Registry::write_json(std::ostream& os) const {
   os << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
   first = true;
   for (const auto& [name, h] : histograms_) {
-    os << (first ? "\n" : ",\n") << "    " << json_quote(name)
-       << ": {\"count\": " << h.count()
-       << ", \"sum\": " << json_number(h.sum()) << ", \"buckets\": [";
     const auto& bounds = h.upper_bounds();
     const std::vector<std::uint64_t> counts = h.bucket_counts();
+    os << (first ? "\n" : ",\n") << "    " << json_quote(name)
+       << ": {\"count\": " << h.count()
+       << ", \"sum\": " << json_number(h.sum())
+       << ", \"p50\": " << json_number(histogram_quantile(bounds, counts, 0.5))
+       << ", \"p95\": " << json_number(histogram_quantile(bounds, counts, 0.95))
+       << ", \"p99\": " << json_number(histogram_quantile(bounds, counts, 0.99))
+       << ", \"buckets\": [";
     for (std::size_t i = 0; i < counts.size(); ++i) {
       if (i > 0) os << ", ";
       os << "{\"le\": "

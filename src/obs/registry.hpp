@@ -83,6 +83,16 @@ class Histogram {
   mutable std::mutex mutex_;
 };
 
+/// Approximate quantile (0 <= q <= 1) of a fixed-bucket distribution:
+/// finds the bucket holding the q-th observation and interpolates
+/// linearly inside it (Prometheus histogram_quantile behavior). The +inf
+/// bucket cannot be interpolated and reports the last finite bound; an
+/// empty distribution reports 0. `bucket_counts` are the disjoint counts
+/// from Histogram::bucket_counts().
+[[nodiscard]] double histogram_quantile(
+    const std::vector<double>& upper_bounds,
+    const std::vector<std::uint64_t>& bucket_counts, double q);
+
 class Registry {
  public:
   /// Finds or creates the named instrument. References remain valid until

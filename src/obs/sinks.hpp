@@ -10,14 +10,27 @@
 
 namespace dbs::obs {
 
+namespace rec {
+class FlightRecorder;
+}
+
 /// Where a component's observability output lands. Copyable by design: the
-/// bundle is two pointers, handed down by value.
+/// bundle is a few pointers, handed down by value.
 struct Sinks {
+  Sinks() = default;
+  Sinks(Tracer* tracer_, Registry* registry_,
+        rec::FlightRecorder* recorder_ = nullptr)
+      : tracer(tracer_), registry(registry_), recorder(recorder_) {}
+
   /// Structured event stream; nullptr disables tracing (the emission guard
   /// makes a detached tracer cost one pointer test).
   Tracer* tracer = nullptr;
   /// Metrics destination; nullptr selects the process-wide global registry.
   Registry* registry = nullptr;
+  /// Binary flight recorder; nullptr disables recording. The server
+  /// registers it as an observer, the scheduler feeds it the decision
+  /// stream of every applied iteration.
+  rec::FlightRecorder* recorder = nullptr;
 
   /// The registry components should actually record into — components never
   /// store a null registry pointer.

@@ -77,10 +77,25 @@ void Tracer::close() {
   close_locked();
 }
 
+void Tracer::flush() {
+  std::lock_guard<std::mutex> lock(emit_mutex_);
+  drain_locked(/*sync=*/true);
+}
+
+void Tracer::drain_locked(bool sync) {
+  if (out_ == nullptr) return;
+  if (!buffer_.empty()) {
+    out_->write(buffer_.data(), static_cast<std::streamsize>(buffer_.size()));
+    buffer_.clear();
+  }
+  if (sync) out_->flush();
+}
+
 void Tracer::close_locked() {
   if (out_ != nullptr && format_ == TraceFormat::Chrome && chrome_open_)
-    *out_ << "\n]}\n";
-  if (out_ != nullptr) out_->flush();
+    buffer_ += "\n]}\n";
+  drain_locked(/*sync=*/true);
+  buffer_.clear();  // drop pending bytes of a never-attached sink
   chrome_open_ = false;
   out_ = nullptr;
   owned_.reset();
@@ -88,13 +103,17 @@ void Tracer::close_locked() {
 
 namespace {
 
-void write_field_value(std::ostream& os, const TraceField& f) {
+/// Events are serialized into the in-memory buffer, not the stream: one
+/// stream write per ~256 KiB instead of one per event.
+constexpr std::size_t kFlushBytes = 256 * 1024;
+
+void append_field_value(std::string& out, const TraceField& f) {
   switch (f.kind) {
-    case TraceField::Kind::Int: os << f.i; break;
-    case TraceField::Kind::Double: os << json_number(f.d); break;
-    case TraceField::Kind::Bool: os << (f.b ? "true" : "false"); break;
-    case TraceField::Kind::Str: os << json_quote(f.s); break;
-    case TraceField::Kind::Json: os << f.s; break;
+    case TraceField::Kind::Int: out += std::to_string(f.i); break;
+    case TraceField::Kind::Double: out += json_number(f.d); break;
+    case TraceField::Kind::Bool: out += f.b ? "true" : "false"; break;
+    case TraceField::Kind::Str: out += json_quote(f.s); break;
+    case TraceField::Kind::Json: out += f.s; break;
   }
 }
 
@@ -113,45 +132,65 @@ void Tracer::emit(const TraceEvent& ev) {
   else
     write_chrome(ev);
   ++emitted_;
+  if (buffer_.size() >= kFlushBytes) drain_locked(/*sync=*/false);
 }
 
 void Tracer::write_jsonl(const TraceEvent& ev) {
-  std::ostream& os = *out_;
-  os << "{\"t_us\": " << ev.at.as_micros() << ", \"cat\": "
-     << json_quote(ev.cat) << ", \"name\": " << json_quote(ev.name);
-  if (ev.dur_us >= 0) os << ", \"dur_us\": " << ev.dur_us;
-  for (const TraceField& f : ev.fields) {
-    os << ", " << json_quote(f.key) << ": ";
-    write_field_value(os, f);
+  std::string& out = buffer_;
+  out += "{\"t_us\": ";
+  out += std::to_string(ev.at.as_micros());
+  out += ", \"cat\": ";
+  out += json_quote(ev.cat);
+  out += ", \"name\": ";
+  out += json_quote(ev.name);
+  if (ev.dur_us >= 0) {
+    out += ", \"dur_us\": ";
+    out += std::to_string(ev.dur_us);
   }
-  os << "}\n";
+  for (const TraceField& f : ev.fields) {
+    out += ", ";
+    out += json_quote(f.key);
+    out += ": ";
+    append_field_value(out, f);
+  }
+  out += "}\n";
 }
 
 void Tracer::write_chrome(const TraceEvent& ev) {
-  std::ostream& os = *out_;
+  std::string& out = buffer_;
   if (!chrome_open_) {
-    os << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+    out += "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
     chrome_open_ = true;
   } else {
-    os << ",";
+    out += ",";
   }
   // Instant events use phase "i" (global scope), spans the complete phase
   // "X" with a duration. One process/thread: the simulation is serial.
-  os << "\n{\"name\": " << json_quote(ev.name) << ", \"cat\": "
-     << json_quote(ev.cat) << ", \"ph\": " << (ev.dur_us >= 0 ? "\"X\"" : "\"i\"")
-     << ", \"ts\": " << ev.at.as_micros() << ", \"pid\": 1, \"tid\": 1";
-  if (ev.dur_us >= 0)
-    os << ", \"dur\": " << ev.dur_us;
-  else
-    os << ", \"s\": \"g\"";
-  os << ", \"args\": {";
+  out += "\n{\"name\": ";
+  out += json_quote(ev.name);
+  out += ", \"cat\": ";
+  out += json_quote(ev.cat);
+  out += ", \"ph\": ";
+  out += ev.dur_us >= 0 ? "\"X\"" : "\"i\"";
+  out += ", \"ts\": ";
+  out += std::to_string(ev.at.as_micros());
+  out += ", \"pid\": 1, \"tid\": 1";
+  if (ev.dur_us >= 0) {
+    out += ", \"dur\": ";
+    out += std::to_string(ev.dur_us);
+  } else {
+    out += ", \"s\": \"g\"";
+  }
+  out += ", \"args\": {";
   bool first = true;
   for (const TraceField& f : ev.fields) {
-    os << (first ? "" : ", ") << json_quote(f.key) << ": ";
-    write_field_value(os, f);
+    if (!first) out += ", ";
+    out += json_quote(f.key);
+    out += ": ";
+    append_field_value(out, f);
     first = false;
   }
-  os << "}}";
+  out += "}}";
 }
 
 }  // namespace dbs::obs

@@ -113,6 +113,13 @@ class Tracer {
   /// Harmless if nothing is attached.
   void close();
 
+  /// Drains the internal event buffer to the sink and syncs it. Events
+  /// are buffered (not one stream write per event) so multi-million-event
+  /// traces don't pay a syscall each; call this at quiescent points
+  /// (simulation end, recorder finalize) to make the trace durable
+  /// without closing the sink. Harmless if nothing is attached.
+  void flush();
+
   /// True while a sink is attached — the emission guard.
   [[nodiscard]] bool enabled() const { return out_ != nullptr; }
 
@@ -130,6 +137,9 @@ class Tracer {
   void write_jsonl(const TraceEvent& ev);
   void write_chrome(const TraceEvent& ev);
   void close_locked();
+  /// Moves the buffer's contents to the sink; `sync` also flushes the
+  /// underlying stream. Caller holds emit_mutex_.
+  void drain_locked(bool sync);
 
   /// Serializes emit()/close() across threads: concurrent emitters write
   /// whole events, never interleaved fragments. enabled() stays a plain
@@ -138,6 +148,7 @@ class Tracer {
   std::mutex emit_mutex_;
   std::ostream* out_ = nullptr;       ///< active sink (owned_ or external)
   std::unique_ptr<std::ostream> owned_;
+  std::string buffer_;                ///< pending bytes not yet in out_
   TraceFormat format_ = TraceFormat::Jsonl;
   std::function<Time()> clock_;
   std::uint64_t emitted_ = 0;

@@ -5,6 +5,7 @@
 
 #include "common/assert.hpp"
 #include "common/log.hpp"
+#include "obs/recorder/recorder.hpp"
 #include "obs/registry.hpp"
 #include "obs/sinks.hpp"
 #include "obs/tracer.hpp"
@@ -31,6 +32,17 @@ Server::Server(sim::Simulator& simulator, cluster::Cluster& cluster,
 void Server::set_sinks(const obs::Sinks& sinks) {
   tracer_ = sinks.tracer;
   registry_ = &sinks.registry_or_global();
+  if (recorder_ != sinks.recorder) {
+    // The recorder listens like any other observer; swapping sinks must
+    // not leave a stale registration behind.
+    if (recorder_ != nullptr)
+      observers_.erase(
+          std::remove(observers_.begin(), observers_.end(),
+                      static_cast<ServerObserver*>(recorder_)),
+          observers_.end());
+    recorder_ = sinks.recorder;
+    if (recorder_ != nullptr) add_observer(recorder_);
+  }
 }
 
 void Server::record_residency(const DynRequest& req) {
@@ -86,13 +98,16 @@ bool Server::cancel(JobId id) {
   if (!queue_.contains(id)) return false;
   Job& job = queue_.at(id);
   if (job.finished()) return false;
+  CoreCount released = 0;
   if (job.is_running()) {
+    released = job.allocated_cores();
     if (const DynRequest* r = queue_.dyn_request_of(id))
       queue_.remove_dyn_request(r->id);
     moms_->kill(id);
     cluster_.release_all(id);
   }
   job.mark_cancelled(sim_.now());
+  for (auto* o : observers_) o->on_cancel(job, released);
   notify_scheduler();
   return true;
 }
@@ -330,6 +345,7 @@ void Server::node_failure(NodeId node_id) {
       continue;
     }
     job.shrink(cluster::Placement{{{node_id, lost}}});
+    for (auto* o : observers_) o->on_nodes_lost(job, lost);
     moms_->deliver_node_loss(job, lost);
   }
   DBS_TRACE("node " << node_id.value() << " failed, " << victims.size()

@@ -18,6 +18,9 @@ namespace dbs::obs {
 class Tracer;
 class Registry;
 struct Sinks;
+namespace rec {
+class FlightRecorder;
+}
 }
 
 namespace dbs::rms {
@@ -37,6 +40,12 @@ class ServerObserver {
   virtual void on_dyn_release(const Job&, CoreCount /*cores*/) {}
   virtual void on_malleable_shrink(const Job&, CoreCount /*cores*/) {}
   virtual void on_requeue(const Job&) {}
+  /// Node failure took part of the job's allocation (the job survives on
+  /// the remainder; whole-allocation losses requeue instead).
+  virtual void on_nodes_lost(const Job&, CoreCount /*lost*/) {}
+  /// qdel removed the job; `released` is the allocation freed (0 if the
+  /// job was still queued).
+  virtual void on_cancel(const Job&, CoreCount /*released*/) {}
 };
 
 class Server {
@@ -153,6 +162,8 @@ class Server {
   std::unordered_map<JobId, Time> availability_hints_;
   obs::Tracer* tracer_ = nullptr;
   obs::Registry* registry_;  ///< never null; defaults to the global one
+  /// Flight recorder currently registered in observers_ via set_sinks.
+  obs::rec::FlightRecorder* recorder_ = nullptr;
 };
 
 }  // namespace dbs::rms

@@ -1,0 +1,261 @@
+// Flight-recorder end-to-end: a recorded run round-trips through the
+// binary store — per-job index lookups return the full decision history,
+// the decision stream verifies byte-for-byte against the JSONL trace of
+// the same run, summary totals agree with the metrics registry, the
+// ParallelRunner writes one indexed shard per replication, and the
+// time-series fold produces the utilization and per-user delay curves.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "../testutil.hpp"
+#include "apps/app_model.hpp"
+#include "batch/batch_system.hpp"
+#include "batch/parallel_runner.hpp"
+#include "metrics/timeseries.hpp"
+#include "obs/recorder/manifest.hpp"
+#include "obs/recorder/query.hpp"
+#include "obs/recorder/reader.hpp"
+#include "obs/recorder/recorder.hpp"
+#include "obs/registry.hpp"
+#include "obs/tracer.hpp"
+
+namespace dbs::batch {
+namespace {
+
+namespace rec = obs::rec;
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "flight_recorder_" + name;
+}
+
+SystemConfig base_config() {
+  SystemConfig c;
+  c.cluster.node_count = 4;
+  c.cluster.cores_per_node = 8;
+  c.latency = rms::LatencyModel::zero();
+  c.scheduler.reservation_depth = 5;
+  c.scheduler.reservation_delay_depth = 5;
+  return c;
+}
+
+/// Blocker + evolving grower + queued victim (the fairness scenario):
+/// produces starts, backfills, a dynamic request, a DFS verdict and real
+/// queueing delay for the victim's user.
+void submit_scenario(BatchSystem& sys) {
+  sys.submit_now(test::spec("blocker", 8, Duration::minutes(5), "bob"),
+                 test::rigid(Duration::minutes(5)));
+  auto app = std::make_unique<apps::ScriptedApp>(
+      Duration::minutes(20),
+      std::vector<apps::ScriptedApp::Step>{
+          {Duration::minutes(2), 8, 0, 1.0, Duration::zero()}});
+  sys.submit_now(test::spec("evo", 16, Duration::minutes(20), "eve"),
+                 std::move(app));
+  sys.submit_at(Time::epoch() + Duration::minutes(1),
+                test::spec("victim", 16, Duration::minutes(10), "victim"),
+                [] { return test::rigid(Duration::minutes(10)); });
+}
+
+struct RecordedRun {
+  std::string record_path;
+  std::string trace_path;
+  obs::Registry registry;
+};
+
+/// Runs the scenario once with tracer + recorder attached.
+std::unique_ptr<RecordedRun> record_run(const std::string& tag) {
+  auto run = std::make_unique<RecordedRun>();
+  run->record_path = temp_path(tag + ".dbsr");
+  run->trace_path = temp_path(tag + ".jsonl");
+
+  SystemConfig cfg = base_config();
+  cfg.scheduler.dfs.policy = core::DfsPolicy::TargetDelay;
+  cfg.scheduler.dfs.defaults.target_delay = Duration::minutes(10);
+  BatchSystem sys(cfg);
+
+  obs::Tracer tracer;
+  EXPECT_TRUE(tracer.open(run->trace_path, obs::TraceFormat::Jsonl));
+  rec::FlightRecorder recorder;
+  EXPECT_TRUE(recorder.open(run->record_path, 32));
+  sys.set_sinks({&tracer, &run->registry, &recorder});
+  submit_scenario(sys);
+  sys.run();
+  tracer.close();
+  EXPECT_TRUE(recorder.finalize());
+  return run;
+}
+
+TEST(FlightRecorder, SummaryTotalsMatchRegistryCounters) {
+  auto run = record_run("summary");
+  rec::RecordReader reader;
+  ASSERT_TRUE(reader.open(run->record_path)) << reader.error();
+
+  const rec::Summary s = rec::summarize(reader);
+  EXPECT_EQ(s.record_count, reader.record_count());
+  EXPECT_GT(s.decision_records, 0u);
+  EXPECT_EQ(s.capacity, 32);
+
+  const auto counter = [&](const char* name) {
+    const obs::Counter* c = run->registry.find_counter(name);
+    return c == nullptr ? 0u : c->value();
+  };
+  EXPECT_EQ(s.count(rec::RecordType::Submit), counter("server.jobs_submitted"));
+  EXPECT_EQ(s.count(rec::RecordType::Start), counter("server.jobs_started"));
+  EXPECT_EQ(s.count(rec::RecordType::Finish), counter("server.jobs_finished"));
+  EXPECT_EQ(s.count(rec::RecordType::DynRequest), counter("dyn.requests"));
+  EXPECT_EQ(s.count(rec::RecordType::DynGrant), counter("dyn.grants"));
+  EXPECT_EQ(s.count(rec::RecordType::DynReject), counter("dyn.rejects"));
+
+  std::remove(run->record_path.c_str());
+  std::remove(run->trace_path.c_str());
+}
+
+TEST(FlightRecorder, DecisionStreamVerifiesAgainstJsonlTrace) {
+  auto run = record_run("verify");
+  rec::RecordReader reader;
+  ASSERT_TRUE(reader.open(run->record_path)) << reader.error();
+
+  const rec::VerifyResult result =
+      rec::verify_against_trace(reader, run->trace_path);
+  EXPECT_GT(result.compared, 0u);
+  EXPECT_TRUE(result.ok());
+  for (const std::string& m : result.mismatches) ADD_FAILURE() << m;
+
+  std::remove(run->record_path.c_str());
+  std::remove(run->trace_path.c_str());
+}
+
+TEST(FlightRecorder, JobIndexMatchesFullScanAndCarriesDecisions) {
+  auto run = record_run("jobindex");
+  rec::RecordReader reader;
+  ASSERT_TRUE(reader.open(run->record_path)) << reader.error();
+
+  const std::vector<std::uint64_t> jobs = reader.jobs();
+  ASSERT_FALSE(jobs.empty());
+  for (const std::uint64_t job : jobs) {
+    std::vector<rec::PackedRecord> scanned;
+    reader.scan_all([&](const rec::PackedRecord& r) {
+      if (r.job == job || (r.other == job && r.other != r.job))
+        scanned.push_back(r);
+    });
+    const std::vector<rec::PackedRecord> indexed = reader.for_job(job);
+    ASSERT_EQ(indexed.size(), scanned.size()) << "job " << job;
+    for (std::size_t i = 0; i < indexed.size(); ++i) {
+      EXPECT_EQ(indexed[i].t_us, scanned[i].t_us);
+      EXPECT_EQ(indexed[i].type, scanned[i].type);
+    }
+  }
+
+  // Every started job's history interleaves lifecycle and decision lines,
+  // and the decision lines round-trip through rms::decision_to_json.
+  bool saw_decision_line = false;
+  for (const std::uint64_t job : jobs) {
+    for (const rec::JobHistoryLine& line : rec::job_history(reader, job)) {
+      if (!line.is_decision) continue;
+      saw_decision_line = true;
+      EXPECT_NE(line.json.find("\"kind\": "), std::string::npos) << line.json;
+      EXPECT_NE(line.json.find("\"applied\": "), std::string::npos)
+          << line.json;
+    }
+  }
+  EXPECT_TRUE(saw_decision_line);
+
+  std::remove(run->record_path.c_str());
+  std::remove(run->trace_path.c_str());
+}
+
+TEST(FlightRecorder, ParallelRunnerWritesOneIndexedShardPerReplication) {
+  const std::string base = temp_path("shards.dbsr");
+  constexpr std::size_t kReplications = 3;
+
+  ParallelRunner runner(2);
+  obs::Registry merged;
+  rec::Manifest manifest;
+  const std::vector<int> results = runner.map_recorded<int>(
+      kReplications, base, 32,
+      [&](std::size_t index, obs::Registry& registry,
+          rec::FlightRecorder& recorder) {
+        BatchSystem sys(base_config());
+        sys.set_sinks({nullptr, &registry, &recorder});
+        submit_scenario(sys);
+        // Replications differ: later ones add extra rigid load.
+        for (std::size_t j = 0; j < index; ++j)
+          sys.submit_now(test::spec("extra", 4, Duration::minutes(3), "carl"),
+                         test::rigid(Duration::minutes(3)));
+        sys.run();
+        return static_cast<int>(index);
+      },
+      &merged, manifest);
+
+  EXPECT_EQ(results, (std::vector<int>{0, 1, 2}));
+  ASSERT_EQ(manifest.shards.size(), kReplications);
+  EXPECT_EQ(manifest.shards[0].path, base);
+  EXPECT_EQ(manifest.shards[1].path, base + ".rep1");
+
+  // Every shard is a valid, indexed file; summary totals across shards
+  // match the merged registry exactly.
+  std::uint64_t submits = 0, starts = 0, finishes = 0, records = 0;
+  for (const rec::ManifestShard& shard : manifest.shards) {
+    rec::RecordReader reader;
+    ASSERT_TRUE(reader.open(shard.path)) << reader.error();
+    EXPECT_EQ(reader.record_count(), shard.records);
+    const rec::Summary s = rec::summarize(reader);
+    submits += s.count(rec::RecordType::Submit);
+    starts += s.count(rec::RecordType::Start);
+    finishes += s.count(rec::RecordType::Finish);
+    records += s.record_count;
+  }
+  EXPECT_EQ(records, manifest.total_records());
+  EXPECT_EQ(submits, merged.find_counter("server.jobs_submitted")->value());
+  EXPECT_EQ(starts, merged.find_counter("server.jobs_started")->value());
+  EXPECT_EQ(finishes, merged.find_counter("server.jobs_finished")->value());
+
+  for (const rec::ManifestShard& shard : manifest.shards)
+    std::remove(shard.path.c_str());
+}
+
+TEST(FlightRecorder, TimeseriesCurvesFromRecordedRun) {
+  auto run = record_run("timeseries");
+  rec::RecordReader reader;
+  ASSERT_TRUE(reader.open(run->record_path)) << reader.error();
+
+  metrics::TimeseriesOptions options;
+  options.bucket_s = 60;
+  const metrics::Timeseries ts = metrics::fold_timeseries(reader, options);
+  ASSERT_FALSE(ts.buckets.empty());
+  EXPECT_EQ(ts.capacity, 32);
+
+  // Utilization is a real fraction, and the busy opening minute (24 of 32
+  // cores running) is reflected in the first bucket.
+  for (const metrics::TimeseriesBucket& b : ts.buckets) {
+    EXPECT_GE(b.utilization, 0.0);
+    EXPECT_LE(b.utilization, 1.0);
+    // Per-user usage partitions total usage.
+    double user_sum = 0.0;
+    for (const auto& [user, usage] : b.user_usage_core_s) user_sum += usage;
+    EXPECT_NEAR(user_sum, b.used_core_s, 1e-6);
+  }
+  EXPECT_GT(ts.buckets.front().utilization, 0.5);
+
+  // The victim queues behind the evolving job, so its user accumulates
+  // waiting time; the cumulative curve is monotone.
+  const metrics::TimeseriesBucket& last = ts.buckets.back();
+  ASSERT_TRUE(last.user_cum_delay_s.count("victim"));
+  EXPECT_GT(last.user_cum_delay_s.at("victim"), 0.0);
+  double prev = 0.0;
+  for (const metrics::TimeseriesBucket& b : ts.buckets) {
+    const auto it = b.user_cum_delay_s.find("victim");
+    const double cum = it == b.user_cum_delay_s.end() ? 0.0 : it->second;
+    EXPECT_GE(cum, prev);
+    prev = cum;
+  }
+
+  std::remove(run->record_path.c_str());
+  std::remove(run->trace_path.c_str());
+}
+
+}  // namespace
+}  // namespace dbs::batch

@@ -1,0 +1,258 @@
+// Time-series folding over hand-built flight-recorder files: utilization
+// and queue-depth integrals, per-user usage and cumulative-delay curves,
+// bucket boundaries and the JSON/CSV exports.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+#include "metrics/timeseries.hpp"
+#include "obs/recorder/reader.hpp"
+#include "obs/recorder/writer.hpp"
+
+namespace dbs::metrics {
+namespace {
+
+using obs::rec::PackedRecord;
+using obs::rec::RecordReader;
+using obs::rec::RecordType;
+using obs::rec::RecordWriter;
+
+constexpr std::int64_t kSecond = 1'000'000;
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "timeseries_" + name + ".dbsr";
+}
+
+class Builder {
+ public:
+  explicit Builder(const std::string& path, std::int64_t capacity)
+      : path_(path) {
+    EXPECT_TRUE(writer_.open(path, capacity, 60 * kSecond));
+  }
+
+  void submit(std::int64_t t_us, std::uint32_t job, std::int32_t cores,
+              const std::string& user) {
+    PackedRecord r = base(t_us, RecordType::Submit, job, cores);
+    r.user = writer_.intern(user);
+    writer_.append(r);
+  }
+  void start(std::int64_t t_us, std::uint32_t job, std::int32_t cores) {
+    writer_.append(base(t_us, RecordType::Start, job, cores));
+  }
+  void finish(std::int64_t t_us, std::uint32_t job, std::int32_t cores) {
+    writer_.append(base(t_us, RecordType::Finish, job, cores));
+  }
+  void grant(std::int64_t t_us, std::uint32_t job, std::int32_t extra) {
+    writer_.append(base(t_us, RecordType::DynGrant, job, extra));
+  }
+  void release(std::int64_t t_us, std::uint32_t job, std::int32_t cores) {
+    writer_.append(base(t_us, RecordType::DynRelease, job, cores));
+  }
+  void decision(std::int64_t t_us, std::uint32_t job, std::int32_t cores) {
+    PackedRecord r = base(t_us, RecordType::DecStartJob, job, cores);
+    r.flags = obs::rec::kFlagApplied;
+    writer_.append(r);
+  }
+
+  void close() { EXPECT_TRUE(writer_.finalize()); }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  static PackedRecord base(std::int64_t t_us, RecordType type,
+                           std::uint32_t job, std::int32_t cores) {
+    PackedRecord r;
+    r.t_us = t_us;
+    r.type = type;
+    r.job = job;
+    r.cores = cores;
+    return r;
+  }
+
+  std::string path_;
+  RecordWriter writer_;
+};
+
+Timeseries fold(const std::string& path, std::int64_t bucket_s = 60) {
+  RecordReader reader;
+  EXPECT_TRUE(reader.open(path)) << reader.error();
+  TimeseriesOptions options;
+  options.bucket_s = bucket_s;
+  return fold_timeseries(reader, options);
+}
+
+TEST(Timeseries, UtilizationIntegratesStepFunctionExactly) {
+  const std::string path = temp_path("util");
+  {
+    Builder b(path, 100);
+    // 50 cores busy for the first half of the one-minute bucket, 0 after:
+    // utilization = 50 * 30 / (100 * 60) = 0.25.
+    b.submit(0, 1, 50, "alice");
+    b.start(0, 1, 50);
+    b.finish(30 * kSecond, 1, 50);
+    // A second job pins the series end to exactly t = 60 s.
+    b.submit(60 * kSecond, 2, 10, "alice");
+    b.close();
+  }
+  const Timeseries ts = fold(path);
+  ASSERT_GE(ts.buckets.size(), 1u);
+  EXPECT_EQ(ts.capacity, 100);
+  EXPECT_EQ(ts.buckets[0].start_us, 0);
+  EXPECT_DOUBLE_EQ(ts.buckets[0].used_core_s, 50.0 * 30.0);
+  EXPECT_DOUBLE_EQ(ts.buckets[0].utilization, 0.25);
+  std::remove(path.c_str());
+}
+
+TEST(Timeseries, QueueDepthIsTimeAveraged) {
+  const std::string path = temp_path("queue");
+  {
+    Builder b(path, 100);
+    // Two jobs queued at t=0; one starts at 15 s, the other at 45 s:
+    // queued-job-seconds = 2*15 + 1*30 = 60 over a 60 s bucket -> avg 1.0.
+    b.submit(0, 1, 10, "alice");
+    b.submit(0, 2, 10, "bob");
+    b.start(15 * kSecond, 1, 10);
+    b.start(45 * kSecond, 2, 10);
+    b.submit(60 * kSecond, 3, 1, "alice");
+    b.close();
+  }
+  const Timeseries ts = fold(path);
+  ASSERT_GE(ts.buckets.size(), 1u);
+  EXPECT_DOUBLE_EQ(ts.buckets[0].avg_queue_depth, 1.0);
+  std::remove(path.c_str());
+}
+
+TEST(Timeseries, PerUserUsageAndCumulativeDelay) {
+  const std::string path = temp_path("users");
+  {
+    Builder b(path, 100);
+    // alice runs 20 cores for the whole first bucket; bob's job waits the
+    // entire first bucket and runs in the second.
+    b.submit(0, 1, 20, "alice");
+    b.start(0, 1, 20);
+    b.submit(0, 2, 40, "bob");
+    b.start(60 * kSecond, 2, 40);
+    b.finish(120 * kSecond, 1, 20);
+    b.finish(120 * kSecond, 2, 40);
+    b.close();
+  }
+  const Timeseries ts = fold(path);
+  ASSERT_GE(ts.buckets.size(), 2u);
+  EXPECT_EQ(ts.users, (std::vector<std::string>{"alice", "bob"}));
+
+  // Users idle in a bucket simply have no entry (exports default to 0).
+  const auto value = [](const std::map<std::string, double>& m,
+                        const std::string& user) {
+    const auto it = m.find(user);
+    return it == m.end() ? 0.0 : it->second;
+  };
+  EXPECT_DOUBLE_EQ(value(ts.buckets[0].user_usage_core_s, "alice"),
+                   20.0 * 60.0);
+  EXPECT_DOUBLE_EQ(value(ts.buckets[0].user_usage_core_s, "bob"), 0.0);
+  EXPECT_DOUBLE_EQ(value(ts.buckets[1].user_usage_core_s, "bob"), 40.0 * 60.0);
+
+  // bob's job queued for the whole first bucket: 60 queued-job-seconds,
+  // cumulative thereafter; alice never waits.
+  EXPECT_DOUBLE_EQ(value(ts.buckets[0].user_cum_delay_s, "bob"), 60.0);
+  EXPECT_DOUBLE_EQ(value(ts.buckets[1].user_cum_delay_s, "bob"), 60.0);
+  EXPECT_DOUBLE_EQ(value(ts.buckets[1].user_cum_delay_s, "alice"), 0.0);
+  std::remove(path.c_str());
+}
+
+TEST(Timeseries, DynamicGrowAndReleaseChangeAllocation) {
+  const std::string path = temp_path("dyn");
+  {
+    Builder b(path, 100);
+    b.submit(0, 1, 10, "alice");
+    b.start(0, 1, 10);
+    b.grant(30 * kSecond, 1, 10);    // 10 -> 20 cores
+    b.release(60 * kSecond, 1, 5);   // 20 -> 15 cores
+    b.finish(90 * kSecond, 1, 15);
+    b.close();
+  }
+  const Timeseries ts = fold(path);
+  ASSERT_GE(ts.buckets.size(), 2u);
+  // Bucket 0: 10 cores * 30 s + 20 cores * 30 s = 900 core-s.
+  EXPECT_DOUBLE_EQ(ts.buckets[0].used_core_s, 900.0);
+  // Bucket 1: 15 cores * 30 s.
+  EXPECT_DOUBLE_EQ(ts.buckets[1].used_core_s, 450.0);
+  std::remove(path.c_str());
+}
+
+TEST(Timeseries, DecisionRecordsDoNotPerturbTheCurves) {
+  const std::string with_dec = temp_path("withdec");
+  const std::string without = temp_path("withoutdec");
+  {
+    Builder b(with_dec, 100);
+    b.submit(0, 1, 10, "alice");
+    // A decision record interleaved with the lifecycle stream.
+    b.decision(0, 1, 10);
+    b.start(0, 1, 10);
+    b.finish(30 * kSecond, 1, 10);
+    b.close();
+  }
+  {
+    Builder b(without, 100);
+    b.submit(0, 1, 10, "alice");
+    b.start(0, 1, 10);
+    b.finish(30 * kSecond, 1, 10);
+    b.close();
+  }
+  const Timeseries a = fold(with_dec);
+  const Timeseries c = fold(without);
+  ASSERT_EQ(a.buckets.size(), c.buckets.size());
+  for (std::size_t i = 0; i < a.buckets.size(); ++i)
+    EXPECT_DOUBLE_EQ(a.buckets[i].used_core_s, c.buckets[i].used_core_s);
+  std::remove(with_dec.c_str());
+  std::remove(without.c_str());
+}
+
+TEST(Timeseries, BucketWidthControlsResolution) {
+  const std::string path = temp_path("width");
+  {
+    Builder b(path, 10);
+    b.submit(0, 1, 10, "alice");
+    b.start(0, 1, 10);
+    b.finish(150 * kSecond, 1, 10);
+    b.close();
+  }
+  const Timeseries coarse = fold(path, 300);
+  ASSERT_EQ(coarse.buckets.size(), 1u);
+  EXPECT_DOUBLE_EQ(coarse.buckets[0].used_core_s, 1500.0);
+
+  const Timeseries fine = fold(path, 30);
+  ASSERT_EQ(fine.buckets.size(), 5u);
+  for (const auto& bucket : fine.buckets)
+    EXPECT_DOUBLE_EQ(bucket.used_core_s, 300.0);
+  std::remove(path.c_str());
+}
+
+TEST(Timeseries, JsonAndCsvExports) {
+  const std::string path = temp_path("export");
+  {
+    Builder b(path, 100);
+    b.submit(0, 1, 10, "alice");
+    b.start(0, 1, 10);
+    b.finish(90 * kSecond, 1, 10);
+    b.close();
+  }
+  const Timeseries ts = fold(path);
+
+  std::ostringstream json;
+  write_timeseries_json(ts, json);
+  EXPECT_NE(json.str().find("\"bucket_s\": 60"), std::string::npos);
+  EXPECT_NE(json.str().find("\"utilization\":"), std::string::npos);
+  EXPECT_NE(json.str().find("\"users\": [\"alice\"]"), std::string::npos);
+
+  std::ostringstream csv;
+  write_timeseries_csv(ts, csv);
+  const std::string header = csv.str().substr(0, csv.str().find('\n'));
+  EXPECT_EQ(header,
+            "start_us,utilization,used_core_s,avg_queue_depth,"
+            "usage_core_s:alice,cum_delay_s:alice");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace dbs::metrics

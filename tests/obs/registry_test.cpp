@@ -53,6 +53,53 @@ TEST(Histogram, BoundsFixedByFirstRegistration) {
   EXPECT_EQ(again.upper_bounds().size(), 2u);
 }
 
+TEST(Histogram, QuantileInterpolatesWithinBuckets) {
+  // 100 uniform samples in (0, 100]: one per unit, bounds every 10.
+  const std::vector<double> bounds = {10, 20, 30, 40, 50, 60, 70, 80, 90, 100};
+  std::vector<std::uint64_t> counts(bounds.size() + 1, 0);
+  for (std::size_t i = 0; i < bounds.size(); ++i) counts[i] = 10;
+  // Rank q*100 lands at the (q*100)th sample; interpolation inside a
+  // 10-wide bucket reproduces the rank itself.
+  EXPECT_DOUBLE_EQ(histogram_quantile(bounds, counts, 0.5), 50.0);
+  EXPECT_DOUBLE_EQ(histogram_quantile(bounds, counts, 0.95), 95.0);
+  EXPECT_DOUBLE_EQ(histogram_quantile(bounds, counts, 0.99), 99.0);
+  EXPECT_DOUBLE_EQ(histogram_quantile(bounds, counts, 1.0), 100.0);
+  // The lowest rank interpolates inside the first bucket.
+  EXPECT_DOUBLE_EQ(histogram_quantile(bounds, counts, 0.0), 1.0);
+}
+
+TEST(Histogram, QuantileEdgeCases) {
+  const std::vector<double> bounds = {1.0, 10.0};
+  // Empty distribution reports 0.
+  EXPECT_DOUBLE_EQ(histogram_quantile(bounds, {0, 0, 0}, 0.5), 0.0);
+  // Everything in the +inf bucket clamps to the largest finite bound.
+  EXPECT_DOUBLE_EQ(histogram_quantile(bounds, {0, 0, 7}, 0.5), 10.0);
+  // A single observation lands in its bucket regardless of q.
+  EXPECT_LE(histogram_quantile(bounds, {1, 0, 0}, 0.99), 1.0);
+  EXPECT_GT(histogram_quantile(bounds, {1, 0, 0}, 0.01), 0.0);
+}
+
+TEST(Histogram, JsonSnapshotCarriesQuantiles) {
+  Registry reg;
+  Histogram& h = reg.histogram("lat_us", {1.0, 10.0, 100.0, 1000.0});
+  for (int i = 0; i < 95; ++i) h.observe(5.0);   // bulk in (1, 10]
+  for (int i = 0; i < 5; ++i) h.observe(500.0);  // tail in (100, 1000]
+  const std::string json = reg.to_json();
+  EXPECT_TRUE(test::json::is_valid(json)) << json;
+  EXPECT_NE(json.find("\"p50\": "), std::string::npos) << json;
+  EXPECT_NE(json.find("\"p95\": "), std::string::npos) << json;
+  EXPECT_NE(json.find("\"p99\": "), std::string::npos) << json;
+
+  const double p50 =
+      histogram_quantile(h.upper_bounds(), h.bucket_counts(), 0.5);
+  const double p99 =
+      histogram_quantile(h.upper_bounds(), h.bucket_counts(), 0.99);
+  EXPECT_GT(p50, 1.0);
+  EXPECT_LE(p50, 10.0);
+  EXPECT_GT(p99, 100.0);  // the tail pulls p99 into the (100, 1000] bucket
+  EXPECT_LE(p99, 1000.0);
+}
+
 TEST(Registry, FindDoesNotCreate) {
   Registry reg;
   EXPECT_EQ(reg.find_counter("nope"), nullptr);

@@ -4,7 +4,8 @@
 //           [--cores-per-node 8] [--qstat] [--dry-run-iteration]
 //           [--csv waits.csv]
 //           [--trace-out events.jsonl] [--trace-format jsonl|chrome]
-//           [--metrics-json metrics.json] [--replications R] [--jobs N]
+//           [--metrics-json metrics.json] [--record-out run.dbsr]
+//           [--replications R] [--jobs N]
 //           [--measure-threads M] [--stage-breakdown]
 //
 // The trace format is documented in src/workload/trace.hpp (write one with
@@ -12,7 +13,12 @@
 // the paper's Fig. 6 (see src/config/maui_config.hpp). --trace-out captures
 // a structured scheduler event trace (--trace-format chrome emits Chrome
 // trace-event JSON loadable in Perfetto / chrome://tracing); --metrics-json
-// snapshots the run's metrics registry on exit.
+// snapshots the run's metrics registry on exit (`-` writes it to stdout).
+// --record-out captures the run as a binary flight-recorder file (every
+// lifecycle event + every applied scheduler decision, indexed by job and
+// time; query it with dbsq). With --replications R > 1 each replication
+// records its own shard (<file>, <file>.rep1, ...) and an index-ordered
+// manifest lands in <file>.manifest.json.
 //
 // Parallel execution: --replications R re-runs the trace R times as
 // independent replications (isolated simulator + registry each) and
@@ -36,6 +42,8 @@
 #include "batch/parallel_runner.hpp"
 #include "config/maui_config.hpp"
 #include "core/pipeline/iteration_context.hpp"
+#include "obs/recorder/manifest.hpp"
+#include "obs/recorder/recorder.hpp"
 #include "obs/registry.hpp"
 #include "obs/tracer.hpp"
 #include "rms/decision.hpp"
@@ -52,7 +60,8 @@ int usage(const char* argv0, int code) {
                "       [--cores-per-node N] [--qstat] [--dry-run-iteration]\n"
                "       [--csv FILE]\n"
                "       [--trace-out FILE] [--trace-format jsonl|chrome]\n"
-               "       [--metrics-json FILE] [--replications R] [--jobs N]\n"
+               "       [--metrics-json FILE|-] [--record-out FILE]\n"
+               "       [--replications R] [--jobs N]\n"
                "       [--measure-threads M] [--stage-breakdown]\n";
   return code;
 }
@@ -92,6 +101,7 @@ int main(int argc, char** argv) {
   std::string csv_path;
   std::string trace_out_path;
   std::string metrics_json_path;
+  std::string record_out_path;
   obs::TraceFormat trace_format = obs::TraceFormat::Jsonl;
   std::size_t nodes = 0;
   CoreCount cores_per_node = 8;
@@ -126,6 +136,7 @@ int main(int argc, char** argv) {
       }
     }
     else if (arg == "--metrics-json") metrics_json_path = next();
+    else if (arg == "--record-out") record_out_path = next();
     else if (arg == "--replications")
       replications = static_cast<std::size_t>(std::stoul(next()));
     else if (arg == "--jobs")
@@ -138,6 +149,15 @@ int main(int argc, char** argv) {
   if (trace_path.empty()) return usage(argv[0], 2);
   if (replications < 1 || run_jobs < 1) {
     std::cerr << "--replications and --jobs must be >= 1\n";
+    return 2;
+  }
+  // `-` conventionally means stdout; the recorder writes an indexed binary
+  // file and cannot stream, so reject it instead of creating a file
+  // literally named "-". (--trace-out stays file-only: its formats are
+  // stream-shaped but the tracer owns the file lifecycle.)
+  if (record_out_path == "-") {
+    std::cerr << "--record-out cannot write to stdout (`-`): the recorder "
+                 "emits an indexed binary file; give it a path\n";
     return 2;
   }
   if ((qstat || dry_run_iteration) && replications > 1) {
@@ -189,12 +209,21 @@ int main(int argc, char** argv) {
   // the metrics snapshot is byte-identical for every --jobs value. The
   // event trace is attached to replication 0 only: other replications are
   // identical re-runs and concurrent writers would interleave events.
+  const auto capacity =
+      static_cast<std::int64_t>(nodes) * static_cast<std::int64_t>(cores_per_node);
+  obs::rec::Manifest manifest;
   metrics::WorkloadSummary summary;
   std::vector<metrics::WaitPoint> waits;
   if (qstat || dry_run_iteration) {
+    obs::rec::FlightRecorder recorder;
+    if (!record_out_path.empty() &&
+        !recorder.open(record_out_path, capacity)) {
+      std::cerr << "cannot open " << record_out_path << "\n";
+      return 1;
+    }
     batch::BatchSystem system(system_config);
-    system.set_sinks(
-        {trace_out_path.empty() ? nullptr : &tracer, &registry});
+    system.set_sinks({trace_out_path.empty() ? nullptr : &tracer, &registry,
+                      recorder.is_open() ? &recorder : nullptr});
     system.submit_workload(workload);
     // Pause mid-run (after the first quarter of the submission window) for
     // the status snapshot / what-if pass before finishing the simulation.
@@ -223,26 +252,59 @@ int main(int argc, char** argv) {
     system.run();
     summary = metrics::summarize(system.recorder());
     waits = metrics::wait_series(system.recorder());
+    if (recorder.is_open()) {
+      obs::rec::ManifestShard shard;
+      shard.path = recorder.path();
+      shard.records = recorder.records_written();
+      shard.first_t_us = recorder.first_t_us();
+      shard.last_t_us = recorder.last_t_us();
+      if (!recorder.finalize()) {
+        std::cerr << "cannot finalize " << record_out_path << "\n";
+        return 1;
+      }
+      manifest.shards.push_back(std::move(shard));
+    }
   } else {
     batch::ParallelRunner runner(run_jobs);
-    std::vector<batch::RunResult> results = runner.map<batch::RunResult>(
-        replications,
-        [&](std::size_t index, obs::Registry& replication_registry) {
-          batch::BatchSystem system(system_config);
-          system.set_sinks({index == 0 && !trace_out_path.empty() ? &tracer
-                                                                  : nullptr,
-                            &replication_registry});
-          system.submit_workload(workload);
-          system.run();
-          batch::RunResult result;
-          result.label = trace_path;
-          result.summary = metrics::summarize(system.recorder());
-          result.waits = metrics::wait_series(system.recorder());
-          result.scheduler_iterations = system.scheduler().iterations();
-          result.events = system.simulator().events_fired();
-          return result;
-        },
-        &registry);
+    const auto run_one = [&](std::size_t index,
+                             obs::Registry& replication_registry,
+                             obs::rec::FlightRecorder* recorder) {
+      batch::BatchSystem system(system_config);
+      system.set_sinks({index == 0 && !trace_out_path.empty() ? &tracer
+                                                              : nullptr,
+                        &replication_registry, recorder});
+      system.submit_workload(workload);
+      system.run();
+      batch::RunResult result;
+      result.label = trace_path;
+      result.summary = metrics::summarize(system.recorder());
+      result.waits = metrics::wait_series(system.recorder());
+      result.scheduler_iterations = system.scheduler().iterations();
+      result.events = system.simulator().events_fired();
+      return result;
+    };
+    std::vector<batch::RunResult> results;
+    if (record_out_path.empty()) {
+      results = runner.map<batch::RunResult>(
+          replications,
+          [&](std::size_t index, obs::Registry& replication_registry) {
+            return run_one(index, replication_registry, nullptr);
+          },
+          &registry);
+    } else {
+      try {
+        results = runner.map_recorded<batch::RunResult>(
+            replications, record_out_path, capacity,
+            [&](std::size_t index, obs::Registry& replication_registry,
+                obs::rec::FlightRecorder& recorder) {
+              return run_one(index, replication_registry, &recorder);
+            },
+            &registry, manifest);
+      } catch (const std::exception& e) {
+        std::cerr << e.what() << "\n";
+        return 1;
+      }
+    }
     summary = results.front().summary;
     waits = std::move(results.front().waits);
   }
@@ -270,17 +332,37 @@ int main(int argc, char** argv) {
     std::cout << "wrote per-job waits to " << csv_path << "\n";
   }
 
+  if (!record_out_path.empty()) {
+    // Shards are finalized; make the trace durable alongside them so the
+    // record/trace pair on disk is consistent at this point.
+    tracer.flush();
+    std::cout << "recorded " << manifest.total_records() << " records to "
+              << record_out_path;
+    if (manifest.shards.size() > 1) {
+      const std::string manifest_path = record_out_path + ".manifest.json";
+      if (!manifest.write(manifest_path)) {
+        std::cerr << "cannot open " << manifest_path << "\n";
+        return 1;
+      }
+      std::cout << " (" << manifest.shards.size() << " shards, manifest "
+                << manifest_path << ")";
+    }
+    std::cout << "\n";
+  }
   if (!trace_out_path.empty()) {
     tracer.close();
     std::cout << "wrote " << tracer.events_emitted() << " trace events to "
               << trace_out_path << "\n";
   }
   if (!metrics_json_path.empty()) {
-    if (!registry.write_json_file(metrics_json_path)) {
+    if (metrics_json_path == "-") {
+      registry.write_json(std::cout);
+    } else if (!registry.write_json_file(metrics_json_path)) {
       std::cerr << "cannot open " << metrics_json_path << "\n";
       return 1;
+    } else {
+      std::cout << "wrote metrics snapshot to " << metrics_json_path << "\n";
     }
-    std::cout << "wrote metrics snapshot to " << metrics_json_path << "\n";
   }
   return 0;
 }
