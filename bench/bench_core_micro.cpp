@@ -36,6 +36,23 @@ void bm_profile_subtract(benchmark::State& state) {
 }
 BENCHMARK(bm_profile_subtract)->Arg(16)->Arg(64)->Arg(256);
 
+/// Holds appended at strictly increasing times — the PhysicalProfileTracker
+/// steady state, where every new hold starts at or after the last
+/// breakpoint. Hits the subtract append-at-end fast path; compare against
+/// bm_profile_subtract (random placement, generic splice) at equal counts.
+void bm_profile_subtract_append(benchmark::State& state) {
+  const int holds = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    core::AvailabilityProfile p(Time::epoch(), 128);
+    for (int i = 0; i < holds; ++i)
+      p.subtract(Time::from_seconds(i * 700),
+                 Time::from_seconds(i * 700 + 600),
+                 static_cast<CoreCount>(1 + i % 16));
+    benchmark::DoNotOptimize(p.free_at(Time::from_seconds(100)));
+  }
+}
+BENCHMARK(bm_profile_subtract_append)->Arg(16)->Arg(64)->Arg(256);
+
 void bm_profile_earliest_fit(benchmark::State& state) {
   const core::AvailabilityProfile p =
       busy_profile(static_cast<int>(state.range(0)), 42);

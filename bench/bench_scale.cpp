@@ -18,6 +18,7 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -173,6 +174,101 @@ void bm_sched_iteration(benchmark::State& state) {
   }
 }
 
+/// Deep-queue iteration sweep: a 1024-node system with a running base
+/// load and a 1k/10k/100k-deep queue of mostly-unfitting jobs, measured as
+/// dry-run iterations with incremental planning on (`/incremental`) and
+/// off (`/rebuild`). The rebuild rows ARE the from-scratch baseline,
+/// recorded in the same results file — the speedup is reproducible from
+/// one binary, like the /indexed vs /scan allocator pairs above.
+///
+/// `fragmented` switches the base load from 8 big jobs to 256 small ones
+/// with staggered walltimes: the physical profile grows hundreds of
+/// breakpoints, the adversarial case for profile patching and staircase
+/// rebuilds.
+std::unique_ptr<batch::BatchSystem> make_deep_queue(std::size_t depth,
+                                                    bool incremental,
+                                                    bool fragmented) {
+  batch::SystemConfig cfg;
+  cfg.cluster.node_count = 1024;
+  cfg.cluster.cores_per_node = kCoresPerNode;
+  cfg.scheduler.reservation_depth = 5;
+  cfg.scheduler.reservation_delay_depth = 5;
+  cfg.scheduler.incremental_planning = incremental;
+  auto sys = std::make_unique<batch::BatchSystem>(cfg);
+
+  // Base running load: 4096 of 8192 cores busy either way.
+  if (fragmented) {
+    for (int i = 0; i < 256; ++i)
+      sys->submit_now(sized_spec("run", i, 16,
+                                 Duration::minutes(30 + (i * 7) % 90)),
+                      std::make_unique<apps::RigidApp>(
+                          Duration::minutes(25 + (i * 7) % 90)));
+  } else {
+    for (int i = 0; i < 8; ++i)
+      sys->submit_now(sized_spec("run", i, 512, Duration::minutes(90)),
+                      std::make_unique<apps::RigidApp>(Duration::minutes(60)));
+  }
+  sys->run_until(Time::from_seconds(2));  // the base load starts
+
+  // The deep queue: bigger than the free 4096 cores (StartLater or skip),
+  // with a sprinkle of fit-now jobs so every walk still plans backfills
+  // and the tail staircase actually cycles.
+  for (std::size_t i = 0; i < depth; ++i) {
+    const bool tiny = i % 9973 == 0;
+    const CoreCount cores =
+        tiny ? 2 : static_cast<CoreCount>(4608 + (i % 5) * 512);
+    const Duration wall = Duration::minutes(
+        tiny ? 5 : static_cast<std::int64_t>(30 + (i % 11) * 5));
+    sys->submit_now(sized_spec("q", static_cast<int>(i), cores, wall),
+                    std::make_unique<apps::RigidApp>(wall));
+  }
+  return sys;
+}
+
+void bm_queue_depth(benchmark::State& state, bool incremental,
+                    bool fragmented) {
+  const auto sys = make_deep_queue(static_cast<std::size_t>(state.range(0)),
+                                   incremental, fragmented);
+  for (auto _ : state) {
+    const auto decisions = sys->scheduler().dry_run_iteration();
+    benchmark::DoNotOptimize(decisions.size());
+  }
+}
+
+/// Steady-state churn at depth 100k: every iteration submits 8 jobs,
+/// cancels the 8 oldest queued and flips one idle node down/up (<1% of
+/// the queue changes), then runs a dry-run iteration — the O(Δ) target
+/// case of the incremental planner.
+void bm_queue_churn(benchmark::State& state, bool incremental) {
+  const auto depth = static_cast<std::size_t>(state.range(0));
+  const auto sys = make_deep_queue(depth, incremental, /*fragmented=*/false);
+  std::vector<JobId> pending;  // FIFO of queued job ids; index eats front
+  pending.reserve(depth + 1024);
+  for (std::size_t i = 0; i < depth; ++i)
+    pending.push_back(JobId{8 + i});  // ids 0..7 are the running base load
+  std::size_t head = 0;
+  std::size_t next = depth;
+  bool node_down = false;
+  for (auto _ : state) {
+    for (int k = 0; k < 8; ++k) {
+      const CoreCount cores = static_cast<CoreCount>(4608 + (next % 5) * 512);
+      pending.push_back(sys->submit_now(
+          sized_spec("c", static_cast<int>(next), cores, Duration::minutes(30)),
+          std::make_unique<apps::RigidApp>(Duration::minutes(30))));
+      ++next;
+    }
+    for (int k = 0; k < 8 && head < pending.size(); ++k)
+      sys->server().cancel(pending[head++]);
+    if (node_down)
+      sys->server().restore_node(NodeId{1023});
+    else
+      sys->server().node_failure(NodeId{1023});
+    node_down = !node_down;
+    const auto decisions = sys->scheduler().dry_run_iteration();
+    benchmark::DoNotOptimize(decisions.size());
+  }
+}
+
 template <class C>
 void register_kernels(const char* impl) {
   const auto reg = [&](const char* kernel, void (*fn)(benchmark::State&)) {
@@ -196,6 +292,26 @@ int main(int argc, char** argv) {
                                             bm_sched_iteration);
   for (const std::int64_t n : kNodeCounts) iter->Arg(n);
   iter->Unit(benchmark::kMillisecond);
+
+  for (const bool inc : {true, false}) {
+    const std::string impl = inc ? "incremental" : "rebuild";
+    auto* depth = benchmark::RegisterBenchmark(
+        ("bm_scale_queue_depth/" + impl).c_str(), bm_queue_depth, inc,
+        /*fragmented=*/false);
+    for (const std::int64_t d : {1000, 10000, 100000}) depth->Arg(d);
+    depth->Unit(benchmark::kMillisecond);
+
+    auto* frag = benchmark::RegisterBenchmark(
+        ("bm_scale_queue_frag/" + impl).c_str(), bm_queue_depth, inc,
+        /*fragmented=*/true);
+    for (const std::int64_t d : {10000, 100000}) frag->Arg(d);
+    frag->Unit(benchmark::kMillisecond);
+
+    benchmark::RegisterBenchmark(("bm_scale_queue_churn/" + impl).c_str(),
+                                 bm_queue_churn, inc)
+        ->Arg(100000)
+        ->Unit(benchmark::kMillisecond);
+  }
 
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -69,6 +69,19 @@ void AvailabilityProfile::subtract(Time from, Time to, CoreCount cores) {
   if (cores == 0) return;
   from = max(from, origin_);
   if (from >= to) return;
+  if (from >= steps_.back().at) {
+    // Append-at-end: the interval starts at or after the last breakpoint,
+    // so no existing segment is split — two push_backs replace the binary
+    // searches and mid-vector inserts of the general path. The resulting
+    // breakpoint layout is identical to the general path's.
+    const CoreCount tail_free = steps_.back().free;
+    if (from > steps_.back().at) steps_.push_back({from, tail_free});
+    steps_.push_back({to, tail_free});
+    Step& cut = steps_[steps_.size() - 2];
+    cut.free -= cores;
+    DBS_ASSERT(cut.free >= 0, "profile oversubscribed");
+    return;
+  }
   const std::size_t first = ensure_breakpoint(from);
   const std::size_t last = ensure_breakpoint(to);  // to > from: `first` stable
   for (std::size_t i = first; i < last; ++i) {
@@ -122,6 +135,24 @@ Time AvailabilityProfile::earliest_fit(CoreCount cores, Duration dur,
   }
   DBS_ASSERT(false, "unreachable: last segment always terminates the sweep");
   return Time::far_future();
+}
+
+void AvailabilityProfile::advance_origin(Time now) {
+  DBS_REQUIRE(now >= origin_, "origin may only advance");
+  if (now == origin_) return;
+  const std::size_t covering = segment_index(now);
+  if (covering > 0)
+    steps_.erase(steps_.begin(),
+                 steps_.begin() + static_cast<std::ptrdiff_t>(covering));
+  steps_[0].at = now;
+  origin_ = now;
+}
+
+void AvailabilityProfile::coalesce() {
+  std::size_t w = 1;
+  for (std::size_t r = 1; r < steps_.size(); ++r)
+    if (steps_[r].free != steps_[w - 1].free) steps_[w++] = steps_[r];
+  steps_.resize(w);
 }
 
 std::vector<std::pair<Time, CoreCount>> AvailabilityProfile::breakpoints() const {

@@ -9,6 +9,7 @@
 // capacity without allocating.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <utility>
 #include <vector>
@@ -52,6 +53,9 @@ class AvailabilityProfile {
 
   /// Removes `cores` over [from, to). The interval is clipped at origin.
   /// Precondition: the result never goes negative (check can_fit first).
+  /// Intervals at or beyond the last breakpoint (the persistent-profile
+  /// append and far-future cases) take an O(1) push_back fast path instead
+  /// of two binary searches with mid-vector inserts.
   void subtract(Time from, Time to, CoreCount cores);
 
   /// Adds `cores` back over [from, to) (inverse of subtract); the result
@@ -68,6 +72,40 @@ class AvailabilityProfile {
   /// O(breakpoints), not O(breakpoints^2).
   [[nodiscard]] Time earliest_fit(CoreCount cores, Duration dur,
                                   Time not_before) const;
+
+  /// Moves the origin forward to `now` (>= origin), dropping breakpoints
+  /// that are entirely in the past. The persistent physical profile calls
+  /// this once per iteration instead of rebuilding from the running set.
+  void advance_origin(Time now);
+
+  /// Removes breakpoints whose free count equals the preceding segment's.
+  /// Such redundant steps arise from add/advance/clamp patch sequences;
+  /// after coalescing, the representation is the unique minimal one for
+  /// the step function, so two equal profiles compare equal byte-for-byte.
+  void coalesce();
+
+  /// Structural equality: same origin, capacity and breakpoint vector.
+  /// Compare canonical (coalesced) profiles, where representation equality
+  /// is function equality.
+  [[nodiscard]] bool operator==(const AvailabilityProfile& other) const {
+    return origin_ == other.origin_ && capacity_ == other.capacity_ &&
+           steps_.size() == other.steps_.size() &&
+           std::equal(steps_.begin(), steps_.end(), other.steps_.begin(),
+                      [](const Step& a, const Step& b) {
+                        return a.at == b.at && a.free == b.free;
+                      });
+  }
+  [[nodiscard]] bool operator!=(const AvailabilityProfile& other) const {
+    return !(*this == other);
+  }
+
+  /// Zero-copy step access for profile-walking callers (the plan cache's
+  /// staircase rebuild); indices are invalidated by any mutation.
+  [[nodiscard]] const Step& step(std::size_t i) const { return steps_[i]; }
+  /// Index of the segment covering `t` (t >= origin).
+  [[nodiscard]] std::size_t segment_of(Time t) const {
+    return segment_index(t);
+  }
 
   /// The (time, free) breakpoints, for tests and debugging.
   [[nodiscard]] std::vector<std::pair<Time, CoreCount>> breakpoints() const;

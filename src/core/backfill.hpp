@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/availability_profile.hpp"
+#include "core/plan_cache.hpp"
 #include "core/reservation_table.hpp"
 #include "rms/job.hpp"
 
@@ -46,9 +47,14 @@ struct Plan {
 /// Allocation-free variant for the per-iteration hot path: `out` keeps its
 /// storage across calls (the profile is copy-assigned from `base`, reusing
 /// capacity; the table is cleared, not reallocated).
+///
+/// With a `cache`, the tail of the walk — jobs past the reservation budget,
+/// which can only backfill-now or wait — is answered from versioned cached
+/// verdicts instead of a full earliest_fit per job. The planned set, the
+/// table and the profile are byte-identical to the uncached walk.
 void plan_jobs_into(const std::vector<const rms::Job*>& prioritized,
                     const AvailabilityProfile& base, const PlanOptions& options,
-                    Plan& out);
+                    Plan& out, PlanCache* cache = nullptr);
 
 /// Re-plans exactly the given jobs (no depth cutoff, nothing skipped) onto a
 /// different base profile; used to measure the delays a tentative dynamic

@@ -73,7 +73,9 @@ void protected_subset_into(const std::vector<const rms::Job*>& prioritized,
                            std::vector<const rms::Job*>& out) {
   out.clear();
   std::size_t later_seen = 0;
-  for (const rms::Job* job : prioritized) {
+  for (std::size_t i = 0; i < prioritized.size(); ++i) {
+    if (i + 8 < prioritized.size()) __builtin_prefetch(prioritized[i + 8]);
+    const rms::Job* job = prioritized[i];
     const Reservation* r = baseline.find(job->id());
     if (r == nullptr) continue;
     if (r->start_now)

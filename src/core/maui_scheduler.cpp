@@ -31,12 +31,19 @@ MauiScheduler::MauiScheduler(rms::Server& server, SchedulerConfig config)
       fairshare_(config_.fairshare, server.simulator().now()),
       priority_(config_.weights, config_.cred_priorities, &fairshare_),
       dfs_(config_.dfs, server.simulator().now()),
+      tracker_(server),
       ctx_(server),
-      env_{server, config_, fairshare_, priority_, dfs_},
+      env_{server,    config_, fairshare_,
+           priority_, dfs_,
+           config_.incremental_planning ? &tracker_ : nullptr},
       statistics_(server.simulator().now()),
       stages_{&gather_, &statistics_, &prioritize_,
               &classify_, &admission_, &start_backfill_} {
   config_.validate();
+  // The tracker only observes server events when incremental planning is
+  // on; otherwise the gather stage rebuilds from scratch and per-event
+  // patching would be pure overhead.
+  if (config_.incremental_planning) server_.add_observer(&tracker_);
   server_.set_allocation_policy(config_.allocation_policy);
   ctx_.sinks.registry = &obs::Registry::global();
   // Calibrate the stage timer outside the first iteration's timed window.
@@ -44,8 +51,10 @@ MauiScheduler::MauiScheduler(rms::Server& server, SchedulerConfig config)
   tick_to_us_ = CycleTimer::to_micros(1);
 }
 
-// Out of line for the pool member inside IterationContext.
-MauiScheduler::~MauiScheduler() = default;
+MauiScheduler::~MauiScheduler() {
+  // The tracker dies with the scheduler; the server may outlive it.
+  if (config_.incremental_planning) server_.remove_observer(&tracker_);
+}
 
 void MauiScheduler::set_sinks(const obs::Sinks& sinks) {
   ctx_.sinks.tracer = sinks.tracer;
@@ -62,10 +71,8 @@ void MauiScheduler::attach() {
 AvailabilityProfile MauiScheduler::physical_profile(Time now) const {
   const cluster::Cluster& cl = server_.cluster();
   AvailabilityProfile profile(now, cl.total_cores());
-  for (const rms::Job* job : server_.jobs().running()) {
-    const Time hold_end = max(job->walltime_end(), now + Duration::micros(1));
-    profile.subtract(now, hold_end, job->allocated_cores());
-  }
+  for (const rms::Job* job : server_.jobs().running())
+    profile.subtract(now, hold_end_for(*job, now), job->allocated_cores());
   // Down/offline nodes: their unused cores are unavailable indefinitely.
   for (const cluster::Node& node : cl.nodes())
     if (!node.available())
@@ -105,8 +112,8 @@ void MauiScheduler::iterate() {
   DBS_TRACE_EVENT(ctx_.sinks.tracer,
                   obs::TraceEvent(now, "sched", "iteration_begin")
                       .field("iteration", iterations_)
-                      .field("queued", server_.jobs().queued().size())
-                      .field("running", server_.jobs().running().size())
+                      .field("queued", server_.jobs().queued_count())
+                      .field("running", server_.jobs().running_count())
                       .field("dyn_requests", server_.jobs().dyn_requests().size())
                       .field("free_cores", server_.cluster().free_cores()));
 
@@ -122,6 +129,9 @@ void MauiScheduler::iterate() {
   IterationStats& stats = ctx_.stats;
   stats.wall_us =
       std::chrono::duration<double, std::micro>(wall_end - wall_begin).count();
+  stats.replanned_jobs =
+      ctx_.classify_cache.replanned + ctx_.start_cache.replanned;
+  stats.cache_hits = ctx_.classify_cache.hits + ctx_.start_cache.hits;
 
   if (obs::Tracer* tracer = ctx_.sinks.tracer;
       tracer != nullptr && tracer->enabled()) {
@@ -137,6 +147,8 @@ void MauiScheduler::iterate() {
         .field("dyn_deferred", stats.dyn_deferred)
         .field("preempted", stats.preempted)
         .field("start_failed", stats.start_failed)
+        .field("replanned_jobs", stats.replanned_jobs)
+        .field("cache_hits", stats.cache_hits)
         .field("wall_us", stats.wall_us);
     if (config_.stage_timing) {
       for (std::size_t i = 0; i < kStageCount; ++i)
@@ -183,6 +195,10 @@ void MauiScheduler::record_iteration(const IterationStats& stats) {
     instruments_.preemptions = &registry.counter("scheduler.preemptions");
     instruments_.malleable_shrinks =
         &registry.counter("scheduler.malleable_shrinks");
+    instruments_.replanned_jobs =
+        &registry.counter("scheduler.replanned_jobs");
+    instruments_.plan_cache_hits =
+        &registry.counter("scheduler.plan_cache_hits");
     instruments_.iteration_us =
         &registry.histogram("scheduler.iteration_us", iteration_us_bounds());
     if (config_.stage_timing)
@@ -206,12 +222,14 @@ void MauiScheduler::record_iteration(const IterationStats& stats) {
   instruments_.dyn_deferred->add(stats.dyn_deferred);
   instruments_.preemptions->add(stats.preempted);
   instruments_.malleable_shrinks->add(stats.malleable_shrinks);
+  instruments_.replanned_jobs->add(stats.replanned_jobs);
+  instruments_.plan_cache_hits->add(stats.cache_hits);
   instruments_.iteration_us->observe(stats.wall_us);
   if (config_.stage_timing)
     for (std::size_t i = 0; i < kStageCount; ++i)
       instruments_.stage_us[i]->observe(stats.stage_wall_us[i]);
   instruments_.queue_length->set(
-      static_cast<double>(server_.jobs().queued().size()));
+      static_cast<double>(server_.jobs().queued_count()));
   instruments_.dyn_queue_length->set(
       static_cast<double>(server_.jobs().dyn_requests().size()));
   instruments_.free_cores->set(
@@ -223,8 +241,8 @@ void MauiScheduler::schedule_poll() {
     server_.simulator().cancel(poll_event_);
     poll_event_ = EventId::invalid();
   }
-  const bool work_left = !server_.jobs().queued().empty() ||
-                         !server_.jobs().running().empty() ||
+  const bool work_left = server_.jobs().has_queued() ||
+                         server_.jobs().has_running() ||
                          !server_.jobs().dyn_requests().empty();
   if (!work_left) return;
   poll_event_ = server_.simulator().schedule_after(config_.poll_interval,

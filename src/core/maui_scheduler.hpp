@@ -38,6 +38,7 @@
 #include "core/pipeline/stage.hpp"
 #include "core/pipeline/start_backfill_stage.hpp"
 #include "core/pipeline/statistics_stage.hpp"
+#include "core/physical_profile.hpp"
 #include "core/priority.hpp"
 #include "core/scheduler_config.hpp"
 #include "obs/sinks.hpp"
@@ -135,6 +136,10 @@ class MauiScheduler {
   Fairshare fairshare_;
   PriorityEngine priority_;
   DfsEngine dfs_;
+  /// Persistent physical profile, kept in sync via server observation;
+  /// registered only when config_.incremental_planning (declared before
+  /// env_, which points at it).
+  PhysicalProfileTracker tracker_;
   IterationStats last_;
   IterationHistory history_{kHistoryCap};
   std::uint64_t iterations_ = 0;
@@ -163,6 +168,8 @@ class MauiScheduler {
     obs::Counter* dyn_deferred = nullptr;
     obs::Counter* preemptions = nullptr;
     obs::Counter* malleable_shrinks = nullptr;
+    obs::Counter* replanned_jobs = nullptr;
+    obs::Counter* plan_cache_hits = nullptr;
     obs::Histogram* iteration_us = nullptr;
     std::array<obs::Histogram*, kStageCount> stage_us{};
     obs::Gauge* queue_length = nullptr;

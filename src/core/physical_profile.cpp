@@ -1,0 +1,142 @@
+#include "core/physical_profile.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace dbs::core {
+
+namespace {
+/// Min-heap on the hold end (std::*_heap build max-heaps; greater flips).
+struct ByEndDesc {
+  bool operator()(const std::pair<Time, JobId>& a,
+                  const std::pair<Time, JobId>& b) const {
+    return a.first > b.first;
+  }
+};
+}  // namespace
+
+PhysicalProfileTracker::PhysicalProfileTracker(const rms::Server& server)
+    : server_(server),
+      profile_(server.simulator().now(), server.cluster().total_cores()) {
+  // Seed from whatever is already running (normally nothing: the scheduler
+  // is constructed before the first submission).
+  const Time at = now();
+  for (const rms::Job* job : server.jobs().running()) open_hold(*job, at);
+  down_free_ = server.cluster().unavailable_free_cores();
+  if (down_free_ > 0) profile_.subtract(at, Time::far_future(), down_free_);
+}
+
+void PhysicalProfileTracker::heap_push(Time end, JobId id) {
+  heap_.emplace_back(end, id);
+  std::push_heap(heap_.begin(), heap_.end(), ByEndDesc{});
+}
+
+void PhysicalProfileTracker::open_hold(const rms::Job& job, Time at) {
+  const CoreCount cores = job.allocated_cores();
+  const Time end = hold_end_for(job, at);
+  DBS_ASSERT(!holds_.contains(job.id()), "hold already open");
+  holds_.emplace(job.id(), Hold{cores, end});
+  profile_.subtract(at, end, cores);
+  heap_push(end, job.id());
+}
+
+void PhysicalProfileTracker::close_hold(const rms::Job& job, Time at) {
+  const auto it = holds_.find(job.id());
+  if (it == holds_.end()) return;
+  // [at, end) is what the hold still covers; a hold that already ended
+  // (overrun job not yet re-extended) has nothing left to return.
+  profile_.add(at, it->second.end, it->second.cores);
+  holds_.erase(it);  // the heap entry goes stale and is skipped on pop
+}
+
+void PhysicalProfileTracker::return_cores(const rms::Job& job, CoreCount cores,
+                                          Time at) {
+  const auto it = holds_.find(job.id());
+  if (it == holds_.end()) return;
+  DBS_ASSERT(cores <= it->second.cores, "returning more than the hold");
+  profile_.add(at, it->second.end, cores);
+  it->second.cores -= cores;
+  if (it->second.cores == 0) holds_.erase(it);
+}
+
+void PhysicalProfileTracker::on_job_start(const rms::Job& job) {
+  open_hold(job, now());
+}
+
+void PhysicalProfileTracker::on_job_finish(const rms::Job& job) {
+  close_hold(job, now());
+}
+
+void PhysicalProfileTracker::on_requeue(const rms::Job& job) {
+  close_hold(job, now());
+}
+
+void PhysicalProfileTracker::on_cancel(const rms::Job& job,
+                                       CoreCount released) {
+  if (released > 0) close_hold(job, now());
+}
+
+void PhysicalProfileTracker::on_dyn_grant(const rms::Job& job,
+                                          const rms::DynRequest&,
+                                          CoreCount extra) {
+  const auto it = holds_.find(job.id());
+  DBS_ASSERT(it != holds_.end(), "grant to a job without a hold");
+  profile_.subtract(now(), it->second.end, extra);
+  it->second.cores += extra;
+}
+
+void PhysicalProfileTracker::on_dyn_release(const rms::Job& job,
+                                            CoreCount cores) {
+  return_cores(job, cores, now());
+}
+
+void PhysicalProfileTracker::on_malleable_shrink(const rms::Job& job,
+                                                 CoreCount cores) {
+  return_cores(job, cores, now());
+}
+
+void PhysicalProfileTracker::on_nodes_lost(const rms::Job& job,
+                                           CoreCount lost) {
+  // The lost cores leave the job's hold; that they now sit on a Down node
+  // is the down-block's business, synced at the next advance().
+  return_cores(job, lost, now());
+}
+
+void PhysicalProfileTracker::advance(Time at) {
+  profile_.advance_origin(at);
+
+  // Jobs running past their walltime: rebuild clamps their hold to
+  // [now, now + 1us); re-extend expired holds the same way. Lazy deletion:
+  // an entry whose hold is gone or no longer ends at the popped time is
+  // skipped.
+  while (!heap_.empty() && heap_.front().first <= at) {
+    std::pop_heap(heap_.begin(), heap_.end(), ByEndDesc{});
+    const auto [end, id] = heap_.back();
+    heap_.pop_back();
+    const auto it = holds_.find(id);
+    if (it == holds_.end() || it->second.end != end) continue;
+    const Time new_end = at + Duration::micros(1);
+    profile_.subtract(at, new_end, it->second.cores);
+    it->second.end = new_end;
+    heap_push(new_end, id);
+  }
+
+  // Down/offline nodes: their unused cores are unavailable indefinitely.
+  // The ledger keeps the aggregate in O(1); patch the delta since the last
+  // sync over the same [now, far_future) block the rebuild subtracts.
+  const CoreCount down = server_.cluster().unavailable_free_cores();
+  if (down > down_free_)
+    profile_.subtract(at, Time::far_future(), down - down_free_);
+  else if (down < down_free_)
+    profile_.add(at, Time::far_future(), down_free_ - down);
+  down_free_ = down;
+
+  // Patch sequences (add-backs, the down block draining to zero, origin
+  // advances) leave redundant breakpoints behind; the rebuild never does.
+  // Coalescing restores the unique minimal representation so the two paths
+  // agree byte-for-byte, not just pointwise.
+  profile_.coalesce();
+}
+
+}  // namespace dbs::core

@@ -12,6 +12,7 @@
 #include "core/dfs_engine.hpp"
 #include "core/malleable.hpp"
 #include "core/negotiation.hpp"
+#include "core/physical_profile.hpp"
 #include "core/preemption.hpp"
 #include "core/pipeline/prioritize_stage.hpp"
 #include "core/priority.hpp"
@@ -156,8 +157,7 @@ void DynamicAdmissionStage::run(PipelineEnv& env, IterationContext& ctx) {
           // Patch the cached physical profile: the victim's hold loses
           // s.cores over its remaining walltime interval.
           const rms::Job& victim = env.server.job(s.job);
-          const Time victim_end =
-              max(victim.walltime_end(), now + Duration::micros(1));
+          const Time victim_end = hold_end_for(victim, now);
           ctx.applier.shrink_malleable(s.job, s.cores, req.job);
           ctx.physical.add(now, victim_end, s.cores);
           freed += s.cores;
@@ -171,7 +171,9 @@ void DynamicAdmissionStage::run(PipelineEnv& env, IterationContext& ctx) {
                                 : env.server.cluster().free_cores();
         ctx.rebuild_planning_profile(env.config.dynamic_partition_cores);
         plan_jobs_into(ctx.prioritized, ctx.planning, ctx.measure_opts,
-                       ctx.baseline_plan);
+                       ctx.baseline_plan,
+                       env.config.incremental_planning ? &ctx.classify_cache
+                                                       : nullptr);
         protected_subset_into(ctx.prioritized, baseline,
                               env.config.reservation_delay_depth,
                               ctx.protected_jobs);
@@ -201,8 +203,7 @@ void DynamicAdmissionStage::run(PipelineEnv& env, IterationContext& ctx) {
           // rebuild would have subtracted) is returned to the pool.
           const rms::Job& victim_job = env.server.job(victim);
           const CoreCount victim_cores = victim_job.allocated_cores();
-          const Time victim_end =
-              max(victim_job.walltime_end(), now + Duration::micros(1));
+          const Time victim_end = hold_end_for(victim_job, now);
           ctx.applier.preempt(victim, req.job);
           ctx.physical.add(now, victim_end, victim_cores);
           freed += victim_cores;
@@ -216,7 +217,9 @@ void DynamicAdmissionStage::run(PipelineEnv& env, IterationContext& ctx) {
         ctx.prioritized = env.priority.prioritize(
             eligible_static_jobs(env.server, env.config), now);
         plan_jobs_into(ctx.prioritized, ctx.planning, ctx.measure_opts,
-                       ctx.baseline_plan);
+                       ctx.baseline_plan,
+                       env.config.incremental_planning ? &ctx.classify_cache
+                                                       : nullptr);
         protected_subset_into(ctx.prioritized, baseline,
                               env.config.reservation_delay_depth,
                               ctx.protected_jobs);

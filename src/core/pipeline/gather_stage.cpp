@@ -1,5 +1,7 @@
 #include "core/pipeline/gather_stage.hpp"
 
+#include "common/assert.hpp"
+#include "core/physical_profile.hpp"
 #include "core/scheduler_config.hpp"
 
 namespace dbs::core {
@@ -12,10 +14,23 @@ void GatherStage::run(PipelineEnv& env, IterationContext& ctx) {
                       env.server.jobs().dyn_requests().end());
   ctx.stats.eligible_dynamic = ctx.requests.size();
 
-  // Built once per iteration; the admission stage patches the profiles in
-  // place on every state change (grant, malleable shrink, preemption)
-  // instead of rebuilding them from the whole running set.
-  ctx.rebuild_physical_profile();
+  // The iteration's physical profile: either the persistent tracker
+  // advanced to now (O(Δ) in state changes since the last iteration) or a
+  // from-scratch rebuild over the whole running set. Copied into the
+  // context either way — the admission stage patches its copy in place on
+  // every state change (grant, malleable shrink, preemption) and dry runs
+  // must not perturb the tracker.
+  if (env.tracker != nullptr) {
+    env.tracker->advance(ctx.now);
+    if (env.config.check_invariants) {
+      ctx.rebuild_physical_profile();
+      DBS_REQUIRE(ctx.physical == env.tracker->profile(),
+                  "incremental physical profile diverged from rebuild");
+    }
+    ctx.physical = env.tracker->profile();
+  } else {
+    ctx.rebuild_physical_profile();
+  }
   ctx.physical_free = env.server.cluster().free_cores();
   ctx.rebuild_planning_profile(env.config.dynamic_partition_cores);
 }

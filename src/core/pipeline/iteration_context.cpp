@@ -1,6 +1,7 @@
 #include "core/pipeline/iteration_context.hpp"
 
 #include "core/partition.hpp"
+#include "core/physical_profile.hpp"
 #include "exec/thread_pool.hpp"
 
 namespace dbs::core {
@@ -27,16 +28,16 @@ void IterationContext::begin_iteration(Time at, std::uint64_t iteration_number,
   drain = false;
   physical_free = 0;
   prioritized.clear();
+  classify_cache.reset_counters();
+  start_cache.reset_counters();
   applier.begin_iteration(dry_run);
 }
 
 void IterationContext::rebuild_physical_profile() {
   const cluster::Cluster& cl = server.cluster();
   physical.reset(now, cl.total_cores());
-  for (const rms::Job* job : server.jobs().running()) {
-    const Time hold_end = max(job->walltime_end(), now + Duration::micros(1));
-    physical.subtract(now, hold_end, job->allocated_cores());
-  }
+  for (const rms::Job* job : server.jobs().running())
+    physical.subtract(now, hold_end_for(*job, now), job->allocated_cores());
   // Down/offline nodes: their unused cores are unavailable indefinitely.
   // One aggregate subtract over the same interval equals the per-node
   // subtracts, and the ledger keeps the sum in O(1) — no node scan.

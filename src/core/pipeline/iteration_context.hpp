@@ -20,6 +20,8 @@
 #include "core/availability_profile.hpp"
 #include "core/backfill.hpp"
 #include "core/delay_measurement.hpp"
+#include "core/plan_cache.hpp"
+#include "core/priority_cache.hpp"
 #include "obs/sinks.hpp"
 #include "rms/decision_applier.hpp"
 
@@ -50,6 +52,10 @@ struct IterationStats {
   std::size_t malleable_shrinks = 0;
   /// Planned StartNow jobs defeated by node-level fragmentation.
   std::size_t start_failed = 0;
+  /// Plan-cache effectiveness: jobs planned or re-judged by a full
+  /// earliest-fit walk vs. tail verdicts answered from the cache.
+  std::uint64_t replanned_jobs = 0;
+  std::uint64_t cache_hits = 0;
   /// Wall-clock cost of the iteration in microseconds (host time, not
   /// simulated time).
   double wall_us = 0.0;
@@ -107,6 +113,12 @@ struct IterationContext {
   AvailabilityProfile planning;
   Plan baseline_plan;  ///< step-10 classification (StartNow/StartLater)
   Plan final_plan;     ///< step-25/26 start plan
+  /// Tail-verdict caches, one per plan slot so the two walks' staircase
+  /// versions never thrash each other; counters reset per iteration.
+  PlanCache classify_cache;
+  PlanCache start_cache;
+  /// Previous-iteration priority order, reused by the prioritize stage.
+  PriorityOrderCache priority_cache;
   std::vector<const rms::Job*> protected_jobs;
   std::vector<rms::DynRequest> requests;  ///< FIFO snapshot of this pass
   DelayMeasurement measure;

@@ -11,6 +11,11 @@ namespace dbs::core {
 [[nodiscard]] std::vector<const rms::Job*> eligible_static_jobs(
     const rms::Server& server, const SchedulerConfig& config);
 
+/// Allocation-free variant: clears `out` and fills it, reusing capacity.
+void eligible_static_jobs_into(const rms::Server& server,
+                               const SchedulerConfig& config,
+                               std::vector<const rms::Job*>& out);
+
 /// Steps 6-9: select eligible static jobs and order them by priority
 /// (multi-factor weights + fairshare); detect ESP Z drain mode (an
 /// exclusive-priority job is queued).

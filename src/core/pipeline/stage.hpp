@@ -23,6 +23,7 @@ namespace dbs::core {
 
 class DfsEngine;
 class Fairshare;
+class PhysicalProfileTracker;
 class PriorityEngine;
 struct SchedulerConfig;
 
@@ -33,6 +34,9 @@ struct PipelineEnv {
   Fairshare& fairshare;
   PriorityEngine& priority;
   DfsEngine& dfs;
+  /// Persistent physical profile; null when incremental planning is off
+  /// (the gather stage then rebuilds from the running set).
+  PhysicalProfileTracker* tracker = nullptr;
 };
 
 class Stage {

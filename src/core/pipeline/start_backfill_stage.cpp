@@ -11,7 +11,8 @@ void StartBackfillStage::run(PipelineEnv& env, IterationContext& ctx) {
   const PlanOptions start_opts{ctx.now, env.config.reservation_depth,
                                env.config.enable_backfill && !ctx.drain,
                                ctx.drain};
-  plan_jobs_into(ctx.prioritized, ctx.planning, start_opts, ctx.final_plan);
+  plan_jobs_into(ctx.prioritized, ctx.planning, start_opts, ctx.final_plan,
+                 env.config.incremental_planning ? &ctx.start_cache : nullptr);
   for (const Reservation& r : ctx.final_plan.table.items()) {
     if (!r.start_now) {
       ctx.applier.reserve(r.job, r.cores, r.start);

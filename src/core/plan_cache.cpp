@@ -1,0 +1,72 @@
+#include "core/plan_cache.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "core/availability_profile.hpp"
+
+namespace dbs::core {
+
+namespace {
+/// Window covering every feasible walltime (the last staircase entry).
+const Duration kForever = Time::far_future() - Time::epoch();
+}  // namespace
+
+void PlanCache::refresh(const AvailabilityProfile& profile, Time now) {
+  // The staircase only has to answer the windows verdicts actually query
+  // (note_window keeps the running max); cutting the build off there keeps
+  // plan differences beyond that horizon — a rotating set of far-future
+  // StartLater reservations is the canonical churn pattern — from cycling
+  // the version and wiping verdicts that cannot have changed.
+  const Duration horizon =
+      max_window_us_ > 0 ? Duration::micros(max_window_us_) : kForever;
+  valid_up_to_us_ = max_window_us_ > 0
+                       ? max_window_us_
+                       : std::numeric_limits<std::int64_t>::max();
+  scratch_.clear();
+  // Prefix minimum over the profile steps from `now` on: step i bounds
+  // windows up to (step[i+1].at - now); equal-minimum runs compress into
+  // one entry by extending its window.
+  std::size_t i = profile.segment_of(max(now, profile.origin()));
+  CoreCount m = profile.step(i).free;
+  for (;; ++i) {
+    const bool last = i + 1 == profile.step_count();
+    Duration window = last ? kForever : profile.step(i + 1).at - now;
+    // Entry already covers every queried window: promote it to the forever
+    // entry and stop — deeper steps are invisible to min_for.
+    const bool covers = window >= horizon;
+    if (covers) window = kForever;
+    if (!scratch_.empty() && scratch_.back().min_free == m)
+      scratch_.back().window = window;
+    else
+      scratch_.push_back({window, m});
+    if (last || covers) break;
+    m = std::min(m, profile.step(i + 1).free);
+  }
+  if (version != 0 && scratch_ == staircase) return;
+  // Changed (or first build): intern the contents so a staircase seen in
+  // an earlier walk re-yields its original version and the verdicts
+  // recorded against it revalidate.
+  for (const Interned& e : interned_) {
+    if (e.stairs == scratch_) {
+      staircase = e.stairs;
+      version = e.version;
+      return;
+    }
+  }
+  if (interned_.size() >= kMaxInterned) interned_.clear();
+  version = ++next_version_;
+  interned_.push_back({scratch_, version});
+  staircase = scratch_;
+}
+
+CoreCount PlanCache::min_for(Duration window) const {
+  DBS_ASSERT(!staircase.empty(), "staircase queried before refresh");
+  const auto it = std::lower_bound(
+      staircase.begin(), staircase.end(), window,
+      [](const MinStep& s, Duration w) { return s.window < w; });
+  DBS_ASSERT(it != staircase.end(), "window beyond the forever entry");
+  return it->min_free;
+}
+
+}  // namespace dbs::core

@@ -45,6 +45,11 @@ PriorityEngine::PriorityEngine(PriorityWeights weights,
       fairshare_(fairshare) {}
 
 double PriorityEngine::priority(const rms::Job& job, Time now) const {
+  return priority_given_cred(job, now, cred_.total_for(job.spec().cred));
+}
+
+double PriorityEngine::priority_given_cred(const rms::Job& job, Time now,
+                                           double credtot) const {
   DBS_REQUIRE(now >= job.submit_time(), "priority query before submission");
   const Duration queued = now - job.submit_time();
   const double qt_minutes = queued.as_seconds() / 60.0;
@@ -54,7 +59,7 @@ double PriorityEngine::priority(const rms::Job& job, Time now) const {
   double p = weights_.queue_time_per_minute * qt_minutes +
              weights_.xfactor * xfactor +
              weights_.per_core * static_cast<double>(job.spec().cores) +
-             weights_.cred * cred_.total_for(job.spec().cred);
+             weights_.cred * credtot;
   if (fairshare_ != nullptr && weights_.fairshare != 0.0)
     p += weights_.fairshare * fairshare_->component(job.spec().cred);
   return p;

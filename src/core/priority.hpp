@@ -40,6 +40,26 @@ class PriorityEngine {
   /// The scalar priority of a queued job at time `now`.
   [[nodiscard]] double priority(const rms::Job& job, Time now) const;
 
+  /// The credential component total of a job's credentials (immutable for
+  /// a job's lifetime, so callers may memoize it per job).
+  [[nodiscard]] double cred_total(const Credentials& cred) const {
+    return cred_.total_for(cred);
+  }
+
+  /// priority() with the credential total supplied by the caller; the
+  /// single compiled expression both paths share, so a memoized credtot
+  /// yields bit-identical priorities.
+  [[nodiscard]] double priority_given_cred(const rms::Job& job, Time now,
+                                           double credtot) const;
+
+  /// True when priority() is a pure function of the job's immutable spec
+  /// and `now` — i.e. the fairshare term (the only component reading
+  /// mutable scheduler state) is inactive. Callers may then memoize keys
+  /// per (job, now).
+  [[nodiscard]] bool spec_only() const {
+    return fairshare_ == nullptr || weights_.fairshare == 0.0;
+  }
+
   /// Sorts jobs by descending priority. Jobs with the exclusive_priority
   /// flag (ESP Z jobs) always sort first. Ties break on submission time,
   /// then id, so the order is total and deterministic.

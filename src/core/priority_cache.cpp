@@ -1,0 +1,111 @@
+#include "core/priority_cache.hpp"
+
+#include <algorithm>
+#include <cstddef>
+#include <limits>
+
+#include "core/priority.hpp"
+
+namespace dbs::core {
+
+namespace {
+/// No key has been computed at this sentinel (Time is far smaller).
+constexpr std::int64_t kNeverComputed = std::numeric_limits<std::int64_t>::min();
+}  // namespace
+
+void PriorityOrderCache::grow_to(std::size_t id) {
+  const std::size_t n = id + 1;
+  credtot_.resize(n);
+  credtot_known_.resize(n);
+  key_.resize(n);
+  key_now_us_.resize(n, kNeverComputed);
+  submit_us_.resize(n);
+  exclusive_.resize(n);
+  job_ptr_.resize(n);
+  eligible_stamp_.resize(n);
+  output_stamp_.resize(n);
+}
+
+void PriorityOrderCache::order(std::vector<const rms::Job*>& jobs,
+                               const PriorityEngine& engine, Time now) {
+  ++pass_;
+  if (engine_ != &engine) {
+    // A different engine may weigh the same job differently: drop every
+    // memoized key and credential total.
+    engine_ = &engine;
+    std::fill(key_now_us_.begin(), key_now_us_.end(), kNeverComputed);
+    std::fill(credtot_known_.begin(), credtot_known_.end(), std::uint8_t{0});
+  }
+  // When the fairshare term is inactive a key is a pure function of the
+  // job's immutable spec and `now`, so a key computed at this `now` in an
+  // earlier pass is still exact — the common case for dry-run replans and
+  // repeated same-instant iterations.
+  const bool memo_keys = engine.spec_only();
+  const std::int64_t now_us = now.as_micros();
+
+  // Fresh keys for every eligible job — the single pass that touches the
+  // Job objects. The credential total is looked up once per job ever
+  // (credentials are immutable); the key expression is shared with
+  // PriorityEngine::priority bit-for-bit. Everything downstream (adjacency
+  // scan, sort, merge) runs on the flat per-id arrays.
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (i + 8 < jobs.size()) __builtin_prefetch(jobs[i + 8]);
+    const rms::Job* job = jobs[i];
+    const auto id = static_cast<std::size_t>(job->id().value());
+    if (key_.size() <= id) grow_to(id);
+    if (!memo_keys || key_now_us_[id] != now_us) {
+      if (credtot_known_[id] == 0) {
+        credtot_[id] = engine.cred_total(job->spec().cred);
+        credtot_known_[id] = 1;
+        submit_us_[id] = job->submit_time().as_micros();
+        exclusive_[id] = job->spec().exclusive_priority ? 1 : 0;
+      }
+      key_[id] = engine.priority_given_cred(*job, now, credtot_[id]);
+      key_now_us_[id] = now_us;
+    }
+    job_ptr_[id] = job;
+    eligible_stamp_[id] = pass_;
+  }
+
+  // The previous output restricted to still-eligible jobs keeps its
+  // relative order; everything else in `jobs` is an arrival.
+  retained_.clear();
+  for (const std::uint32_t id : prev_ids_)
+    if (eligible_stamp_[id] == pass_) retained_.push_back(id);
+  bool retained_sorted = true;
+  for (std::size_t i = 1; i < retained_.size() && retained_sorted; ++i)
+    retained_sorted = before(retained_[i - 1], retained_[i]);
+
+  if (retained_sorted) {
+    arrivals_.clear();
+    for (const rms::Job* job : jobs) {
+      const auto id = static_cast<std::uint32_t>(job->id().value());
+      if (output_stamp_[id] != pass_ - 1) arrivals_.push_back(id);
+    }
+    std::sort(arrivals_.begin(), arrivals_.end(),
+              [this](std::uint32_t a, std::uint32_t b) { return before(a, b); });
+    merged_.resize(jobs.size());
+    std::merge(retained_.begin(), retained_.end(), arrivals_.begin(),
+               arrivals_.end(), merged_.begin(),
+               [this](std::uint32_t a, std::uint32_t b) { return before(a, b); });
+    ++merged_passes_;
+  } else {
+    merged_.resize(jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i)
+      merged_[i] = static_cast<std::uint32_t>(jobs[i]->id().value());
+    std::sort(merged_.begin(), merged_.end(),
+              [this](std::uint32_t a, std::uint32_t b) { return before(a, b); });
+    ++resorted_passes_;
+  }
+
+  jobs.clear();
+  any_exclusive_ = false;
+  for (const std::uint32_t id : merged_) {
+    jobs.push_back(job_ptr_[id]);
+    any_exclusive_ = any_exclusive_ || exclusive_[id] != 0;
+  }
+  prev_ids_.swap(merged_);
+  for (const std::uint32_t id : prev_ids_) output_stamp_[id] = pass_;
+}
+
+}  // namespace dbs::core

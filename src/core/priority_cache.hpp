@@ -1,0 +1,96 @@
+// Incremental priority ordering.
+//
+// Re-sorting the whole eligible queue every iteration costs
+// O(n log n) priority evaluations — each a weighted sum behind five
+// credential hash lookups — even when nothing moved. But between two
+// iterations the relative order is almost always stable: every queued
+// job's queue-time component grows at the same rate, so only xfactor
+// drift, fairshare updates or config-weighted credential differences can
+// reorder neighbours, and arrivals/departures touch a handful of jobs.
+//
+// The cache therefore (a) memoizes each job's credential priority total
+// forever (credentials are immutable after submit), (b) computes the
+// scalar priority key once per job per pass via the engine's shared
+// expression — bit-identical to PriorityEngine::priority — and (c)
+// reuses the previous pass's output order: jobs still eligible are kept
+// in their old positions, verified sorted under the fresh keys with one
+// O(n) adjacent scan, and new arrivals are sorted (typically a handful)
+// and merged in. If the scan finds an inversion the pass falls back to a
+// full sort over the cached keys. The comparator is a strict total order
+// (exclusive flag, key, submit time, id), so the sorted sequence is
+// unique and every path yields the same bytes as the from-scratch sort.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/time.hpp"
+#include "rms/job.hpp"
+
+namespace dbs::core {
+
+class PriorityEngine;
+
+class PriorityOrderCache {
+ public:
+  /// Reorders `jobs` in place into exact priority order — identical to
+  /// PriorityEngine::prioritize(jobs, now) — reusing the previous pass's
+  /// order where it survived.
+  void order(std::vector<const rms::Job*>& jobs, const PriorityEngine& engine,
+             Time now);
+
+  /// Whether any job in the last order() output carries exclusive
+  /// priority — read off the flat flag array during the output pass, so
+  /// the drain check needs no second walk over the Job objects.
+  [[nodiscard]] bool any_exclusive() const { return any_exclusive_; }
+
+  /// Passes answered by the merge path (no full sort).
+  [[nodiscard]] std::uint64_t merged_passes() const { return merged_passes_; }
+  /// Passes that fell back to a full sort (an inversion was detected).
+  [[nodiscard]] std::uint64_t resorted_passes() const {
+    return resorted_passes_;
+  }
+
+ private:
+  /// The exact comparator of PriorityEngine::prioritize over the flat
+  /// per-id arrays: exclusive first, then key desc, submit asc, id asc — a
+  /// strict total order, so the sorted sequence is unique. Working on ids
+  /// instead of Job pointers keeps the adjacency scan, sort and merge free
+  /// of per-comparison pointer chases into scattered Job objects.
+  [[nodiscard]] bool before(std::size_t a, std::size_t b) const {
+    if (exclusive_[a] != exclusive_[b]) return exclusive_[a] != 0;
+    if (key_[a] != key_[b]) return key_[a] > key_[b];
+    if (submit_us_[a] != submit_us_[b]) return submit_us_[a] < submit_us_[b];
+    return a < b;
+  }
+
+  void grow_to(std::size_t id);
+
+  /// Dense-by-job-id state; ids are allocated sequentially by the server.
+  /// key/submit/exclusive mirror the comparator inputs so ordering never
+  /// touches the Job objects after the one read in the key loop.
+  std::vector<double> credtot_;
+  std::vector<std::uint8_t> credtot_known_;
+  std::vector<double> key_;
+  std::vector<std::int64_t> key_now_us_;  ///< `now` key_ was computed at
+  std::vector<std::int64_t> submit_us_;
+  std::vector<std::uint8_t> exclusive_;
+  std::vector<const rms::Job*> job_ptr_;
+  std::vector<std::uint32_t> eligible_stamp_;  ///< == pass_: in this pass
+  std::vector<std::uint32_t> output_stamp_;    ///< == pass_: in that output
+
+  /// Starts at 1 so the zero-initialized stamps never read as "previous
+  /// pass" on the first call.
+  std::uint32_t pass_ = 1;
+  std::vector<std::uint32_t> prev_ids_;  ///< previous output, as job ids
+  std::vector<std::uint32_t> retained_;
+  std::vector<std::uint32_t> arrivals_;
+  std::vector<std::uint32_t> merged_;
+
+  std::uint64_t merged_passes_ = 0;
+  std::uint64_t resorted_passes_ = 0;
+  bool any_exclusive_ = false;
+  const PriorityEngine* engine_ = nullptr;  ///< key memo owner
+};
+
+}  // namespace dbs::core

@@ -12,9 +12,12 @@ void ReservationTable::add(Reservation r) {
   const bool inserted = index_.try_emplace(r.job, items_.size()).second;
   DBS_REQUIRE(inserted, "job already reserved");
   items_.push_back(r);
+  const auto id = static_cast<std::size_t>(r.job.value());
+  if (member_stamp_.size() <= id) member_stamp_.resize(id + 1, 0);
+  member_stamp_[id] = generation_;
 }
 
-const Reservation* ReservationTable::find(JobId job) const {
+const Reservation* ReservationTable::find_slow(JobId job) const {
   const auto it = index_.find(job);
   return it == index_.end() ? nullptr : &items_[it->second];
 }

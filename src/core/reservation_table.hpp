@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <unordered_map>
 #include <vector>
 
@@ -29,9 +30,12 @@ class ReservationTable {
 
   void add(Reservation r);
   /// Keeps the allocated storage (tables are rebuilt every iteration).
+  /// The stamped membership array survives clears by generation bump, so
+  /// repeated rebuild cycles never re-touch it.
   void clear() {
     items_.clear();
     index_.clear();
+    ++generation_;
   }
   void reserve(std::size_t n) { items_.reserve(n); }
 
@@ -39,16 +43,28 @@ class ReservationTable {
   [[nodiscard]] std::size_t size() const { return items_.size(); }
   [[nodiscard]] bool empty() const { return items_.empty(); }
 
-  /// Reservation of `job`, or nullptr. O(1): backed by a job-id index
-  /// (delay measurement does one lookup per planned job per request).
-  [[nodiscard]] const Reservation* find(JobId job) const;
+  /// Reservation of `job`, or nullptr. O(1): a stamped dense-id membership
+  /// array answers the common miss (tables hold tens of entries, callers
+  /// probe the whole queue) with one flat load; only hits pay the hash
+  /// lookup. (Delay measurement and the classify stage's protected-subset
+  /// walk probe once per queued job per pass.)
+  [[nodiscard]] const Reservation* find(JobId job) const {
+    const auto id = static_cast<std::size_t>(job.value());
+    if (id >= member_stamp_.size() || member_stamp_[id] != generation_)
+      return nullptr;
+    return find_slow(job);
+  }
 
   [[nodiscard]] std::size_t start_now_count() const;
   [[nodiscard]] std::size_t start_later_count() const;
 
  private:
+  [[nodiscard]] const Reservation* find_slow(JobId job) const;
+
   std::vector<Reservation> items_;  ///< in planning (priority) order
   std::unordered_map<JobId, std::size_t> index_;  ///< job -> items_ position
+  std::vector<std::uint32_t> member_stamp_;  ///< == generation_: reserved
+  std::uint32_t generation_ = 1;  ///< 1-based so zero-init never matches
 };
 
 }  // namespace dbs::core

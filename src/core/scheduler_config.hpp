@@ -48,6 +48,17 @@ struct SchedulerConfig {
   /// bit-identical to the serial path at every thread count.
   std::size_t measure_threads = 1;
 
+  /// Incremental planning (INCREMENTALPLANNING): O(Δ)-in-state-changes
+  /// iterations. The physical profile is a persistent structure patched on
+  /// job events instead of rebuilt from the running set; the planning
+  /// walks answer their backfill tails from versioned plan caches; the
+  /// priority order reuses the previous iteration's sort. Decisions,
+  /// traces and metrics are byte-identical to the from-scratch path.
+  bool incremental_planning = true;
+  /// CHECKINVARIANTS: cross-check every incremental structure against its
+  /// from-scratch rebuild each iteration (expensive; tests and debugging).
+  bool check_invariants = false;
+
   /// Per-stage pipeline timing (STAGETIMING): fills
   /// IterationStats::stage_wall_us, the scheduler.stage_iteration_us.*
   /// histograms and the iteration trace event's wall_us_<stage> fields.

@@ -12,7 +12,7 @@ Job& JobQueue::add(std::unique_ptr<Job> job) {
   DBS_REQUIRE(!jobs_.contains(id), "duplicate job id");
   Job& ref = *job;
   jobs_.emplace(id, std::move(job));
-  order_.push_back(id);
+  order_.push_back(&ref);
   return ref;
 }
 
@@ -30,36 +30,59 @@ const Job& JobQueue::at(JobId id) const {
 
 std::vector<Job*> JobQueue::queued() {
   std::vector<Job*> out;
-  for (const JobId id : order_) {
-    Job& j = *jobs_.at(id);
-    if (j.state() == JobState::Queued) out.push_back(&j);
-  }
+  for (Job* j : order_)
+    if (j->state() == JobState::Queued) out.push_back(j);
   return out;
 }
 
 std::vector<const Job*> JobQueue::queued() const {
   std::vector<const Job*> out;
-  for (const JobId id : order_) {
-    const Job& j = *jobs_.at(id);
-    if (j.state() == JobState::Queued) out.push_back(&j);
-  }
+  for (const Job* j : order_)
+    if (j->state() == JobState::Queued) out.push_back(j);
   return out;
+}
+
+void JobQueue::queued_into(std::vector<const Job*>& out) const {
+  out.clear();
+  for (const Job* j : order_)
+    if (j->state() == JobState::Queued) out.push_back(j);
+}
+
+std::size_t JobQueue::queued_count() const {
+  std::size_t n = 0;
+  for (const Job* j : order_)
+    if (j->state() == JobState::Queued) ++n;
+  return n;
+}
+
+bool JobQueue::has_queued() const {
+  for (const Job* j : order_)
+    if (j->state() == JobState::Queued) return true;
+  return false;
 }
 
 std::vector<const Job*> JobQueue::running() const {
   std::vector<const Job*> out;
-  for (const JobId id : order_) {
-    const Job& j = *jobs_.at(id);
-    if (j.is_running()) out.push_back(&j);
-  }
+  for (const Job* j : order_)
+    if (j->is_running()) out.push_back(j);
   return out;
 }
 
+std::size_t JobQueue::running_count() const {
+  std::size_t n = 0;
+  for (const Job* j : order_)
+    if (j->is_running()) ++n;
+  return n;
+}
+
+bool JobQueue::has_running() const {
+  for (const Job* j : order_)
+    if (j->is_running()) return true;
+  return false;
+}
+
 std::vector<const Job*> JobQueue::all() const {
-  std::vector<const Job*> out;
-  out.reserve(order_.size());
-  for (const JobId id : order_) out.push_back(jobs_.at(id).get());
-  return out;
+  return {order_.begin(), order_.end()};
 }
 
 void JobQueue::push_dyn_request(DynRequest req) {

@@ -22,9 +22,16 @@ class JobQueue {
   /// Jobs in Queued state, in submission (id) order.
   [[nodiscard]] std::vector<Job*> queued();
   [[nodiscard]] std::vector<const Job*> queued() const;
+  /// Allocation-free variant for per-iteration callers: clears `out` and
+  /// fills it, reusing its capacity.
+  void queued_into(std::vector<const Job*>& out) const;
+  [[nodiscard]] std::size_t queued_count() const;
+  [[nodiscard]] bool has_queued() const;
 
   /// Jobs in Running or DynQueued state, in id order.
   [[nodiscard]] std::vector<const Job*> running() const;
+  [[nodiscard]] std::size_t running_count() const;
+  [[nodiscard]] bool has_running() const;
 
   /// All jobs ever submitted, in id order.
   [[nodiscard]] std::vector<const Job*> all() const;
@@ -44,7 +51,10 @@ class JobQueue {
 
  private:
   std::unordered_map<JobId, std::unique_ptr<Job>> jobs_;
-  std::vector<JobId> order_;  ///< submission order
+  // Submission order as raw pointers: jobs are never erased from `jobs_`
+  // and unique_ptr storage is stable, so the scan methods below can walk
+  // this vector without a per-job hash lookup.
+  std::vector<Job*> order_;
   std::deque<DynRequest> dyn_fifo_;
 };
 

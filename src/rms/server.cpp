@@ -59,6 +59,12 @@ void Server::add_observer(ServerObserver* observer) {
   observers_.push_back(observer);
 }
 
+void Server::remove_observer(ServerObserver* observer) {
+  observers_.erase(
+      std::remove(observers_.begin(), observers_.end(), observer),
+      observers_.end());
+}
+
 CoreCount Server::effective_ppn(const Job& job) const {
   const CoreCount ppn = job.spec().ppn;
   DBS_REQUIRE(ppn >= 0 && ppn <= cluster_.cores_per_node(),

@@ -64,6 +64,9 @@ class Server {
   void set_scheduler_trigger(std::function<void()> trigger);
 
   void add_observer(ServerObserver* observer);
+  /// Deregisters an observer (no-op if it was never added); observers with
+  /// a shorter lifetime than the server must call this before dying.
+  void remove_observer(ServerObserver* observer);
 
   /// Observability sinks: the tracer (nullable) receives job-lifecycle and
   /// dynamic-protocol trace events; protocol counters and the dyn-request

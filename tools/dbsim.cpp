@@ -66,7 +66,9 @@ int usage(const char* argv0, int code) {
   return code;
 }
 
-/// Mean per-stage wall time from the run's merged registry, one line.
+/// Mean per-stage wall time from the run's merged registry, one line,
+/// plus the plan-cache effectiveness counters of the incremental planner:
+/// how many per-job verdicts were recomputed vs answered from cache.
 void print_stage_breakdown(const obs::Registry& registry) {
   std::cout << "stage breakdown (mean us/iteration):";
   for (const std::string_view name : core::stage_names()) {
@@ -79,6 +81,12 @@ void print_stage_breakdown(const obs::Registry& registry) {
       std::cout << TextTable::num(h->sum() / static_cast<double>(h->count()),
                                   3);
   }
+  const obs::Counter* replanned =
+      registry.find_counter("scheduler.replanned_jobs");
+  const obs::Counter* hits = registry.find_counter("scheduler.plan_cache_hits");
+  std::cout << " replanned_jobs="
+            << (replanned == nullptr ? 0 : replanned->value())
+            << " cache_hits=" << (hits == nullptr ? 0 : hits->value());
   std::cout << "\n";
 }
 
