@@ -27,6 +27,23 @@ BatchSystem::BatchSystem(const SystemConfig& config)
       scheduler_(server_, config.scheduler) {
   server_.set_moms(&moms_);
   server_.add_observer(&recorder_);
+  if (config.streaming_metrics) recorder_.set_streaming(true);
+  if (config.retire_finished_jobs) {
+    // The grace period must outlast every latency-delayed closure that can
+    // still look a completed job up by id (in-flight mom/server messages,
+    // join chains, the coalesced scheduler wake-up). Sum the model's hops
+    // with a generous multiplier plus a constant floor — retirement only
+    // needs to be prompt relative to a trace's hours-long job lifetimes.
+    const rms::LatencyModel& l = config.latency;
+    const Duration grace = (l.client_to_server + l.server_to_mom +
+                            l.mom_to_server + l.scheduler_delay) *
+                               64 +
+                           (l.join(cluster_.node_count()) +
+                            l.dyn_join(cluster_.node_count())) *
+                               4 +
+                           Duration::seconds(1);
+    server_.set_retirement(grace);
+  }
   scheduler_.attach();
 }
 
@@ -46,12 +63,56 @@ void BatchSystem::submit_at(
                    });
 }
 
+void BatchSystem::schedule_submission(const wl::SubmitSpec& s) {
+  sim_.schedule_submission(
+      s.at + config_.latency.client_to_server,
+      [this, spec = s.spec, behavior = s.behavior]() mutable {
+        server_.submit(std::move(spec),
+                       apps::make_application(behavior, config_.speedup));
+      });
+}
+
 void BatchSystem::submit_workload(const wl::Workload& workload) {
-  for (const wl::SubmitSpec& s : workload.jobs) {
-    submit_at(s.at, s.spec, [behavior = s.behavior, model = config_.speedup] {
-      return apps::make_application(behavior, model);
-    });
+  for (const wl::SubmitSpec& s : workload.jobs) schedule_submission(s);
+}
+
+// Each in-flight arrival event carries the pump: when it fires it first
+// pulls the next record beyond the window and schedules it, then submits
+// its own job. Pulls happen in trace order from a single chain of
+// events, so submission-lane sequence numbers stay in trace order and
+// the ordering matches the materialized path exactly.
+struct BatchSystem::StreamPump {
+  wl::SubmissionSource* source = nullptr;
+  Time last_at = Time::epoch();
+  bool exhausted = false;
+};
+
+void BatchSystem::pump_stream(const std::shared_ptr<StreamPump>& pump) {
+  if (pump->exhausted) return;
+  wl::SubmitSpec s;
+  if (!pump->source->next(s)) {
+    pump->exhausted = true;
+    return;
   }
+  DBS_REQUIRE(s.at >= pump->last_at,
+              "submission source must yield non-decreasing times");
+  pump->last_at = s.at;
+  sim_.schedule_submission(
+      s.at + config_.latency.client_to_server,
+      [this, pump, spec = s.spec, behavior = s.behavior]() mutable {
+        pump_stream(pump);  // refill the window before submitting
+        server_.submit(std::move(spec),
+                       apps::make_application(behavior, config_.speedup));
+      });
+}
+
+void BatchSystem::submit_stream(wl::SubmissionSource& source,
+                                std::size_t window) {
+  DBS_REQUIRE(window > 0, "look-ahead window must be positive");
+  auto pump = std::make_shared<StreamPump>();
+  pump->source = &source;
+  for (std::size_t i = 0; i < window && !pump->exhausted; ++i)
+    pump_stream(pump);
 }
 
 void BatchSystem::run() {

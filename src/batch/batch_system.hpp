@@ -14,6 +14,7 @@
 #include "rms/server.hpp"
 #include "sim/simulator.hpp"
 #include "workload/esp.hpp"
+#include "workload/source.hpp"
 
 namespace dbs::batch {
 
@@ -23,6 +24,14 @@ struct SystemConfig {
   core::SchedulerConfig scheduler;
   /// Speedup model used when materializing evolving workload jobs.
   apps::SpeedupModel speedup = apps::SpeedupModel::PaperDet;
+  /// Reclaim a job's storage (Job object, application, cached state) a
+  /// latency-derived grace period after it completes, so multi-month
+  /// replays run at O(active jobs) memory instead of O(all jobs ever).
+  bool retire_finished_jobs = false;
+  /// Fold finished jobs into aggregate metrics instead of keeping a
+  /// per-job record forever (metrics::Recorder streaming mode). Summary
+  /// totals are identical; per-job series are unavailable.
+  bool streaming_metrics = false;
 };
 
 class BatchSystem {
@@ -42,6 +51,16 @@ class BatchSystem {
 
   /// Injects a whole workload (ESP, synthetic or trace).
   void submit_workload(const wl::Workload& workload);
+
+  /// Streams submissions from `source`, keeping at most `window` future
+  /// arrivals scheduled in the event queue at any instant — O(window)
+  /// driver memory for a trace of any length. The source must yield
+  /// non-decreasing submission times. Produces the exact event ordering
+  /// of submit_workload on the same jobs: both paths use the event
+  /// queue's Submission lane, which fires before same-time events
+  /// scheduled during the run regardless of push order. `source` must
+  /// outlive the run() that drains it.
+  void submit_stream(wl::SubmissionSource& source, std::size_t window = 1024);
 
   /// Runs the simulation to completion (all events drained).
   void run();
@@ -63,6 +82,16 @@ class BatchSystem {
   void set_sinks(const obs::Sinks& sinks);
 
  private:
+  /// Schedules one workload arrival on the event queue's Submission lane
+  /// (client→server latency applied). Shared by the materialized and
+  /// streaming paths so both produce identical orderings.
+  void schedule_submission(const wl::SubmitSpec& s);
+
+  struct StreamPump;
+  /// Pulls one record from the stream and schedules it; the scheduled
+  /// event re-enters here first when it fires, keeping the window full.
+  void pump_stream(const std::shared_ptr<StreamPump>& pump);
+
   SystemConfig config_;
   sim::Simulator sim_;
   cluster::Cluster cluster_;

@@ -1,0 +1,15 @@
+#include "common/interner.hpp"
+
+namespace dbs::common {
+
+std::uint32_t StringInterner::intern(std::string_view s) {
+  if (const auto it = ids_.find(s); it != ids_.end()) return it->second;
+  const auto id = static_cast<std::uint32_t>(by_id_.size());
+  storage_.emplace_back(s);
+  const std::string_view stored = storage_.back();
+  by_id_.push_back(stored);
+  ids_.emplace(stored, id);
+  return id;
+}
+
+}  // namespace dbs::common

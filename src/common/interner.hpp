@@ -1,0 +1,44 @@
+// A shared append-only string table: each distinct string is stored once
+// and handed out as a small integer id plus a stable string_view.
+//
+// Replay-scale workloads repeat the same few hundred user/group/queue
+// names across millions of job records; interning turns the per-job cost
+// into one hash probe and the storage into O(distinct strings). Id 0 is
+// always the empty string (mirroring the flight recorder's table).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace dbs::common {
+
+class StringInterner {
+ public:
+  StringInterner() { (void)intern(""); }
+
+  /// Returns the id of `s`, inserting it on first sight. Ids are dense
+  /// and start at 0 (the empty string).
+  std::uint32_t intern(std::string_view s);
+
+  /// The interned string for `id`. The view is stable for the lifetime of
+  /// the interner. Precondition: id < size().
+  [[nodiscard]] std::string_view view(std::uint32_t id) const {
+    return by_id_[id];
+  }
+
+  /// Number of distinct strings interned (including the empty string).
+  [[nodiscard]] std::size_t size() const { return by_id_.size(); }
+
+ private:
+  // deque: stable references on growth, so by_id_ views and map keys can
+  // point into the stored strings without re-hashing on rehash/resize.
+  std::deque<std::string> storage_;
+  std::vector<std::string_view> by_id_;
+  std::unordered_map<std::string_view, std::uint32_t> ids_;
+};
+
+}  // namespace dbs::common

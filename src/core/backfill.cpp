@@ -24,7 +24,7 @@ void plan_tail_with_cache(const std::vector<const rms::Job*>& prioritized,
     if (i + 8 < prioritized.size()) __builtin_prefetch(prioritized[i + 8]);
     const rms::Job* job = prioritized[i];
     DBS_ASSERT(job != nullptr, "null job in plan input");
-    const auto id = static_cast<std::size_t>(job->id().value());
+    const std::size_t id = cache.slot(job->id().value());
     if (cache.verdicts.size() <= id) {
       cache.verdicts.resize(id + 1, 0);
       cache.verdicts_prev.resize(id + 1, 0);

@@ -81,6 +81,17 @@ AvailabilityProfile MauiScheduler::physical_profile(Time now) const {
   return profile;
 }
 
+void MauiScheduler::advance_cache_base() {
+  // With job retirement the server forgets ids below min_live_id; the
+  // dense per-id caches can shed those slots. The floor is the minimum
+  // over ALL live jobs (queued, running or finished-but-not-yet-retired),
+  // so a preempted job requeued under its old id can never fall below it.
+  const std::uint64_t floor = server_.jobs().min_live_id();
+  ctx_.priority_cache.advance_base(floor);
+  ctx_.classify_cache.advance_base(floor);
+  ctx_.start_cache.advance_base(floor);
+}
+
 void MauiScheduler::run_pipeline() {
   if (!config_.stage_timing) {
     for (Stage* stage : stages_) stage->run(env_, ctx_);
@@ -108,6 +119,7 @@ void MauiScheduler::iterate() {
   const auto wall_begin = std::chrono::steady_clock::now();
   ++iterations_;
   ctx_.begin_iteration(now, iterations_, /*dry_run=*/false);
+  advance_cache_base();
 
   DBS_TRACE_EVENT(ctx_.sinks.tracer,
                   obs::TraceEvent(now, "sched", "iteration_begin")
@@ -171,6 +183,7 @@ std::vector<rms::Decision> MauiScheduler::dry_run_iteration() {
   // coherent what-if of the next live iteration.
   ctx_.begin_iteration(server_.simulator().now(), iterations_ + 1,
                        /*dry_run=*/true);
+  advance_cache_base();
   run_pipeline();
   return ctx_.applier.decisions();
 }

@@ -125,6 +125,9 @@ class MauiScheduler {
   ~MauiScheduler();
 
  private:
+  /// Sheds per-id cache slots below the server's lowest live job id
+  /// (no-op until job retirement advances that floor).
+  void advance_cache_base();
   /// Runs the six stages in order, accumulating per-stage tick deltas into
   /// ctx_.stats.stage_wall_us.
   void run_pipeline();

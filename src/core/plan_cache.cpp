@@ -10,7 +10,20 @@ namespace dbs::core {
 namespace {
 /// Window covering every feasible walltime (the last staircase entry).
 const Duration kForever = Time::far_future() - Time::epoch();
+/// advance_base only memmoves once this many slots are reclaimable.
+constexpr std::uint64_t kRebaseChunk = 4096;
 }  // namespace
+
+void PlanCache::advance_base(std::uint64_t min_live_id) {
+  if (min_live_id <= base_) return;
+  const std::uint64_t delta = min_live_id - base_;
+  if (delta < kRebaseChunk) return;
+  const auto cut = static_cast<std::ptrdiff_t>(
+      std::min<std::uint64_t>(delta, verdicts.size()));
+  verdicts.erase(verdicts.begin(), verdicts.begin() + cut);
+  verdicts_prev.erase(verdicts_prev.begin(), verdicts_prev.begin() + cut);
+  base_ = min_live_id;
+}
 
 void PlanCache::refresh(const AvailabilityProfile& profile, Time now) {
   // The staircase only has to answer the windows verdicts actually query

@@ -54,14 +54,26 @@ struct PlanCache {
   /// iterations, not just within one walk. 0 means "never built" (verdict
   /// slots are zero-initialized, so they never match a live version).
   std::uint64_t version = 0;
-  /// Per-job verdict by dense job id: (version << 1) | fits. Valid iff the
-  /// stored version matches the current staircase version. Two slots per
+  /// Per-job verdict, indexed by slot() (dense job id minus the
+  /// retirement base): (version << 1) | fits. Valid iff the stored
+  /// version matches the current staircase version. Two slots per
   /// job (most-recent first): a system alternating between two states —
   /// a node flapping down/up, an oscillating base load — alternates
   /// between two staircase versions, and a single slot would miss on
   /// every pass exactly in the churn case the cache exists for.
   std::vector<std::uint64_t> verdicts;
   std::vector<std::uint64_t> verdicts_prev;
+
+  /// Dense index of job `id` under the current retirement base.
+  [[nodiscard]] std::size_t slot(std::uint64_t id) const {
+    return static_cast<std::size_t>(id - base_);
+  }
+
+  /// Drops verdict slots below `min_live_id` (amortized by a chunked
+  /// front-erase), bounding the arrays to O(live id range) during replays
+  /// with job retirement. Ids below the floor must never be judged again.
+  void advance_base(std::uint64_t min_live_id);
+  [[nodiscard]] std::uint64_t base() const { return base_; }
 
   // Per-iteration effectiveness counters (reset by begin_iteration; summed
   // into IterationStats by the scheduler).
@@ -112,6 +124,7 @@ struct PlanCache {
   std::vector<MinStep> scratch_;
   std::vector<Interned> interned_;
   std::uint64_t next_version_ = 0;
+  std::uint64_t base_ = 0;  ///< lowest job id verdict slot 0 maps to
   std::int64_t max_window_us_ = 0;  ///< largest window ever queried
   /// Horizon of the *current* staircase (see valid_up_to_us()).
   std::int64_t valid_up_to_us_ = std::numeric_limits<std::int64_t>::max();

@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <limits>
 
+#include "common/assert.hpp"
 #include "core/priority.hpp"
 
 namespace dbs::core {
@@ -11,7 +12,36 @@ namespace dbs::core {
 namespace {
 /// No key has been computed at this sentinel (Time is far smaller).
 constexpr std::int64_t kNeverComputed = std::numeric_limits<std::int64_t>::min();
+/// advance_base only memmoves once this many slots are reclaimable, so
+/// the O(live) erase is amortized O(1) per retired job.
+constexpr std::uint64_t kRebaseChunk = 4096;
 }  // namespace
+
+void PriorityOrderCache::advance_base(std::uint64_t min_live_id) {
+  if (min_live_id <= base_) return;
+  const std::uint64_t delta = min_live_id - base_;
+  if (delta < kRebaseChunk) return;
+  const auto cut = static_cast<std::ptrdiff_t>(
+      std::min<std::uint64_t>(delta, key_.size()));
+  const auto chop = [cut](auto& v) { v.erase(v.begin(), v.begin() + cut); };
+  chop(credtot_);
+  chop(credtot_known_);
+  chop(key_);
+  chop(key_now_us_);
+  chop(submit_us_);
+  chop(exclusive_);
+  chop(job_ptr_);
+  chop(eligible_stamp_);
+  chop(output_stamp_);
+  // Previous-output slots below the floor belong to retired jobs: drop
+  // them; survivors shift down with their array entries.
+  std::size_t out = 0;
+  for (const std::uint32_t slot : prev_ids_)
+    if (slot >= delta)
+      prev_ids_[out++] = slot - static_cast<std::uint32_t>(delta);
+  prev_ids_.resize(out);
+  base_ = min_live_id;
+}
 
 void PriorityOrderCache::grow_to(std::size_t id) {
   const std::size_t n = id + 1;
@@ -51,7 +81,9 @@ void PriorityOrderCache::order(std::vector<const rms::Job*>& jobs,
   for (std::size_t i = 0; i < jobs.size(); ++i) {
     if (i + 8 < jobs.size()) __builtin_prefetch(jobs[i + 8]);
     const rms::Job* job = jobs[i];
-    const auto id = static_cast<std::size_t>(job->id().value());
+    DBS_ASSERT(job->id().value() >= base_,
+               "job id below the retirement floor");
+    const auto id = static_cast<std::size_t>(job->id().value() - base_);
     if (key_.size() <= id) grow_to(id);
     if (!memo_keys || key_now_us_[id] != now_us) {
       if (credtot_known_[id] == 0) {
@@ -79,7 +111,7 @@ void PriorityOrderCache::order(std::vector<const rms::Job*>& jobs,
   if (retained_sorted) {
     arrivals_.clear();
     for (const rms::Job* job : jobs) {
-      const auto id = static_cast<std::uint32_t>(job->id().value());
+      const auto id = static_cast<std::uint32_t>(job->id().value() - base_);
       if (output_stamp_[id] != pass_ - 1) arrivals_.push_back(id);
     }
     std::sort(arrivals_.begin(), arrivals_.end(),
@@ -92,7 +124,7 @@ void PriorityOrderCache::order(std::vector<const rms::Job*>& jobs,
   } else {
     merged_.resize(jobs.size());
     for (std::size_t i = 0; i < jobs.size(); ++i)
-      merged_[i] = static_cast<std::uint32_t>(jobs[i]->id().value());
+      merged_[i] = static_cast<std::uint32_t>(jobs[i]->id().value() - base_);
     std::sort(merged_.begin(), merged_.end(),
               [this](std::uint32_t a, std::uint32_t b) { return before(a, b); });
     ++resorted_passes_;

@@ -51,6 +51,15 @@ class PriorityOrderCache {
     return resorted_passes_;
   }
 
+  /// Drops per-id state below `min_live_id`, keeping the dense arrays
+  /// sized O(live id range) instead of O(all ids ever) during replays
+  /// with job retirement. Amortized: the front-erase memmove only runs
+  /// once the pending shift exceeds a chunk, so the arrays carry at most
+  /// chunk-many dead slots. Ids below the floor must never be ordered
+  /// again (their jobs are retired). No effect on ordering output.
+  void advance_base(std::uint64_t min_live_id);
+  [[nodiscard]] std::uint64_t base() const { return base_; }
+
  private:
   /// The exact comparator of PriorityEngine::prioritize over the flat
   /// per-id arrays: exclusive first, then key desc, submit asc, id asc — a
@@ -82,6 +91,10 @@ class PriorityOrderCache {
   /// Starts at 1 so the zero-initialized stamps never read as "previous
   /// pass" on the first call.
   std::uint32_t pass_ = 1;
+  /// Dense arrays are indexed by (id - base_); prev_ids_/retained_/
+  /// arrivals_/merged_ hold those rebased slots too (slot order == id
+  /// order, so the comparator's id tiebreak is unchanged).
+  std::uint64_t base_ = 0;
   std::vector<std::uint32_t> prev_ids_;  ///< previous output, as job ids
   std::vector<std::uint32_t> retained_;
   std::vector<std::uint32_t> arrivals_;

@@ -12,9 +12,17 @@ void ReservationTable::add(Reservation r) {
   const bool inserted = index_.try_emplace(r.job, items_.size()).second;
   DBS_REQUIRE(inserted, "job already reserved");
   items_.push_back(r);
-  const auto id = static_cast<std::size_t>(r.job.value());
-  if (member_stamp_.size() <= id) member_stamp_.resize(id + 1, 0);
-  member_stamp_[id] = generation_;
+  const auto id = static_cast<std::uint64_t>(r.job.value());
+  if (rebase_pending_) {
+    // Anchor the stamp array at this pass's first id; the array then stays
+    // sized to the live-id range instead of the ever-growing absolute ids.
+    base_ = id;
+    rebase_pending_ = false;
+  }
+  if (id < base_) return;  // below the anchor: find() falls back to the map
+  const auto slot = static_cast<std::size_t>(id - base_);
+  if (member_stamp_.size() <= slot) member_stamp_.resize(slot + 1, 0);
+  member_stamp_[slot] = generation_;
 }
 
 const Reservation* ReservationTable::find_slow(JobId job) const {

@@ -36,6 +36,7 @@ class ReservationTable {
     items_.clear();
     index_.clear();
     ++generation_;
+    rebase_pending_ = true;
   }
   void reserve(std::size_t n) { items_.reserve(n); }
 
@@ -48,9 +49,20 @@ class ReservationTable {
   /// probe the whole queue) with one flat load; only hits pay the hash
   /// lookup. (Delay measurement and the classify stage's protected-subset
   /// walk probe once per queued job per pass.)
+  ///
+  /// The stamp array is indexed relative to `base_`, re-anchored at the
+  /// first id added after each clear(): under job retirement ids grow
+  /// without bound, and an absolutely-indexed array would too (the 10M-job
+  /// replay leaked ~4 B per submitted job per live table). The stamp is
+  /// only a miss filter — a stale match falls through to the hash map, so
+  /// re-anchoring never changes results; ids below the anchor (rare: the
+  /// first planned job is the highest-priority, i.e. usually oldest, one)
+  /// skip the filter and pay the hash lookup.
   [[nodiscard]] const Reservation* find(JobId job) const {
-    const auto id = static_cast<std::size_t>(job.value());
-    if (id >= member_stamp_.size() || member_stamp_[id] != generation_)
+    const auto id = static_cast<std::uint64_t>(job.value());
+    if (id < base_) return find_slow(job);
+    const auto slot = static_cast<std::size_t>(id - base_);
+    if (slot >= member_stamp_.size() || member_stamp_[slot] != generation_)
       return nullptr;
     return find_slow(job);
   }
@@ -64,7 +76,9 @@ class ReservationTable {
   std::vector<Reservation> items_;  ///< in planning (priority) order
   std::unordered_map<JobId, std::size_t> index_;  ///< job -> items_ position
   std::vector<std::uint32_t> member_stamp_;  ///< == generation_: reserved
+  std::uint64_t base_ = 0;  ///< id of member_stamp_[0]
   std::uint32_t generation_ = 1;  ///< 1-based so zero-init never matches
+  bool rebase_pending_ = true;  ///< next add() re-anchors base_
 };
 
 }  // namespace dbs::core

@@ -23,9 +23,25 @@ JobRecord& Recorder::rec(JobId id) {
   return it->second;
 }
 
+void Recorder::set_streaming(bool on) {
+  DBS_REQUIRE(jobs_.empty() && order_.empty() && usage_.empty(),
+              "streaming mode must be set before any submission");
+  streaming_ = on;
+}
+
 void Recorder::sample_usage() {
   const Time now = sim_.now();
   const CoreCount used = cluster_.used_cores();
+  if (streaming_) {
+    // Incremental integral: these are exactly the terms the materialized
+    // used_core_seconds() fold would add, in the same order (a same-time
+    // resample contributes a zero-width term, which adds +0.0 exactly).
+    usage_integral_ +=
+        static_cast<double>(last_used_) * (now - last_usage_t_).as_seconds();
+    last_usage_t_ = now;
+    last_used_ = used;
+    return;
+  }
   if (!usage_.empty() && usage_.back().first == now)
     usage_.back().second = used;
   else
@@ -41,7 +57,8 @@ void Recorder::on_submit(const rms::Job& job) {
   r.cores_requested = job.spec().cores;
   r.submit = job.submit_time();
   jobs_.emplace(job.id(), std::move(r));
-  order_.push_back(job.id());
+  if (!streaming_) order_.push_back(job.id());
+  ++totals_.submitted;
   first_submit_ = min(first_submit_, job.submit_time());
 }
 
@@ -58,6 +75,17 @@ void Recorder::on_job_finish(const rms::Job& job) {
   r.end = job.end_time();
   last_finish_ = max(last_finish_, job.end_time());
   sample_usage();
+  if (streaming_) {
+    ++totals_.completed;
+    if (r.backfilled) ++totals_.backfilled;
+    if (r.evolving) ++totals_.evolving;
+    if (r.dyn_satisfied()) ++totals_.satisfied_dyn;
+    totals_.granted_dyn_requests += static_cast<std::size_t>(r.dyn_grants);
+    totals_.wait_sum += r.wait_time();
+    totals_.max_wait = max(totals_.max_wait, r.wait_time());
+    totals_.turnaround_sum += r.turnaround();
+    jobs_.erase(job.id());
+  }
 }
 
 void Recorder::on_dyn_request(const rms::Job& job, const rms::DynRequest&) {
@@ -96,6 +124,8 @@ void Recorder::on_requeue(const rms::Job& job) {
 }
 
 std::vector<JobRecord> Recorder::records() const {
+  DBS_REQUIRE(!streaming_,
+              "per-job records are not kept in streaming mode");
   std::vector<JobRecord> out;
   out.reserve(order_.size());
   for (const JobId id : order_) out.push_back(jobs_.at(id));

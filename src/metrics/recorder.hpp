@@ -60,7 +60,45 @@ class Recorder final : public rms::ServerObserver {
   void on_malleable_shrink(const rms::Job& job, CoreCount cores) override;
   void on_requeue(const rms::Job& job) override;
 
-  /// Records, in submission order.
+  /// Streaming mode: a finished job is folded into running totals and its
+  /// record destroyed, so recorder memory stays O(live jobs) across a
+  /// million-job replay instead of O(all jobs ever). The usage timeline
+  /// collapses to an incrementally maintained integral that accumulates
+  /// exactly the terms used_core_seconds() would fold, so the summary is
+  /// identical to the materialized one when the replay drains completely.
+  /// Must be enabled before the first submission; records()/record() are
+  /// unavailable in this mode.
+  void set_streaming(bool on);
+  [[nodiscard]] bool streaming() const { return streaming_; }
+
+  /// Running aggregates over finished jobs (streaming mode).
+  struct StreamTotals {
+    std::size_t submitted = 0;
+    std::size_t completed = 0;
+    std::size_t backfilled = 0;
+    std::size_t evolving = 0;
+    std::size_t satisfied_dyn = 0;
+    std::size_t granted_dyn_requests = 0;
+    Duration wait_sum;
+    Duration turnaround_sum;
+    Duration max_wait;
+  };
+  [[nodiscard]] const StreamTotals& totals() const { return totals_; }
+
+  /// Integral of used cores (core-seconds) from simulation start to the
+  /// last usage event. Equals used_core_seconds(first_submit, last_finish)
+  /// once every job has finished (usage is zero outside that window).
+  [[nodiscard]] double streaming_used_core_seconds() const {
+    return usage_integral_;
+  }
+
+  /// Still-live records, keyed by id (streaming mode: jobs not yet
+  /// finished — summarize() folds their dyn counters on top of totals()).
+  [[nodiscard]] const std::unordered_map<JobId, JobRecord>& live() const {
+    return jobs_;
+  }
+
+  /// Records, in submission order. Materialized mode only.
   [[nodiscard]] std::vector<JobRecord> records() const;
   [[nodiscard]] const JobRecord& record(JobId id) const;
 
@@ -89,6 +127,11 @@ class Recorder final : public rms::ServerObserver {
   std::vector<std::pair<Time, CoreCount>> usage_;
   Time first_submit_ = Time::far_future();
   Time last_finish_ = Time::epoch();
+  bool streaming_ = false;
+  StreamTotals totals_;
+  double usage_integral_ = 0.0;
+  Time last_usage_t_ = Time::epoch();
+  CoreCount last_used_ = 0;
 };
 
 }  // namespace dbs::metrics

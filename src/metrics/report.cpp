@@ -4,8 +4,53 @@
 
 namespace dbs::metrics {
 
+namespace {
+
+/// Makespan-derived quantities shared by both recorder modes.
+void finish_summary(const Recorder& recorder, Duration wait_sum,
+                    Duration turnaround_sum, double used_core_seconds,
+                    WorkloadSummary& s) {
+  if (s.jobs_completed == 0) return;
+  const auto n = static_cast<std::int64_t>(s.jobs_completed);
+  s.avg_wait = wait_sum / n;
+  s.avg_turnaround = turnaround_sum / n;
+  s.makespan = recorder.last_finish() - recorder.first_submit();
+  if (s.makespan > Duration::zero()) {
+    const double capacity_core_seconds =
+        static_cast<double>(recorder.capacity()) * s.makespan.as_seconds();
+    s.utilization = 100.0 * used_core_seconds / capacity_core_seconds;
+    s.throughput_jobs_per_min =
+        static_cast<double>(s.jobs_completed) / s.makespan.as_minutes();
+  }
+}
+
+}  // namespace
+
 WorkloadSummary summarize(const Recorder& recorder) {
   WorkloadSummary s;
+
+  if (recorder.streaming()) {
+    // Finished jobs were folded into the running totals as they completed;
+    // jobs still live at the end (never finished) contribute only their
+    // dynamic-protocol counters, exactly as in the materialized path.
+    const Recorder::StreamTotals& t = recorder.totals();
+    s.jobs_submitted = t.submitted;
+    s.jobs_completed = t.completed;
+    s.backfilled_jobs = t.backfilled;
+    s.evolving_jobs = t.evolving;
+    s.satisfied_dyn_jobs = t.satisfied_dyn;
+    s.granted_dyn_requests = t.granted_dyn_requests;
+    s.max_wait = t.max_wait;
+    for (const auto& [id, r] : recorder.live()) {
+      if (r.evolving) ++s.evolving_jobs;
+      if (r.dyn_satisfied()) ++s.satisfied_dyn_jobs;
+      s.granted_dyn_requests += static_cast<std::size_t>(r.dyn_grants);
+    }
+    finish_summary(recorder, t.wait_sum, t.turnaround_sum,
+                   recorder.streaming_used_core_seconds(), s);
+    return s;
+  }
+
   const std::vector<JobRecord> records = recorder.records();
   s.jobs_submitted = records.size();
 
@@ -21,25 +66,12 @@ WorkloadSummary summarize(const Recorder& recorder) {
     s.max_wait = max(s.max_wait, r.wait_time());
     turnaround_sum += r.turnaround();
   }
-  if (s.jobs_completed > 0) {
-    const auto n = static_cast<std::int64_t>(s.jobs_completed);
-    s.avg_wait = wait_sum / n;
-    s.avg_turnaround = turnaround_sum / n;
-  }
-
-  if (s.jobs_completed > 0) {
-    const Time from = recorder.first_submit();
-    const Time to = recorder.last_finish();
-    s.makespan = to - from;
-    if (s.makespan > Duration::zero()) {
-      const double capacity_core_seconds =
-          static_cast<double>(recorder.capacity()) * s.makespan.as_seconds();
-      s.utilization =
-          100.0 * recorder.used_core_seconds(from, to) / capacity_core_seconds;
-      s.throughput_jobs_per_min =
-          static_cast<double>(s.jobs_completed) / s.makespan.as_minutes();
-    }
-  }
+  finish_summary(recorder, wait_sum, turnaround_sum,
+                 s.jobs_completed > 0
+                     ? recorder.used_core_seconds(recorder.first_submit(),
+                                                  recorder.last_finish())
+                     : 0.0,
+                 s);
   return s;
 }
 

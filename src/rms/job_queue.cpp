@@ -10,10 +10,47 @@ Job& JobQueue::add(std::unique_ptr<Job> job) {
   DBS_REQUIRE(job != nullptr, "null job");
   const JobId id = job->id();
   DBS_REQUIRE(!jobs_.contains(id), "duplicate job id");
+  DBS_REQUIRE(order_.empty() || order_.back().first < id,
+              "job ids must be added in increasing order");
   Job& ref = *job;
   jobs_.emplace(id, std::move(job));
-  order_.push_back(&ref);
+  order_.emplace_back(id, &ref);
   return ref;
+}
+
+void JobQueue::retire(JobId id) {
+  auto it = jobs_.find(id);
+  DBS_REQUIRE(it != jobs_.end(), "unknown job id");
+  DBS_REQUIRE(it->second->finished(), "only finished jobs can be retired");
+  const auto pos = std::lower_bound(
+      order_.begin(), order_.end(), id,
+      [](const auto& entry, JobId key) { return entry.first < key; });
+  DBS_ASSERT(pos != order_.end() && pos->first == id,
+             "order index out of sync");
+  pos->second = nullptr;
+  ++order_tombstones_;
+  ++retired_total_;
+  jobs_.erase(it);
+  maybe_compact_order();
+}
+
+void JobQueue::maybe_compact_order() {
+  // Amortized: each compaction is O(order_) and removes more than half of
+  // it, so the cost per retirement stays O(1). The floor keeps small
+  // queues from rebuilding constantly.
+  if (order_tombstones_ < 1024) return;
+  if (order_tombstones_ * 2 <= order_.size()) return;
+  std::erase_if(order_, [](const auto& e) { return e.second == nullptr; });
+  order_tombstones_ = 0;
+  first_live_ = 0;
+}
+
+std::uint64_t JobQueue::min_live_id(std::uint64_t fallback) const {
+  while (first_live_ < order_.size() &&
+         order_[first_live_].second == nullptr)
+    ++first_live_;
+  if (first_live_ >= order_.size()) return fallback;
+  return order_[first_live_].first.value();
 }
 
 Job& JobQueue::at(JobId id) {
@@ -30,59 +67,63 @@ const Job& JobQueue::at(JobId id) const {
 
 std::vector<Job*> JobQueue::queued() {
   std::vector<Job*> out;
-  for (Job* j : order_)
-    if (j->state() == JobState::Queued) out.push_back(j);
+  for (const auto& [id, j] : order_)
+    if (j != nullptr && j->state() == JobState::Queued) out.push_back(j);
   return out;
 }
 
 std::vector<const Job*> JobQueue::queued() const {
   std::vector<const Job*> out;
-  for (const Job* j : order_)
-    if (j->state() == JobState::Queued) out.push_back(j);
+  for (const auto& [id, j] : order_)
+    if (j != nullptr && j->state() == JobState::Queued) out.push_back(j);
   return out;
 }
 
 void JobQueue::queued_into(std::vector<const Job*>& out) const {
   out.clear();
-  for (const Job* j : order_)
-    if (j->state() == JobState::Queued) out.push_back(j);
+  for (const auto& [id, j] : order_)
+    if (j != nullptr && j->state() == JobState::Queued) out.push_back(j);
 }
 
 std::size_t JobQueue::queued_count() const {
   std::size_t n = 0;
-  for (const Job* j : order_)
-    if (j->state() == JobState::Queued) ++n;
+  for (const auto& [id, j] : order_)
+    if (j != nullptr && j->state() == JobState::Queued) ++n;
   return n;
 }
 
 bool JobQueue::has_queued() const {
-  for (const Job* j : order_)
-    if (j->state() == JobState::Queued) return true;
+  for (const auto& [id, j] : order_)
+    if (j != nullptr && j->state() == JobState::Queued) return true;
   return false;
 }
 
 std::vector<const Job*> JobQueue::running() const {
   std::vector<const Job*> out;
-  for (const Job* j : order_)
-    if (j->is_running()) out.push_back(j);
+  for (const auto& [id, j] : order_)
+    if (j != nullptr && j->is_running()) out.push_back(j);
   return out;
 }
 
 std::size_t JobQueue::running_count() const {
   std::size_t n = 0;
-  for (const Job* j : order_)
-    if (j->is_running()) ++n;
+  for (const auto& [id, j] : order_)
+    if (j != nullptr && j->is_running()) ++n;
   return n;
 }
 
 bool JobQueue::has_running() const {
-  for (const Job* j : order_)
-    if (j->is_running()) return true;
+  for (const auto& [id, j] : order_)
+    if (j != nullptr && j->is_running()) return true;
   return false;
 }
 
 std::vector<const Job*> JobQueue::all() const {
-  return {order_.begin(), order_.end()};
+  std::vector<const Job*> out;
+  out.reserve(jobs_.size());
+  for (const auto& [id, j] : order_)
+    if (j != nullptr) out.push_back(j);
+  return out;
 }
 
 void JobQueue::push_dyn_request(DynRequest req) {

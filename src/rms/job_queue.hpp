@@ -1,9 +1,11 @@
 // Server-side storage of jobs and the FIFO of pending dynamic requests.
 #pragma once
 
+#include <cstdint>
 #include <deque>
 #include <memory>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "rms/job.hpp"
@@ -12,8 +14,25 @@ namespace dbs::rms {
 
 class JobQueue {
  public:
-  /// Takes ownership; id must be fresh.
+  /// Takes ownership; id must be fresh and greater than every id ever
+  /// added (the server allocates them sequentially).
   Job& add(std::unique_ptr<Job> job);
+
+  /// Destroys a finished job's storage. After this the id is unknown —
+  /// at()/contains() behave as if the job never existed — so callers must
+  /// only retire once no component will look the id up again (the server
+  /// defers retirement by a latency-derived grace period). Amortized O(1):
+  /// the id-ordered index tombstones the entry and compacts when
+  /// tombstones outnumber live jobs.
+  void retire(JobId id);
+
+  /// Lowest live (non-retired) job id; `fallback` when no job is live.
+  /// Monotone non-decreasing over time, so it can serve as the floor for
+  /// caches windowed by job id.
+  [[nodiscard]] std::uint64_t min_live_id(std::uint64_t fallback = 0) const;
+
+  /// Jobs retired so far (observability).
+  [[nodiscard]] std::uint64_t retired_count() const { return retired_total_; }
 
   [[nodiscard]] bool contains(JobId id) const { return jobs_.contains(id); }
   [[nodiscard]] Job& at(JobId id);
@@ -33,9 +52,10 @@ class JobQueue {
   [[nodiscard]] std::size_t running_count() const;
   [[nodiscard]] bool has_running() const;
 
-  /// All jobs ever submitted, in id order.
+  /// All live (non-retired) jobs, in id order.
   [[nodiscard]] std::vector<const Job*> all() const;
 
+  /// Live job count (excludes retired jobs).
   [[nodiscard]] std::size_t size() const { return jobs_.size(); }
 
   // --- dynamic request FIFO --------------------------------------------
@@ -50,11 +70,19 @@ class JobQueue {
   [[nodiscard]] const DynRequest* dyn_request_of(JobId job) const;
 
  private:
+  void maybe_compact_order();
+
   std::unordered_map<JobId, std::unique_ptr<Job>> jobs_;
-  // Submission order as raw pointers: jobs are never erased from `jobs_`
-  // and unique_ptr storage is stable, so the scan methods below can walk
-  // this vector without a per-job hash lookup.
-  std::vector<Job*> order_;
+  // Submission order as (id, job) pairs sorted by id: unique_ptr storage
+  // is stable, so the scan methods walk this vector without per-job hash
+  // lookups. Retirement nulls the pointer (the id stays, keeping the
+  // vector binary-searchable) and compaction erases the tombstones once
+  // they outnumber live entries.
+  std::vector<std::pair<JobId, Job*>> order_;
+  std::size_t order_tombstones_ = 0;
+  /// Lazily advanced index of the first live entry in order_.
+  mutable std::size_t first_live_ = 0;
+  std::uint64_t retired_total_ = 0;
   std::deque<DynRequest> dyn_fifo_;
 };
 

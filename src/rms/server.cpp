@@ -295,6 +295,22 @@ void Server::mom_job_finished(JobId id) {
                                           .as_seconds()));
   for (auto* o : observers_) o->on_job_finish(job);
   notify_scheduler();
+  if (retire_grace_) {
+    // Deferred reclamation: by now every observer has folded the record
+    // into its metrics; the grace period covers the application's still
+    // in-flight latency-delayed closures (which look the job up by id).
+    sim_.schedule_after(*retire_grace_, [this, id] {
+      if (!queue_.contains(id)) return;
+      if (queue_.at(id).state() != JobState::Completed) return;
+      availability_hints_.erase(id);
+      queue_.retire(id);
+    });
+  }
+}
+
+void Server::set_retirement(Duration grace) {
+  DBS_REQUIRE(grace > Duration::zero(), "retirement grace must be positive");
+  retire_grace_ = grace;
 }
 
 void Server::shrink_job(JobId id, CoreCount cores) {

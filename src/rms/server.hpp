@@ -141,6 +141,15 @@ class Server {
   /// Allocation policy used for placements.
   void set_allocation_policy(cluster::AllocationPolicy p) { alloc_policy_ = p; }
 
+  /// Enables deferred reclamation of completed jobs: `grace` after a job
+  /// completes, its record is destroyed and the id forgotten, keeping
+  /// server memory proportional to the live jobs during long streaming
+  /// replays. `grace` must exceed every latency-delayed closure that still
+  /// looks the job up after completion (the batch layer derives it from
+  /// the latency model). Off by default — materialized runs keep every
+  /// record so post-run queries (qstat, CSV dumps) see the full history.
+  void set_retirement(Duration grace);
+
   /// The job's chunk size for placements: its ppn, or the node size.
   [[nodiscard]] CoreCount effective_ppn(const Job& job) const;
 
@@ -162,6 +171,7 @@ class Server {
   std::uint64_t next_job_ = 0;
   std::uint64_t next_request_ = 0;
   cluster::AllocationPolicy alloc_policy_ = cluster::AllocationPolicy::Pack;
+  std::optional<Duration> retire_grace_;
   std::unordered_map<JobId, Time> availability_hints_;
   obs::Tracer* tracer_ = nullptr;
   obs::Registry* registry_;  ///< never null; defaults to the global one

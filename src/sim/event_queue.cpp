@@ -1,15 +1,26 @@
 #include "sim/event_queue.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/assert.hpp"
 
 namespace dbs::sim {
 
-EventId EventQueue::push(Time at, EventFn fn) {
+namespace {
+// Compaction is amortized: it only triggers once tombstones outnumber
+// live entries AND the heap is big enough that a rebuild is worth the
+// bookkeeping. Each rebuild is O(heap) and removes > heap/2 entries, so
+// the cost per cancelled event stays O(1) amortized (plus the O(log n)
+// of the original push).
+constexpr std::size_t kCompactMinHeap = 64;
+}  // namespace
+
+EventId EventQueue::push(Time at, EventFn fn, Lane lane) {
   DBS_REQUIRE(fn != nullptr, "event must have an action");
   const EventId id{next_seq_};
-  heap_.push(Entry{at, next_seq_, id, std::move(fn)});
+  heap_.push_back(Entry{at, next_seq_, id, lane, std::move(fn)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
   pending_.insert(id);
   ++next_seq_;
   return id;
@@ -22,13 +33,25 @@ bool EventQueue::cancel(EventId id) {
   // `cancelled_` without bound.
   if (pending_.erase(id) == 0) return false;
   cancelled_.insert(id);
+  maybe_compact();
   return true;
 }
 
+void EventQueue::maybe_compact() {
+  if (heap_.size() < kCompactMinHeap) return;
+  if (cancelled_.size() * 2 <= heap_.size()) return;
+  std::erase_if(heap_,
+                [this](const Entry& e) { return cancelled_.contains(e.id); });
+  cancelled_.clear();
+  std::make_heap(heap_.begin(), heap_.end(), Later{});
+  ++compactions_;
+}
+
 void EventQueue::skip_tombstones() const {
-  while (!heap_.empty() && cancelled_.contains(heap_.top().id)) {
-    cancelled_.erase(heap_.top().id);
-    heap_.pop();
+  while (!heap_.empty() && cancelled_.contains(heap_.front().id)) {
+    cancelled_.erase(heap_.front().id);
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    heap_.pop_back();
   }
 }
 
@@ -39,16 +62,17 @@ std::size_t EventQueue::size() const { return pending_.size(); }
 Time EventQueue::next_time() const {
   skip_tombstones();
   DBS_REQUIRE(!heap_.empty(), "next_time() on empty queue");
-  return heap_.top().at;
+  return heap_.front().at;
 }
 
 std::pair<Time, EventFn> EventQueue::pop() {
   skip_tombstones();
   DBS_REQUIRE(!heap_.empty(), "pop() on empty queue");
-  const Entry& top = heap_.top();
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  Entry& top = heap_.back();
   std::pair<Time, EventFn> out{top.at, std::move(top.fn)};
   pending_.erase(top.id);
-  heap_.pop();
+  heap_.pop_back();
   return out;
 }
 

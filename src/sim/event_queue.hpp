@@ -4,7 +4,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <unordered_set>
 #include <vector>
 
@@ -16,11 +15,21 @@ namespace dbs::sim {
 /// The action executed when an event fires.
 using EventFn = std::function<void()>;
 
+/// Ordering lane for events that share a timestamp. Submission-lane
+/// events (workload arrivals) fire before normal-lane events at the same
+/// instant regardless of push order, which is what makes a streaming
+/// submission source — which pushes arrivals lazily, interleaved with the
+/// run — order-equivalent to materializing the whole workload up front
+/// (where every arrival gets an earlier sequence number than anything
+/// scheduled during the run).
+enum class Lane : std::uint8_t { Submission = 0, Normal = 1 };
+
 class EventQueue {
  public:
-  /// Enqueues `fn` to fire at `at`. Events with equal time fire in
-  /// insertion order. Returns a handle usable with cancel().
-  EventId push(Time at, EventFn fn);
+  /// Enqueues `fn` to fire at `at`. Events with equal time and lane fire
+  /// in insertion order; at equal times the Submission lane fires first.
+  /// Returns a handle usable with cancel().
+  EventId push(Time at, EventFn fn, Lane lane = Lane::Normal);
 
   /// Cancels a pending event. Returns false if it already fired, was
   /// already cancelled, or never existed — and records a tombstone only
@@ -31,6 +40,12 @@ class EventQueue {
   [[nodiscard]] bool empty() const;
   /// Exact number of pending (non-cancelled) events, O(1).
   [[nodiscard]] std::size_t size() const;
+  /// Cancelled entries still lingering in the heap as tombstones, O(1).
+  [[nodiscard]] std::size_t cancelled_count() const {
+    return cancelled_.size();
+  }
+  /// Times the heap was rebuilt to shed tombstones (observability).
+  [[nodiscard]] std::uint64_t compactions() const { return compactions_; }
 
   /// Time of the earliest pending (non-cancelled) event.
   /// Precondition: !empty().
@@ -44,27 +59,37 @@ class EventQueue {
     Time at;
     std::uint64_t seq;
     EventId id;
-    // mutable so pop() can move the callable out through the queue's
-    // const top() reference without copying.
-    mutable EventFn fn;
+    Lane lane;
+    EventFn fn;
   };
+  /// Min-heap order via std::*_heap's max-heap convention: `a` sorts
+  /// later than `b` when it fires after it — later time, then (equal
+  /// times) the Normal lane, then higher sequence number.
   struct Later {
     bool operator()(const Entry& a, const Entry& b) const {
       if (a.at != b.at) return a.at > b.at;
+      if (a.lane != b.lane) return a.lane > b.lane;
       return a.seq > b.seq;
     }
   };
 
   /// Drops cancelled entries from the front.
   void skip_tombstones() const;
+  /// Rebuilds the heap without the tombstones once they dominate it, so
+  /// a workload that cancels most of what it schedules (coalesced
+  /// scheduler triggers, negotiation timeouts) keeps the heap at
+  /// O(pending) instead of O(pushed).
+  void maybe_compact();
 
   // Invariant: the heap holds exactly pending_ ∪ cancelled_ (cancelled
-  // entries linger as interior tombstones until they surface at the top),
-  // so pending_.size() is the exact live count.
-  mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  // entries linger as interior tombstones until they surface at the top
+  // or a compaction sheds them), so pending_.size() is the exact live
+  // count.
+  mutable std::vector<Entry> heap_;
   mutable std::unordered_set<EventId> cancelled_;
   std::unordered_set<EventId> pending_;
   std::uint64_t next_seq_ = 0;
+  std::uint64_t compactions_ = 0;
 };
 
 }  // namespace dbs::sim

@@ -25,6 +25,11 @@ EventId Simulator::schedule_after(Duration d, EventFn fn) {
   return queue_.push(now_ + d, std::move(fn));
 }
 
+EventId Simulator::schedule_submission(Time at, EventFn fn) {
+  DBS_REQUIRE(at >= now_, "cannot schedule into the past");
+  return queue_.push(at, std::move(fn), Lane::Submission);
+}
+
 bool Simulator::step() {
   if (queue_.empty()) return false;
   auto [at, fn] = queue_.pop();

@@ -29,6 +29,12 @@ class Simulator {
   /// Schedules `fn` after non-negative delay `d`.
   EventId schedule_after(Duration d, EventFn fn);
 
+  /// Schedules `fn` at `at` on the Submission lane: at equal timestamps it
+  /// fires before every normal-lane event, regardless of push order. Used
+  /// by workload submission paths so streaming and materialized drivers
+  /// produce identical event orderings.
+  EventId schedule_submission(Time at, EventFn fn);
+
   /// Cancels a pending event; false if already fired/cancelled.
   bool cancel(EventId id) { return queue_.cancel(id); }
 
@@ -45,6 +51,7 @@ class Simulator {
   [[nodiscard]] bool idle() const { return queue_.empty(); }
   [[nodiscard]] std::uint64_t events_fired() const { return events_fired_; }
   [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
+  [[nodiscard]] const EventQueue& queue() const { return queue_; }
 
  private:
   EventQueue queue_;

@@ -1,0 +1,79 @@
+// Deterministic synthetic SWF trace generation for benches and tests.
+//
+// The generator is integer-only splitmix64 arithmetic so that
+// tools/gen_swf.py can reproduce the exact bytes in pure Python (CI
+// diffs the two); SwfGenStream exposes the same bytes as a lazy istream
+// so a 10M-job bench never materializes the ~600 MB of trace text.
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <streambuf>
+#include <string>
+
+namespace dbs::wl::swf {
+
+struct SwfGenParams {
+  std::uint64_t jobs = 1000;
+  std::uint64_t seed = 42;
+  /// Header MaxProcs — the machine the trace "ran" on. The default keeps
+  /// an ~80% offered load against the interarrival/size/runtime mix
+  /// below, so queues stay bounded at any trace length.
+  std::uint64_t max_procs = 1024;
+  std::uint64_t users = 64;
+  /// Interarrival is uniform in [0, 2*mean), integer seconds.
+  std::uint64_t mean_interarrival_s = 24;
+  /// Runtime is uniform in [min_run_s, min_run_s + run_spread_s).
+  std::uint64_t min_run_s = 60;
+  std::uint64_t run_spread_s = 3600;
+};
+
+/// Writes the whole trace (header + `jobs` records) to `out`.
+void generate_swf(std::ostream& out, const SwfGenParams& params);
+
+/// The header + one record, exactly as generate_swf emits them — shared
+/// by the eager writer and the lazy stream.
+[[nodiscard]] std::string swf_gen_header(const SwfGenParams& params);
+
+/// Generator state for incremental record production.
+class SwfGen {
+ public:
+  explicit SwfGen(const SwfGenParams& params) : params_(params) {}
+
+  /// Appends the next record line (with trailing '\n') to `out`; false
+  /// once `jobs` records have been produced.
+  bool append_next(std::string& out);
+
+ private:
+  SwfGenParams params_;
+  std::uint64_t produced_ = 0;
+  std::uint64_t state_ = 0;  ///< lazily seeded from params_.seed
+  bool seeded_ = false;
+  std::uint64_t submit_s_ = 0;
+};
+
+/// An istream producing the generated trace lazily, a buffer's worth of
+/// lines at a time: O(1) memory for any job count.
+class SwfGenStream : public std::istream {
+ public:
+  explicit SwfGenStream(const SwfGenParams& params);
+
+ private:
+  class Buf : public std::streambuf {
+   public:
+    explicit Buf(const SwfGenParams& params);
+
+   protected:
+    int_type underflow() override;
+
+   private:
+    SwfGen gen_;
+    std::string chunk_;
+    bool header_done_ = false;
+    SwfGenParams params_;
+  };
+  Buf buf_;
+};
+
+}  // namespace dbs::wl::swf

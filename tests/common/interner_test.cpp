@@ -1,0 +1,61 @@
+#include "common/interner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace dbs::common {
+namespace {
+
+TEST(StringInterner, EmptyStringIsIdZero) {
+  StringInterner in;
+  EXPECT_EQ(in.intern(""), 0u);
+  EXPECT_EQ(in.view(0), "");
+  EXPECT_EQ(in.size(), 1u);
+}
+
+TEST(StringInterner, SameStringSameId) {
+  StringInterner in;
+  const auto a = in.intern("alice");
+  const auto b = in.intern("bob");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(in.intern("alice"), a);
+  EXPECT_EQ(in.intern("bob"), b);
+  EXPECT_EQ(in.size(), 3u);  // "", alice, bob
+}
+
+TEST(StringInterner, IdsAreDenseAndViewRoundTrips) {
+  StringInterner in;
+  for (int i = 0; i < 100; ++i) {
+    const std::string s = "u" + std::to_string(i);
+    EXPECT_EQ(in.intern(s), static_cast<std::uint32_t>(i + 1));
+    EXPECT_EQ(in.view(static_cast<std::uint32_t>(i + 1)), s);
+  }
+}
+
+TEST(StringInterner, ViewsStayValidAcrossGrowth) {
+  StringInterner in;
+  const std::string_view first = in.view(in.intern("first"));
+  std::vector<std::uint32_t> ids;
+  for (int i = 0; i < 10000; ++i)
+    ids.push_back(in.intern("k" + std::to_string(i)));
+  // The early view must not have been invalidated by rehash/growth.
+  EXPECT_EQ(first, "first");
+  EXPECT_EQ(in.view(ids[42]), "k42");
+  EXPECT_EQ(in.size(), 10002u);
+}
+
+TEST(StringInterner, InternDoesNotDependOnArgumentLifetime) {
+  StringInterner in;
+  std::uint32_t id = 0;
+  {
+    std::string temp = "ephemeral";
+    id = in.intern(temp);
+  }
+  EXPECT_EQ(in.view(id), "ephemeral");
+  EXPECT_EQ(in.intern("ephemeral"), id);
+}
+
+}  // namespace
+}  // namespace dbs::common

@@ -28,13 +28,74 @@ TEST(JobQueue, AddAndLookup) {
 
 TEST(JobQueue, QueuedInSubmissionOrder) {
   JobQueue q;
-  q.add(job(3));
   q.add(job(1));
-  q.add(job(2));
+  q.add(job(3));
+  q.add(job(7));
   const auto queued = q.queued();
   ASSERT_EQ(queued.size(), 3u);
-  EXPECT_EQ(queued[0]->id(), JobId{3});
-  EXPECT_EQ(queued[1]->id(), JobId{1});
+  EXPECT_EQ(queued[0]->id(), JobId{1});
+  EXPECT_EQ(queued[1]->id(), JobId{3});
+  EXPECT_EQ(queued[2]->id(), JobId{7});
+  // The server allocates ids sequentially; the queue relies on it.
+  EXPECT_THROW(q.add(job(5)), precondition_error);
+}
+
+void finish(Job& j) {
+  j.mark_started(Time::epoch(), cluster::Placement{{{NodeId{0}, 2}}}, false);
+  j.mark_completed(Time::from_seconds(1));
+}
+
+TEST(JobQueue, RetireDestroysRecordAndForgetsId) {
+  JobQueue q;
+  Job& a = q.add(job(1));
+  q.add(job(2));
+  EXPECT_THROW(q.retire(JobId{1}), precondition_error);  // not finished
+  finish(a);
+  q.retire(JobId{1});
+  EXPECT_FALSE(q.contains(JobId{1}));
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_EQ(q.retired_count(), 1u);
+  EXPECT_EQ(q.all().size(), 1u);
+  EXPECT_EQ(q.queued().size(), 1u);
+  EXPECT_THROW(q.retire(JobId{1}), precondition_error);  // already gone
+  EXPECT_THROW((void)q.at(JobId{1}), precondition_error);
+}
+
+TEST(JobQueue, MinLiveIdAdvancesAndFallsBack) {
+  JobQueue q;
+  EXPECT_EQ(q.min_live_id(77), 77u);
+  Job& a = q.add(job(1));
+  Job& b = q.add(job(2));
+  q.add(job(3));
+  EXPECT_EQ(q.min_live_id(), 1u);
+  finish(a);
+  q.retire(JobId{1});
+  EXPECT_EQ(q.min_live_id(), 2u);
+  finish(b);
+  q.retire(JobId{2});
+  EXPECT_EQ(q.min_live_id(), 3u);
+}
+
+TEST(JobQueue, CompactionKeepsScansAndLookupsIntact) {
+  // Crosses the compaction floor (1024 tombstones) mid-way, then checks
+  // every view still reflects exactly the live tail.
+  constexpr std::uint64_t kJobs = 1200;
+  constexpr std::uint64_t kRetire = 1100;
+  JobQueue q;
+  for (std::uint64_t i = 1; i <= kJobs; ++i) q.add(job(i));
+  for (std::uint64_t i = 1; i <= kRetire; ++i) {
+    finish(q.at(JobId{i}));
+    q.retire(JobId{i});
+  }
+  EXPECT_EQ(q.size(), kJobs - kRetire);
+  EXPECT_EQ(q.retired_count(), kRetire);
+  EXPECT_EQ(q.min_live_id(), kRetire + 1);
+  EXPECT_FALSE(q.contains(JobId{kRetire}));
+  EXPECT_TRUE(q.contains(JobId{kRetire + 1}));
+  const auto queued = q.queued();
+  ASSERT_EQ(queued.size(), kJobs - kRetire);
+  EXPECT_EQ(queued.front()->id(), JobId{kRetire + 1});
+  EXPECT_EQ(queued.back()->id(), JobId{kJobs});
 }
 
 TEST(JobQueue, StateFiltering) {

@@ -27,7 +27,20 @@ largest label is printed per group. With --max-scaling F the check fails if
 any group matching --scaling-filter (a substring, default: every group)
 grows by more than F× from its smallest to its largest label — this is how
 CI catches an accidentally reintroduced O(nodes) term in the indexed
-allocation kernels, independent of absolute machine speed.
+allocation kernels, independent of absolute machine speed. Trailing
+google-benchmark modifiers (`/iterations:N`, `/manual_time`, ...) are part
+of the group name, not the label, so `bm_replay_stream/1000000/manual_time`
+groups with its 100000 and 10000000 siblings.
+
+Memory counters — any user counter whose name contains "rss" (case
+insensitive, e.g. bench_replay's `peak_rss_mb`) — are bytes, not
+nanoseconds, so they are reported in their own table and gated by their
+own knobs, never by the time tolerance: --rss-tolerance bounds growth
+against the baseline's matching counter (default 0.50 — RSS depends on
+allocator and kernel version far more than wall time does), and
+--max-rss-scaling bounds growth across size labels of the current file.
+The latter is how CI enforces bounded-memory replay: a 100x bigger trace
+may not cost more than the given factor in peak RSS.
 """
 
 import argparse
@@ -37,10 +50,23 @@ import re
 import sys
 
 
+# google-benchmark entry keys that are never user counters.
+_STANDARD_FIELDS = {
+    "name", "run_name", "run_type", "family_index", "per_family_instance_index",
+    "repetitions", "repetition_index", "threads", "iterations", "real_time",
+    "cpu_time", "time_unit", "items_per_second", "bytes_per_second", "label",
+    "error_occurred", "error_message", "aggregate_name", "aggregate_unit",
+}
+
+
 def load_benchmarks(path):
+    """Returns (times, rss): {name: real_time ns} and, separately,
+    {(name, counter): value} for every user counter whose name mentions
+    RSS — memory numbers must never land in the time comparison."""
     with open(path, encoding="utf-8") as fh:
         doc = json.load(fh)
-    out = {}
+    times = {}
+    rss = {}
     for bench in doc.get("benchmarks", []):
         # Skip aggregate rows (mean/median/stddev) if repetitions were used.
         if bench.get("run_type") == "aggregate":
@@ -51,29 +77,106 @@ def load_benchmarks(path):
             print(f"warning: {path}: skipping entry without name/real_time")
             continue
         try:
-            out[name] = float(real_time)
+            times[name] = float(real_time)
         except (TypeError, ValueError):
             print(f"warning: {path}: non-numeric real_time for '{name}'")
-    return out
+            continue
+        for key, value in bench.items():
+            if key in _STANDARD_FIELDS or "rss" not in key.lower():
+                continue
+            if isinstance(value, (int, float)):
+                rss[(name, key)] = float(value)
+    return times, rss
 
 
 def scaling_groups(benchmarks):
     """Groups `name/LABEL` entries by name; labels must be integers.
 
-    Returns {base_name: [(label, time), ...]} sorted by label, for groups
-    with at least two labels (a single size has no scaling to measure).
+    Trailing non-numeric modifier segments (`/iterations:1`,
+    `/manual_time`) belong to the group name, so the label is the LAST
+    all-digit path segment. Returns {base_name: [(label, time), ...]}
+    sorted by label, for groups with at least two labels (a single size
+    has no scaling to measure).
     """
     groups = {}
     for name, time in benchmarks.items():
-        match = re.fullmatch(r"(.+)/(\d+)", name)
+        match = re.fullmatch(r"(.+)/(\d+)((?:/[^/]+)*)", name)
         if not match:
             continue
-        groups.setdefault(match.group(1), []).append((int(match.group(2)), time))
+        base = match.group(1) + match.group(3)
+        groups.setdefault(base, []).append((int(match.group(2)), time))
     return {
         base: sorted(points)
         for base, points in groups.items()
         if len(points) >= 2
     }
+
+
+def check_rss(base_rss, curr_rss, tolerance):
+    """Baseline comparison for RSS counters; returns the offenders.
+
+    Same shape as the time table but a separate gate: memory regressions
+    and time regressions fail for different reasons and tolerate
+    different noise.
+    """
+    shared = sorted(set(base_rss) & set(curr_rss))
+    for name, counter in sorted(set(curr_rss) - set(base_rss)):
+        print(f"note: new RSS counter '{name}[{counter}]' (no baseline yet)")
+    if not shared:
+        return []
+    grown = []
+    width = max(len(f"{n}[{c}]") for n, c in shared)
+    print(f"\npeak RSS vs baseline (gate: --rss-tolerance {tolerance:.0%}):")
+    print(f"{'counter':<{width}}  {'base':>12}  {'curr':>12}  ratio")
+    for key in shared:
+        name, counter = key
+        ratio = (
+            curr_rss[key] / base_rss[key] if base_rss[key] > 0 else float("inf")
+        )
+        flag = ""
+        if ratio > 1.0 + tolerance:
+            grown.append((f"{name}[{counter}]", ratio))
+            flag = "  << RSS REGRESSION"
+        print(
+            f"{f'{name}[{counter}]':<{width}}  {base_rss[key]:>12.1f}"
+            f"  {curr_rss[key]:>12.1f}  {ratio:5.2f}x{flag}"
+        )
+    return grown
+
+
+def check_rss_scaling(curr_rss, max_rss_scaling):
+    """Growth of each RSS counter across size labels; returns offenders.
+
+    This is the bounded-memory gate: for a streaming replay, peak RSS
+    across a 100x trace-size sweep must stay within --max-rss-scaling.
+    """
+    by_counter = {}
+    for (name, counter), value in curr_rss.items():
+        by_counter.setdefault(counter, {})[name] = value
+    violations = []
+    rows = []
+    for counter in sorted(by_counter):
+        for base, points in sorted(scaling_groups(by_counter[counter]).items()):
+            (lo, v_lo), (hi, v_hi) = points[0], points[-1]
+            growth = v_hi / v_lo if v_lo > 0 else float("inf")
+            label = f"{base}[{counter}]"
+            flag = ""
+            if max_rss_scaling is not None and growth > max_rss_scaling:
+                violations.append((label, growth))
+                flag = "  << RSS SCALING"
+            rows.append(
+                (label, f"{lo:>7}..{hi:<7}", f"{v_lo:>9.1f}..{v_hi:<9.1f}",
+                 f"{growth:6.1f}x{flag}")
+            )
+    if not rows:
+        print("note: no RSS counters with numeric size labels")
+        return []
+    width = max(len(r[0]) for r in rows)
+    print(f"\npeak RSS across size labels (growth = largest / smallest):")
+    print(f"{'group':<{width}}  {'range':>16}  {'rss':>20}  growth")
+    for label, rng, vals, growth in rows:
+        print(f"{label:<{width}}  {rng}  {vals}  {growth}")
+    return violations
 
 
 def check_scaling(benchmarks, max_scaling, scaling_filter):
@@ -134,10 +237,25 @@ def main():
         help="only gate --max-scaling on groups whose name contains this "
         "substring (default: all groups)",
     )
+    parser.add_argument(
+        "--rss-tolerance",
+        type=float,
+        default=float(os.environ.get("DBS_BENCH_RSS_TOLERANCE", "0.50")),
+        help="allowed fractional peak-RSS growth vs the baseline's matching "
+        "counter (default 0.50; separate from the time tolerance)",
+    )
+    parser.add_argument(
+        "--max-rss-scaling",
+        type=float,
+        default=None,
+        help="fail if an RSS counter grows by more than this factor from "
+        "the smallest to the largest size label of the current file "
+        "(the bounded-memory gate)",
+    )
     args = parser.parse_args()
 
-    base = load_benchmarks(args.baseline)
-    curr = load_benchmarks(args.current)
+    base, base_rss = load_benchmarks(args.baseline)
+    curr, curr_rss = load_benchmarks(args.current)
 
     if not curr:
         print("error: current file has no usable benchmarks", file=sys.stderr)
@@ -171,6 +289,11 @@ def main():
     if args.scaling_report or args.max_scaling is not None:
         violations = check_scaling(curr, args.max_scaling, args.scaling_filter)
 
+    rss_regressed = check_rss(base_rss, curr_rss, args.rss_tolerance)
+    rss_violations = []
+    if args.max_rss_scaling is not None:
+        rss_violations = check_rss_scaling(curr_rss, args.max_rss_scaling)
+
     if regressed:
         print(
             f"\nFAIL: {len(regressed)}/{len(shared)} benchmark(s) slower than "
@@ -187,7 +310,23 @@ def main():
         )
         for name, growth in violations:
             print(f"  {name}: {growth:.1f}x", file=sys.stderr)
-    if regressed or violations:
+    if rss_regressed:
+        print(
+            f"\nFAIL: {len(rss_regressed)} RSS counter(s) above baseline by "
+            f"more than {args.rss_tolerance:.0%}:",
+            file=sys.stderr,
+        )
+        for name, ratio in rss_regressed:
+            print(f"  {name}: {ratio:.2f}x", file=sys.stderr)
+    if rss_violations:
+        print(
+            f"\nFAIL: {len(rss_violations)} RSS counter(s) grow by more than "
+            f"{args.max_rss_scaling:.1f}x across size labels:",
+            file=sys.stderr,
+        )
+        for name, growth in rss_violations:
+            print(f"  {name}: {growth:.1f}x", file=sys.stderr)
+    if regressed or violations or rss_regressed or rss_violations:
         return 1
 
     if shared:

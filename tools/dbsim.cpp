@@ -48,6 +48,7 @@
 #include "obs/tracer.hpp"
 #include "rms/decision.hpp"
 #include "rms/status.hpp"
+#include "workload/swf/swf_source.hpp"
 #include "workload/trace.hpp"
 
 using namespace dbs;
@@ -56,13 +57,16 @@ namespace {
 
 int usage(const char* argv0, int code) {
   std::cerr << "usage: " << argv0
-            << " --trace FILE [--config FILE] [--nodes N]\n"
+            << " (--trace FILE | --swf FILE) [--config FILE] [--nodes N]\n"
                "       [--cores-per-node N] [--qstat] [--dry-run-iteration]\n"
                "       [--csv FILE]\n"
                "       [--trace-out FILE] [--trace-format jsonl|chrome]\n"
                "       [--metrics-json FILE|-] [--record-out FILE]\n"
                "       [--replications R] [--jobs N]\n"
-               "       [--measure-threads M] [--stage-breakdown]\n";
+               "       [--measure-threads M] [--stage-breakdown]\n"
+               "       [--swf-window N] [--swf-overlay-dynamic PCT]\n"
+               "       [--swf-seed S] [--swf-policy skip|strict]\n"
+               "       [--swf-materialize]\n";
   return code;
 }
 
@@ -105,6 +109,12 @@ std::string slurp(const std::string& path) {
 
 int main(int argc, char** argv) {
   std::string trace_path;
+  std::string swf_path;
+  std::size_t swf_window = 1024;
+  double swf_overlay_pct = 0.0;
+  std::uint64_t swf_seed = 2014;
+  bool swf_strict = false;
+  bool swf_materialize = false;
   std::string config_path;
   std::string csv_path;
   std::string trace_out_path;
@@ -127,6 +137,22 @@ int main(int argc, char** argv) {
       return argv[++i];
     };
     if (arg == "--trace") trace_path = next();
+    else if (arg == "--swf") swf_path = next();
+    else if (arg == "--swf-window")
+      swf_window = static_cast<std::size_t>(std::stoul(next()));
+    else if (arg == "--swf-overlay-dynamic") swf_overlay_pct = std::stod(next());
+    else if (arg == "--swf-seed") swf_seed = std::stoull(next());
+    else if (arg == "--swf-policy") {
+      const std::string policy = next();
+      if (policy == "strict") swf_strict = true;
+      else if (policy == "skip") swf_strict = false;
+      else {
+        std::cerr << "unknown --swf-policy '" << policy
+                  << "' (expected skip or strict)\n";
+        return 2;
+      }
+    }
+    else if (arg == "--swf-materialize") swf_materialize = true;
     else if (arg == "--config") config_path = next();
     else if (arg == "--nodes") nodes = static_cast<std::size_t>(std::stoul(next()));
     else if (arg == "--cores-per-node") cores_per_node = std::stoi(next());
@@ -154,7 +180,34 @@ int main(int argc, char** argv) {
     else if (arg == "--help" || arg == "-h") return usage(argv[0], 0);
     else return usage(argv[0], 2);
   }
-  if (trace_path.empty()) return usage(argv[0], 2);
+  if (trace_path.empty() == swf_path.empty()) {
+    std::cerr << "exactly one of --trace and --swf is required\n";
+    return usage(argv[0], 2);
+  }
+  if (!swf_path.empty()) {
+    if (replications > 1) {
+      std::cerr << "--swf streams from one file and supports --replications 1 "
+                   "only\n";
+      return 2;
+    }
+    if (qstat || dry_run_iteration) {
+      std::cerr << "--qstat/--dry-run-iteration are not supported with --swf\n";
+      return 2;
+    }
+    if (!csv_path.empty() && !swf_materialize) {
+      std::cerr << "--csv needs per-job records; use --swf-materialize (the "
+                   "streaming path folds finished jobs into aggregates)\n";
+      return 2;
+    }
+    if (swf_window == 0) {
+      std::cerr << "--swf-window must be >= 1\n";
+      return 2;
+    }
+    if (swf_overlay_pct < 0.0 || swf_overlay_pct > 100.0) {
+      std::cerr << "--swf-overlay-dynamic must be a percentage in [0, 100]\n";
+      return 2;
+    }
+  }
   if (replications < 1 || run_jobs < 1) {
     std::cerr << "--replications and --jobs must be >= 1\n";
     return 2;
@@ -174,10 +227,13 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  const wl::Workload workload = wl::trace_from_string(slurp(trace_path));
-  if (workload.jobs.empty()) {
-    std::cerr << "trace contains no jobs\n";
-    return 1;
+  wl::Workload workload;
+  if (!trace_path.empty()) {
+    workload = wl::trace_from_string(slurp(trace_path));
+    if (workload.jobs.empty()) {
+      std::cerr << "trace contains no jobs\n";
+      return 1;
+    }
   }
 
   batch::SystemConfig system_config;
@@ -188,6 +244,37 @@ int main(int argc, char** argv) {
                 << "\n";
     if (!parsed.ok()) return 1;
     system_config.scheduler = parsed.config;
+  }
+  // Streaming SWF replay: open the trace and read its header directives
+  // now, so --nodes 0 can size the cluster from MaxProcs.
+  std::ifstream swf_in;
+  std::unique_ptr<wl::swf::SwfSource> swf_source;
+  if (!swf_path.empty()) {
+    swf_in.open(swf_path, std::ios::binary);
+    if (!swf_in) {
+      std::cerr << "cannot open " << swf_path << "\n";
+      return 1;
+    }
+    wl::swf::SwfSourceConfig swf_config;
+    swf_config.policy = swf_strict ? wl::swf::MalformedPolicy::Strict
+                                   : wl::swf::MalformedPolicy::Skip;
+    swf_config.overlay_dynamic_fraction = swf_overlay_pct / 100.0;
+    swf_config.overlay_seed = swf_seed;
+    swf_source = std::make_unique<wl::swf::SwfSource>(swf_in, swf_config);
+    const wl::swf::SwfHeader& header = swf_source->header();
+    if (nodes == 0) {
+      const CoreCount total =
+          header.max_procs > 0 ? static_cast<CoreCount>(header.max_procs)
+                               : 128;
+      nodes = static_cast<std::size_t>((total + cores_per_node - 1) /
+                                       cores_per_node);
+    }
+    swf_source->set_max_cores(static_cast<CoreCount>(
+        static_cast<std::int64_t>(nodes) * cores_per_node));
+    // Multi-month traces only fit if finished jobs release their storage
+    // and metrics fold into aggregates as the replay advances.
+    system_config.retire_finished_jobs = !swf_materialize;
+    system_config.streaming_metrics = !swf_materialize;
   }
   if (nodes == 0) {
     const CoreCount total =
@@ -222,7 +309,7 @@ int main(int argc, char** argv) {
   obs::rec::Manifest manifest;
   metrics::WorkloadSummary summary;
   std::vector<metrics::WaitPoint> waits;
-  if (qstat || dry_run_iteration) {
+  if (qstat || dry_run_iteration || swf_source != nullptr) {
     obs::rec::FlightRecorder recorder;
     if (!record_out_path.empty() &&
         !recorder.open(record_out_path, capacity)) {
@@ -232,13 +319,27 @@ int main(int argc, char** argv) {
     batch::BatchSystem system(system_config);
     system.set_sinks({trace_out_path.empty() ? nullptr : &tracer, &registry,
                       recorder.is_open() ? &recorder : nullptr});
-    system.submit_workload(workload);
+    if (swf_source != nullptr) {
+      if (swf_materialize) {
+        // Debug/equivalence path: drain the source into a Workload and
+        // submit it the classic way (per-job records retained).
+        wl::SubmitSpec s;
+        while (swf_source->next(s)) workload.jobs.push_back(s);
+        system.submit_workload(workload);
+      } else {
+        system.submit_stream(*swf_source, swf_window);
+      }
+    } else {
+      system.submit_workload(workload);
+    }
     // Pause mid-run (after the first quarter of the submission window) for
     // the status snapshot / what-if pass before finishing the simulation.
     const Time snapshot =
-        workload.jobs.back().at - (workload.jobs.back().at -
-                                   workload.jobs.front().at) / 4 * 3;
-    system.run_until(snapshot);
+        swf_source != nullptr
+            ? Time::epoch()
+            : workload.jobs.back().at - (workload.jobs.back().at -
+                                         workload.jobs.front().at) / 4 * 3;
+    if (qstat || dry_run_iteration) system.run_until(snapshot);
     if (qstat)
       std::cout << "--- qstat @ " << snapshot.to_string() << " ---\n"
                 << rms::format_qstat(system.server()) << "\n"
@@ -259,7 +360,8 @@ int main(int argc, char** argv) {
     }
     system.run();
     summary = metrics::summarize(system.recorder());
-    waits = metrics::wait_series(system.recorder());
+    if (!system.recorder().streaming())
+      waits = metrics::wait_series(system.recorder());
     if (recorder.is_open()) {
       obs::rec::ManifestShard shard;
       shard.path = recorder.path();
@@ -317,14 +419,31 @@ int main(int argc, char** argv) {
     waits = std::move(results.front().waits);
   }
 
+  const std::string& workload_label =
+      trace_path.empty() ? swf_path : trace_path;
   TextTable table(metrics::performance_header());
-  table.add_row(metrics::performance_row(trace_path, summary, 0.0));
+  table.add_row(metrics::performance_row(workload_label, summary, 0.0));
   std::cout << table.to_string();
   std::cout << "avg wait " << summary.avg_wait.to_hms() << ", max wait "
             << summary.max_wait.to_hms() << ", backfilled "
             << summary.backfilled_jobs << ", evolving "
             << summary.evolving_jobs << " (satisfied "
             << summary.satisfied_dyn_jobs << ")\n";
+  if (swf_source != nullptr) {
+    const wl::swf::SwfParser& parser = swf_source->parser();
+    std::cout << "swf replay: " << swf_source->yielded() << " jobs from "
+              << parser.records() << " records (" << parser.malformed()
+              << " malformed, " << swf_source->unusable() << " unusable, "
+              << swf_source->clamped_cores() << " width-clamped, "
+              << swf_source->clamped_times() << " time-clamped), overlay "
+              << swf_source->overlay_marked() << " dynamic, "
+              << swf_source->distinct_users() << " users / "
+              << swf_source->distinct_groups() << " groups / "
+              << swf_source->distinct_queues() << " queues, window "
+              << (swf_materialize ? std::string("materialized")
+                                  : std::to_string(swf_window))
+              << "\n";
+  }
   if (replications > 1)
     std::cout << replications << " replications on " << run_jobs
               << " thread(s); metrics merged across replications\n";

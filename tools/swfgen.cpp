@@ -1,0 +1,74 @@
+// swfgen: emit a deterministic synthetic SWF trace on stdout (or to a
+// file), for bench scales and CI parity checks against tools/gen_swf.py.
+//
+//   swfgen --jobs N [--seed S] [--max-procs P] [--users U]
+//          [--mean-interarrival SEC] [--min-run SEC] [--run-spread SEC]
+//          [--out FILE]
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "workload/swf/swf_gen.hpp"
+
+namespace {
+
+void usage() {
+  std::cerr
+      << "usage: swfgen [--jobs N] [--seed S] [--max-procs P] [--users U]\n"
+         "              [--mean-interarrival SEC] [--min-run SEC]\n"
+         "              [--run-spread SEC] [--out FILE]\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  dbs::wl::swf::SwfGenParams params;
+  std::string out_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        usage();
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--jobs") {
+      params.jobs = std::stoull(next());
+    } else if (arg == "--seed") {
+      params.seed = std::stoull(next());
+    } else if (arg == "--max-procs") {
+      params.max_procs = std::stoull(next());
+    } else if (arg == "--users") {
+      params.users = std::stoull(next());
+    } else if (arg == "--mean-interarrival") {
+      params.mean_interarrival_s = std::stoull(next());
+    } else if (arg == "--min-run") {
+      params.min_run_s = std::stoull(next());
+    } else if (arg == "--run-spread") {
+      params.run_spread_s = std::stoull(next());
+    } else if (arg == "--out") {
+      out_path = next();
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else {
+      std::cerr << "unknown argument: " << arg << "\n";
+      usage();
+      return 2;
+    }
+  }
+  if (!out_path.empty()) {
+    std::ofstream out(out_path, std::ios::binary);
+    if (!out) {
+      std::cerr << "cannot open " << out_path << "\n";
+      return 1;
+    }
+    dbs::wl::swf::generate_swf(out, params);
+    return out.good() ? 0 : 1;
+  }
+  dbs::wl::swf::generate_swf(std::cout, params);
+  return 0;
+}
