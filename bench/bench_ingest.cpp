@@ -1,0 +1,145 @@
+// Concurrent-ingest throughput: N producer threads push submissions
+// through the mutex-sharded IngestQueue while one consumer drains, stamps
+// admissions (the service loop's monotone rule) and — in the WAL-on rows —
+// appends + fsyncs every drained batch through a WalWriter, exactly the
+// admit_pending() write path. The sweep crosses producers {1, 4, 16} with
+// WAL {off, on}:
+//
+//   * producer scaling shows where shard contention bends the curve
+//     (tickets are a single fetch_add; the shards only serialize per
+//     slot), and
+//   * the WAL-on/off gap is the durability tax — one fsync per drained
+//     batch, so it shrinks as batches grow under load.
+//
+//   ./build/bench/bench_ingest --benchmark_out=ingest.json
+//       --benchmark_out_format=json
+//   python3 tools/check_bench_regression.py
+//       bench/results/BENCH_2026-08-08_ingest.json ingest.json
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/time.hpp"
+#include "rms/job.hpp"
+#include "svc/ingest.hpp"
+#include "svc/state_store.hpp"
+#include "workload/esp.hpp"
+
+namespace {
+
+using namespace dbs;
+
+constexpr std::uint64_t kRecords = 200000;
+
+rms::JobSpec bench_spec() {
+  rms::JobSpec s;
+  s.name = "ingest_bench";
+  s.cred = {"user", "grp", "", "batch", ""};
+  s.cores = 8;
+  s.walltime = Duration::seconds(3600);
+  return s;
+}
+
+void bm_ingest(benchmark::State& state) {
+  const auto producers = static_cast<std::size_t>(state.range(0));
+  const bool wal_on = state.range(1) != 0;
+  const std::uint64_t per_producer = kRecords / producers;
+  const std::uint64_t total = per_producer * producers;
+
+  const std::filesystem::path wal_dir =
+      std::filesystem::temp_directory_path() / "dbs_bench_ingest";
+
+  std::uint64_t drains = 0;
+  std::uint64_t batches_synced = 0;
+  for (auto _ : state) {
+    std::filesystem::remove_all(wal_dir);
+    std::filesystem::create_directories(wal_dir);
+
+    svc::IngestQueue queue(8);
+    std::unique_ptr<svc::WalWriter> wal;
+    if (wal_on)
+      wal = std::make_unique<svc::WalWriter>(
+          svc::wal_path(wal_dir.string()));
+
+    const rms::JobSpec spec = bench_spec();
+    std::atomic<bool> go{false};
+    std::vector<std::thread> threads;
+    threads.reserve(producers);
+    for (std::size_t t = 0; t < producers; ++t) {
+      threads.emplace_back([&, t]() {
+        while (!go.load(std::memory_order_acquire)) {}
+        for (std::uint64_t i = 0; i < per_producer; ++i) {
+          queue.submit(Time::from_micros(static_cast<std::int64_t>(
+                           t * per_producer + i)),
+                       spec, wl::Behavior{});
+          if (i % 256 == 0) std::this_thread::yield();
+        }
+      });
+    }
+
+    // Consumer: the service loop's admission path minus the simulation —
+    // drain, stamp monotone admissions, log + fsync the batch.
+    const auto begin = std::chrono::steady_clock::now();
+    go.store(true, std::memory_order_release);
+    std::uint64_t consumed = 0;
+    Time last_admitted;
+    std::vector<svc::IngestRecord> batch;
+    while (consumed < total) {
+      batch.clear();
+      const std::size_t n = queue.drain(batch);
+      if (n == 0) {
+        std::this_thread::yield();
+        continue;
+      }
+      for (auto& r : batch) {
+        last_admitted = max(r.requested, last_admitted);
+        r.admitted = last_admitted;
+        if (wal) wal->append_ingest(r);
+      }
+      if (wal) {
+        wal->sync();
+        ++batches_synced;
+      }
+      consumed += n;
+      ++drains;
+    }
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - begin;
+
+    for (auto& t : threads) t.join();
+    if (queue.pushed() != total) state.SkipWithError("lost records");
+    state.SetIterationTime(elapsed.count());
+    state.counters["records_per_sec"] =
+        static_cast<double>(total) / elapsed.count();
+  }
+  state.counters["drains"] =
+      benchmark::Counter(static_cast<double>(drains),
+                         benchmark::Counter::kAvgIterations);
+  state.counters["batches_synced"] =
+      benchmark::Counter(static_cast<double>(batches_synced),
+                         benchmark::Counter::kAvgIterations);
+  std::filesystem::remove_all(wal_dir);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::RegisterBenchmark("bm_ingest", bm_ingest)
+      ->ArgsProduct({{1, 4, 16}, {0, 1}})
+      ->ArgNames({"producers", "wal"})
+      ->Iterations(3)
+      ->UseManualTime()
+      ->Unit(benchmark::kMillisecond);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  dbs::bench::maybe_dump_metrics();
+  return 0;
+}

@@ -1,5 +1,6 @@
 #include "apps/app_model.hpp"
 
+#include "apps/app_state_kind.hpp"
 #include "apps/resilient.hpp"
 #include "apps/rigid.hpp"
 #include "common/assert.hpp"
@@ -16,6 +17,17 @@ std::unique_ptr<rms::Application> make_application(const wl::Behavior& behavior,
     return std::make_unique<ResilientApp>(behavior.static_runtime,
                                           /*reacquire=*/false);
   return std::make_unique<RigidApp>(behavior.static_runtime);
+}
+
+std::unique_ptr<rms::Application> restore_application(
+    const rms::AppState& state) {
+  switch (static_cast<AppStateKind>(state.kind)) {
+    case AppStateKind::Rigid: return RigidApp::restore(state);
+    case AppStateKind::Evolving: return EvolvingApp::restore(state);
+    case AppStateKind::Resilient: return ResilientApp::restore(state);
+  }
+  DBS_REQUIRE(false, "unknown application state kind");
+  return nullptr;
 }
 
 ScriptedApp::ScriptedApp(Duration base_runtime, std::vector<Step> steps)

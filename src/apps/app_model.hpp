@@ -15,6 +15,12 @@ namespace dbs::apps {
     const wl::Behavior& behavior,
     SpeedupModel model = SpeedupModel::PaperDet);
 
+/// Rebuilds an Application from serialized snapshot state (the inverse of
+/// Application::save_state). Fails fast on an unknown kind — a snapshot
+/// written by a newer build must not restore silently wrong.
+[[nodiscard]] std::unique_ptr<rms::Application> restore_application(
+    const rms::AppState& state);
+
 /// A fully scripted application: a fixed sequence of grow/shrink actions at
 /// given elapsed offsets, each optionally shortening/extending the runtime.
 /// Used by tests and the deallocation example; models applications with

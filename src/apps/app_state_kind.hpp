@@ -1,0 +1,16 @@
+// Kind tags for serialized application-model state (rms::AppState::kind).
+// Every snapshot-capable model owns one tag; 0 stays reserved for "unset"
+// so a zero-filled AppState never restores silently.
+#pragma once
+
+#include <cstdint>
+
+namespace dbs::apps {
+
+enum class AppStateKind : std::uint32_t {
+  Rigid = 1,
+  Evolving = 2,
+  Resilient = 3,
+};
+
+}  // namespace dbs::apps

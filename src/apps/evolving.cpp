@@ -1,5 +1,6 @@
 #include "apps/evolving.hpp"
 
+#include "apps/app_state_kind.hpp"
 #include "common/assert.hpp"
 
 namespace dbs::apps {
@@ -71,6 +72,43 @@ rms::AppDecision EvolvingApp::on_reject(Time now, CoreCount) {
 rms::AppDecision EvolvingApp::on_released(Time, CoreCount) {
   DBS_ASSERT(false, "esp evolving job never releases cores");
   return {finish_, std::nullopt, std::nullopt};
+}
+
+bool EvolvingApp::save_state(rms::AppState& out) const {
+  out.kind = static_cast<std::uint32_t>(AppStateKind::Evolving);
+  out.ints = {static_cast<std::int64_t>(model_),
+              behavior_.static_runtime.as_micros(),
+              static_cast<std::int64_t>(behavior_.ask_cores),
+              behavior_.negotiation_timeout.as_micros(),
+              behavior_.malleable ? 1 : 0,
+              start_.as_micros(),
+              finish_.as_micros(),
+              static_cast<std::int64_t>(base_cores_),
+              asks_resolved_};
+  out.doubles = {behavior_.first_ask_frac, behavior_.retry_frac};
+  return true;
+}
+
+std::unique_ptr<EvolvingApp> EvolvingApp::restore(const rms::AppState& state) {
+  DBS_REQUIRE(
+      state.kind == static_cast<std::uint32_t>(AppStateKind::Evolving) &&
+          state.ints.size() == 9 && state.doubles.size() == 2,
+      "malformed evolving app state");
+  wl::Behavior behavior;
+  behavior.static_runtime = Duration::micros(state.ints[1]);
+  behavior.evolving = true;
+  behavior.first_ask_frac = state.doubles[0];
+  behavior.retry_frac = state.doubles[1];
+  behavior.ask_cores = static_cast<CoreCount>(state.ints[2]);
+  behavior.negotiation_timeout = Duration::micros(state.ints[3]);
+  behavior.malleable = state.ints[4] != 0;
+  auto app = std::make_unique<EvolvingApp>(
+      behavior, static_cast<SpeedupModel>(state.ints[0]));
+  app->start_ = Time::from_micros(state.ints[5]);
+  app->finish_ = Time::from_micros(state.ints[6]);
+  app->base_cores_ = static_cast<CoreCount>(state.ints[7]);
+  app->asks_resolved_ = static_cast<int>(state.ints[8]);
+  return app;
 }
 
 }  // namespace dbs::apps

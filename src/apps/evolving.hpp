@@ -4,6 +4,8 @@
 // success — finishes earlier under a linear speedup model.
 #pragma once
 
+#include <memory>
+
 #include "common/time.hpp"
 #include "rms/application.hpp"
 #include "workload/esp.hpp"
@@ -34,6 +36,10 @@ class EvolvingApp final : public rms::Application {
 
   /// Projected finish with the current allocation (valid after on_start).
   [[nodiscard]] Time finish() const { return finish_; }
+
+  [[nodiscard]] bool save_state(rms::AppState& out) const override;
+  [[nodiscard]] static std::unique_ptr<EvolvingApp> restore(
+      const rms::AppState& state);
 
  private:
   wl::Behavior behavior_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "apps/app_state_kind.hpp"
 #include "common/assert.hpp"
 
 namespace dbs::apps {
@@ -53,6 +54,30 @@ std::optional<rms::AppDecision> ResilientApp::on_nodes_lost(
   if (reacquire_ && d.finish_at > now + Duration::micros(1))
     d.ask = rms::DynAsk{now, lost_cores, Duration::zero()};
   return d;
+}
+
+bool ResilientApp::save_state(rms::AppState& out) const {
+  out.kind = static_cast<std::uint32_t>(AppStateKind::Resilient);
+  out.ints = {runtime_on_initial_.as_micros(), reacquire_ ? 1 : 0,
+              last_event_.as_micros(), static_cast<std::int64_t>(last_cores_),
+              losses_survived_};
+  out.doubles = {remaining_work_};
+  return true;
+}
+
+std::unique_ptr<ResilientApp> ResilientApp::restore(
+    const rms::AppState& state) {
+  DBS_REQUIRE(
+      state.kind == static_cast<std::uint32_t>(AppStateKind::Resilient) &&
+          state.ints.size() == 5 && state.doubles.size() == 1,
+      "malformed resilient app state");
+  auto app = std::make_unique<ResilientApp>(Duration::micros(state.ints[0]),
+                                            state.ints[1] != 0);
+  app->last_event_ = Time::from_micros(state.ints[2]);
+  app->last_cores_ = static_cast<CoreCount>(state.ints[3]);
+  app->losses_survived_ = static_cast<int>(state.ints[4]);
+  app->remaining_work_ = state.doubles[0];
+  return app;
 }
 
 }  // namespace dbs::apps

@@ -6,6 +6,8 @@
 // lost ones.
 #pragma once
 
+#include <memory>
+
 #include "common/time.hpp"
 #include "rms/application.hpp"
 
@@ -29,6 +31,10 @@ class ResilientApp final : public rms::Application {
   [[nodiscard]] int losses_survived() const { return losses_survived_; }
   /// Remaining work in core-seconds (after the last event).
   [[nodiscard]] double remaining_work() const { return remaining_work_; }
+
+  [[nodiscard]] bool save_state(rms::AppState& out) const override;
+  [[nodiscard]] static std::unique_ptr<ResilientApp> restore(
+      const rms::AppState& state);
 
  private:
   /// Accounts the work done since the last event at the previous rate and

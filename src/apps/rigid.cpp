@@ -1,5 +1,6 @@
 #include "apps/rigid.hpp"
 
+#include "apps/app_state_kind.hpp"
 #include "common/assert.hpp"
 
 namespace dbs::apps {
@@ -27,6 +28,22 @@ rms::AppDecision RigidApp::on_reject(Time, CoreCount) {
 rms::AppDecision RigidApp::on_released(Time, CoreCount) {
   DBS_ASSERT(false, "rigid app never releases cores");
   return {finish_, std::nullopt, std::nullopt};
+}
+
+bool RigidApp::save_state(rms::AppState& out) const {
+  out.kind = static_cast<std::uint32_t>(AppStateKind::Rigid);
+  out.ints = {runtime_.as_micros(), finish_.as_micros()};
+  out.doubles.clear();
+  return true;
+}
+
+std::unique_ptr<RigidApp> RigidApp::restore(const rms::AppState& state) {
+  DBS_REQUIRE(state.kind == static_cast<std::uint32_t>(AppStateKind::Rigid) &&
+                  state.ints.size() == 2 && state.doubles.empty(),
+              "malformed rigid app state");
+  auto app = std::make_unique<RigidApp>(Duration::micros(state.ints[0]));
+  app->finish_ = Time::from_micros(state.ints[1]);
+  return app;
 }
 
 }  // namespace dbs::apps

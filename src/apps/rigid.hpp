@@ -2,6 +2,8 @@
 // and never changes it.
 #pragma once
 
+#include <memory>
+
 #include "common/time.hpp"
 #include "rms/application.hpp"
 
@@ -16,6 +18,10 @@ class RigidApp final : public rms::Application {
   rms::AppDecision on_reject(Time now, CoreCount total_cores) override;
   rms::AppDecision on_released(Time now, CoreCount total_cores) override;
   [[nodiscard]] const char* name() const override { return "rigid"; }
+
+  [[nodiscard]] bool save_state(rms::AppState& out) const override;
+  [[nodiscard]] static std::unique_ptr<RigidApp> restore(
+      const rms::AppState& state);
 
  private:
   Duration runtime_;

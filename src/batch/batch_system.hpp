@@ -16,6 +16,12 @@
 #include "workload/esp.hpp"
 #include "workload/source.hpp"
 
+namespace dbs::svc {
+class IngestQueue;
+class ServiceLoop;
+struct ServiceConfig;
+}
+
 namespace dbs::batch {
 
 struct SystemConfig {
@@ -70,9 +76,28 @@ class BatchSystem {
   [[nodiscard]] sim::Simulator& simulator() { return sim_; }
   [[nodiscard]] cluster::Cluster& cluster() { return cluster_; }
   [[nodiscard]] rms::Server& server() { return server_; }
+  [[nodiscard]] rms::MomManager& moms() { return moms_; }
   [[nodiscard]] core::MauiScheduler& scheduler() { return scheduler_; }
   [[nodiscard]] const metrics::Recorder& recorder() const { return recorder_; }
+  /// Mutable recorder access for the durable-state restore path.
+  [[nodiscard]] metrics::Recorder& recorder_mut() { return recorder_; }
   [[nodiscard]] const SystemConfig& config() const { return config_; }
+
+  // --- always-on service mode (src/svc/) ----------------------------------
+  // Defined in src/svc/batch_service.cpp: the service layer sits above the
+  // one-shot core, which never depends on it.
+
+  /// Wires a concurrent ingest queue into this system and creates the
+  /// service loop. Call once, before anything is submitted or run.
+  svc::ServiceLoop& attach_ingest(svc::IngestQueue& ingest,
+                                  const svc::ServiceConfig& config);
+  /// Recovers durable state from the attached service's state_dir (see
+  /// svc::ServiceLoop::open). Returns true when prior state was found.
+  bool open_state();
+  /// Runs the service loop until drained or stopped; returns ticks run.
+  std::uint64_t run_service();
+  /// The attached service loop, or nullptr in one-shot mode.
+  [[nodiscard]] svc::ServiceLoop* service() { return service_.get(); }
 
   /// Attaches the observability sinks to every component (server, moms,
   /// scheduler, DFS): the tracer (nullable; its clock is pointed at the
@@ -100,6 +125,9 @@ class BatchSystem {
   metrics::Recorder recorder_;
   core::MauiScheduler scheduler_;
   obs::Tracer* tracer_ = nullptr;  ///< last sinks' tracer; flushed after run()
+  /// shared_ptr so this header needs no complete svc::ServiceLoop type
+  /// (the control block owns the deleter, captured where it is complete).
+  std::shared_ptr<svc::ServiceLoop> service_;
 };
 
 }  // namespace dbs::batch

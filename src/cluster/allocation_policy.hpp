@@ -49,6 +49,8 @@ struct Placement {
   /// smallest shares first (frees whole nodes as early as possible).
   /// Precondition: 0 < cores < total_cores().
   [[nodiscard]] Placement select_release(CoreCount cores) const;
+
+  [[nodiscard]] bool operator==(const Placement&) const = default;
 };
 
 }  // namespace dbs::cluster

@@ -3,6 +3,7 @@
 // explicit seeded Rng so runs are exactly reproducible.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -85,6 +86,17 @@ class Rng {
       using std::swap;
       swap(v[i - 1], v[j]);
     }
+  }
+
+  /// The full generator state, for durable snapshots: a restored Rng
+  /// continues the exact stream the saved one would have produced.
+  [[nodiscard]] std::array<std::uint64_t, 4> state() const {
+    return {s_[0], s_[1], s_[2], s_[3]};
+  }
+  void set_state(const std::array<std::uint64_t, 4>& s) {
+    DBS_REQUIRE(s[0] != 0 || s[1] != 0 || s[2] != 0 || s[3] != 0,
+                "the all-zero state is a fixed point of xoshiro256**");
+    for (std::size_t i = 0; i < 4; ++i) s_[i] = s[i];
   }
 
  private:

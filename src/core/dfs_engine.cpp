@@ -1,5 +1,7 @@
 #include "core/dfs_engine.hpp"
 
+#include <algorithm>
+
 #include "common/assert.hpp"
 #include "obs/registry.hpp"
 #include "obs/sinks.hpp"
@@ -192,6 +194,33 @@ Duration DfsEngine::accumulated(DfsEntityKind kind,
 Duration DfsEngine::job_delay(JobId id) const {
   auto it = job_delay_.find(id);
   return it == job_delay_.end() ? Duration::zero() : it->second;
+}
+
+DfsEngine::State DfsEngine::save_state() const {
+  State s;
+  s.interval_start = interval_start_;
+  std::size_t slot = 0;
+  for (const DfsEntityKind kind : kAllDfsEntityKinds) {
+    auto& out = s.entities[slot++];
+    for (const auto& [name, delay] : acc_of(kind))
+      out.emplace_back(name, delay);
+    std::sort(out.begin(), out.end());
+  }
+  s.job_delays.assign(job_delay_.begin(), job_delay_.end());
+  std::sort(s.job_delays.begin(), s.job_delays.end());
+  return s;
+}
+
+void DfsEngine::restore_state(const State& s) {
+  interval_start_ = s.interval_start;
+  std::size_t slot = 0;
+  for (const DfsEntityKind kind : kAllDfsEntityKinds) {
+    EntityAcc& acc = acc_of(kind);
+    acc.clear();
+    for (const auto& [name, delay] : s.entities[slot++]) acc.emplace(name, delay);
+  }
+  job_delay_.clear();
+  for (const auto& [id, delay] : s.job_delays) job_delay_.emplace(id, delay);
 }
 
 }  // namespace dbs::core

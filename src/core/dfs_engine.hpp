@@ -10,8 +10,10 @@
 // DFSDECAY, carrying a configurable fraction of history forward.
 #pragma once
 
+#include <array>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/time.hpp"
@@ -79,6 +81,19 @@ class DfsEngine {
   [[nodiscard]] Duration job_delay(JobId id) const;
   [[nodiscard]] const DfsConfig& config() const { return config_; }
   [[nodiscard]] Time interval_start() const { return interval_start_; }
+
+  /// Serializable ledger state for durable snapshots: the five entity
+  /// accumulators (indexed by DfsEntityKind order: user, group, account,
+  /// class, qos) plus the per-job delay records, each sorted by key so the
+  /// encoded form is byte-stable across processes.
+  struct State {
+    Time interval_start;
+    std::array<std::vector<std::pair<std::string, Duration>>, 5> entities;
+    std::vector<std::pair<JobId, Duration>> job_delays;
+    [[nodiscard]] bool operator==(const State&) const = default;
+  };
+  [[nodiscard]] State save_state() const;
+  void restore_state(const State& s);
 
  private:
   [[nodiscard]] DfsVerdict admit_impl(

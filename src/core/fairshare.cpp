@@ -1,5 +1,7 @@
 #include "core/fairshare.hpp"
 
+#include <algorithm>
+
 #include "common/assert.hpp"
 
 namespace dbs::core {
@@ -42,6 +44,25 @@ double Fairshare::effective_usage(const std::string& user) const {
     weight *= config_.decay;
   }
   return total;
+}
+
+Fairshare::State Fairshare::save_state() const {
+  State s;
+  s.window_start = window_start_;
+  s.windows.reserve(windows_.size());
+  for (const auto& [user, windows] : windows_)
+    s.windows.emplace_back(user,
+                           std::vector<double>(windows.begin(), windows.end()));
+  std::sort(s.windows.begin(), s.windows.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return s;
+}
+
+void Fairshare::restore_state(const State& s) {
+  window_start_ = s.window_start;
+  windows_.clear();
+  for (const auto& [user, windows] : s.windows)
+    windows_.emplace(user, std::deque<double>(windows.begin(), windows.end()));
 }
 
 double Fairshare::component(const Credentials& cred) const {

@@ -7,6 +7,8 @@
 #include <deque>
 #include <string>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "common/time.hpp"
 #include "common/types.hpp"
@@ -41,6 +43,16 @@ class Fairshare {
   [[nodiscard]] double effective_usage(const std::string& user) const;
 
   [[nodiscard]] const FairshareConfig& config() const { return config_; }
+
+  /// Serializable ledger state for durable snapshots. Windows are sorted
+  /// by user so the encoded form is byte-stable across processes.
+  struct State {
+    Time window_start;
+    std::vector<std::pair<std::string, std::vector<double>>> windows;
+    [[nodiscard]] bool operator==(const State&) const = default;
+  };
+  [[nodiscard]] State save_state() const;
+  void restore_state(const State& s);
 
  private:
   FairshareConfig config_;

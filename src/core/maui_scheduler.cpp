@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/assert.hpp"
 #include "common/cycle_timer.hpp"
 #include "obs/recorder/recorder.hpp"
 #include "obs/registry.hpp"
@@ -258,8 +259,39 @@ void MauiScheduler::schedule_poll() {
                          server_.jobs().has_running() ||
                          !server_.jobs().dyn_requests().empty();
   if (!work_left) return;
+  poll_at_ = server_.simulator().now() + config_.poll_interval;
   poll_event_ = server_.simulator().schedule_after(config_.poll_interval,
                                                    [this] { iterate(); });
+}
+
+MauiScheduler::ServiceState MauiScheduler::save_service_state() const {
+  ServiceState s;
+  s.iterations = iterations_;
+  s.last_usage_update = statistics_.last_usage_update();
+  s.poll_pending = poll_event_.valid();
+  if (s.poll_pending) s.poll_at = poll_at_;
+  s.fairshare = fairshare_.save_state();
+  s.dfs = dfs_.save_state();
+  return s;
+}
+
+void MauiScheduler::restore_service_state(const ServiceState& s) {
+  iterations_ = s.iterations;
+  statistics_.restore(s.last_usage_update);
+  fairshare_.restore_state(s.fairshare);
+  dfs_.restore_state(s.dfs);
+  if (config_.incremental_planning) tracker_.rebuild();
+  if (poll_event_.valid()) {
+    server_.simulator().cancel(poll_event_);
+    poll_event_ = EventId::invalid();
+  }
+  if (s.poll_pending) {
+    DBS_REQUIRE(s.poll_at >= server_.simulator().now(),
+                "restored poll in the past");
+    poll_at_ = s.poll_at;
+    poll_event_ =
+        server_.simulator().schedule_at(s.poll_at, [this] { iterate(); });
+  }
 }
 
 }  // namespace dbs::core

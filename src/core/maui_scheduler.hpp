@@ -26,6 +26,8 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
+#include <utility>
 #include <vector>
 
 #include "core/availability_profile.hpp"
@@ -122,6 +124,35 @@ class MauiScheduler {
   /// walltime end) minus down-node capacity. Public for tests/benches.
   [[nodiscard]] AvailabilityProfile physical_profile(Time now) const;
 
+  // --- durable-state surface (svc::StateStore) ----------------------------
+  /// Scheduler-side service state: everything an iteration builds on that
+  /// is not derivable from the server. Per-iteration planning artifacts
+  /// (reservation tables, plan/priority caches, availability profiles) are
+  /// deliberately absent — they are rebuilt from the restored server state
+  /// on the first post-recovery iteration.
+  struct ServiceState {
+    std::uint64_t iterations = 0;
+    Time last_usage_update;
+    bool poll_pending = false;
+    Time poll_at;
+    Fairshare::State fairshare;
+    DfsEngine::State dfs;
+
+    [[nodiscard]] bool operator==(const ServiceState&) const = default;
+  };
+  [[nodiscard]] ServiceState save_service_state() const;
+  /// Restores into a freshly constructed scheduler with the same config:
+  /// fairshare/DFS ledgers and the usage watermark are loaded, the poll
+  /// timer re-armed at its recorded absolute time, and the incremental
+  /// physical profile rebuilt from the restored server.
+  void restore_service_state(const ServiceState& s);
+
+  /// Per-decision write-ahead hook, forwarded to the DecisionApplier:
+  /// called once per executed (never dry-run) decision, in emission order.
+  void set_decision_sink(std::function<void(const rms::Decision&)> sink) {
+    ctx_.applier.set_decision_sink(std::move(sink));
+  }
+
   ~MauiScheduler();
 
  private:
@@ -147,6 +178,7 @@ class MauiScheduler {
   IterationHistory history_{kHistoryCap};
   std::uint64_t iterations_ = 0;
   EventId poll_event_ = EventId::invalid();
+  Time poll_at_;  ///< absolute fire time of poll_event_ when valid
 
   IterationContext ctx_;
   PipelineEnv env_;

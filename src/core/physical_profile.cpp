@@ -21,9 +21,16 @@ PhysicalProfileTracker::PhysicalProfileTracker(const rms::Server& server)
       profile_(server.simulator().now(), server.cluster().total_cores()) {
   // Seed from whatever is already running (normally nothing: the scheduler
   // is constructed before the first submission).
+  rebuild();
+}
+
+void PhysicalProfileTracker::rebuild() {
   const Time at = now();
-  for (const rms::Job* job : server.jobs().running()) open_hold(*job, at);
-  down_free_ = server.cluster().unavailable_free_cores();
+  profile_ = AvailabilityProfile(at, server_.cluster().total_cores());
+  holds_.clear();
+  heap_.clear();
+  for (const rms::Job* job : server_.jobs().running()) open_hold(*job, at);
+  down_free_ = server_.cluster().unavailable_free_cores();
   if (down_free_ > 0) profile_.subtract(at, Time::far_future(), down_free_);
 }
 

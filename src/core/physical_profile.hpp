@@ -50,6 +50,12 @@ class PhysicalProfileTracker final : public rms::ServerObserver {
   /// The maintained profile; canonical (coalesced) after advance().
   [[nodiscard]] const AvailabilityProfile& profile() const { return profile_; }
 
+  /// Discards everything and re-seeds from the server's current running
+  /// set and cluster ledger, exactly like construction. Used after a
+  /// durable-state restore, which re-creates jobs without firing the
+  /// observer events this tracker normally ingests.
+  void rebuild();
+
   // --- ServerObserver ------------------------------------------------------
   void on_job_start(const rms::Job& job) override;
   void on_job_finish(const rms::Job& job) override;

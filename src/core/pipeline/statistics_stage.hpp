@@ -14,6 +14,11 @@ class StatisticsStage final : public Stage {
   [[nodiscard]] std::string_view name() const override { return "statistics"; }
   void run(PipelineEnv& env, IterationContext& ctx) override;
 
+  /// Durable snapshots: the usage-charge watermark must survive a restart
+  /// or the first post-recovery iteration would double-charge fairshare.
+  [[nodiscard]] Time last_usage_update() const { return last_usage_update_; }
+  void restore(Time at) { last_usage_update_ = at; }
+
  private:
   Time last_usage_update_;
 };

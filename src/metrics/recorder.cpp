@@ -1,5 +1,7 @@
 #include "metrics/recorder.hpp"
 
+#include <algorithm>
+
 #include "common/assert.hpp"
 
 namespace dbs::metrics {
@@ -136,6 +138,35 @@ const JobRecord& Recorder::record(JobId id) const {
   auto it = jobs_.find(id);
   DBS_REQUIRE(it != jobs_.end(), "unknown job id");
   return it->second;
+}
+
+Recorder::State Recorder::save_state() const {
+  DBS_REQUIRE(streaming_, "snapshots require streaming mode");
+  State s;
+  s.totals = totals_;
+  s.usage_integral = usage_integral_;
+  s.last_usage_t = last_usage_t_;
+  s.last_used = last_used_;
+  s.first_submit = first_submit_;
+  s.last_finish = last_finish_;
+  s.live.reserve(jobs_.size());
+  for (const auto& [id, record] : jobs_) s.live.push_back(record);
+  std::sort(s.live.begin(), s.live.end(),
+            [](const JobRecord& a, const JobRecord& b) { return a.id < b.id; });
+  return s;
+}
+
+void Recorder::restore_state(const State& s) {
+  DBS_REQUIRE(streaming_, "snapshots require streaming mode");
+  DBS_REQUIRE(jobs_.empty() && totals_.submitted == 0,
+              "restore requires a fresh recorder");
+  totals_ = s.totals;
+  usage_integral_ = s.usage_integral;
+  last_usage_t_ = s.last_usage_t;
+  last_used_ = s.last_used;
+  first_submit_ = s.first_submit;
+  last_finish_ = s.last_finish;
+  for (const JobRecord& record : s.live) jobs_.emplace(record.id, record);
 }
 
 double Recorder::used_core_seconds(Time from, Time to) const {

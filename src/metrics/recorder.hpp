@@ -16,6 +16,8 @@
 namespace dbs::metrics {
 
 struct JobRecord {
+  [[nodiscard]] bool operator==(const JobRecord&) const = default;
+
   JobId id;
   std::string name;
   std::string user;
@@ -73,6 +75,8 @@ class Recorder final : public rms::ServerObserver {
 
   /// Running aggregates over finished jobs (streaming mode).
   struct StreamTotals {
+    [[nodiscard]] bool operator==(const StreamTotals&) const = default;
+
     std::size_t submitted = 0;
     std::size_t completed = 0;
     std::size_t backfilled = 0;
@@ -114,6 +118,26 @@ class Recorder final : public rms::ServerObserver {
 
   /// Integral of used cores over [from, to] in core-seconds.
   [[nodiscard]] double used_core_seconds(Time from, Time to) const;
+
+  /// Serializable streaming-mode state for durable snapshots: the running
+  /// totals, the incremental usage integral, and the still-live job
+  /// records (sorted by id so the encoded form is byte-stable).
+  struct State {
+    [[nodiscard]] bool operator==(const State&) const = default;
+
+    StreamTotals totals;
+    double usage_integral = 0.0;
+    Time last_usage_t;
+    CoreCount last_used = 0;
+    Time first_submit = Time::far_future();
+    Time last_finish;
+    std::vector<JobRecord> live;
+  };
+  /// Streaming mode only (materialized runs keep every record; snapshots
+  /// are a service-mode concern and service mode requires streaming).
+  [[nodiscard]] State save_state() const;
+  /// Streaming mode only, and only into a recorder that saw no events yet.
+  void restore_state(const State& s);
 
  private:
   void sample_usage();

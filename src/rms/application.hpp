@@ -5,12 +5,26 @@
 // interface (tm_dynget / tm_dynfree) of the paper.
 #pragma once
 
+#include <cstdint>
 #include <optional>
+#include <vector>
 
 #include "common/time.hpp"
 #include "common/types.hpp"
 
 namespace dbs::rms {
+
+/// Serializable application-model state for durable snapshots. `kind`
+/// identifies the concrete model (apps::AppStateKind); `ints`/`doubles`
+/// carry its fields in a model-defined order. Flat arrays keep the codec
+/// model-agnostic: the state store never learns per-model layouts.
+struct AppState {
+  std::uint32_t kind = 0;
+  std::vector<std::int64_t> ints;
+  std::vector<double> doubles;
+
+  [[nodiscard]] bool operator==(const AppState&) const = default;
+};
 
 /// A planned tm_dynget call: at absolute time `at`, ask for `extra_cores`.
 /// A non-zero `timeout` opts into the negotiation extension: the server may
@@ -19,12 +33,16 @@ struct DynAsk {
   Time at;
   CoreCount extra_cores = 0;
   Duration timeout = Duration::zero();
+
+  [[nodiscard]] bool operator==(const DynAsk&) const = default;
 };
 
 /// A planned tm_dynfree call: at absolute time `at`, give back `cores`.
 struct DynRelease {
   Time at;
   CoreCount cores = 0;
+
+  [[nodiscard]] bool operator==(const DynRelease&) const = default;
 };
 
 /// What the application intends to do next, given its current allocation.
@@ -78,6 +96,14 @@ class Application {
   }
 
   [[nodiscard]] virtual const char* name() const { return "app"; }
+
+  /// Captures this model's full state into `out` for a durable snapshot;
+  /// returns false when the model does not support snapshotting (scripted
+  /// and stochastic models — the service loop rejects those up front).
+  [[nodiscard]] virtual bool save_state(AppState& out) const {
+    (void)out;
+    return false;
+  }
 };
 
 }  // namespace dbs::rms

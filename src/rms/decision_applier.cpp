@@ -9,7 +9,7 @@ bool DecisionApplier::start_job(JobId job, bool backfilled) {
   d.backfilled = backfilled;
   d.cores = server_.job(job).spec().cores;
   if (!dry_run_) d.applied = server_.start_job(job, backfilled);
-  decisions_.push_back(d);
+  emit(d);
   return d.applied;
 }
 
@@ -20,7 +20,7 @@ bool DecisionApplier::grant_dyn(const DynRequest& request) {
   d.request = request.id;
   d.cores = request.extra_cores;
   if (!dry_run_) d.applied = server_.grant_dyn(request.id);
-  decisions_.push_back(d);
+  emit(d);
   return d.applied;
 }
 
@@ -42,7 +42,7 @@ bool DecisionApplier::reject_dyn(const DynRequest& request,
     server_.reject_dyn(request.id, hint);
     d.deferred = server_.jobs().dyn_request_of(request.job) != nullptr;
   }
-  decisions_.push_back(d);
+  emit(d);
   return d.deferred;
 }
 
@@ -53,7 +53,7 @@ void DecisionApplier::preempt(JobId victim, JobId for_job) {
   d.for_job = for_job;
   d.cores = server_.job(victim).allocated_cores();
   if (!dry_run_) server_.preempt(victim);
-  decisions_.push_back(d);
+  emit(d);
 }
 
 void DecisionApplier::shrink_malleable(JobId victim, CoreCount cores,
@@ -64,7 +64,7 @@ void DecisionApplier::shrink_malleable(JobId victim, CoreCount cores,
   d.for_job = for_job;
   d.cores = cores;
   if (!dry_run_) server_.shrink_job(victim, cores);
-  decisions_.push_back(d);
+  emit(d);
 }
 
 void DecisionApplier::reserve(JobId job, CoreCount cores, Time start) {
@@ -73,7 +73,7 @@ void DecisionApplier::reserve(JobId job, CoreCount cores, Time start) {
   d.job = job;
   d.cores = cores;
   d.start = start;
-  decisions_.push_back(d);
+  emit(d);
 }
 
 }  // namespace dbs::rms

@@ -9,7 +9,9 @@
 // what-if iteration (dbsim --dry-run-iteration).
 #pragma once
 
+#include <functional>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "rms/decision.hpp"
@@ -23,6 +25,13 @@ class DecisionApplier {
 
   DecisionApplier(const DecisionApplier&) = delete;
   DecisionApplier& operator=(const DecisionApplier&) = delete;
+
+  /// Write-ahead hook: invoked once per executed decision (after the
+  /// server action, with the outcome filled in), never during dry runs.
+  /// The service layer appends each to the WAL; null disables.
+  void set_decision_sink(std::function<void(const Decision&)> sink) {
+    sink_ = std::move(sink);
+  }
 
   /// Clears the stream for a new iteration. Storage is reused.
   void begin_iteration(bool dry_run) {
@@ -63,9 +72,16 @@ class DecisionApplier {
   void reserve(JobId job, CoreCount cores, Time start);
 
  private:
+  /// Records the decision and feeds the write-ahead sink (live mode only).
+  void emit(const Decision& d) {
+    decisions_.push_back(d);
+    if (sink_ && !dry_run_) sink_(d);
+  }
+
   Server& server_;
   bool dry_run_ = false;
   std::vector<Decision> decisions_;
+  std::function<void(const Decision&)> sink_;
 };
 
 }  // namespace dbs::rms

@@ -88,6 +88,21 @@ Job::Job(JobId id, JobSpec spec, std::unique_ptr<Application> app, Time submit)
   DBS_REQUIRE(!spec_.cred.user.empty(), "job needs a user");
 }
 
+std::unique_ptr<Job> Job::restore(JobId id, JobSpec spec,
+                                  std::unique_ptr<Application> app, Time submit,
+                                  const Restore& r) {
+  auto job = std::make_unique<Job>(id, std::move(spec), std::move(app), submit);
+  job->state_ = r.state;
+  job->start_ = r.start;
+  job->end_ = r.end;
+  job->placement_ = r.placement;
+  job->backfilled_ = r.backfilled;
+  job->dyn_requests_made_ = r.dyn_requests_made;
+  job->dyn_grants_ = r.dyn_grants;
+  job->dyn_rejects_ = r.dyn_rejects;
+  return job;
+}
+
 Time Job::start_time() const {
   DBS_REQUIRE(start_.has_value(), "job has not started");
   return *start_;

@@ -45,6 +45,7 @@ struct JobSpec {
   std::string type_tag;         ///< free-form label (e.g. ESP job type letter)
 
   [[nodiscard]] bool malleable() const { return malleable_min > 0; }
+  [[nodiscard]] bool operator==(const JobSpec&) const = default;
 };
 
 /// One pending dynamic (tm_dynget) request at the server.
@@ -55,6 +56,8 @@ struct DynRequest {
   Time submitted;
   int attempt = 1;              ///< 1 = first ask, 2 = retry, ...
   Time deadline;                ///< == submitted when no negotiation timeout
+
+  [[nodiscard]] bool operator==(const DynRequest&) const = default;
 };
 
 /// A job record. Owned by the JobQueue; identity is the JobId.
@@ -122,6 +125,25 @@ class Job {
   void count_dyn_request() { ++dyn_requests_made_; }
   void count_dyn_grant() { ++dyn_grants_; }
   void count_dyn_reject() { ++dyn_rejects_; }
+
+  /// Full mid-lifecycle state, for durable snapshots. Unlike the
+  /// transition methods above this performs no validation sequencing: the
+  /// state store re-creates a job exactly as the saved one was.
+  struct Restore {
+    JobState state = JobState::Queued;
+    std::optional<Time> start;
+    std::optional<Time> end;
+    cluster::Placement placement;
+    bool backfilled = false;
+    int dyn_requests_made = 0;
+    int dyn_grants = 0;
+    int dyn_rejects = 0;
+
+    [[nodiscard]] bool operator==(const Restore&) const = default;
+  };
+  [[nodiscard]] static std::unique_ptr<Job> restore(
+      JobId id, JobSpec spec, std::unique_ptr<Application> app, Time submit,
+      const Restore& r);
 
  private:
   JobId id_;

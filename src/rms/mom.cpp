@@ -116,7 +116,72 @@ void MomManager::cancel_events(JobRuntime& rt) {
   if (rt.next_ask.valid()) sim_.cancel(rt.next_ask);
   if (rt.next_release.valid()) sim_.cancel(rt.next_release);
   rt.completion = rt.next_ask = rt.next_release = EventId::invalid();
+  rt.finish_at = Time::far_future();
+  rt.pending_ask.reset();
+  rt.ask_attempt = 0;
+  rt.pending_release.reset();
   ++rt.generation;
+}
+
+void MomManager::arm_completion(JobRuntime& rt, JobId id, Time finish_at) {
+  const std::uint64_t gen = rt.generation;
+  rt.finish_at = finish_at;
+  rt.completion = sim_.schedule_at(finish_at, [this, id, gen] {
+    auto jt = running_.find(id);
+    if (jt == running_.end() || jt->second.generation != gen) return;
+    running_.erase(jt);
+    sim_.schedule_after(latency_.mom_to_server,
+                        [this, id] { server_.mom_job_finished(id); });
+  });
+}
+
+void MomManager::arm_ask(JobRuntime& rt, JobId id, const DynAsk& ask,
+                         int attempt) {
+  const std::uint64_t gen = rt.generation;
+  rt.pending_ask = ask;
+  rt.ask_attempt = attempt;
+  rt.next_ask = sim_.schedule_at(ask.at, [this, id, gen, ask, attempt] {
+    auto jt = running_.find(id);
+    if (jt == running_.end() || jt->second.generation != gen) return;
+    jt->second.pending_ask.reset();
+    jt->second.ask_attempt = 0;
+    sim_.schedule_after(latency_.mom_to_server, [this, id, ask, attempt] {
+      if (!running_.contains(id)) return;
+      server_.mom_dyn_request(id, ask.extra_cores, ask.timeout, attempt);
+    });
+  });
+}
+
+void MomManager::arm_release(JobRuntime& rt, JobId id, const DynRelease& rel) {
+  const std::uint64_t gen = rt.generation;
+  rt.pending_release = rel;
+  rt.next_release = sim_.schedule_at(rel.at, [this, id, gen, rel] {
+    auto jt = running_.find(id);
+    if (jt == running_.end() || jt->second.generation != gen) return;
+    jt->second.pending_release.reset();
+    const cluster::Placement freed = choose_release(server_.job(id), rel.cores);
+    // dyn_disjoin across the vacated nodes, then inform the server and
+    // finally the application.
+    const Duration disjoin = latency_.dyn_join(freed.node_count());
+    sim_.schedule_after(disjoin + latency_.mom_to_server, [this, id, freed] {
+      if (!running_.contains(id)) return;
+      registry_->counter("mom.dyn_disjoins").add();
+      DBS_TRACE_EVENT(tracer_,
+                      obs::TraceEvent(sim_.now(), "mom", "dyn_disjoin")
+                          .field("job", id.value())
+                          .field("nodes", freed.node_count())
+                          .field("freed_cores", freed.total_cores()));
+      server_.mom_dyn_release(id, freed);
+      sim_.schedule_after(latency_.server_to_mom, [this, id] {
+        auto kt = running_.find(id);
+        if (kt == running_.end()) return;
+        kt->second.cores = server_.job(id).allocated_cores();
+        const AppDecision d =
+            server_.job(id).app().on_released(sim_.now(), kt->second.cores);
+        apply_decision(id, d);
+      });
+    });
+  });
 }
 
 void MomManager::apply_decision(JobId id, const AppDecision& decision) {
@@ -126,62 +191,62 @@ void MomManager::apply_decision(JobId id, const AppDecision& decision) {
   DBS_REQUIRE(decision.finish_at >= sim_.now(),
               "application cannot finish in the past");
   cancel_events(rt);
-  const std::uint64_t gen = rt.generation;
 
-  rt.completion = sim_.schedule_at(decision.finish_at, [this, id, gen] {
-    auto jt = running_.find(id);
-    if (jt == running_.end() || jt->second.generation != gen) return;
-    running_.erase(jt);
-    sim_.schedule_after(latency_.mom_to_server,
-                        [this, id] { server_.mom_job_finished(id); });
-  });
+  arm_completion(rt, id, decision.finish_at);
 
   if (decision.ask && decision.ask->at < decision.finish_at) {
     const DynAsk ask = *decision.ask;
     DBS_REQUIRE(ask.extra_cores > 0, "ask must request cores");
     DBS_REQUIRE(ask.at >= sim_.now(), "ask cannot be in the past");
-    const int attempt = server_.job(id).dyn_requests_made() + 1;
-    rt.next_ask = sim_.schedule_at(ask.at, [this, id, gen, ask, attempt] {
-      auto jt = running_.find(id);
-      if (jt == running_.end() || jt->second.generation != gen) return;
-      sim_.schedule_after(latency_.mom_to_server, [this, id, ask, attempt] {
-        if (!running_.contains(id)) return;
-        server_.mom_dyn_request(id, ask.extra_cores, ask.timeout, attempt);
-      });
-    });
+    arm_ask(rt, id, ask, server_.job(id).dyn_requests_made() + 1);
   }
 
   if (decision.release && decision.release->at < decision.finish_at) {
     const DynRelease rel = *decision.release;
     DBS_REQUIRE(rel.cores > 0, "release must give back cores");
     DBS_REQUIRE(rel.at >= sim_.now(), "release cannot be in the past");
-    rt.next_release = sim_.schedule_at(rel.at, [this, id, gen, rel] {
-      auto jt = running_.find(id);
-      if (jt == running_.end() || jt->second.generation != gen) return;
-      const cluster::Placement freed = choose_release(server_.job(id), rel.cores);
-      // dyn_disjoin across the vacated nodes, then inform the server and
-      // finally the application.
-      const Duration disjoin = latency_.dyn_join(freed.node_count());
-      sim_.schedule_after(disjoin + latency_.mom_to_server, [this, id, freed] {
-        if (!running_.contains(id)) return;
-        registry_->counter("mom.dyn_disjoins").add();
-        DBS_TRACE_EVENT(tracer_,
-                        obs::TraceEvent(sim_.now(), "mom", "dyn_disjoin")
-                            .field("job", id.value())
-                            .field("nodes", freed.node_count())
-                            .field("freed_cores", freed.total_cores()));
-        server_.mom_dyn_release(id, freed);
-        sim_.schedule_after(latency_.server_to_mom, [this, id] {
-          auto kt = running_.find(id);
-          if (kt == running_.end()) return;
-          kt->second.cores = server_.job(id).allocated_cores();
-          const AppDecision d =
-              server_.job(id).app().on_released(sim_.now(), kt->second.cores);
-          apply_decision(id, d);
-        });
-      });
-    });
+    arm_release(rt, id, rel);
   }
+}
+
+std::vector<MomManager::RuntimeState> MomManager::save_state() const {
+  std::vector<RuntimeState> out;
+  out.reserve(running_.size());
+  for (const auto& [id, rt] : running_) {
+    DBS_REQUIRE(rt.completion.valid() && rt.finish_at != Time::far_future(),
+                "snapshot at an unsafe point: job has no applied decision");
+    RuntimeState rs;
+    rs.job = id;
+    rs.cores = rt.cores;
+    rs.finish_at = rt.finish_at;
+    if (rt.pending_ask.has_value()) {
+      rs.has_ask = true;
+      rs.ask = *rt.pending_ask;
+      rs.ask_attempt = rt.ask_attempt;
+    }
+    if (rt.pending_release.has_value()) {
+      rs.has_release = true;
+      rs.release = *rt.pending_release;
+    }
+    out.push_back(rs);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const RuntimeState& a, const RuntimeState& b) {
+              return a.job < b.job;
+            });
+  return out;
+}
+
+void MomManager::restore_runtime(const RuntimeState& rs) {
+  DBS_REQUIRE(!running_.contains(rs.job), "job already has a runtime");
+  DBS_REQUIRE(rs.finish_at >= sim_.now(), "restored completion in the past");
+  JobRuntime rt;
+  rt.cores = rs.cores;
+  auto [it, inserted] = running_.emplace(rs.job, rt);
+  (void)inserted;
+  arm_completion(it->second, rs.job, rs.finish_at);
+  if (rs.has_ask) arm_ask(it->second, rs.job, rs.ask, rs.ask_attempt);
+  if (rs.has_release) arm_release(it->second, rs.job, rs.release);
 }
 
 cluster::Placement MomManager::choose_release(const Job& job,

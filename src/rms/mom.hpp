@@ -4,7 +4,9 @@
 // machine, and forwards tm_dynget / tm_dynfree to the server.
 #pragma once
 
+#include <optional>
 #include <unordered_map>
+#include <vector>
 
 #include "cluster/allocation_policy.hpp"
 #include "common/types.hpp"
@@ -59,6 +61,28 @@ class MomManager {
   /// Number of jobs with live application state.
   [[nodiscard]] std::size_t active_jobs() const { return running_.size(); }
 
+  /// Serializable per-job mom runtime for durable snapshots, sorted by job
+  /// id. Valid only at a quiescent point of a zero-latency system: every
+  /// protocol cascade (join, hop, disjoin) has drained, so the remaining
+  /// pending events are exactly the completion plus the not-yet-fired
+  /// ask/release descriptors captured here.
+  struct RuntimeState {
+    JobId job;
+    CoreCount cores = 0;
+    Time finish_at;
+    bool has_ask = false;
+    DynAsk ask;
+    int ask_attempt = 0;
+    bool has_release = false;
+    DynRelease release;
+
+    [[nodiscard]] bool operator==(const RuntimeState&) const = default;
+  };
+  [[nodiscard]] std::vector<RuntimeState> save_state() const;
+  /// Re-creates the runtime of a restored running job and re-arms its
+  /// events at their recorded absolute times (all >= the restored clock).
+  void restore_runtime(const RuntimeState& rs);
+
   /// Observability sinks: the tracer (nullable) receives join / dyn_join /
   /// dyn_disjoin protocol trace events; protocol-step counters land in the
   /// registry (null selects the global one).
@@ -71,12 +95,23 @@ class MomManager {
     EventId next_ask = EventId::invalid();
     EventId next_release = EventId::invalid();
     std::uint64_t generation = 0;  ///< invalidates in-flight events
+    // Snapshot descriptors mirroring the armed events; each is cleared the
+    // moment its event fires so a restore never double-arms one.
+    Time finish_at = Time::far_future();
+    std::optional<DynAsk> pending_ask;
+    int ask_attempt = 0;
+    std::optional<DynRelease> pending_release;
   };
 
   /// Installs a fresh AppDecision: (re)schedules completion, the next
   /// tm_dynget and the next tm_dynfree.
   void apply_decision(JobId id, const AppDecision& decision);
   void cancel_events(JobRuntime& rt);
+  // Event-arming primitives shared by apply_decision and restore_runtime;
+  // each records the matching snapshot descriptor on `rt`.
+  void arm_completion(JobRuntime& rt, JobId id, Time finish_at);
+  void arm_ask(JobRuntime& rt, JobId id, const DynAsk& ask, int attempt);
+  void arm_release(JobRuntime& rt, JobId id, const DynRelease& rel);
   /// Picks which of the job's node shares to give back for a release of
   /// `cores` cores (vacates the fullest shares last, freeing whole nodes
   /// where possible).

@@ -399,6 +399,50 @@ void Server::mom_job_failed(JobId id) {
   notify_scheduler();
 }
 
+void Server::restore_counters(std::uint64_t next_job,
+                              std::uint64_t next_request) {
+  DBS_REQUIRE(next_job >= next_job_ && next_request >= next_request_,
+              "restored id counters may not run backwards");
+  next_job_ = next_job;
+  next_request_ = next_request;
+}
+
+std::vector<std::pair<JobId, Time>> Server::save_availability_hints() const {
+  std::vector<std::pair<JobId, Time>> out(availability_hints_.begin(),
+                                          availability_hints_.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void Server::restore_availability_hint(JobId id, Time at) {
+  availability_hints_[id] = at;
+}
+
+Job& Server::restore_job(std::unique_ptr<Job> job) {
+  return queue_.add(std::move(job));
+}
+
+void Server::restore_dyn_request(const DynRequest& req) {
+  DBS_REQUIRE(queue_.contains(req.job), "dynamic request for an unknown job");
+  queue_.push_dyn_request(req);
+}
+
+void Server::rearm_retirements() {
+  if (!retire_grace_) return;
+  for (const Job* job : queue_.all()) {
+    if (job->state() != JobState::Completed) continue;
+    const JobId id = job->id();
+    Time at = job->end_time() + *retire_grace_;
+    if (at < sim_.now()) at = sim_.now();
+    sim_.schedule_at(at, [this, id] {
+      if (!queue_.contains(id)) return;
+      if (queue_.at(id).state() != JobState::Completed) return;
+      availability_hints_.erase(id);
+      queue_.retire(id);
+    });
+  }
+}
+
 void Server::mom_dyn_release(JobId id, const cluster::Placement& freed) {
   Job& job = queue_.at(id);
   DBS_REQUIRE(job.is_running(), "release requires a running job");

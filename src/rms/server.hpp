@@ -6,6 +6,7 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "cluster/cluster.hpp"
@@ -152,6 +153,36 @@ class Server {
 
   /// The job's chunk size for placements: its ppn, or the node size.
   [[nodiscard]] CoreCount effective_ppn(const Job& job) const;
+
+  // --- durable-state surface (svc::StateStore) ----------------------------
+  [[nodiscard]] std::uint64_t next_job_id_raw() const { return next_job_; }
+  [[nodiscard]] std::uint64_t next_request_id_raw() const {
+    return next_request_;
+  }
+  void restore_counters(std::uint64_t next_job, std::uint64_t next_request);
+
+  /// Availability hints sorted by job id (byte-stable snapshot encoding).
+  [[nodiscard]] std::vector<std::pair<JobId, Time>> save_availability_hints()
+      const;
+  void restore_availability_hint(JobId id, Time at);
+
+  [[nodiscard]] std::optional<Duration> retirement_grace() const {
+    return retire_grace_;
+  }
+
+  /// Re-inserts a restored job record. Unlike submit() this neither
+  /// notifies observers nor wakes the scheduler: a restore reconstructs a
+  /// state every observer had already seen when the snapshot was taken.
+  Job& restore_job(std::unique_ptr<Job> job);
+
+  /// Re-enqueues a restored pending dynamic request; FIFO order is the
+  /// caller's call order (the snapshot preserves it).
+  void restore_dyn_request(const DynRequest& req);
+
+  /// After a restore with retirement enabled: re-arms the deferred
+  /// reclamation event of every already-Completed live job at its recorded
+  /// end time plus the grace period.
+  void rearm_retirements();
 
  private:
   void notify_scheduler();

@@ -54,6 +54,22 @@ class EventQueue {
   /// Removes and returns the earliest event. Precondition: !empty().
   std::pair<Time, EventFn> pop();
 
+  /// Pops every event with time <= `until` in firing order and hands each
+  /// to `fire(at, fn)`. Returns the number of events fired. `fire` may
+  /// push new events; those landing inside the horizon are drained too.
+  /// This is the one drain loop behind Simulator::run/run_until and the
+  /// service loop, so the tombstone/ordering subtleties live in one place.
+  template <typename Fire>
+  std::uint64_t drain_until(Time until, Fire&& fire) {
+    std::uint64_t n = 0;
+    while (!empty() && next_time() <= until) {
+      auto [at, fn] = pop();
+      fire(at, std::move(fn));
+      ++n;
+    }
+    return n;
+  }
+
  private:
   struct Entry {
     Time at;

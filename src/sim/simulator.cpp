@@ -33,29 +33,39 @@ EventId Simulator::schedule_submission(Time at, EventFn fn) {
 bool Simulator::step() {
   if (queue_.empty()) return false;
   auto [at, fn] = queue_.pop();
-  DBS_ASSERT(at >= now_, "event queue returned a past event");
-  now_ = at;
-  fn();
-  ++events_fired_;
+  fire(at, std::move(fn));
   return true;
 }
 
 std::uint64_t Simulator::run() {
-  std::uint64_t n = 0;
-  while (step()) ++n;
-  return n;
+  return queue_.drain_until(Time::far_future(), [this](Time at, EventFn fn) {
+    fire(at, std::move(fn));
+  });
 }
 
 std::uint64_t Simulator::run_until(Time until) {
-  std::uint64_t n = 0;
-  while (!queue_.empty() && queue_.next_time() <= until) {
-    step();
-    ++n;
-  }
+  const std::uint64_t n =
+      queue_.drain_until(until, [this](Time at, EventFn fn) {
+        fire(at, std::move(fn));
+      });
   // Advance the clock to the horizon even if nothing fires exactly there,
   // so repeated run_until calls observe monotonic time.
   if (now_ < until) now_ = until;
   return n;
+}
+
+void Simulator::restore_clock(Time at) {
+  DBS_REQUIRE(queue_.empty(),
+              "clock restore requires an empty queue; re-arm events after");
+  DBS_REQUIRE(at >= now_, "clock cannot move backwards");
+  now_ = at;
+}
+
+void Simulator::fire(Time at, EventFn fn) {
+  DBS_ASSERT(at >= now_, "event queue returned a past event");
+  now_ = at;
+  fn();
+  ++events_fired_;
 }
 
 }  // namespace dbs::sim

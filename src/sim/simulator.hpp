@@ -48,12 +48,21 @@ class Simulator {
   /// Fires at most one event; false if the queue was empty.
   bool step();
 
+  /// Jumps the clock forward to `at` without firing anything. State
+  /// restore only: requires an empty queue (a recovered system re-arms
+  /// its events after the jump) and a non-backward jump.
+  void restore_clock(Time at);
+
   [[nodiscard]] bool idle() const { return queue_.empty(); }
   [[nodiscard]] std::uint64_t events_fired() const { return events_fired_; }
   [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
   [[nodiscard]] const EventQueue& queue() const { return queue_; }
 
  private:
+  /// Advances the clock to `at` and runs `fn` (the one firing path shared
+  /// by step/run/run_until).
+  void fire(Time at, EventFn fn);
+
   EventQueue queue_;
   Time now_ = Time::epoch();
   std::uint64_t events_fired_ = 0;

@@ -1,0 +1,28 @@
+// BatchSystem's service-mode members. They live in the svc layer (not
+// batch_system.cpp) so the one-shot core library carries no dependency on
+// the service code; linking dbs_svc is what makes these symbols exist.
+#include "batch/batch_system.hpp"
+#include "common/assert.hpp"
+#include "svc/ingest.hpp"
+#include "svc/service_loop.hpp"
+
+namespace dbs::batch {
+
+svc::ServiceLoop& BatchSystem::attach_ingest(svc::IngestQueue& ingest,
+                                             const svc::ServiceConfig& config) {
+  DBS_REQUIRE(!service_, "a service loop is already attached");
+  service_ = std::make_shared<svc::ServiceLoop>(*this, ingest, config);
+  return *service_;
+}
+
+bool BatchSystem::open_state() {
+  DBS_REQUIRE(service_, "attach_ingest before open_state");
+  return service_->open();
+}
+
+std::uint64_t BatchSystem::run_service() {
+  DBS_REQUIRE(service_, "attach_ingest before run_service");
+  return service_->run();
+}
+
+}  // namespace dbs::batch

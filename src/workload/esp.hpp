@@ -25,6 +25,8 @@ struct Behavior {
   /// Malleable jobs need a work-conserving application model that adapts
   /// to scheduler-initiated reshapes (apps::ResilientApp).
   bool malleable = false;
+
+  [[nodiscard]] bool operator==(const Behavior&) const = default;
 };
 
 /// One job to inject into the batch system.

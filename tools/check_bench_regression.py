@@ -11,9 +11,10 @@ only present on one side are reported as "new" (current only) or "removed"
 (baseline only) and do not fail the check, so adding or retiring benchmarks
 never requires touching the gate — a current file containing only new
 benchmarks passes with exit 0. Malformed entries (missing name/real_time)
-are skipped with a warning. Exit status is non-zero iff at least one shared
-benchmark regressed beyond tolerance, or the current file has no usable
-benchmarks at all.
+are skipped with a warning. Exit status: 0 OK, 1 if at least one shared
+benchmark regressed beyond tolerance (or a scaling/RSS gate fired), 2 if
+the current file has no usable benchmarks at all, 3 if either JSON file is
+missing or unparseable (one-line error, no traceback).
 
 CI runners are noisy; the tolerance is deliberately loose. It is meant to
 catch order-of-magnitude mistakes (an accidental O(n^2) loop, a debug build
@@ -59,12 +60,31 @@ _STANDARD_FIELDS = {
 }
 
 
+class BenchFileError(Exception):
+    """A result file is missing or not valid benchmark JSON."""
+
+
 def load_benchmarks(path):
     """Returns (times, rss): {name: real_time ns} and, separately,
     {(name, counter): value} for every user counter whose name mentions
-    RSS — memory numbers must never land in the time comparison."""
-    with open(path, encoding="utf-8") as fh:
-        doc = json.load(fh)
+    RSS — memory numbers must never land in the time comparison.
+
+    Raises BenchFileError (one line, no traceback) when the file cannot
+    be read or parsed: a vanished baseline is an infrastructure problem,
+    not a benchmark regression, and gets its own exit code (3)."""
+    try:
+        with open(path, encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except OSError as e:
+        raise BenchFileError(f"cannot read benchmark file: {path}: "
+                             f"{e.strerror or e}") from e
+    except json.JSONDecodeError as e:
+        raise BenchFileError(f"invalid JSON in benchmark file: {path}: "
+                             f"{e}") from e
+    if not isinstance(doc, dict):
+        raise BenchFileError(
+            f"invalid benchmark file: {path}: top level is not an object"
+        )
     times = {}
     rss = {}
     for bench in doc.get("benchmarks", []):
@@ -254,8 +274,12 @@ def main():
     )
     args = parser.parse_args()
 
-    base, base_rss = load_benchmarks(args.baseline)
-    curr, curr_rss = load_benchmarks(args.current)
+    try:
+        base, base_rss = load_benchmarks(args.baseline)
+        curr, curr_rss = load_benchmarks(args.current)
+    except BenchFileError as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 3
 
     if not curr:
         print("error: current file has no usable benchmarks", file=sys.stderr)

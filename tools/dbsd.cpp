@@ -1,0 +1,245 @@
+// `dbsd`: the always-on batch service daemon.
+//
+//   dbsd --swf FILE --state-dir DIR [--config FILE] [--nodes N]
+//        [--cores-per-node N] [--snapshot-every N] [--tick-ms MS]
+//        [--throttle-ms MS] [--max-jobs N] [--max-ticks N]
+//        [--swf-overlay-dynamic PCT] [--swf-seed S]
+//        [--summary-json FILE|-] [--quiet]
+//
+// Unlike dbsim (one-shot: submit a workload, run, report) dbsd runs a
+// service: a producer thread feeds the SWF trace through the concurrent
+// ingest queue — exactly as qsub shims would — while the service loop
+// drains, appends to the write-ahead log, schedules and snapshots. Kill it
+// at any moment (SIGKILL included) and restart with the same --state-dir:
+// it recovers from the newest snapshot, replays the WAL tail, verifies the
+// re-made decisions byte-for-byte against the log, skips the trace records
+// it already ingested, and continues. SIGTERM/SIGINT stop cleanly (final
+// snapshot written).
+//
+// --state-dir "" runs the service without durability (ingest path only).
+// --throttle-ms paces the producer (gives a crash window to CI);
+// --max-jobs bounds the trace prefix; --summary-json emits the final
+// workload summary with stable keys, so an interrupted-and-recovered run
+// can be diffed against an uninterrupted one.
+#include <atomic>
+#include <csignal>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "batch/batch_system.hpp"
+#include "config/maui_config.hpp"
+#include "metrics/report.hpp"
+#include "svc/ingest.hpp"
+#include "svc/service_loop.hpp"
+#include "workload/swf/swf_source.hpp"
+
+using namespace dbs;
+
+namespace {
+
+svc::ServiceLoop* g_service = nullptr;
+std::atomic<bool> g_stop{false};
+
+void handle_signal(int) {
+  // Both flags are plain atomic stores: async-signal-safe.
+  g_stop.store(true);
+  if (g_service != nullptr) g_service->stop();
+}
+
+int usage(const char* argv0, int code) {
+  std::cerr
+      << "usage: " << argv0
+      << " --swf FILE [--state-dir DIR] [--config FILE] [--nodes N]\n"
+         "       [--cores-per-node N] [--snapshot-every N] [--tick-ms MS]\n"
+         "       [--throttle-ms MS] [--max-jobs N] [--max-ticks N]\n"
+         "       [--swf-overlay-dynamic PCT] [--swf-seed S]\n"
+         "       [--summary-json FILE|-] [--quiet]\n";
+  return code;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in), {});
+}
+
+void write_summary_json(std::ostream& os, const metrics::WorkloadSummary& s,
+                        const svc::ServiceLoop& service, bool recovered) {
+  os << "{\n"
+     << "  \"jobs_submitted\": " << s.jobs_submitted << ",\n"
+     << "  \"jobs_completed\": " << s.jobs_completed << ",\n"
+     << "  \"evolving_jobs\": " << s.evolving_jobs << ",\n"
+     << "  \"satisfied_dyn_jobs\": " << s.satisfied_dyn_jobs << ",\n"
+     << "  \"granted_dyn_requests\": " << s.granted_dyn_requests << ",\n"
+     << "  \"backfilled_jobs\": " << s.backfilled_jobs << ",\n"
+     << "  \"makespan_us\": " << s.makespan.as_micros() << ",\n"
+     << "  \"avg_wait_us\": " << s.avg_wait.as_micros() << ",\n"
+     << "  \"max_wait_us\": " << s.max_wait.as_micros() << ",\n"
+     << "  \"avg_turnaround_us\": " << s.avg_turnaround.as_micros() << ",\n"
+     << "  \"wal_ingest\": " << service.wal_ingest_total() << ",\n"
+     << "  \"wal_decisions\": " << service.wal_decision_total() << ",\n"
+     << "  \"recovered\": " << (recovered ? "true" : "false") << "\n"
+     << "}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string swf_path;
+  std::string state_dir;
+  std::string config_path;
+  std::string summary_json;
+  std::size_t nodes = 0;
+  CoreCount cores_per_node = 8;
+  std::uint64_t snapshot_every = 256;
+  std::int64_t tick_ms = 3'600'000;  // accelerated replay: 1 h per cycle
+  std::int64_t throttle_ms = 0;
+  std::uint64_t max_jobs = 0;
+  std::uint64_t max_ticks = 0;
+  double overlay_pct = 0.0;
+  std::uint64_t overlay_seed = 2014;
+  bool quiet = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << arg << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--swf") swf_path = next();
+    else if (arg == "--state-dir") state_dir = next();
+    else if (arg == "--config") config_path = next();
+    else if (arg == "--nodes") nodes = std::stoul(next());
+    else if (arg == "--cores-per-node") cores_per_node = std::stoi(next());
+    else if (arg == "--snapshot-every") snapshot_every = std::stoull(next());
+    else if (arg == "--tick-ms") tick_ms = std::stoll(next());
+    else if (arg == "--throttle-ms") throttle_ms = std::stoll(next());
+    else if (arg == "--max-jobs") max_jobs = std::stoull(next());
+    else if (arg == "--max-ticks") max_ticks = std::stoull(next());
+    else if (arg == "--swf-overlay-dynamic") overlay_pct = std::stod(next());
+    else if (arg == "--swf-seed") overlay_seed = std::stoull(next());
+    else if (arg == "--summary-json") summary_json = next();
+    else if (arg == "--quiet") quiet = true;
+    else if (arg == "--help" || arg == "-h") return usage(argv[0], 0);
+    else {
+      std::cerr << "unknown argument '" << arg << "'\n";
+      return usage(argv[0], 2);
+    }
+  }
+  if (swf_path.empty()) return usage(argv[0], 2);
+  if (tick_ms <= 0) {
+    std::cerr << "--tick-ms must be >= 1\n";
+    return 2;
+  }
+
+  std::ifstream swf_in(swf_path, std::ios::binary);
+  if (!swf_in) {
+    std::cerr << "cannot open " << swf_path << "\n";
+    return 1;
+  }
+  wl::swf::SwfSourceConfig swf_config;
+  swf_config.overlay_dynamic_fraction = overlay_pct / 100.0;
+  swf_config.overlay_seed = overlay_seed;
+  wl::swf::SwfSource source(swf_in, swf_config);
+  const wl::swf::SwfHeader& header = source.header();
+  if (nodes == 0) {
+    const CoreCount total =
+        header.max_procs > 0 ? static_cast<CoreCount>(header.max_procs) : 128;
+    nodes = static_cast<std::size_t>((total + cores_per_node - 1) /
+                                     cores_per_node);
+  }
+  source.set_max_cores(static_cast<CoreCount>(
+      static_cast<std::int64_t>(nodes) * cores_per_node));
+
+  batch::SystemConfig system_config;
+  if (!config_path.empty()) {
+    const cfg::ParseResult parsed = cfg::parse_maui_config(slurp(config_path));
+    for (const cfg::ParseIssue& issue : parsed.issues)
+      std::cerr << config_path << ":" << issue.line << ": " << issue.message
+                << "\n";
+    if (!parsed.ok()) return 1;
+    system_config.scheduler = parsed.config;
+  }
+  system_config.cluster.node_count = nodes;
+  system_config.cluster.cores_per_node = cores_per_node;
+  // The durable service requires both: snapshots are taken at quiescent
+  // drain boundaries (zero latency) and must stay bounded (streaming).
+  system_config.latency = rms::LatencyModel::zero();
+  system_config.streaming_metrics = true;
+  system_config.retire_finished_jobs = true;
+
+  batch::BatchSystem system(system_config);
+  svc::IngestQueue ingest;
+
+  svc::ServiceConfig service_config;
+  service_config.state_dir = state_dir;
+  service_config.snapshot_every = snapshot_every;
+  service_config.tick = Duration::millis(tick_ms);
+  service_config.wall_sleep = std::chrono::microseconds(100);
+  service_config.max_ticks = max_ticks;
+  svc::ServiceLoop& service = system.attach_ingest(ingest, service_config);
+
+  bool recovered = false;
+  if (!state_dir.empty()) {
+    recovered = system.open_state();
+    if (!quiet && recovered)
+      std::cerr << "dbsd: recovered state from " << state_dir << " ("
+                << service.wal_ingest_total() << " ingested, "
+                << service.wal_decision_total() << " decisions)\n";
+  }
+
+  g_service = &service;
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+
+  // The producer: replays the trace through the ingest queue the way qsub
+  // shims would, skipping what a previous life already made durable.
+  const std::uint64_t skip = service.wal_ingest_total();
+  std::thread producer([&]() {
+    wl::SubmitSpec s;
+    std::uint64_t yielded = 0;
+    while (!g_stop.load(std::memory_order_acquire)) {
+      if (!source.next(s)) break;
+      ++yielded;
+      if (yielded <= skip) continue;  // already in the WAL
+      if (max_jobs != 0 && yielded > max_jobs) break;
+      ingest.submit(s.at, std::move(s.spec), s.behavior);
+      if (throttle_ms > 0)
+        std::this_thread::sleep_for(std::chrono::milliseconds(throttle_ms));
+    }
+    ingest.close();
+  });
+
+  const std::uint64_t ticks = system.run_service();
+  g_stop.store(true);
+  producer.join();
+
+  const metrics::WorkloadSummary summary = metrics::summarize(system.recorder());
+  if (!quiet) {
+    std::cerr << "dbsd: " << summary.jobs_submitted << " submitted, "
+              << summary.jobs_completed << " completed, "
+              << service.wal_decision_total() << " decisions, "
+              << service.snapshots_written() << " snapshots, " << ticks
+              << " ticks"
+              << (service.drained() ? "" : " (stopped before drain)") << "\n";
+  }
+  if (!summary_json.empty()) {
+    if (summary_json == "-") {
+      write_summary_json(std::cout, summary, service, recovered);
+    } else {
+      std::ofstream out(summary_json);
+      if (!out) {
+        std::cerr << "cannot open " << summary_json << "\n";
+        return 1;
+      }
+      write_summary_json(out, summary, service, recovered);
+    }
+  }
+  return 0;
+}

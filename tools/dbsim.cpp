@@ -37,6 +37,7 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
 
 #include "batch/experiment.hpp"
 #include "batch/parallel_runner.hpp"
@@ -48,6 +49,8 @@
 #include "obs/tracer.hpp"
 #include "rms/decision.hpp"
 #include "rms/status.hpp"
+#include "svc/ingest.hpp"
+#include "svc/service_loop.hpp"
 #include "workload/swf/swf_source.hpp"
 #include "workload/trace.hpp"
 
@@ -66,7 +69,7 @@ int usage(const char* argv0, int code) {
                "       [--measure-threads M] [--stage-breakdown]\n"
                "       [--swf-window N] [--swf-overlay-dynamic PCT]\n"
                "       [--swf-seed S] [--swf-policy skip|strict]\n"
-               "       [--swf-materialize]\n";
+               "       [--swf-materialize] [--serve]\n";
   return code;
 }
 
@@ -115,6 +118,7 @@ int main(int argc, char** argv) {
   std::uint64_t swf_seed = 2014;
   bool swf_strict = false;
   bool swf_materialize = false;
+  bool serve = false;
   std::string config_path;
   std::string csv_path;
   std::string trace_out_path;
@@ -153,6 +157,7 @@ int main(int argc, char** argv) {
       }
     }
     else if (arg == "--swf-materialize") swf_materialize = true;
+    else if (arg == "--serve") serve = true;
     else if (arg == "--config") config_path = next();
     else if (arg == "--nodes") nodes = static_cast<std::size_t>(std::stoul(next()));
     else if (arg == "--cores-per-node") cores_per_node = std::stoi(next());
@@ -207,6 +212,15 @@ int main(int argc, char** argv) {
       std::cerr << "--swf-overlay-dynamic must be a percentage in [0, 100]\n";
       return 2;
     }
+    if (serve && swf_materialize) {
+      std::cerr << "--serve uses the streaming ingest path; drop "
+                   "--swf-materialize\n";
+      return 2;
+    }
+  }
+  if (serve && swf_path.empty()) {
+    std::cerr << "--serve requires --swf\n";
+    return 2;
   }
   if (replications < 1 || run_jobs < 1) {
     std::cerr << "--replications and --jobs must be >= 1\n";
@@ -316,6 +330,8 @@ int main(int argc, char** argv) {
       std::cerr << "cannot open " << record_out_path << "\n";
       return 1;
     }
+    svc::IngestQueue ingest;  // --serve only; declared first to outlive
+                              // the system's service loop
     batch::BatchSystem system(system_config);
     system.set_sinks({trace_out_path.empty() ? nullptr : &tracer, &registry,
                       recorder.is_open() ? &recorder : nullptr});
@@ -326,6 +342,22 @@ int main(int argc, char** argv) {
         wl::SubmitSpec s;
         while (swf_source->next(s)) workload.jobs.push_back(s);
         system.submit_workload(workload);
+      } else if (serve) {
+        // Service-mode smoke path: the same jobs flow through the
+        // concurrent ingest queue + service loop (in-memory, no state
+        // dir) instead of submit_stream, proving the service core
+        // reproduces the one-shot replay.
+        svc::ServiceConfig service_config;
+        service_config.tick = Duration::seconds(3600);
+        system.attach_ingest(ingest, service_config);
+        std::thread producer([&]() {
+          wl::SubmitSpec s;
+          while (swf_source->next(s))
+            ingest.submit(s.at, std::move(s.spec), s.behavior);
+          ingest.close();
+        });
+        system.run_service();
+        producer.join();
       } else {
         system.submit_stream(*swf_source, swf_window);
       }
