@@ -21,6 +21,7 @@ thread_local std::size_t tls_worker_slot = 0;
 struct ThreadPool::Batch {
   const ThreadPool* owner = nullptr;
   std::size_t n = 0;
+  std::size_t grain = 1;             ///< indices claimed per fetch_add
   const Task* fn = nullptr;
   std::atomic<std::size_t> next{0};  ///< next unclaimed task index
   std::atomic<std::size_t> done{0};  ///< completed tasks
@@ -57,18 +58,27 @@ void ThreadPool::run_tasks(Batch& batch, std::size_t worker_slot) {
   tls_pool = batch.owner;
   tls_worker_slot = worker_slot;
   for (;;) {
-    const std::size_t i = batch.next.fetch_add(1, std::memory_order_relaxed);
-    if (i >= batch.n) break;
-    try {
-      (*batch.fn)(i, worker_slot);
-    } catch (...) {
-      std::lock_guard<std::mutex> lock(batch.error_mutex);
-      if (i < batch.error_index) {
-        batch.error = std::current_exception();
-        batch.error_index = i;
+    // One claim takes `grain` consecutive indices; the chunk runs in index
+    // order so per-index semantics (error_index, determinism contracts)
+    // match grain == 1 exactly.
+    const std::size_t begin =
+        batch.next.fetch_add(batch.grain, std::memory_order_relaxed);
+    if (begin >= batch.n) break;
+    const std::size_t end = std::min(begin + batch.grain, batch.n);
+    for (std::size_t i = begin; i < end; ++i) {
+      try {
+        (*batch.fn)(i, worker_slot);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(batch.error_mutex);
+        if (i < batch.error_index) {
+          batch.error = std::current_exception();
+          batch.error_index = i;
+        }
       }
     }
-    if (batch.done.fetch_add(1, std::memory_order_acq_rel) + 1 == batch.n) {
+    const std::size_t chunk = end - begin;
+    if (batch.done.fetch_add(chunk, std::memory_order_acq_rel) + chunk ==
+        batch.n) {
       std::lock_guard<std::mutex> lock(batch.done_mutex);
       batch.done_cv.notify_all();
     }
@@ -95,8 +105,10 @@ void ThreadPool::worker_main(std::size_t worker_slot) {
   }
 }
 
-void ThreadPool::parallel_for(std::size_t n, const Task& fn) {
+void ThreadPool::parallel_for(std::size_t n, const Task& fn,
+                              std::size_t grain) {
   DBS_REQUIRE(fn != nullptr, "parallel_for needs a body");
+  DBS_REQUIRE(grain >= 1, "parallel_for grain must be >= 1");
   if (n == 0) return;
 
   // Nested call from inside one of our own tasks, or a trivially small /
@@ -123,6 +135,7 @@ void ThreadPool::parallel_for(std::size_t n, const Task& fn) {
   auto batch = std::make_shared<Batch>();
   batch->owner = this;
   batch->n = n;
+  batch->grain = grain;
   batch->fn = &fn;
   {
     std::lock_guard<std::mutex> lock(mutex_);

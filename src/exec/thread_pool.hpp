@@ -48,6 +48,14 @@ class ThreadPool {
   /// finished. Indices are claimed dynamically (no static partition), so
   /// uneven task costs balance out. n == 0 returns immediately.
   ///
+  /// `grain` >= 1 is the chunk size of one dynamic claim: a worker grabs
+  /// `grain` consecutive indices per fetch_add and runs them back to back.
+  /// The default (1) maximizes balancing; a larger grain amortizes the
+  /// claim + completion bookkeeping when tasks are tiny relative to an
+  /// atomic RMW (e.g. K small scheduler-shard iterations fanned out over a
+  /// wide pool), at the cost of coarser balancing. Within a chunk indices
+  /// run in order, so per-index determinism contracts are unaffected.
+  ///
   /// Exceptions: if one or more tasks throw, the exception of the
   /// lowest-indexed failing task is rethrown on the caller (the rest are
   /// discarded); remaining tasks still run to completion first, so partial
@@ -57,14 +65,15 @@ class ThreadPool {
   /// would deadlock a classic fork-join pool (the worker would wait on
   /// itself). Here the nested call is detected and executed inline,
   /// serially, on the calling worker — correct, just not extra-parallel.
-  void parallel_for(std::size_t n, const Task& fn);
+  void parallel_for(std::size_t n, const Task& fn, std::size_t grain = 1);
 
   /// Map convenience: returns `fn(i, worker)` for each index, in index
   /// order. R must be default-constructible and movable.
   template <class R, class F>
-  std::vector<R> parallel_map(std::size_t n, F&& fn) {
+  std::vector<R> parallel_map(std::size_t n, F&& fn, std::size_t grain = 1) {
     std::vector<R> out(n);
-    parallel_for(n, [&](std::size_t i, std::size_t w) { out[i] = fn(i, w); });
+    parallel_for(
+        n, [&](std::size_t i, std::size_t w) { out[i] = fn(i, w); }, grain);
     return out;
   }
 

@@ -75,6 +75,46 @@ WorkloadSummary summarize(const Recorder& recorder) {
   return s;
 }
 
+WorkloadSummary merge_summaries(const std::vector<WorkloadSummary>& parts,
+                                const std::vector<CoreCount>& capacities) {
+  DBS_REQUIRE(parts.size() == capacities.size(),
+              "merge_summaries needs one capacity per summary");
+  WorkloadSummary m;
+  Duration wait_sum, turnaround_sum;
+  double used_core_seconds = 0.0;
+  CoreCount total_capacity = 0;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    const WorkloadSummary& s = parts[i];
+    m.jobs_submitted += s.jobs_submitted;
+    m.jobs_completed += s.jobs_completed;
+    m.evolving_jobs += s.evolving_jobs;
+    m.satisfied_dyn_jobs += s.satisfied_dyn_jobs;
+    m.granted_dyn_requests += s.granted_dyn_requests;
+    m.backfilled_jobs += s.backfilled_jobs;
+    m.makespan = max(m.makespan, s.makespan);
+    m.max_wait = max(m.max_wait, s.max_wait);
+    const auto n = static_cast<std::int64_t>(s.jobs_completed);
+    wait_sum += s.avg_wait * n;
+    turnaround_sum += s.avg_turnaround * n;
+    used_core_seconds += s.utilization / 100.0 *
+                         static_cast<double>(capacities[i]) *
+                         s.makespan.as_seconds();
+    total_capacity += capacities[i];
+  }
+  if (m.jobs_completed == 0) return m;
+  const auto n = static_cast<std::int64_t>(m.jobs_completed);
+  m.avg_wait = wait_sum / n;
+  m.avg_turnaround = turnaround_sum / n;
+  if (m.makespan > Duration::zero()) {
+    m.utilization = 100.0 * used_core_seconds /
+                    (static_cast<double>(total_capacity) *
+                     m.makespan.as_seconds());
+    m.throughput_jobs_per_min =
+        static_cast<double>(m.jobs_completed) / m.makespan.as_minutes();
+  }
+  return m;
+}
+
 std::vector<WaitPoint> wait_series(const Recorder& recorder,
                                    const std::string& type_tag) {
   std::vector<WaitPoint> out;

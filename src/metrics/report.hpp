@@ -32,6 +32,19 @@ struct WorkloadSummary {
 /// Aggregates over all completed jobs in the recorder.
 [[nodiscard]] WorkloadSummary summarize(const Recorder& recorder);
 
+/// Merges per-shard summaries into one machine-wide view (sharded runs:
+/// each shard schedules its own cluster slice and produces its own
+/// summary). Count fields sum; avg_wait/avg_turnaround re-weight by
+/// completed jobs; makespan is the longest shard makespan (shards start
+/// together, the run ends when the last one drains); utilization and
+/// throughput are recomputed over the merged makespan with
+/// `capacities[i]` = shard i's cores, so the merged numbers are what a
+/// whole-machine observer would have measured. Deterministic: pure
+/// left-to-right arithmetic over the inputs in index order.
+[[nodiscard]] WorkloadSummary merge_summaries(
+    const std::vector<WorkloadSummary>& parts,
+    const std::vector<CoreCount>& capacities);
+
 /// Waiting time of each completed job, in submission order. When
 /// `type_tag` is non-empty, only jobs of that type are included.
 struct WaitPoint {

@@ -1,5 +1,6 @@
 #include "svc/service_loop.hpp"
 
+#include <algorithm>
 #include <filesystem>
 #include <thread>
 
@@ -70,6 +71,7 @@ bool ServiceLoop::open() {
   wal_ = std::make_unique<WalWriter>(wal_file,
                                      had_state ? wal.valid_bytes : 0);
   wal_ingest_total_ = wal.ingest.size();
+  for (const IngestRecord& r : wal.ingest) count_submit(r);
   wal_decision_total_ = done_decisions;
   decisions_at_snapshot_ = done_decisions;
   ingest_fired_total_ = done_ingest;
@@ -130,11 +132,14 @@ std::size_t ServiceLoop::admit_pending() {
 
   for (const auto& r : drain_buf_) {
     schedule_record(r);
+    count_submit(r);
     if (durable_) pending_admits_.push_back(r.admitted);
   }
   wal_ingest_total_ += n;
 
-  obs::Registry& reg = obs::Registry::global();
+  // Svc counters land in the system's own registry (falling back to the
+  // global one): concurrently ticking shard loops must never share one.
+  obs::Registry& reg = system_.scheduler().sinks().registry_or_global();
   reg.counter("svc.ingest.admitted").add(n);
   reg.gauge("svc.ingest.depth").set(static_cast<double>(ingest_.depth()));
   return n;
@@ -253,8 +258,18 @@ void ServiceLoop::maybe_snapshot(bool force) {
   write_snapshot(config_.state_dir, capture_full());
   decisions_at_snapshot_ = wal_decision_total_;
   ++snapshots_written_;
-  obs::Registry::global().counter("svc.snapshots").add(1);
+  system_.scheduler().sinks().registry_or_global().counter("svc.snapshots")
+      .add(1);
   prune_snapshots(config_.state_dir, config_.keep_snapshots);
+}
+
+void ServiceLoop::finalize() { maybe_snapshot(true); }
+
+void ServiceLoop::count_submit(const IngestRecord& r) {
+  if (r.kind != IngestKind::Submit) return;
+  ++wal_submit_total_;
+  wal_submit_cores_ +=
+      static_cast<std::uint64_t>(std::max<CoreCount>(r.spec.cores, 1));
 }
 
 }  // namespace dbs::svc

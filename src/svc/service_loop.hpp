@@ -98,6 +98,11 @@ class ServiceLoop {
   /// drivers; run() is this in a loop.
   void tick();
 
+  /// What run() does on the way out: the final (forced) snapshot. Custom
+  /// drivers that call tick() directly (e.g. the sharded service fanning
+  /// ticks across loops) call this once when their run ends.
+  void finalize();
+
   /// Thread-safe: makes run() return after the current cycle.
   void stop() { stop_.store(true, std::memory_order_release); }
 
@@ -114,6 +119,17 @@ class ServiceLoop {
   [[nodiscard]] std::uint64_t wal_decision_total() const {
     return wal_decision_total_;
   }
+  /// Submit records in the WAL (recovered + appended), and their summed
+  /// core weight (max(cores, 1) per submit — the router's charging rule).
+  /// A sharded service seeds its router ledger from these after recovery,
+  /// so a reopened service keeps routing exactly where a never-restarted
+  /// one would.
+  [[nodiscard]] std::uint64_t wal_submit_total() const {
+    return wal_submit_total_;
+  }
+  [[nodiscard]] std::uint64_t wal_submit_cores() const {
+    return wal_submit_cores_;
+  }
   [[nodiscard]] std::uint64_t snapshots_written() const {
     return snapshots_written_;
   }
@@ -129,6 +145,8 @@ class ServiceLoop {
   void schedule_record(const IngestRecord& r);
   /// DecisionApplier sink: verify against the recovery tail, then append.
   void on_decision(const rms::Decision& d);
+  /// Maintains the wal_submit_* counters for one WAL-bound record.
+  void count_submit(const IngestRecord& r);
   void maybe_snapshot(bool force);
   [[nodiscard]] SystemState capture_full() const;
 
@@ -146,6 +164,8 @@ class ServiceLoop {
   std::deque<Time> pending_admits_;
   std::uint64_t ingest_fired_total_ = 0;
   std::uint64_t wal_ingest_total_ = 0;
+  std::uint64_t wal_submit_total_ = 0;
+  std::uint64_t wal_submit_cores_ = 0;
   std::uint64_t wal_decision_total_ = 0;
   std::uint64_t decisions_at_snapshot_ = 0;
   std::uint64_t snapshots_written_ = 0;

@@ -31,6 +31,37 @@ TEST(Partition, ClampsWhenRunningJobsOverlap) {
   EXPECT_EQ(p.free_at(at(200)), 24);
 }
 
+TEST(Partition, LargerThanFreeCoresClampsUntilJobsDrain) {
+  AvailabilityProfile p(at(0), 32);
+  p.subtract(at(0), at(200), 12);  // long-running batch
+  p.subtract(at(0), at(100), 16);  // early extra load: 28 of 32 used
+  reserve_dynamic_partition(p, 16);  // partition exceeds the 4 free cores
+  EXPECT_EQ(p.free_at(at(50)), 0);    // clamped at zero, not -12
+  EXPECT_EQ(p.free_at(at(150)), 4);   // 32 - 12 - 16
+  EXPECT_EQ(p.free_at(at(250)), 16);  // only the partition remains
+}
+
+TEST(Partition, RunningDynamicAllocationsInsidePartitionDrainCleanly) {
+  // Dynamic allocations already hold 30 of 32 cores — more than the
+  // machine minus the partition. The clamped reservation must not push
+  // any segment negative, and the partition takes full effect per
+  // segment the moment the allocations drain.
+  AvailabilityProfile p(at(0), 32);
+  p.subtract(at(0), at(60), 30);
+  p.subtract(at(60), at(120), 10);
+  reserve_dynamic_partition(p, 8);
+  EXPECT_EQ(p.free_at(at(30)), 0);
+  EXPECT_EQ(p.free_at(at(90)), 14);  // 32 - 10 - 8
+  EXPECT_EQ(p.free_at(at(130)), 24);
+}
+
+TEST(Partition, AlmostWholeMachineAllowed) {
+  AvailabilityProfile p(at(0), 32);
+  reserve_dynamic_partition(p, 31);
+  EXPECT_EQ(p.free_at(at(0)), 1);
+  EXPECT_EQ(p.free_at(at(1'000'000)), 1);
+}
+
 TEST(Partition, WholeMachineRejected) {
   AvailabilityProfile p(at(0), 32);
   EXPECT_THROW(reserve_dynamic_partition(p, 32), precondition_error);

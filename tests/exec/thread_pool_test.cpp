@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <mutex>
 #include <numeric>
 #include <set>
 #include <stdexcept>
@@ -123,6 +124,72 @@ TEST(ThreadPool, RejectsZeroThreadsAndNullBody) {
   EXPECT_THROW(ThreadPool(0), precondition_error);
   ThreadPool pool(2);
   EXPECT_THROW(pool.parallel_for(1, nullptr), precondition_error);
+}
+
+TEST(ThreadPool, GrainRunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kTasks = 1000;
+  // Grains that don't divide n, exceed n, and equal 1 all cover [0, n).
+  for (const std::size_t grain : {std::size_t{1}, std::size_t{7},
+                                  std::size_t{64}, std::size_t{5000}}) {
+    std::vector<std::atomic<int>> hits(kTasks);
+    pool.parallel_for(
+        kTasks,
+        [&](std::size_t i, std::size_t) {
+          hits[i].fetch_add(1, std::memory_order_relaxed);
+        },
+        grain);
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1) << "grain " << grain;
+  }
+}
+
+TEST(ThreadPool, GrainChunksRunInIndexOrderWithinAChunk) {
+  ThreadPool pool(4);
+  constexpr std::size_t kTasks = 256;
+  constexpr std::size_t kGrain = 16;
+  // Record the order per worker: within one chunk of 16 the indices must
+  // be consecutive and increasing (chunks themselves may interleave across
+  // workers in any order).
+  std::vector<std::vector<std::size_t>> per_worker(pool.worker_count());
+  std::mutex m;
+  pool.parallel_for(
+      kTasks,
+      [&](std::size_t i, std::size_t worker) {
+        std::lock_guard<std::mutex> lock(m);
+        per_worker[worker].push_back(i);
+      },
+      kGrain);
+  for (const auto& seq : per_worker)
+    for (std::size_t j = 1; j < seq.size(); ++j)
+      if (seq[j] % kGrain != 0)  // same chunk as the previous index
+        EXPECT_EQ(seq[j], seq[j - 1] + 1);
+}
+
+TEST(ThreadPool, GrainKeepsLowestIndexExceptionSemantics) {
+  ThreadPool pool(4);
+  constexpr std::size_t kTasks = 64;
+  std::vector<std::atomic<int>> hits(kTasks);
+  try {
+    pool.parallel_for(
+        kTasks,
+        [&](std::size_t i, std::size_t) {
+          hits[i].fetch_add(1, std::memory_order_relaxed);
+          if (i == 7 || i == 40)
+            throw std::runtime_error("task " + std::to_string(i));
+        },
+        8);
+    FAIL() << "expected the task exception to propagate";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "task 7");
+  }
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, RejectsZeroGrain) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.parallel_for(4, [](std::size_t, std::size_t) {}, 0),
+      precondition_error);
 }
 
 TEST(ThreadPool, ReusableAcrossManyRegions) {

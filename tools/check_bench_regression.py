@@ -33,6 +33,17 @@ google-benchmark modifiers (`/iterations:N`, `/manual_time`, ...) are part
 of the group name, not the label, so `bm_replay_stream/1000000/manual_time`
 groups with its 100000 and 10000000 siblings.
 
+The `bench_shard` family (any benchmark whose leading name segment contains
+"shard", e.g. `bm_shard_iter/4/256`) inverts the label rule: the FIRST
+numeric path segment is the shard count and becomes the scaling label, and
+the remaining segments (the fixed per-shard queue depth, modifiers) join
+the group name — `bm_shard_iter/4/256` lands in group `bm_shard_iter/256`
+with label 4. bench_shard is a weak-scaling sweep reporting per-shard
+iteration wall time as manual time, so `--max-scaling` over these groups
+gates flatness of the per-shard cost across shard counts — a machine-
+independent check that sharding stays share-nothing — rather than absolute
+times.
+
 Memory counters — any user counter whose name contains "rss" (case
 insensitive, e.g. bench_replay's `peak_rss_mb`) — are bytes, not
 nanoseconds, so they are reported in their own table and gated by their
@@ -114,13 +125,19 @@ def scaling_groups(benchmarks):
 
     Trailing non-numeric modifier segments (`/iterations:1`,
     `/manual_time`) belong to the group name, so the label is the LAST
-    all-digit path segment. Returns {base_name: [(label, time), ...]}
+    all-digit path segment. Exception: the shard family (leading segment
+    containing "shard") labels by the FIRST numeric segment — the shard
+    count — and folds the rest (fixed per-shard depth, modifiers) into
+    the group, so scaling is measured across shard counts at equal
+    per-shard load. Returns {base_name: [(label, time), ...]}
     sorted by label, for groups with at least two labels (a single size
     has no scaling to measure).
     """
     groups = {}
     for name, time in benchmarks.items():
-        match = re.fullmatch(r"(.+)/(\d+)((?:/[^/]+)*)", name)
+        match = re.fullmatch(r"([^/]*shard[^/]*)/(\d+)((?:/[^/]+)*)", name)
+        if match is None:
+            match = re.fullmatch(r"(.+)/(\d+)((?:/[^/]+)*)", name)
         if not match:
             continue
         base = match.group(1) + match.group(3)

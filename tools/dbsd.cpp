@@ -5,6 +5,8 @@
 //        [--throttle-ms MS] [--max-jobs N] [--max-ticks N]
 //        [--swf-overlay-dynamic PCT] [--swf-seed S]
 //        [--summary-json FILE|-] [--quiet]
+//        [--shards K] [--shard-by hash|user|partition|least]
+//        [--shard-map range|hash] [--shard-threads T]
 //
 // Unlike dbsim (one-shot: submit a workload, run, report) dbsd runs a
 // service: a producer thread feeds the SWF trace through the concurrent
@@ -21,6 +23,13 @@
 // --max-jobs bounds the trace prefix; --summary-json emits the final
 // workload summary with stable keys, so an interrupted-and-recovered run
 // can be diffed against an uninterrupted one.
+//
+// --shards K runs the sharded service: the cluster's nodes split into K
+// shards (each with its own scheduler, WAL and snapshots under
+// <state-dir>/shard-<k>), submissions route deterministically by
+// --shard-by, and the K shard loops tick concurrently on --shard-threads
+// workers. Recovery stays per-shard and parallel; the summary JSON is the
+// capacity-weighted merge and is byte-identical for every --shard-threads.
 #include <atomic>
 #include <csignal>
 #include <cstdint>
@@ -31,10 +40,12 @@
 #include <thread>
 
 #include "batch/batch_system.hpp"
+#include "batch/sharded_system.hpp"
 #include "config/maui_config.hpp"
 #include "metrics/report.hpp"
 #include "svc/ingest.hpp"
 #include "svc/service_loop.hpp"
+#include "svc/sharded_service.hpp"
 #include "workload/swf/swf_source.hpp"
 
 using namespace dbs;
@@ -42,12 +53,14 @@ using namespace dbs;
 namespace {
 
 svc::ServiceLoop* g_service = nullptr;
+svc::ShardedService* g_sharded = nullptr;
 std::atomic<bool> g_stop{false};
 
 void handle_signal(int) {
-  // Both flags are plain atomic stores: async-signal-safe.
+  // All flags are plain atomic stores: async-signal-safe.
   g_stop.store(true);
   if (g_service != nullptr) g_service->stop();
+  if (g_sharded != nullptr) g_sharded->stop();
 }
 
 int usage(const char* argv0, int code) {
@@ -57,7 +70,9 @@ int usage(const char* argv0, int code) {
          "       [--cores-per-node N] [--snapshot-every N] [--tick-ms MS]\n"
          "       [--throttle-ms MS] [--max-jobs N] [--max-ticks N]\n"
          "       [--swf-overlay-dynamic PCT] [--swf-seed S]\n"
-         "       [--summary-json FILE|-] [--quiet]\n";
+         "       [--summary-json FILE|-] [--quiet]\n"
+         "       [--shards K] [--shard-by hash|user|partition|least]\n"
+         "       [--shard-map range|hash] [--shard-threads T]\n";
   return code;
 }
 
@@ -67,7 +82,8 @@ std::string slurp(const std::string& path) {
 }
 
 void write_summary_json(std::ostream& os, const metrics::WorkloadSummary& s,
-                        const svc::ServiceLoop& service, bool recovered) {
+                        std::uint64_t wal_ingest, std::uint64_t wal_decisions,
+                        bool recovered) {
   os << "{\n"
      << "  \"jobs_submitted\": " << s.jobs_submitted << ",\n"
      << "  \"jobs_completed\": " << s.jobs_completed << ",\n"
@@ -79,8 +95,8 @@ void write_summary_json(std::ostream& os, const metrics::WorkloadSummary& s,
      << "  \"avg_wait_us\": " << s.avg_wait.as_micros() << ",\n"
      << "  \"max_wait_us\": " << s.max_wait.as_micros() << ",\n"
      << "  \"avg_turnaround_us\": " << s.avg_turnaround.as_micros() << ",\n"
-     << "  \"wal_ingest\": " << service.wal_ingest_total() << ",\n"
-     << "  \"wal_decisions\": " << service.wal_decision_total() << ",\n"
+     << "  \"wal_ingest\": " << wal_ingest << ",\n"
+     << "  \"wal_decisions\": " << wal_decisions << ",\n"
      << "  \"recovered\": " << (recovered ? "true" : "false") << "\n"
      << "}\n";
 }
@@ -102,6 +118,10 @@ int main(int argc, char** argv) {
   double overlay_pct = 0.0;
   std::uint64_t overlay_seed = 2014;
   bool quiet = false;
+  std::size_t shards = 1;
+  std::size_t shard_threads = 1;
+  core::RoutePolicy shard_by = core::RoutePolicy::UserHash;
+  batch::ShardMapKind shard_map = batch::ShardMapKind::Range;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -126,6 +146,30 @@ int main(int argc, char** argv) {
     else if (arg == "--swf-seed") overlay_seed = std::stoull(next());
     else if (arg == "--summary-json") summary_json = next();
     else if (arg == "--quiet") quiet = true;
+    else if (arg == "--shards") shards = std::stoul(next());
+    else if (arg == "--shard-threads") shard_threads = std::stoul(next());
+    else if (arg == "--shard-by") {
+      const std::string by = next();
+      if (by == "hash" || by == "user") shard_by = core::RoutePolicy::UserHash;
+      else if (by == "partition") shard_by = core::RoutePolicy::Partition;
+      else if (by == "least" || by == "least-loaded")
+        shard_by = core::RoutePolicy::LeastLoaded;
+      else {
+        std::cerr << "unknown --shard-by '" << by
+                  << "' (expected hash, user, partition or least)\n";
+        return 2;
+      }
+    }
+    else if (arg == "--shard-map") {
+      const std::string kind = next();
+      if (kind == "range") shard_map = batch::ShardMapKind::Range;
+      else if (kind == "hash") shard_map = batch::ShardMapKind::Hash;
+      else {
+        std::cerr << "unknown --shard-map '" << kind
+                  << "' (expected range or hash)\n";
+        return 2;
+      }
+    }
     else if (arg == "--help" || arg == "-h") return usage(argv[0], 0);
     else {
       std::cerr << "unknown argument '" << arg << "'\n";
@@ -135,6 +179,10 @@ int main(int argc, char** argv) {
   if (swf_path.empty()) return usage(argv[0], 2);
   if (tick_ms <= 0) {
     std::cerr << "--tick-ms must be >= 1\n";
+    return 2;
+  }
+  if (shards < 1 || shard_threads < 1) {
+    std::cerr << "--shards and --shard-threads must be >= 1\n";
     return 2;
   }
 
@@ -174,15 +222,88 @@ int main(int argc, char** argv) {
   system_config.streaming_metrics = true;
   system_config.retire_finished_jobs = true;
 
-  batch::BatchSystem system(system_config);
-  svc::IngestQueue ingest;
-
   svc::ServiceConfig service_config;
   service_config.state_dir = state_dir;
   service_config.snapshot_every = snapshot_every;
   service_config.tick = Duration::millis(tick_ms);
   service_config.wall_sleep = std::chrono::microseconds(100);
   service_config.max_ticks = max_ticks;
+
+  if (shards > 1) {
+    batch::ShardConfig shard_config;
+    shard_config.shards = shards;
+    shard_config.map = shard_map;
+    shard_config.policy = shard_by;
+    shard_config.threads = shard_threads;
+    batch::ShardedSystem sharded(system_config, shard_config);
+    svc::IngestQueue ingest;
+    svc::ShardedService service(sharded, ingest, service_config);
+
+    bool recovered = false;
+    if (!state_dir.empty()) {
+      recovered = service.open();
+      if (!quiet && recovered)
+        std::cerr << "dbsd: recovered state from " << state_dir << "/shard-* ("
+                  << service.wal_ingest_total() << " ingested, "
+                  << service.wal_decision_total() << " decisions)\n";
+    }
+
+    g_sharded = &service;
+    std::signal(SIGINT, handle_signal);
+    std::signal(SIGTERM, handle_signal);
+
+    // Routing is deterministic and the driver routes in global ticket
+    // order (= trace order), so the first `skip` trace records are exactly
+    // the ones the shard WALs already hold.
+    const std::uint64_t skip = service.wal_ingest_total();
+    std::thread producer([&]() {
+      wl::SubmitSpec s;
+      std::uint64_t yielded = 0;
+      while (!g_stop.load(std::memory_order_acquire)) {
+        if (!source.next(s)) break;
+        ++yielded;
+        if (yielded <= skip) continue;  // already in a shard WAL
+        if (max_jobs != 0 && yielded > max_jobs) break;
+        ingest.submit(s.at, std::move(s.spec), s.behavior);
+        if (throttle_ms > 0)
+          std::this_thread::sleep_for(std::chrono::milliseconds(throttle_ms));
+      }
+      ingest.close();
+    });
+
+    const std::uint64_t ticks = service.run();
+    g_stop.store(true);
+    producer.join();
+
+    const metrics::WorkloadSummary summary = sharded.summary();
+    if (!quiet) {
+      std::cerr << "dbsd: " << summary.jobs_submitted << " submitted, "
+                << summary.jobs_completed << " completed, "
+                << service.wal_decision_total() << " decisions, "
+                << service.snapshots_written() << " snapshots, " << ticks
+                << " ticks across " << shards << " shards"
+                << (service.drained() ? "" : " (stopped before drain)")
+                << "\n";
+    }
+    if (!summary_json.empty()) {
+      if (summary_json == "-") {
+        write_summary_json(std::cout, summary, service.wal_ingest_total(),
+                           service.wal_decision_total(), recovered);
+      } else {
+        std::ofstream out(summary_json);
+        if (!out) {
+          std::cerr << "cannot open " << summary_json << "\n";
+          return 1;
+        }
+        write_summary_json(out, summary, service.wal_ingest_total(),
+                           service.wal_decision_total(), recovered);
+      }
+    }
+    return 0;
+  }
+
+  batch::BatchSystem system(system_config);
+  svc::IngestQueue ingest;
   svc::ServiceLoop& service = system.attach_ingest(ingest, service_config);
 
   bool recovered = false;
@@ -231,14 +352,16 @@ int main(int argc, char** argv) {
   }
   if (!summary_json.empty()) {
     if (summary_json == "-") {
-      write_summary_json(std::cout, summary, service, recovered);
+      write_summary_json(std::cout, summary, service.wal_ingest_total(),
+                         service.wal_decision_total(), recovered);
     } else {
       std::ofstream out(summary_json);
       if (!out) {
         std::cerr << "cannot open " << summary_json << "\n";
         return 1;
       }
-      write_summary_json(out, summary, service, recovered);
+      write_summary_json(out, summary, service.wal_ingest_total(),
+                         service.wal_decision_total(), recovered);
     }
   }
   return 0;

@@ -7,6 +7,8 @@
 //           [--metrics-json metrics.json] [--record-out run.dbsr]
 //           [--replications R] [--jobs N]
 //           [--measure-threads M] [--stage-breakdown]
+//           [--shards K] [--shard-by hash|user|partition|least]
+//           [--shard-map range|hash] [--shard-threads T]
 //
 // The trace format is documented in src/workload/trace.hpp (write one with
 // `esp_campaign --trace`). The config file uses the Maui-style syntax of
@@ -28,6 +30,17 @@
 // parallelism (MEASURETHREADS), overriding the config file; decisions are
 // bit-identical at every M.
 //
+// Sharded scheduling: --shards K partitions the cluster's nodes into K
+// shards (--shard-map range|hash), each scheduled by its own independent
+// scheduler stack, and routes every submission to exactly one shard
+// (--shard-by: hash/user = fnv1a(user) % K, partition = job class name
+// matched against shard names part0..partK-1, least = deterministic
+// least-loaded). --shard-threads T runs the K shard simulations on T
+// threads; the output (summary, metrics, per-shard records) is
+// byte-identical for every T. With --record-out each shard records its own
+// file (<file>, <file>.rep1, ...) plus a manifest, exactly like
+// --replications.
+//
 // --dry-run-iteration pauses mid-run (same snapshot point as --qstat),
 // runs the scheduler pipeline once in dry-run mode and prints the decision
 // stream it would execute (one JSON object per line) without applying any
@@ -41,6 +54,7 @@
 
 #include "batch/experiment.hpp"
 #include "batch/parallel_runner.hpp"
+#include "batch/sharded_system.hpp"
 #include "config/maui_config.hpp"
 #include "core/pipeline/iteration_context.hpp"
 #include "obs/recorder/manifest.hpp"
@@ -69,7 +83,9 @@ int usage(const char* argv0, int code) {
                "       [--measure-threads M] [--stage-breakdown]\n"
                "       [--swf-window N] [--swf-overlay-dynamic PCT]\n"
                "       [--swf-seed S] [--swf-policy skip|strict]\n"
-               "       [--swf-materialize] [--serve]\n";
+               "       [--swf-materialize] [--serve]\n"
+               "       [--shards K] [--shard-by hash|user|partition|least]\n"
+               "       [--shard-map range|hash] [--shard-threads T]\n";
   return code;
 }
 
@@ -133,6 +149,10 @@ int main(int argc, char** argv) {
   std::size_t replications = 1;
   std::size_t run_jobs = 1;
   std::size_t measure_threads = 0;  // 0: keep the config-file value
+  std::size_t shards = 1;
+  std::size_t shard_threads = 1;
+  core::RoutePolicy shard_by = core::RoutePolicy::UserHash;
+  batch::ShardMapKind shard_map = batch::ShardMapKind::Range;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -182,6 +202,32 @@ int main(int argc, char** argv) {
       run_jobs = static_cast<std::size_t>(std::stoul(next()));
     else if (arg == "--measure-threads")
       measure_threads = static_cast<std::size_t>(std::stoul(next()));
+    else if (arg == "--shards")
+      shards = static_cast<std::size_t>(std::stoul(next()));
+    else if (arg == "--shard-threads")
+      shard_threads = static_cast<std::size_t>(std::stoul(next()));
+    else if (arg == "--shard-by") {
+      const std::string by = next();
+      if (by == "hash" || by == "user") shard_by = core::RoutePolicy::UserHash;
+      else if (by == "partition") shard_by = core::RoutePolicy::Partition;
+      else if (by == "least" || by == "least-loaded")
+        shard_by = core::RoutePolicy::LeastLoaded;
+      else {
+        std::cerr << "unknown --shard-by '" << by
+                  << "' (expected hash, user, partition or least)\n";
+        return 2;
+      }
+    }
+    else if (arg == "--shard-map") {
+      const std::string kind = next();
+      if (kind == "range") shard_map = batch::ShardMapKind::Range;
+      else if (kind == "hash") shard_map = batch::ShardMapKind::Hash;
+      else {
+        std::cerr << "unknown --shard-map '" << kind
+                  << "' (expected range or hash)\n";
+        return 2;
+      }
+    }
     else if (arg == "--help" || arg == "-h") return usage(argv[0], 0);
     else return usage(argv[0], 2);
   }
@@ -239,6 +285,20 @@ int main(int argc, char** argv) {
     std::cerr << "--qstat and --dry-run-iteration are only supported with "
                  "--replications 1\n";
     return 2;
+  }
+  if (shards < 1 || shard_threads < 1) {
+    std::cerr << "--shards and --shard-threads must be >= 1\n";
+    return 2;
+  }
+  if (shards > 1) {
+    if (qstat || dry_run_iteration || serve || replications > 1 ||
+        !csv_path.empty()) {
+      std::cerr << "--shards is incompatible with --qstat, "
+                   "--dry-run-iteration, --serve, --replications > 1 and "
+                   "--csv (per-shard job indices are not comparable; use "
+                   "dbsd for a sharded service)\n";
+      return 2;
+    }
   }
 
   wl::Workload workload;
@@ -323,7 +383,67 @@ int main(int argc, char** argv) {
   obs::rec::Manifest manifest;
   metrics::WorkloadSummary summary;
   std::vector<metrics::WaitPoint> waits;
-  if (qstat || dry_run_iteration || swf_source != nullptr) {
+  std::vector<metrics::WorkloadSummary> shard_summaries;
+  std::vector<std::uint64_t> shard_routed_jobs;
+  if (shards > 1) {
+    batch::ShardConfig shard_config;
+    shard_config.shards = shards;
+    shard_config.map = shard_map;
+    shard_config.policy = shard_by;
+    shard_config.threads = shard_threads;
+    batch::ShardedSystem sharded(system_config, shard_config);
+    std::vector<std::unique_ptr<obs::rec::FlightRecorder>> recorders;
+    if (!record_out_path.empty()) {
+      for (std::size_t k = 0; k < shards; ++k) {
+        recorders.push_back(std::make_unique<obs::rec::FlightRecorder>());
+        const std::string path = obs::rec::shard_path(record_out_path, k);
+        if (!recorders.back()->open(path, capacity)) {
+          std::cerr << "cannot open " << path << "\n";
+          return 1;
+        }
+      }
+    }
+    // The event trace attaches to shard 0 only — concurrent shard writers
+    // would interleave events nondeterministically.
+    for (std::size_t k = 0; k < shards; ++k) {
+      obs::Tracer* shard_tracer =
+          k == 0 && !trace_out_path.empty() ? &tracer : nullptr;
+      obs::rec::FlightRecorder* shard_recorder =
+          recorders.empty() ? nullptr : recorders[k].get();
+      if (shard_tracer != nullptr || shard_recorder != nullptr)
+        sharded.set_shard_sinks(k, shard_tracer, shard_recorder);
+    }
+    if (swf_source != nullptr && !swf_materialize) {
+      sharded.submit_stream(*swf_source, swf_window);
+    } else {
+      if (swf_source != nullptr) {
+        wl::SubmitSpec s;
+        while (swf_source->next(s)) workload.jobs.push_back(s);
+      }
+      sharded.submit_workload(workload);
+    }
+    sharded.run();
+    summary = sharded.summary();
+    sharded.merge_registries(registry);
+    for (std::size_t k = 0; k < shards; ++k) {
+      shard_summaries.push_back(sharded.shard_summary(k));
+      shard_routed_jobs.push_back(sharded.router().routed_jobs(k));
+    }
+    for (std::size_t k = 0; k < recorders.size(); ++k) {
+      obs::rec::FlightRecorder& recorder = *recorders[k];
+      obs::rec::ManifestShard shard;
+      shard.path = recorder.path();
+      shard.replication = k;
+      shard.records = recorder.records_written();
+      shard.first_t_us = recorder.first_t_us();
+      shard.last_t_us = recorder.last_t_us();
+      if (!recorder.finalize()) {
+        std::cerr << "cannot finalize " << shard.path << "\n";
+        return 1;
+      }
+      manifest.shards.push_back(std::move(shard));
+    }
+  } else if (qstat || dry_run_iteration || swf_source != nullptr) {
     obs::rec::FlightRecorder recorder;
     if (!record_out_path.empty() &&
         !recorder.open(record_out_path, capacity)) {
@@ -475,6 +595,17 @@ int main(int argc, char** argv) {
               << (swf_materialize ? std::string("materialized")
                                   : std::to_string(swf_window))
               << "\n";
+  }
+  if (shards > 1) {
+    TextTable shard_table(metrics::performance_header());
+    for (std::size_t k = 0; k < shard_summaries.size(); ++k)
+      shard_table.add_row(metrics::performance_row(
+          "part" + std::to_string(k), shard_summaries[k], 0.0));
+    std::cout << shard_table.to_string();
+    std::cout << "shard routing (" << core::to_string(shard_by) << "):";
+    for (std::size_t k = 0; k < shard_routed_jobs.size(); ++k)
+      std::cout << " part" << k << "=" << shard_routed_jobs[k];
+    std::cout << "; metrics merged across " << shards << " shards\n";
   }
   if (replications > 1)
     std::cout << replications << " replications on " << run_jobs
